@@ -1,0 +1,52 @@
+// Command benchtables regenerates the paper's evaluation tables and figures
+// on the synthetic benchmark suites:
+//
+//	benchtables -fig 13    # precision comparison (Fig. 13)
+//	benchtables -fig 14    # global-test attribution (Fig. 14)
+//	benchtables -fig 15    # scalability / linearity (Fig. 15)
+//	benchtables -fig ratio # §5 symbolic-only pointer ratio
+//	benchtables -fig all   # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 13, 14, 15, ratio, all")
+	scalePrograms := flag.Int("scale-programs", 50, "number of programs in the Fig. 15 suite")
+	flag.Parse()
+
+	needPrecision := *fig == "13" || *fig == "14" || *fig == "ratio" || *fig == "all"
+	var rows []experiments.PrecisionRow
+	if needPrecision {
+		rows = experiments.RunFig13Suite()
+	}
+
+	switch *fig {
+	case "13":
+		experiments.RenderFig13(os.Stdout, rows)
+	case "14":
+		experiments.RenderFig14(os.Stdout, rows)
+	case "ratio":
+		experiments.RenderRatio(os.Stdout, rows)
+	case "15":
+		experiments.RenderFig15(os.Stdout, experiments.RunFig15(*scalePrograms))
+	case "all":
+		fmt.Println("=== Fig. 13: precision comparison ===")
+		experiments.RenderFig13(os.Stdout, rows)
+		fmt.Println("\n=== Fig. 14: queries solved by the global test ===")
+		experiments.RenderFig14(os.Stdout, rows)
+		fmt.Println("\n=== §5: symbolic-only pointer ratio ===")
+		experiments.RenderRatio(os.Stdout, rows)
+		fmt.Println("\n=== Fig. 15: scalability ===")
+		experiments.RenderFig15(os.Stdout, experiments.RunFig15(*scalePrograms))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}

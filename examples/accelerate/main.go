@@ -1,0 +1,54 @@
+// Accelerate reproduces §2's second example (Fig. 3/4): the strided loop
+//
+//	while (i < N) { p[i] += X; p[i+1] += Y; i += 2; }
+//
+// whose two stores have *overlapping global ranges* ([0,N+1] vs [1,N+2]) —
+// the global test fails — but never collide at any single moment: the local
+// test (and scev-aa) prove them no-alias.
+//
+//	go run ./examples/accelerate
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alias/scevaa"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/progs"
+)
+
+func main() {
+	m := progs.Accelerate()
+	a := pointer.Analyze(m, pointer.Options{})
+	f := m.Func("accelerate")
+
+	fmt.Println("the accelerate function in e-SSA form:")
+	fmt.Print(f)
+
+	var stores []*ir.Value
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in.Args[0])
+		}
+	}
+	tmp0, tmp1 := stores[0], stores[1]
+
+	fmt.Println("\nglobal ranges overlap (the global test must say may-alias):")
+	fmt.Printf("  GR(%s) = %s\n", tmp0.Name, a.GR.Value(tmp0))
+	fmt.Printf("  GR(%s) = %s\n", tmp1.Name, a.GR.Value(tmp1))
+	gans, _ := a.QueryGR(tmp0, tmp1)
+	fmt.Printf("  global test: %s\n", gans)
+
+	fmt.Println("\nlocal view (fresh region base per §2's renaming; cf. Fig. 4):")
+	fmt.Printf("  LR(%s) = %s\n", tmp0.Name, a.LR.String(tmp0))
+	fmt.Printf("  LR(%s) = %s\n", tmp1.Name, a.LR.String(tmp1))
+	fmt.Printf("  local test: %s\n", a.QueryLR(tmp0, tmp1))
+
+	ans, why := a.Query(tmp0, tmp1)
+	fmt.Printf("\ncombined: %s (%s)\n", ans, why)
+
+	scev := scevaa.New(m)
+	fmt.Printf("scev-aa (induction-variable closed forms): %s\n",
+		scev.Alias(tmp0, tmp1))
+}

@@ -1,0 +1,49 @@
+// Messagebuffer reproduces the paper's flagship example (§2, Fig. 1/2):
+// a message built as [id bytes | payload bytes], where the two fill loops
+// write provably disjoint regions of the same malloc'd buffer. No analysis
+// in LLVM 3.5 could prove this; the global symbolic range test can.
+//
+//	go run ./examples/messagebuffer
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/scevaa"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/progs"
+)
+
+func main() {
+	m := progs.MessageBuffer()
+	a := pointer.Analyze(m, pointer.Options{})
+	prepare := m.Func("prepare")
+
+	fmt.Println("the prepare function in e-SSA form (cf. Fig. 7):")
+	fmt.Print(prepare)
+
+	fmt.Println("\nGR values of interest (cf. Example 3 and Fig. 12):")
+	for _, v := range prepare.Values() {
+		if v.Typ == ir.TPtr {
+			fmt.Printf("  GR(%-6s) = %s\n", v.Name, a.GR.Value(v))
+		}
+	}
+
+	var stores []*ir.Value
+	for _, in := range prepare.Instrs() {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in.Args[0])
+		}
+	}
+	fmt.Println("\nthe headline query — store of loop 1 vs store of loop 2:")
+	ans, why := a.Query(stores[0], stores[2])
+	fmt.Printf("  rbaa:  %s (%s)\n", ans, why)
+
+	basic := basicaa.New(m)
+	scev := scevaa.New(m)
+	fmt.Printf("  basic: %s\n", basic.Alias(stores[0], stores[2]))
+	fmt.Printf("  scev:  %s\n", scev.Alias(stores[0], stores[2]))
+	fmt.Println("\n(only the symbolic range analysis separates the two loops)")
+}

@@ -1,0 +1,74 @@
+// Minicdemo compiles a MiniC program (the paper's Fig. 1 written as source
+// text) through the full pipeline — parse, type-check, lower, mem2reg,
+// e-SSA — and runs every analysis on the result, demonstrating the
+// compiler-frontend path the paper's LLVM implementation used.
+//
+//	go run ./examples/minicdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/alias"
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/alias/scevaa"
+	"repro/internal/frontend/minic"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/stats"
+)
+
+const src = `
+// Fig. 1: build a message as [id bytes | payload bytes].
+func prepare(p ptr, n int, m ptr) {
+  var i ptr = p;
+  var e ptr = p + n;
+  while (i < e) {
+    *i = 0;
+    *(i + 1) = 255;
+    i = i + 2;
+  }
+  var f ptr = e + strlen(m);
+  while (i < f) {
+    *i = *m;
+    m = m + 1;
+  }
+}
+
+func main() int {
+  var z int = atoi();
+  var b ptr = malloc(z);
+  var s ptr = malloc(payloadlen());
+  prepare(b, z, s);
+  return 0;
+}
+`
+
+func main() {
+	m, err := minic.Compile("fig1", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled module (e-SSA form):")
+	ir.Print(os.Stdout, m)
+
+	r := rbaa.New(m, pointer.Options{})
+	b := basicaa.New(m)
+	s := scevaa.New(m)
+	comb := &alias.Combined{Members: []alias.Analysis{r, b}, Label: "r+b"}
+
+	n, counts := alias.Count(m, s, b, r, comb)
+	fmt.Printf("\n%d pointer-pair queries:\n\n", n)
+	t := stats.NewTable("analysis", "#noalias", "%")
+	for _, name := range []string{"scev", "basic", "rbaa", "r+b"} {
+		t.Row(name, counts[name], stats.Pct(counts[name], n))
+	}
+	t.Write(os.Stdout)
+
+	at := r.Attribute(m)
+	fmt.Printf("\nrbaa attribution: disjoint-support=%d global-range=%d local-range=%d\n",
+		at.DisjointSupport, at.GlobalRange, at.LocalRange)
+}

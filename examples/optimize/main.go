@@ -1,0 +1,106 @@
+// Optimize demonstrates an *optimization client* of the alias analysis:
+// redundant-load elimination over a MiniC record-update kernel. The same
+// optimizer runs three times — with no alias information, with basicaa, and
+// with rbaa — and the interpreter confirms all variants compute the same
+// result while the load counts shrink with precision.
+//
+//	go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/alias"
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/frontend/minic"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/pointer"
+)
+
+// The hot loop re-reads the record header *after* storing through a
+// symbolically indexed body pointer. The re-read is redundant exactly when
+// the optimizer can prove header and body disjoint: the store's offset is
+// symbolic (base+i), so basicaa's constant-offset rule cannot help — only
+// the symbolic range analysis proves body ∈ rec+[2, n+1] away from the
+// header words rec+0 and rec+1.
+const src = `
+func kernel(n int) int {
+  var rec ptr = malloc(n + 2);
+  *rec = 10;            // header word 0
+  *(rec + 1) = 20;      // header word 1
+  var base ptr = rec + 2;
+  var i int = 0;
+  while (i < n) {
+    var h0 int = *rec;
+    *(base + i) = h0 + i;       // symbolic store into the body
+    var h1 int = *(rec + 1);
+    var h2 int = *rec;          // redundant — if the store can't clobber it
+    *(base + i) = h0 + h1 + h2 + i;
+    i = i + 1;
+  }
+  var sum int = 0;
+  i = 0;
+  while (i < n) {
+    sum = sum + *(base + i);
+    i = i + 1;
+  }
+  return sum;
+}
+`
+
+type pessimist struct{}
+
+func (pessimist) Name() string                      { return "none" }
+func (pessimist) Alias(_, _ *ir.Value) alias.Result { return alias.MayAlias }
+
+func main() {
+	compile := func() *ir.Module {
+		m, err := minic.Compile("kernel", src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	reference, err := interp.New(compile(), interp.Options{}).Run("kernel", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel(10) = %d (reference execution)\n\n", reference)
+	fmt.Println("analysis   loads before   eliminated   loads after   result")
+	fmt.Println("--------   ------------   ----------   -----------   ------")
+
+	run := func(name string, mk func(m *ir.Module) alias.Analysis) {
+		m := compile()
+		before := opt.CountLoads(m)
+		aa := mk(m)
+		n := 0
+		for _, f := range m.Funcs {
+			n += opt.EliminateRedundantLoads(f, aa)
+		}
+		got, err := interp.New(m, interp.Options{}).Run("kernel", 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := fmt.Sprint(got)
+		if got != reference {
+			status += "  << WRONG"
+		}
+		fmt.Printf("%-8s   %12d   %10d   %11d   %s\n",
+			name, before, n, opt.CountLoads(m), status)
+	}
+
+	run("none", func(m *ir.Module) alias.Analysis { return pessimist{} })
+	run("basic", func(m *ir.Module) alias.Analysis { return basicaa.New(m) })
+	run("rbaa", func(m *ir.Module) alias.Analysis {
+		return rbaa.New(m, pointer.Options{})
+	})
+
+	fmt.Println("\nThe header re-reads inside the loop survive under basicaa")
+	fmt.Println("(the body store has a *symbolic* offset, beyond its constant-")
+	fmt.Println("offset rule) and fold away under the symbolic range analysis.")
+}

@@ -1,0 +1,58 @@
+// Quickstart: build a tiny program with the IR builder, run the analysis
+// pipeline of Fig. 5, and ask alias queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/ssa"
+)
+
+func main() {
+	// Build:
+	//   func fill(n int) {
+	//     buf = malloc(n)
+	//     lo = buf          // header: offsets [0, 1]
+	//     hi = buf + 2      // payload: offsets [2, ...]
+	//     *lo = 1; *(lo+1) = 2; *hi = 3
+	//   }
+	m := ir.NewModule("quickstart")
+	f := m.NewFunc("fill", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	buf := b.Malloc(f.Params[0], "buf")
+	lo := b.Copy(buf, "lo")
+	lo1 := b.PtrAddConst(lo, 1, "lo1")
+	hi := b.PtrAddConst(buf, 2, "hi")
+	b.Store(lo, b.Int(1))
+	b.Store(lo1, b.Int(2))
+	b.Store(hi, b.Int(3))
+	b.Ret(nil)
+
+	// The pipeline: e-SSA form, then range + pointer analyses.
+	ssa.InsertPi(f)
+	a := pointer.Analyze(m, pointer.Options{})
+
+	fmt.Println("program:")
+	fmt.Print(m)
+
+	fmt.Println("\nabstract pointer states (GR):")
+	for _, v := range []*ir.Value{buf, lo, lo1, hi} {
+		fmt.Printf("  GR(%-4s) = %s\n", v.Name, a.GR.Value(v))
+	}
+
+	fmt.Println("\nqueries:")
+	for _, pair := range [][2]*ir.Value{{lo, hi}, {lo1, hi}, {lo, lo1}, {buf, lo}} {
+		ans, why := a.Query(pair[0], pair[1])
+		if ans == pointer.NoAlias {
+			fmt.Printf("  %-4s vs %-4s: %s (%s)\n", pair[0].Name, pair[1].Name, ans, why)
+		} else {
+			fmt.Printf("  %-4s vs %-4s: %s\n", pair[0].Name, pair[1].Name, ans)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Structfields shows the record-field idiom the paper's §1 motivates:
+// disambiguating fields within a single allocation, including fields
+// addressed through *symbolic* offsets (beyond basicaa's constant-offset
+// rule). It compares all three analyses on both flavors.
+//
+//	go run ./examples/structfields
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/alias/scevaa"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/ssa"
+)
+
+func main() {
+	// struct { hdr[2]; body[n]; tail } laid out in one allocation:
+	//   s      = malloc(2 + n + 1)
+	//   hdr    = s + 0, s + 1        (constant offsets)
+	//   body_i = s + 2 + i           (symbolic offsets, 0 ≤ i < n)
+	//   tail   = s + 2 + n           (symbolic offset)
+	m := ir.NewModule("structfields")
+	f := m.NewFunc("init", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	b.SetBlock(entry)
+	n := f.Params[0]
+	size := b.Add(n, b.Int(3), "size")
+	s := b.Malloc(size, "s")
+	hdr0 := b.PtrAddConst(s, 0, "hdr0")
+	hdr1 := b.PtrAddConst(s, 1, "hdr1")
+	b.Store(hdr0, b.Int(42))
+	b.Store(hdr1, b.Int(43))
+	base := b.PtrAddConst(s, 2, "base")
+	b.Br(head)
+
+	b.SetBlock(head)
+	i := b.Phi(ir.TInt, "i")
+	c := b.Cmp(ir.PLt, i.Res, n, "c")
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	bi := b.PtrAdd(base, i.Res, "body_i")
+	b.Store(bi, b.Int(0))
+	i1 := b.Add(i.Res, b.Int(1), "i1")
+	b.Br(head)
+	ir.AddIncoming(i, b.Int(0), entry)
+	ir.AddIncoming(i, i1, body)
+
+	b.SetBlock(exit)
+	ni := b.Add(n, b.Int(2), "ni")
+	tail := b.PtrAdd(s, ni, "tail")
+	b.Store(tail, b.Int(99))
+	b.Ret(nil)
+
+	ssa.InsertPi(f)
+	r := rbaa.New(m, pointer.Options{})
+	basic := basicaa.New(m)
+	scev := scevaa.New(m)
+
+	// Find the π-refined store pointer of the body loop.
+	var bodyStore *ir.Value
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpStore && in.Block.Name == "body" {
+			bodyStore = in.Args[0]
+		}
+	}
+
+	show := func(label string, p, q *ir.Value) {
+		fmt.Printf("%-28s rbaa=%-9v basic=%-9v scev=%v\n", label,
+			r.Alias(p, q), basic.Alias(p, q), scev.Alias(p, q))
+	}
+	fmt.Println("field pair                   results")
+	fmt.Println("---------------------------  -----------------------------------")
+	show("hdr0 vs hdr1 (const)", hdr0, hdr1)
+	show("hdr1 vs body[i] (symbolic)", hdr1, bodyStore)
+	show("body[i] vs tail (symbolic)", bodyStore, tail)
+	show("hdr0 vs tail (mixed)", hdr0, tail)
+
+	fmt.Println("\nGR values:")
+	for _, v := range []*ir.Value{hdr0, hdr1, bodyStore, tail} {
+		fmt.Printf("  GR(%-7s) = %s\n", v.Name, r.GR.Value(v))
+	}
+}

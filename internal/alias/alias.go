@@ -1,0 +1,123 @@
+// Package alias defines the common interface of the alias analyses compared
+// in §4 of the paper (rbaa, basic, scev), the query-enumeration harness that
+// produces the #Queries column of Fig. 13, and analysis combination
+// (the "r + b" column).
+package alias
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Result of one disambiguation query.
+type Result uint8
+
+// Query outcomes.
+const (
+	MayAlias Result = iota
+	NoAlias
+)
+
+// String renders the result.
+func (r Result) String() string {
+	if r == NoAlias {
+		return "no-alias"
+	}
+	return "may-alias"
+}
+
+// Analysis answers may/no alias for two pointer values of the same module.
+// Implementations must be sound: NoAlias only when the pointers can never
+// address the same memory unit (for the local/rbaa notion, at the same
+// moment — see pointer.LRResult).
+type Analysis interface {
+	Name() string
+	Alias(p, q *ir.Value) Result
+}
+
+// Pair is one alias query.
+type Pair struct {
+	P, Q *ir.Value
+}
+
+// Queries enumerates the disambiguation queries of a module the way the
+// paper's evaluation does: all unordered pairs of distinct pointer-typed
+// values within the same function (parameters and instruction results).
+func Queries(m *ir.Module) []Pair {
+	var out []Pair
+	for _, f := range m.Funcs {
+		var ptrs []*ir.Value
+		for _, v := range f.Values() {
+			if v.Typ == ir.TPtr {
+				ptrs = append(ptrs, v)
+			}
+		}
+		for i := 0; i < len(ptrs); i++ {
+			for j := i + 1; j < len(ptrs); j++ {
+				out = append(out, Pair{ptrs[i], ptrs[j]})
+			}
+		}
+	}
+	return out
+}
+
+// NumQueries counts the queries of a module without materializing them.
+func NumQueries(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		p := 0
+		for _, v := range f.Values() {
+			if v.Typ == ir.TPtr {
+				p++
+			}
+		}
+		n += p * (p - 1) / 2
+	}
+	return n
+}
+
+// Combined is the disjunction of analyses: no-alias if any member proves it
+// (sound because each member is sound). It implements the "r + b" column.
+type Combined struct {
+	Members []Analysis
+	Label   string
+}
+
+// Name returns the combination label.
+func (c *Combined) Name() string { return c.Label }
+
+// Alias returns NoAlias if any member does.
+func (c *Combined) Alias(p, q *ir.Value) Result {
+	for _, m := range c.Members {
+		if m.Alias(p, q) == NoAlias {
+			return NoAlias
+		}
+	}
+	return MayAlias
+}
+
+// Count runs every query of m against each analysis and reports the
+// per-analysis number of no-alias answers, keyed by Name().
+func Count(m *ir.Module, analyses ...Analysis) (queries int, noalias map[string]int) {
+	noalias = map[string]int{}
+	qs := Queries(m)
+	for _, q := range qs {
+		for _, a := range analyses {
+			if a.Alias(q.P, q.Q) == NoAlias {
+				noalias[a.Name()]++
+			}
+		}
+	}
+	return len(qs), noalias
+}
+
+// Names returns the sorted analysis names of a count map (table rendering).
+func Names(counts map[string]int) []string {
+	out := make([]string, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,308 @@
+// Package andersen implements an inclusion-based (Andersen-style) points-to
+// analysis: flow- and context-insensitive, field-insensitive, with abstract
+// objects per allocation site and global. Unlike the paper's GR analysis it
+// *does* track pointers through memory (store/load constraints), which is
+// exactly the complementary capability §3.4 alludes to ("a typical
+// compilation infra-structure already contains analyses that are able to
+// track the propagation of pointer information throughout memory").
+//
+// The package serves two roles:
+//
+//  1. a standalone alias analysis (disjoint points-to sets ⇒ no-alias),
+//     realizing the paper's related-work proposal that classic points-to
+//     algorithms be combined with the range representation;
+//  2. a refinement oracle for GR: with pointer.Options.PointsTo set, loads
+//     of pointers get the loaded set's sites with unknown offsets instead
+//     of ⊤ — restoring support-disjointness answers for pointers that
+//     round-trip through memory.
+//
+// Soundness: anything that reaches an extern call, or is loaded from
+// memory an extern may have written, degrades to the universal set.
+package andersen
+
+import (
+	"repro/internal/alias"
+	"repro/internal/ir"
+)
+
+// unknownObj is the universal abstract object: a pointer that may address
+// anything (extern results, loads from unanalyzable memory).
+const unknownObj = -1
+
+// Result holds the points-to solution.
+type Result struct {
+	sites []ir.Site
+	// pts maps pointer values to site-id sets; unknownObj marks ⊤.
+	pts map[*ir.Value]map[int]bool
+	// objPts maps abstract objects to the site-id sets their cells may hold.
+	objPts map[int]map[int]bool
+}
+
+var _ alias.Analysis = (*Result)(nil)
+
+// Name identifies the analysis.
+func (r *Result) Name() string { return "andersen" }
+
+// PointsTo returns the site-id set of v; unknown=true means ⊤ (the set is
+// then meaningless). Constants (null) have empty sets.
+func (r *Result) PointsTo(v *ir.Value) (set map[int]bool, unknown bool) {
+	s := r.pts[v]
+	if s == nil {
+		if v.Kind == ir.VConst {
+			return nil, false
+		}
+		return nil, true // untracked pointer: be conservative
+	}
+	return s, s[unknownObj]
+}
+
+// Alias reports no-alias when both points-to sets are known and disjoint.
+func (r *Result) Alias(p, q *ir.Value) alias.Result {
+	sp, up := r.PointsTo(p)
+	sq, uq := r.PointsTo(q)
+	if up || uq {
+		return alias.MayAlias
+	}
+	for o := range sp {
+		if sq[o] {
+			return alias.MayAlias
+		}
+	}
+	return alias.NoAlias
+}
+
+// Analyze runs the constraint solver over the module.
+func Analyze(m *ir.Module) *Result {
+	r := &Result{
+		sites:  m.AllocSites(),
+		pts:    map[*ir.Value]map[int]bool{},
+		objPts: map[int]map[int]bool{},
+	}
+	siteOf := map[*ir.Instr]int{}
+	gsite := map[*ir.Global]int{}
+	for _, s := range r.sites {
+		if s.Instr != nil {
+			siteOf[s.Instr] = s.ID
+		} else {
+			gsite[s.Global] = s.ID
+		}
+	}
+
+	// Subset constraints dst ⊇ src between pointer values; complex
+	// (load/store) constraints are re-evaluated as sets grow.
+	type edge struct{ src, dst *ir.Value }
+	var copies []edge
+	type loadC struct{ addr, dst *ir.Value }
+	type storeC struct{ addr, val *ir.Value }
+	var loads []loadC
+	var stores []storeC
+	var escapes []*ir.Value // pointer values handed to extern calls
+
+	addCopy := func(dst, src *ir.Value) { copies = append(copies, edge{src, dst}) }
+	seed := func(v *ir.Value, obj int) {
+		s := r.pts[v]
+		if s == nil {
+			s = map[int]bool{}
+			r.pts[v] = s
+		}
+		s[obj] = true
+	}
+
+	calledParams := map[*ir.Value]bool{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpAlloc:
+					seed(in.Res, siteOf[in])
+				case ir.OpCopy, ir.OpPi, ir.OpFree:
+					if in.Res.Typ == ir.TPtr {
+						addCopy(in.Res, in.Args[0])
+					}
+				case ir.OpPtrAdd:
+					addCopy(in.Res, in.Args[0])
+				case ir.OpPhi:
+					if in.Res.Typ == ir.TPtr {
+						for _, a := range in.Args {
+							addCopy(in.Res, a)
+						}
+					}
+				case ir.OpLoad:
+					if in.Res.Typ == ir.TPtr {
+						loads = append(loads, loadC{in.Args[0], in.Res})
+					}
+				case ir.OpStore:
+					if in.Args[1].Typ == ir.TPtr {
+						stores = append(stores, storeC{in.Args[0], in.Args[1]})
+					}
+				case ir.OpCall:
+					for i, a := range in.Args {
+						p := in.Callee.Params[i]
+						if p.Typ == ir.TPtr {
+							addCopy(p, a)
+							calledParams[p] = true
+						}
+					}
+				case ir.OpExtern:
+					// Arguments escape to unknown memory; results are ⊤.
+					for _, a := range in.Args {
+						if a.Typ == ir.TPtr {
+							escapes = append(escapes, a)
+						}
+					}
+					if in.Res != nil && in.Res.Typ == ir.TPtr {
+						seed(in.Res, unknownObj)
+					}
+				case ir.OpRet:
+					if len(in.Args) == 1 && in.Args[0].Typ == ir.TPtr {
+						// Connected to call results below.
+					}
+				}
+			}
+		}
+	}
+	// Return values flow to call results.
+	rets := map[*ir.Func][]*ir.Value{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpRet && len(in.Args) == 1 && in.Args[0].Typ == ir.TPtr {
+					rets[f] = append(rets[f], in.Args[0])
+				}
+			}
+		}
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Res != nil && in.Res.Typ == ir.TPtr {
+					if len(rets[in.Callee]) == 0 {
+						seed(in.Res, unknownObj)
+					}
+					for _, rv := range rets[in.Callee] {
+						addCopy(in.Res, rv)
+					}
+				}
+			}
+		}
+	}
+	// Globals are address-taken roots; parameters of externally callable
+	// functions are ⊤.
+	for _, f := range m.Funcs {
+		for _, p := range f.Params {
+			if p.Typ == ir.TPtr && !calledParams[p] {
+				seed(p, unknownObj)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		seed(g.Addr, gsite[g])
+	}
+
+	// Fixpoint: propagate copies and evaluate load/store constraints until
+	// stable. Cubic worst case; modules here are small enough.
+	union := func(dst map[int]bool, src map[int]bool) bool {
+		changed := false
+		for o := range src {
+			if !dst[o] {
+				dst[o] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	getSet := func(v *ir.Value) map[int]bool {
+		s := r.pts[v]
+		if s == nil {
+			s = map[int]bool{}
+			r.pts[v] = s
+		}
+		return s
+	}
+	objSet := func(o int) map[int]bool {
+		s := r.objPts[o]
+		if s == nil {
+			s = map[int]bool{}
+			r.objPts[o] = s
+		}
+		return s
+	}
+	// escaped objects: reachable by an extern call, which may overwrite
+	// their cells with anything and may store their addresses anywhere.
+	escaped := map[int]bool{}
+	markEscaped := func(o int) bool {
+		if o == unknownObj || escaped[o] {
+			return false
+		}
+		escaped[o] = true
+		return true
+	}
+	unknownSet := map[int]bool{unknownObj: true}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range copies {
+			if union(getSet(e.dst), getSet(e.src)) {
+				changed = true
+			}
+		}
+		for _, st := range stores {
+			av := getSet(st.addr)
+			vv := getSet(st.val)
+			if av[unknownObj] {
+				// Storing through ⊤: the stored values escape entirely.
+				for o := range vv {
+					if markEscaped(o) {
+						changed = true
+					}
+				}
+				continue
+			}
+			for o := range av {
+				if o == unknownObj {
+					continue
+				}
+				if union(objSet(o), vv) {
+					changed = true
+				}
+			}
+		}
+		for _, ld := range loads {
+			av := getSet(ld.addr)
+			if av[unknownObj] {
+				if union(getSet(ld.dst), unknownSet) {
+					changed = true
+				}
+				continue
+			}
+			for o := range av {
+				if o == unknownObj {
+					continue
+				}
+				if union(getSet(ld.dst), objSet(o)) {
+					changed = true
+				}
+			}
+		}
+		// Escape closure: everything an extern argument points to escapes;
+		// escaped objects hold ⊤-contaminated cells whose contents escape
+		// transitively.
+		for _, v := range escapes {
+			for o := range getSet(v) {
+				if markEscaped(o) {
+					changed = true
+				}
+			}
+		}
+		for o := range escaped {
+			if union(objSet(o), unknownSet) {
+				changed = true
+			}
+			for o2 := range objSet(o) {
+				if markEscaped(o2) {
+					changed = true
+				}
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,182 @@
+package andersen
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/progs"
+	"repro/internal/ssa"
+)
+
+func find(t *testing.T, f *ir.Func, name string) *ir.Value {
+	t.Helper()
+	for _, v := range f.Values() {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("value %s not found:\n%s", name, f)
+	return nil
+}
+
+func TestDistinctMallocsDisjoint(t *testing.T) {
+	m := progs.TwoBuffers()
+	a := Analyze(m)
+	f := m.Func("fill")
+	p, q := find(t, f, "p"), find(t, f, "q")
+	if a.Alias(p, q) != alias.NoAlias {
+		t.Error("distinct mallocs must have disjoint points-to sets")
+	}
+	if a.Alias(p, p) != alias.MayAlias {
+		t.Error("p vs p must be may-alias")
+	}
+}
+
+func TestTracksThroughMemory(t *testing.T) {
+	// q = malloc; *cell = q; r = loadp(cell): pts(r) must include q's site
+	// — the capability GR deliberately lacks (loads are ⊤ in Fig. 9).
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	cell := b.Alloca(1, "cell")
+	q := b.Malloc(f.Params[0], "q")
+	other := b.Malloc(f.Params[0], "other")
+	b.Store(cell, q)
+	r := b.Load(ir.TPtr, cell, "r")
+	b.Store(r, b.Int(1))
+	b.Ret(nil)
+
+	a := Analyze(m)
+	set, unknown := a.PointsTo(r)
+	if unknown {
+		t.Fatalf("pts(r) must be known")
+	}
+	if len(set) != 1 {
+		t.Fatalf("pts(r) = %v, want exactly q's site", set)
+	}
+	if a.Alias(r, q) != alias.MayAlias {
+		t.Error("r and q must may-alias (same object)")
+	}
+	if a.Alias(r, other) != alias.NoAlias {
+		t.Error("r and other must be no-alias")
+	}
+}
+
+func TestExternPoisonsReachableMemory(t *testing.T) {
+	// After publish(cell), a pointer loaded from cell is unknown.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	cell := b.Alloca(1, "cell")
+	q := b.Malloc(f.Params[0], "q")
+	b.Store(cell, q)
+	b.Extern("publish", ir.TVoid, "", cell)
+	r := b.Load(ir.TPtr, cell, "r")
+	b.Store(r, b.Int(1))
+	b.Ret(nil)
+
+	a := Analyze(m)
+	if _, unknown := a.PointsTo(r); !unknown {
+		t.Error("load from escaped memory must be ⊤")
+	}
+}
+
+func TestEscapeIsTransitive(t *testing.T) {
+	// outer holds a pointer to inner's cell; publishing outer poisons
+	// loads from inner too.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	outer := b.Alloca(1, "outer")
+	inner := b.Alloca(1, "inner")
+	q := b.Malloc(f.Params[0], "q")
+	b.Store(inner, q)
+	b.Store(outer, inner)
+	b.Extern("publish", ir.TVoid, "", outer)
+	r := b.Load(ir.TPtr, inner, "r")
+	b.Store(r, b.Int(1))
+	b.Ret(nil)
+
+	a := Analyze(m)
+	if _, unknown := a.PointsTo(r); !unknown {
+		t.Error("escape must close transitively through stored pointers")
+	}
+}
+
+func TestUncalledParamsUnknown(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	b.Store(f.Params[0], b.Int(1))
+	b.Ret(nil)
+	a := Analyze(m)
+	if _, unknown := a.PointsTo(f.Params[0]); !unknown {
+		t.Error("externally callable parameter must be ⊤")
+	}
+}
+
+func TestInterproceduralFlow(t *testing.T) {
+	m := progs.MessageBuffer()
+	a := Analyze(m)
+	prepare := m.Func("prepare")
+	// p receives main's first malloc; m receives the second.
+	sp, up := a.PointsTo(prepare.Params[0])
+	sm, um := a.PointsTo(prepare.Params[2])
+	if up || um {
+		t.Fatalf("linked params must be known")
+	}
+	if a.Alias(prepare.Params[0], prepare.Params[2]) != alias.NoAlias {
+		t.Errorf("p (%v) and m (%v) must be disjoint", sp, sm)
+	}
+}
+
+// TestPointsToRefinesGRLoads: the related-work combination — with the
+// oracle, a pointer reloaded from memory keeps a usable support instead of
+// ⊤, so GR can again separate it from unrelated allocations.
+func TestPointsToRefinesGRLoads(t *testing.T) {
+	build := func() (*ir.Module, *ir.Value, *ir.Value) {
+		m := ir.NewModule("t")
+		f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+		b := ir.NewBuilder(f)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		cell := b.Alloca(1, "cell")
+		q := b.Malloc(f.Params[0], "q")
+		other := b.Malloc(f.Params[0], "other")
+		b.Store(cell, q)
+		r := b.Load(ir.TPtr, cell, "r")
+		b.Store(r, b.Int(1))
+		b.Store(other, b.Int(2))
+		b.Ret(nil)
+		ssa.InsertPi(f)
+		return m, r, other
+	}
+
+	// Without the oracle: load is ⊤, query is may.
+	m1, r1, o1 := build()
+	plain := pointer.Analyze(m1, pointer.Options{})
+	if ans, _ := plain.Query(r1, o1); ans != pointer.MayAlias {
+		t.Fatalf("without oracle: want may-alias (loads are ⊤)")
+	}
+	// With the oracle: support {q} vs {other} — disjoint.
+	m2, r2, o2 := build()
+	pt := Analyze(m2)
+	refined := pointer.Analyze(m2, pointer.Options{PointsTo: pt})
+	ans, why := refined.Query(r2, o2)
+	if ans != pointer.NoAlias {
+		t.Fatalf("with oracle: want no-alias, got %s (GR(r)=%s)", ans, refined.GR.Value(r2))
+	}
+	if why != pointer.ReasonDisjointSupport {
+		t.Errorf("attribution = %s, want disjoint-support", why)
+	}
+}

@@ -1,0 +1,245 @@
+// Package basicaa reimplements the decision rules of LLVM's "basic" alias
+// analysis, the strongest baseline of the paper's evaluation (§4 quotes its
+// documented heuristics):
+//
+//   - distinct globals, stack allocations and heap allocations never alias;
+//   - allocations never alias the null pointer;
+//   - different fields of a structure do not alias, and indexes into arrays
+//     with statically differing subscripts cannot alias (both reduce, after
+//     lowering, to same-base accesses at different constant offsets);
+//   - function calls cannot reference stack allocations that never escape
+//     (here in its aliasing form: a pointer of unknown provenance cannot
+//     point into a non-escaping allocation).
+//
+// Like its model, the analysis reasons about *underlying objects* reached by
+// walking copies, π-nodes and constant-offset pointer arithmetic — it has no
+// range information, which is exactly the gap rbaa fills.
+package basicaa
+
+import (
+	"repro/internal/alias"
+	"repro/internal/ir"
+)
+
+// Analysis is a per-module basic alias analysis.
+type Analysis struct {
+	escaped map[*ir.Instr]bool // alloc instructions whose address escapes
+}
+
+var _ alias.Analysis = (*Analysis)(nil)
+
+// New builds the analysis for a module (computes the escape set).
+func New(m *ir.Module) *Analysis {
+	a := &Analysis{escaped: map[*ir.Instr]bool{}}
+	a.computeEscapes(m)
+	return a
+}
+
+// Name returns "basic" (Fig. 13 column).
+func (a *Analysis) Name() string { return "basic" }
+
+// object is the result of underlying-object resolution.
+type object struct {
+	root   *ir.Value // allocation result, global, param, load/call result…
+	offset int64     // accumulated constant offset from root
+	exact  bool      // offset is exactly known
+	sawPhi bool      // resolution stopped at a φ
+}
+
+// resolve walks v to its underlying object through copies, π-nodes and
+// pointer arithmetic, accumulating constant offsets.
+func resolve(v *ir.Value) object {
+	o := object{root: v, exact: true}
+	for steps := 0; steps < 1000; steps++ {
+		if o.root.Kind != ir.VInstr {
+			return o
+		}
+		in := o.root.Def
+		switch in.Op {
+		case ir.OpCopy, ir.OpPi:
+			o.root = in.Args[0]
+		case ir.OpPtrAdd:
+			if c, ok := in.Args[1].IsConst(); ok {
+				o.offset += c
+			} else {
+				o.exact = false
+			}
+			o.root = in.Args[0]
+		case ir.OpPhi:
+			o.sawPhi = true
+			return o
+		default:
+			return o
+		}
+	}
+	return o
+}
+
+// identified reports whether a root is an identified object (an allocation
+// site or a global) — something with known, unique storage.
+func identified(root *ir.Value) bool {
+	if root.Kind == ir.VGlobal {
+		return true
+	}
+	return root.Kind == ir.VInstr && root.Def.Op == ir.OpAlloc
+}
+
+// isNull reports whether the root is the null literal.
+func isNull(root *ir.Value) bool {
+	c, ok := root.IsConst()
+	return ok && root.Typ == ir.TPtr && c == 0
+}
+
+// Alias applies the basicaa decision rules.
+func (a *Analysis) Alias(p, q *ir.Value) alias.Result {
+	op := resolve(p)
+	oq := resolve(q)
+	if op.sawPhi || oq.sawPhi {
+		return alias.MayAlias
+	}
+
+	// Null aliases nothing with storage.
+	if isNull(op.root) && (identified(oq.root) || isNull(oq.root)) {
+		return alias.NoAlias
+	}
+	if isNull(oq.root) && identified(op.root) {
+		return alias.NoAlias
+	}
+
+	if op.root == oq.root {
+		// Same object: constant, exactly-known offsets that differ cannot
+		// overlap a unit access (struct fields / constant array indexes).
+		if op.exact && oq.exact && op.offset != oq.offset {
+			return alias.NoAlias
+		}
+		return alias.MayAlias
+	}
+
+	pid, qid := identified(op.root), identified(oq.root)
+	// Two distinct identified objects never alias.
+	if pid && qid {
+		return alias.NoAlias
+	}
+	// A non-escaping allocation cannot be reached from a pointer of unknown
+	// provenance (parameter, load, call result).
+	if pid && !a.hasEscaped(op.root) && unknownProvenance(oq.root) {
+		return alias.NoAlias
+	}
+	if qid && !a.hasEscaped(oq.root) && unknownProvenance(op.root) {
+		return alias.NoAlias
+	}
+	return alias.MayAlias
+}
+
+// unknownProvenance reports whether a root's value comes from outside the
+// function's visible dataflow (so it can only point to escaped storage).
+func unknownProvenance(root *ir.Value) bool {
+	switch root.Kind {
+	case ir.VParam:
+		return true
+	case ir.VInstr:
+		switch root.Def.Op {
+		case ir.OpLoad, ir.OpCall, ir.OpExtern:
+			return true
+		}
+	}
+	return false
+}
+
+// hasEscaped reports whether an identified object's address escapes.
+// Globals always escape (visible to everything).
+func (a *Analysis) hasEscaped(root *ir.Value) bool {
+	if root.Kind == ir.VGlobal {
+		return true
+	}
+	return a.escaped[root.Def]
+}
+
+// computeEscapes marks allocations whose address (or any derived pointer)
+// is stored as a value, passed to a call/extern, or returned.
+func (a *Analysis) computeEscapes(m *ir.Module) {
+	// derived[v] = the set of alloc instructions v may carry, limited to
+	// direct derivation chains (copies, π, ptradd, φ).
+	derived := map[*ir.Value]map[*ir.Instr]bool{}
+	get := func(v *ir.Value) map[*ir.Instr]bool { return derived[v] }
+	addAll := func(dst *ir.Value, src map[*ir.Instr]bool) bool {
+		if len(src) == 0 {
+			return false
+		}
+		d := derived[dst]
+		if d == nil {
+			d = map[*ir.Instr]bool{}
+			derived[dst] = d
+		}
+		changed := false
+		for k := range src {
+			if !d[k] {
+				d[k] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAlloc {
+					derived[in.Res] = map[*ir.Instr]bool{in: true}
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Res == nil || in.Res.Typ != ir.TPtr {
+						continue
+					}
+					switch in.Op {
+					case ir.OpCopy, ir.OpPi, ir.OpPtrAdd, ir.OpFree:
+						if addAll(in.Res, get(in.Args[0])) {
+							changed = true
+						}
+					case ir.OpPhi:
+						for _, arg := range in.Args {
+							if addAll(in.Res, get(arg)) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	markEscape := func(v *ir.Value) {
+		for site := range get(v) {
+			a.escaped[site] = true
+		}
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpStore:
+					// Storing the pointer *as a value* leaks it; storing
+					// through it does not.
+					if in.Args[1].Typ == ir.TPtr {
+						markEscape(in.Args[1])
+					}
+				case ir.OpCall, ir.OpExtern:
+					for _, arg := range in.Args {
+						if arg.Typ == ir.TPtr {
+							markEscape(arg)
+						}
+					}
+				case ir.OpRet:
+					if len(in.Args) == 1 && in.Args[0].Typ == ir.TPtr {
+						markEscape(in.Args[0])
+					}
+				}
+			}
+		}
+	}
+}

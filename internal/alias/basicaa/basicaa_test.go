@@ -1,0 +1,165 @@
+package basicaa
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/progs"
+)
+
+func find(t *testing.T, f *ir.Func, name string) *ir.Value {
+	t.Helper()
+	for _, v := range f.Values() {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("value %s not found:\n%s", name, f)
+	return nil
+}
+
+func TestDistinctAllocationsNeverAlias(t *testing.T) {
+	m := progs.TwoBuffers()
+	a := New(m)
+	f := m.Func("fill")
+	p := find(t, f, "p")
+	q := find(t, f, "q")
+	if a.Alias(p, q) != alias.NoAlias {
+		t.Error("two distinct mallocs must be no-alias")
+	}
+}
+
+func TestConstantFieldOffsets(t *testing.T) {
+	m := progs.StructFields()
+	a := New(m)
+	f := m.Func("init")
+	fa := find(t, f, "fa")
+	fb := find(t, f, "fb")
+	fc := find(t, f, "fc")
+	if a.Alias(fa, fb) != alias.NoAlias || a.Alias(fb, fc) != alias.NoAlias {
+		t.Error("distinct constant fields must be no-alias")
+	}
+	// Field vs its own base at equal offset: may.
+	s := find(t, f, "s")
+	if a.Alias(fa, s) != alias.MayAlias {
+		t.Error("s+0 vs s must be may-alias")
+	}
+}
+
+func TestSymbolicOffsetsDefeatBasic(t *testing.T) {
+	// The message-buffer stores are beyond basicaa: same base, symbolic
+	// offsets. This is the precision gap rbaa closes (§2).
+	m := progs.MessageBuffer()
+	a := New(m)
+	prepare := m.Func("prepare")
+	var stores []*ir.Value
+	for _, in := range prepare.Instrs() {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in.Args[0])
+		}
+	}
+	if a.Alias(stores[0], stores[2]) != alias.MayAlias {
+		t.Error("basicaa should NOT disambiguate the two loops of Fig. 1")
+	}
+}
+
+func TestNullNeverAliasesAllocations(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	p := b.Malloc(b.Int(4), "p")
+	b.Ret(nil)
+	a := New(m)
+	if a.Alias(m.Null(), p) != alias.NoAlias {
+		t.Error("null vs malloc must be no-alias")
+	}
+}
+
+func TestNonEscapingAllocaVsParam(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	local := b.Alloca(4, "local")
+	b.Store(local, b.Int(1))
+	b.Store(f.Params[0], b.Int(2))
+	b.Ret(nil)
+	a := New(m)
+	if a.Alias(local, f.Params[0]) != alias.NoAlias {
+		t.Error("non-escaping alloca vs parameter must be no-alias")
+	}
+}
+
+func TestEscapedAllocaVsParamMayAlias(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	local := b.Alloca(4, "local")
+	b.Extern("publish", ir.TVoid, "", local) // address escapes
+	b.Ret(nil)
+	a := New(m)
+	if a.Alias(local, f.Params[0]) != alias.MayAlias {
+		t.Error("escaped alloca vs parameter must be may-alias")
+	}
+}
+
+func TestEscapeThroughDerivedPointer(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	local := b.Alloca(8, "local")
+	mid := b.PtrAddConst(local, 4, "mid")
+	b.Store(f.Params[0], mid) // derived pointer stored as a value: escapes
+	b.Ret(nil)
+	a := New(m)
+	if a.Alias(local, f.Params[0]) != alias.MayAlias {
+		t.Error("allocation escaping through a derived pointer must be may-alias")
+	}
+}
+
+func TestTwoParamsMayAlias(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr), ir.Param("q", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	b.Ret(nil)
+	a := New(m)
+	if a.Alias(f.Params[0], f.Params[1]) != alias.MayAlias {
+		t.Error("two pointer parameters must be may-alias")
+	}
+}
+
+func TestPhiDefeatsBasic(t *testing.T) {
+	m := progs.Fig10()
+	a := New(m)
+	f := m.Func("diamond")
+	a4 := find(t, f, "a4")
+	a5 := find(t, f, "a5")
+	if a.Alias(a4, a5) != alias.MayAlias {
+		t.Error("offsets from a φ must be may-alias for basicaa")
+	}
+}
+
+func TestVariableIndexDefeatsBasic(t *testing.T) {
+	m := progs.Accelerate()
+	a := New(m)
+	f := m.Func("accelerate")
+	var stores []*ir.Value
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in.Args[0])
+		}
+	}
+	if a.Alias(stores[0], stores[1]) != alias.MayAlias {
+		t.Error("p[i] vs p[i+1] is beyond basicaa (variable subscripts)")
+	}
+}

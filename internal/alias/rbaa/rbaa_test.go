@@ -1,0 +1,56 @@
+package rbaa
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/progs"
+)
+
+func TestAdapterAgreesWithPointerQuery(t *testing.T) {
+	m := progs.MessageBuffer()
+	a := New(m, pointer.Options{})
+	for _, f := range m.Funcs {
+		var ptrs []*ir.Value
+		for _, v := range f.Values() {
+			if v.Typ == ir.TPtr {
+				ptrs = append(ptrs, v)
+			}
+		}
+		for i := range ptrs {
+			for j := i + 1; j < len(ptrs); j++ {
+				ans, _ := a.Query(ptrs[i], ptrs[j])
+				adapted := a.Alias(ptrs[i], ptrs[j])
+				if (ans == pointer.NoAlias) != (adapted == alias.NoAlias) {
+					t.Fatalf("adapter disagrees with Query on %s vs %s",
+						ptrs[i], ptrs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	m := progs.TwoBuffers()
+	if New(m, pointer.Options{}).Name() != "rbaa" {
+		t.Error("analysis must report as rbaa (Fig. 13 column)")
+	}
+}
+
+func TestAttributeDecomposes(t *testing.T) {
+	for _, m := range []*ir.Module{
+		progs.MessageBuffer(), progs.Accelerate(), progs.Fig10(),
+		progs.TwoBuffers(), progs.StructFields(),
+	} {
+		a := New(m, pointer.Options{})
+		at := a.Attribute(m)
+		if at.NoAlias != at.DisjointSupport+at.GlobalRange+at.LocalRange {
+			t.Errorf("%s: attribution does not sum: %+v", m.Name, at)
+		}
+		if at.Queries < at.NoAlias {
+			t.Errorf("%s: more answers than queries: %+v", m.Name, at)
+		}
+	}
+}

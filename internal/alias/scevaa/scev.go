@@ -1,0 +1,258 @@
+// Package scevaa reimplements LLVM's scalar-evolution-based alias analysis,
+// the second baseline of the paper's evaluation (§4): for each loop
+//
+//	for (i = B; i < N; i += S) { … a[i] … }
+//
+// it infers the closed form i = B + iter×S (an *add recurrence*) and
+// disambiguates pointers whose difference of closed forms is a nonzero
+// constant. As the paper notes, "SCEV is only effective to disambiguate
+// pointers accessed within loops and indexed by variables in the expected
+// closed-form" — everything else is may-alias, which is why its Fig. 13
+// column is an order of magnitude below rbaa.
+package scevaa
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// scev is a closed-form value: a constant plus a linear combination of
+// atoms, where an atom is either an opaque SSA value or the virtual
+// iteration counter of a loop (so two lock-step recurrences of the same
+// loop subtract exactly).
+type scev struct {
+	ok    bool
+	konst int64
+	vals  map[*ir.Value]int64 // opaque SSA values
+	iters map[*cfg.Loop]int64 // iter(L) coefficients (constant steps only)
+}
+
+func newSCEV(c int64) scev {
+	return scev{ok: true, konst: c, vals: map[*ir.Value]int64{}, iters: map[*cfg.Loop]int64{}}
+}
+
+func unknownOf(v *ir.Value) scev {
+	s := newSCEV(0)
+	s.vals[v] = 1
+	return s
+}
+
+var notAffine = scev{}
+
+func (s scev) clone() scev {
+	t := newSCEV(s.konst)
+	for k, c := range s.vals {
+		t.vals[k] = c
+	}
+	for k, c := range s.iters {
+		t.iters[k] = c
+	}
+	return t
+}
+
+func (s scev) addScaled(o scev, k int64) scev {
+	if !s.ok || !o.ok {
+		return notAffine
+	}
+	t := s.clone()
+	t.konst += k * o.konst
+	for v, c := range o.vals {
+		t.vals[v] += k * c
+		if t.vals[v] == 0 {
+			delete(t.vals, v)
+		}
+	}
+	for l, c := range o.iters {
+		t.iters[l] += k * c
+		if t.iters[l] == 0 {
+			delete(t.iters, l)
+		}
+	}
+	return t
+}
+
+// constDiff reports the constant q−p when the symbolic parts cancel.
+func constDiff(p, q scev) (int64, bool) {
+	if !p.ok || !q.ok {
+		return 0, false
+	}
+	d := q.addScaled(p, -1)
+	if len(d.vals) != 0 || len(d.iters) != 0 {
+		return 0, false
+	}
+	return d.konst, true
+}
+
+// isConst reports a fully constant closed form.
+func (s scev) isConst() (int64, bool) {
+	if s.ok && len(s.vals) == 0 && len(s.iters) == 0 {
+		return s.konst, true
+	}
+	return 0, false
+}
+
+// funcSCEV computes closed forms for the integer values of one function.
+type funcSCEV struct {
+	f     *ir.Func
+	loops *cfg.LoopInfo
+	dt    *cfg.DomTree
+	memo  map[*ir.Value]scev
+	stack map[*ir.Value]bool // recursion guard for φ self-reference
+}
+
+func newFuncSCEV(f *ir.Func) *funcSCEV {
+	dt := cfg.NewDomTree(f)
+	return &funcSCEV{
+		f:     f,
+		dt:    dt,
+		loops: cfg.FindLoops(dt),
+		memo:  map[*ir.Value]scev{},
+		stack: map[*ir.Value]bool{},
+	}
+}
+
+// of computes (with memoization) the closed form of an integer value.
+func (fs *funcSCEV) of(v *ir.Value) scev {
+	if c, ok := v.IsConst(); ok {
+		return newSCEV(c)
+	}
+	if s, ok := fs.memo[v]; ok {
+		return s
+	}
+	if fs.stack[v] {
+		// Cyclic φ dependence not matching the add-recurrence pattern.
+		return unknownOf(v)
+	}
+	fs.stack[v] = true
+	s := fs.compute(v)
+	delete(fs.stack, v)
+	fs.memo[v] = s
+	return s
+}
+
+func (fs *funcSCEV) compute(v *ir.Value) scev {
+	if v.Kind != ir.VInstr {
+		return unknownOf(v)
+	}
+	in := v.Def
+	switch in.Op {
+	case ir.OpCopy, ir.OpPi:
+		return fs.of(in.Args[0])
+	case ir.OpAdd:
+		return fs.of(in.Args[0]).addScaled(fs.of(in.Args[1]), 1)
+	case ir.OpSub:
+		return fs.of(in.Args[0]).addScaled(fs.of(in.Args[1]), -1)
+	case ir.OpMul:
+		a, b := fs.of(in.Args[0]), fs.of(in.Args[1])
+		if c, ok := a.isConst(); ok {
+			return newSCEV(0).addScaled(b, c)
+		}
+		if c, ok := b.isConst(); ok {
+			return newSCEV(0).addScaled(a, c)
+		}
+		return unknownOf(v)
+	case ir.OpPhi:
+		return fs.phiRec(in)
+	default:
+		return unknownOf(v)
+	}
+}
+
+// phiRec recognizes the add-recurrence pattern: a two-way φ at a loop
+// header whose back-edge value is φ plus a constant step, reached through
+// a syntactic chain of adds/subs with constant operands, copies and
+// π-nodes. The closed form is start + step×iter(L).
+func (fs *funcSCEV) phiRec(phi *ir.Instr) scev {
+	l := fs.loops.ByHead[phi.Block]
+	if l == nil || len(phi.Args) != 2 {
+		return unknownOf(phi.Res)
+	}
+	var init, back *ir.Value
+	for i, from := range phi.In {
+		if l.Contains(from) {
+			back = phi.Args[i]
+		} else {
+			init = phi.Args[i]
+		}
+	}
+	if init == nil || back == nil {
+		return unknownOf(phi.Res)
+	}
+	step, ok := traceStep(phi.Res, back)
+	if !ok || step == 0 {
+		return unknownOf(phi.Res)
+	}
+	start := fs.of(init)
+	if !start.ok {
+		return unknownOf(phi.Res)
+	}
+	rec := start.clone()
+	rec.iters[l] += step
+	return rec
+}
+
+// traceStep walks back through adds/subs of constants, copies and π-nodes,
+// and reports the constant increment if the chain bottoms out at phi.
+func traceStep(phi *ir.Value, back *ir.Value) (int64, bool) {
+	acc := int64(0)
+	cur := back
+	for steps := 0; steps < 64; steps++ {
+		if cur == phi {
+			return acc, true
+		}
+		if cur.Kind != ir.VInstr {
+			return 0, false
+		}
+		in := cur.Def
+		switch in.Op {
+		case ir.OpCopy, ir.OpPi:
+			cur = in.Args[0]
+		case ir.OpAdd:
+			if c, ok := in.Args[1].IsConst(); ok {
+				acc += c
+				cur = in.Args[0]
+			} else if c, ok := in.Args[0].IsConst(); ok {
+				acc += c
+				cur = in.Args[1]
+			} else {
+				return 0, false
+			}
+		case ir.OpSub:
+			if c, ok := in.Args[1].IsConst(); ok {
+				acc -= c
+				cur = in.Args[0]
+			} else {
+				return 0, false
+			}
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// ptrSCEV resolves a pointer to (base object, offset closed form). The base
+// is found by walking copies/π/ptradd; a φ base defeats the analysis.
+func (fs *funcSCEV) ptrSCEV(v *ir.Value) (*ir.Value, scev) {
+	off := newSCEV(0)
+	cur := v
+	for steps := 0; steps < 1000; steps++ {
+		if cur.Kind != ir.VInstr {
+			return cur, off
+		}
+		in := cur.Def
+		switch in.Op {
+		case ir.OpCopy, ir.OpPi:
+			cur = in.Args[0]
+		case ir.OpPtrAdd:
+			off = off.addScaled(fs.of(in.Args[1]), 1)
+			if !off.ok {
+				return cur, notAffine
+			}
+			cur = in.Args[0]
+		default:
+			return cur, off
+		}
+	}
+	return cur, notAffine
+}

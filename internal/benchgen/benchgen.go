@@ -1,0 +1,452 @@
+// Package benchgen deterministically generates synthetic IR benchmarks that
+// stand in for the C suites of the paper's evaluation (Prolangs, PtrDist,
+// MallocBench — §4). Real C sources cannot be compiled here, so each named
+// benchmark is generated from a seed and an *idiom mix* that reproduces the
+// pointer-disambiguation characteristics that drive Fig. 13:
+//
+//	message   two-phase loops split at a symbolic boundary (Fig. 1) —
+//	          only the global range test wins;
+//	stride    strided loops accessing p[i], p[i+1], … (Fig. 3) —
+//	          scev-aa and the local test win;
+//	fields    constant struct-field offsets — basicaa and rbaa win;
+//	multiobj  several distinct allocations — basicaa and rbaa win;
+//	chase     pointer chases through loads — nobody wins (⊤ everywhere);
+//	soup      many pointer parameters stored through — nobody wins;
+//	cond      conditional regions guarded by comparisons (π-nodes) — rbaa;
+//	local     a non-escaping local array used next to an unknown pointer
+//	          parameter — basicaa's escape rule wins where rbaa cannot
+//	          (the complementarity §4 reports: r+b > rbaa).
+//
+// Only a fraction of the workers is called from the generated main (the
+// rest model externally callable functions, whose pointer parameters every
+// analysis must treat conservatively — the reason §4 gives for the low
+// absolute percentages). Called workers receive buffers from a small shared
+// pool, so their parameters have known but possibly-aliasing values.
+//
+// DESIGN.md records this substitution; EXPERIMENTS.md compares the shape of
+// the resulting tables against the paper's.
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// Mix weighs the idioms of a generated program. Weights are relative.
+type Mix struct {
+	Message  int
+	Stride   int
+	Fields   int
+	MultiObj int
+	Chase    int
+	Soup     int
+	Cond     int
+	Local    int
+}
+
+// Config describes one synthetic benchmark.
+type Config struct {
+	Name    string
+	Seed    int64
+	Workers int // number of generated worker functions
+	Mix     Mix
+	// SkipESSA generates the module without π-insertion — the e-SSA
+	// ablation of DESIGN.md (§ design decision 3).
+	SkipESSA bool
+}
+
+// Generate builds the module for a config. The same config always yields
+// the same module. The result is in e-SSA form (unless SkipESSA) and
+// SSA-verified by construction (tests check this).
+func Generate(c Config) *ir.Module {
+	g := &gen{rng: rand.New(rand.NewSource(c.Seed)), m: ir.NewModule(c.Name)}
+	kinds := c.Mix.deal(g.rng, c.Workers)
+	var workers []*ir.Func
+	for i, k := range kinds {
+		workers = append(workers, g.worker(i, k))
+	}
+	g.driver(workers)
+	if !c.SkipESSA {
+		for _, f := range g.m.Funcs {
+			ssa.InsertPi(f)
+		}
+	}
+	return g.m
+}
+
+// deal expands the weights into a shuffled worker-kind sequence.
+func (mix Mix) deal(rng *rand.Rand, n int) []idiom {
+	weights := []struct {
+		k idiom
+		w int
+	}{
+		{idMessage, mix.Message}, {idStride, mix.Stride}, {idFields, mix.Fields},
+		{idMultiObj, mix.MultiObj}, {idChase, mix.Chase}, {idSoup, mix.Soup},
+		{idCond, mix.Cond}, {idLocal, mix.Local},
+	}
+	total := 0
+	for _, w := range weights {
+		total += w.w
+	}
+	if total == 0 {
+		total = 1
+		weights[0].w = 1
+	}
+	out := make([]idiom, n)
+	for i := range out {
+		pick := rng.Intn(total)
+		for _, w := range weights {
+			if pick < w.w {
+				out[i] = w.k
+				break
+			}
+			pick -= w.w
+		}
+	}
+	return out
+}
+
+type idiom uint8
+
+const (
+	idMessage idiom = iota
+	idStride
+	idFields
+	idMultiObj
+	idChase
+	idSoup
+	idCond
+	idLocal
+)
+
+type gen struct {
+	rng *rand.Rand
+	m   *ir.Module
+}
+
+// worker emits one function of the given idiom.
+func (g *gen) worker(i int, k idiom) *ir.Func {
+	name := fmt.Sprintf("w%d", i)
+	switch k {
+	case idMessage:
+		return g.messageWorker(name)
+	case idStride:
+		return g.strideWorker(name)
+	case idFields:
+		return g.fieldsWorker(name)
+	case idMultiObj:
+		return g.multiObjWorker(name)
+	case idChase:
+		return g.chaseWorker(name)
+	case idSoup:
+		return g.soupWorker(name)
+	case idCond:
+		return g.condWorker(name)
+	default:
+		return g.localWorker(name)
+	}
+}
+
+// calledFraction is the share of workers the driver invokes; the rest model
+// externally callable functions whose parameters stay ⊤.
+const calledFraction = 0.35
+
+// driver emits a main with a small shared buffer pool and calls a fraction
+// of the workers with buffers drawn (with repetition) from the pool —
+// parameters of called workers get known, possibly overlapping, allocation
+// sites; the rest stay conservative.
+func (g *gen) driver(workers []*ir.Func) {
+	f := g.m.NewFunc("main", ir.TInt)
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	n := b.Extern("atoi", ir.TInt, "n")
+	poolSize := 2 + len(workers)/12
+	pool := make([]*ir.Value, poolSize)
+	for i := range pool {
+		pool[i] = b.Malloc(n, "buf")
+	}
+	for _, w := range workers {
+		if g.rng.Float64() >= calledFraction {
+			continue
+		}
+		args := make([]*ir.Value, 0, len(w.Params))
+		for _, p := range w.Params {
+			if p.Typ == ir.TPtr {
+				args = append(args, pool[g.rng.Intn(poolSize)])
+			} else {
+				args = append(args, n)
+			}
+		}
+		b.Call(w, "", args...)
+	}
+	b.Ret(b.Int(0))
+}
+
+// countingLoop emits `for (i = start; i < bound; i += step) body(i)` and
+// returns after positioning the builder at the exit block.
+func (g *gen) countingLoop(b *ir.Builder, start, bound *ir.Value, step int64,
+	body func(b *ir.Builder, i *ir.Value)) {
+	head := b.Block("head")
+	loopBody := b.Block("body")
+	exit := b.Block("exit")
+	pre := b.B
+	b.Br(head)
+	b.SetBlock(head)
+	iphi := b.Phi(ir.TInt, "i")
+	c := b.Cmp(ir.PLt, iphi.Res, bound, "c")
+	b.CondBr(c, loopBody, exit)
+	b.SetBlock(loopBody)
+	body(b, iphi.Res)
+	inext := b.Add(iphi.Res, b.Int(step), "inext")
+	b.Br(head)
+	ir.AddIncoming(iphi, start, pre)
+	ir.AddIncoming(iphi, inext, loopBody)
+	b.SetBlock(exit)
+}
+
+// ptrLoop emits `for (cur = start; cur < end; cur += step) body(cur)` with
+// a *pointer* cursor — the Fig. 1 shape — and returns the loop-exit value
+// of the cursor (the φ), leaving the builder at the exit block.
+func (g *gen) ptrLoop(b *ir.Builder, start, end *ir.Value, step int64,
+	body func(b *ir.Builder, cur *ir.Value)) *ir.Value {
+	head := b.Block("phead")
+	loopBody := b.Block("pbody")
+	exit := b.Block("pexit")
+	pre := b.B
+	b.Br(head)
+	b.SetBlock(head)
+	cphi := b.Phi(ir.TPtr, "cur")
+	c := b.Cmp(ir.PLt, cphi.Res, end, "cc")
+	b.CondBr(c, loopBody, exit)
+	b.SetBlock(loopBody)
+	body(b, cphi.Res)
+	next := b.PtrAddConst(cphi.Res, step, "curnext")
+	b.Br(head)
+	ir.AddIncoming(cphi, start, pre)
+	ir.AddIncoming(cphi, next, loopBody)
+	b.SetBlock(exit)
+	return cphi.Res
+}
+
+// messageWorker: the Fig. 1 pattern — fill [p, p+n) then [p+n, p+n+len)
+// with a pointer cursor, exactly like the paper's prepare. Half the
+// instances allocate their own buffer (so the symbolic split is provable
+// even when the worker is never called internally); the rest write through
+// the parameter.
+func (g *gen) messageWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("p", ir.TPtr), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	p, n := f.Params[0], f.Params[1]
+	if g.rng.Intn(2) == 0 {
+		p = b.Malloc(n, "selfbuf")
+	}
+	e := b.PtrAdd(p, n, "e")
+	step := 1 + int64(g.rng.Intn(2))
+	after1 := g.ptrLoop(b, p, e, step, func(b *ir.Builder, cur *ir.Value) {
+		b.Store(cur, b.Int(0))
+		if step == 2 {
+			t := b.PtrAddConst(cur, 1, "t")
+			b.Store(t, b.Int(255))
+		}
+	})
+	ln := b.Extern("strlen", ir.TInt, "len")
+	fend := b.PtrAdd(e, ln, "fend")
+	g.ptrLoop(b, after1, fend, 1, func(b *ir.Builder, cur *ir.Value) {
+		b.Store(cur, b.Int(255))
+	})
+	b.Ret(nil)
+	return f
+}
+
+// strideWorker: the Fig. 3 pattern — p[i], p[i+1], … with stride ≥ 2.
+func (g *gen) strideWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("p", ir.TPtr), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	p, n := f.Params[0], f.Params[1]
+	lanes := 3 + g.rng.Intn(3) // 3–5 accesses per iteration
+	g.countingLoop(b, b.Int(0), n, int64(lanes), func(b *ir.Builder, i *ir.Value) {
+		for l := 0; l < lanes; l++ {
+			idx := i
+			if l > 0 {
+				idx = b.Add(i, b.Int(int64(l)), fmt.Sprintf("i%d", l))
+			}
+			q := b.PtrAdd(p, idx, fmt.Sprintf("lane%d", l))
+			v := b.Load(ir.TInt, q, "v")
+			s := b.Add(v, b.Int(int64(l+1)), "s")
+			b.Store(q, s)
+		}
+	})
+	b.Ret(nil)
+	return f
+}
+
+// fieldsWorker: a record with a fixed header and a variable-length body —
+// constant-offset header accesses (basicaa territory) plus a loop that
+// stores through a symbolic body index and re-reads the header (rbaa
+// territory: the reload is redundant only if body ∈ rec+[hdr, n+hdr) is
+// proven away from the header words).
+func (g *gen) fieldsWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	n := f.Params[0]
+	hdr := 3 + g.rng.Intn(4)
+	size := b.Add(n, b.Int(int64(hdr)), "size")
+	rec := b.Malloc(size, "rec")
+	var fields []*ir.Value
+	for k := 0; k < hdr; k++ {
+		fd := b.PtrAddConst(rec, int64(k), fmt.Sprintf("f%d", k))
+		fields = append(fields, fd)
+		b.Store(fd, b.Int(int64(10*k)))
+	}
+	// Re-read header fields in the same block as the stores: forwarding
+	// across the interleaved const-offset stores needs basicaa (or better).
+	for k := 0; k < hdr; k += 2 {
+		b.Load(ir.TInt, fields[k], "rv")
+	}
+	base := b.PtrAddConst(rec, int64(hdr), "base")
+	g.countingLoop(b, b.Int(0), n, 1, func(b *ir.Builder, i *ir.Value) {
+		h0 := b.Load(ir.TInt, fields[0], "h0")
+		q := b.PtrAdd(base, i, "q")
+		s := b.Add(h0, i, "s")
+		b.Store(q, s)
+		h1 := b.Load(ir.TInt, fields[0], "h1") // redundant under rbaa only
+		b.Store(q, b.Add(h1, s, "s2"))
+	})
+	b.Ret(nil)
+	return f
+}
+
+// multiObjWorker: several distinct allocations written independently.
+func (g *gen) multiObjWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	n := f.Params[0]
+	objs := 2 + g.rng.Intn(3)
+	var ptrs []*ir.Value
+	for k := 0; k < objs; k++ {
+		ptrs = append(ptrs, b.Malloc(n, fmt.Sprintf("o%d", k)))
+	}
+	g.countingLoop(b, b.Int(0), n, 1, func(b *ir.Builder, i *ir.Value) {
+		for k, o := range ptrs {
+			q := b.PtrAdd(o, i, fmt.Sprintf("q%d", k))
+			b.Store(q, b.Int(int64(k)))
+		}
+	})
+	b.Ret(nil)
+	return f
+}
+
+// chaseWorker: loads pointers out of memory — ⊤ for every analysis. The
+// chains are deep and branch out, so these functions contribute a large
+// share of irreducibly may-alias pairs (as linked-structure code does in
+// the paper's suites).
+func (g *gen) chaseWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("p", ir.TPtr), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	depth := 4 + g.rng.Intn(4)
+	cur := f.Params[0]
+	for k := 0; k < depth; k++ {
+		nxt := b.Load(ir.TPtr, cur, fmt.Sprintf("n%d", k))
+		side := b.PtrAddConst(nxt, int64(1+g.rng.Intn(3)), fmt.Sprintf("s%d", k))
+		b.Store(side, b.Int(int64(k)))
+		b.Store(nxt, b.Int(int64(k)))
+		cur = nxt
+	}
+	b.Ret(nil)
+	return f
+}
+
+// soupWorker: many pointer parameters of unknown relation, re-offset by
+// opaque amounts — nothing is disambiguable.
+func (g *gen) soupWorker(name string) *ir.Func {
+	np := 3 + g.rng.Intn(4)
+	params := []ir.ParamSpec{}
+	for k := 0; k < np; k++ {
+		params = append(params, ir.Param(fmt.Sprintf("p%d", k), ir.TPtr))
+	}
+	params = append(params, ir.Param("n", ir.TInt))
+	f := g.m.NewFunc(name, ir.TVoid, params...)
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	off := b.Extern("rand", ir.TInt, "off")
+	for k := 0; k < np; k++ {
+		q := b.PtrAddConst(f.Params[k], int64(g.rng.Intn(4)), fmt.Sprintf("q%d", k))
+		b.Store(q, b.Int(int64(k)))
+		r := b.PtrAdd(f.Params[k], off, fmt.Sprintf("r%d", k))
+		v := b.Load(ir.TInt, r, "v")
+		b.Store(q, v)
+	}
+	b.Ret(nil)
+	return f
+}
+
+// condWorker: a comparison-guarded split — the π-node idiom.
+func (g *gen) condWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("p", ir.TPtr),
+		ir.Param("k", ir.TInt), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	low := b.Block("low")
+	high := b.Block("high")
+	exit := b.Block("exit")
+	b.SetBlock(entry)
+	p, k, n := f.Params[0], f.Params[1], f.Params[2]
+	c := b.Cmp(ir.PLt, k, n, "c")
+	b.CondBr(c, low, high)
+	b.SetBlock(low)
+	ql := b.PtrAdd(p, k, "ql") // k < n: within [0, n)
+	b.Store(ql, b.Int(1))
+	b.Br(exit)
+	b.SetBlock(high)
+	qn := b.PtrAdd(p, n, "qn")
+	qh := b.PtrAdd(qn, k, "qh") // ≥ n + k with k ≥ n
+	b.Store(qh, b.Int(2))
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	return f
+}
+
+// localWorker: a non-escaping local array written next to an unknown
+// pointer parameter. basicaa proves the local cannot alias the parameter
+// (escape rule); rbaa cannot, because the parameter is ⊤ — this is where
+// the r+b combination beats rbaa alone.
+func (g *gen) localWorker(name string) *ir.Func {
+	f := g.m.NewFunc(name, ir.TVoid, ir.Param("p", ir.TPtr), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	p, n := f.Params[0], f.Params[1]
+	size := int64(4 + g.rng.Intn(12))
+	arr := b.Alloc(ir.AllocStack, b.Int(size), "arr")
+	head := b.PtrAddConst(arr, 0, "head")
+	tail := b.PtrAddConst(arr, size-1, "tail")
+	b.Store(head, b.Int(0))
+	b.Store(tail, b.Int(1))
+	pfx := b.PtrAddConst(p, int64(g.rng.Intn(3)), "pfx")
+	b.Store(pfx, b.Int(2))
+	g.countingLoop(b, b.Int(0), n, 1, func(b *ir.Builder, i *ir.Value) {
+		q := b.PtrAdd(arr, i, "q")
+		b.Store(q, b.Int(0))
+		r := b.PtrAdd(p, i, "r")
+		v := b.Load(ir.TInt, r, "v")
+		b.Store(q, v)
+	})
+	b.Ret(nil)
+	return f
+}

@@ -1,0 +1,114 @@
+package benchgen
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+func TestGeneratedModulesAreValidSSA(t *testing.T) {
+	for _, c := range Fig13Configs() {
+		m := Generate(c)
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("%s: structural verify: %v", c.Name, err)
+		}
+		if err := ssa.VerifyModuleSSA(m); err != nil {
+			t.Fatalf("%s: SSA verify: %v", c.Name, err)
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	c := Fig13Configs()[0]
+	a := Generate(c).String()
+	b := Generate(c).String()
+	if a != b {
+		t.Fatal("same config must generate identical modules")
+	}
+	// Different seeds differ.
+	c2 := c
+	c2.Seed++
+	if Generate(c2).String() == a {
+		t.Fatal("different seeds should generate different modules")
+	}
+}
+
+func TestEveryIdiomGenerates(t *testing.T) {
+	one := func(mix Mix) {
+		t.Helper()
+		m := Generate(Config{Name: "t", Seed: 7, Workers: 4, Mix: mix})
+		if err := ssa.VerifyModuleSSA(m); err != nil {
+			t.Fatalf("mix %+v: %v", mix, err)
+		}
+		if len(m.Funcs) != 5 { // 4 workers + main
+			t.Fatalf("mix %+v: %d funcs", mix, len(m.Funcs))
+		}
+	}
+	one(Mix{Message: 1})
+	one(Mix{Stride: 1})
+	one(Mix{Fields: 1})
+	one(Mix{MultiObj: 1})
+	one(Mix{Chase: 1})
+	one(Mix{Soup: 1})
+	one(Mix{Cond: 1})
+	one(Mix{Local: 1})
+}
+
+func TestZeroMixDefaults(t *testing.T) {
+	m := Generate(Config{Name: "t", Seed: 1, Workers: 2, Mix: Mix{}})
+	if len(m.Funcs) != 3 {
+		t.Fatalf("zero mix should still generate workers, got %d funcs", len(m.Funcs))
+	}
+}
+
+func TestScalabilitySizesGrow(t *testing.T) {
+	cfgs := ScalabilityConfigs(10)
+	if len(cfgs) != 10 {
+		t.Fatalf("want 10 configs")
+	}
+	prev := 0
+	for i, c := range cfgs {
+		m := Generate(c)
+		st := m.Stats()
+		if st.Instrs <= 0 {
+			t.Fatalf("config %d: empty module", i)
+		}
+		// The ramp is geometric in worker count; per-seed body-size noise
+		// allows small local dips, but the trend must grow.
+		if i > 0 && float64(st.Instrs) < 0.7*float64(prev) {
+			t.Errorf("config %d much smaller than predecessor (%d < %d)", i, st.Instrs, prev)
+		}
+		prev = st.Instrs
+	}
+}
+
+func TestSuiteHasEnoughQueries(t *testing.T) {
+	total := 0
+	for _, c := range Fig13Configs() {
+		total += alias.NumQueries(Generate(c))
+	}
+	// The exact count is pinned by the seeds; make sure the corpus stays a
+	// meaningful size if someone retunes the mixes.
+	if total < 5000 {
+		t.Errorf("Fig. 13 corpus has only %d queries; retune the configs", total)
+	}
+}
+
+func TestDriverCallsSubsetOfWorkers(t *testing.T) {
+	m := Generate(Config{Name: "t", Seed: 3, Workers: 40,
+		Mix: Mix{Message: 1, Stride: 1, Soup: 1, Chase: 1}})
+	calls := 0
+	for _, in := range m.Func("main").Instrs() {
+		if in.Op == ir.OpCall {
+			calls++
+		}
+	}
+	if calls == 0 {
+		t.Error("driver should call some workers")
+	}
+	if calls >= 40 {
+		t.Error("driver must leave some workers externally callable")
+	}
+}

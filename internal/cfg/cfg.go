@@ -1,0 +1,307 @@
+// Package cfg computes control-flow-graph facts over ir functions: reverse
+// postorder, the dominator tree (Cooper–Harvey–Kennedy's iterative
+// algorithm), dominance frontiers and natural loops. These underpin SSA
+// construction, the e-SSA transformation, and the dominance-order traversal
+// of the LR analysis (§3.6 of the paper).
+package cfg
+
+import "repro/internal/ir"
+
+// ReversePostorder returns the blocks of f reachable from the entry, in
+// reverse postorder of a DFS over successor edges.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	seen := map[*ir.Block]bool{}
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if f.Entry() == nil {
+		return nil
+	}
+	dfs(f.Entry())
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// DomTree is the dominator tree of a function's reachable CFG.
+type DomTree struct {
+	fn       *ir.Func
+	rpo      []*ir.Block
+	rpoIndex map[*ir.Block]int
+	idom     map[*ir.Block]*ir.Block
+	children map[*ir.Block][]*ir.Block
+	preds    map[*ir.Block][]*ir.Block
+	// pre/post numbering of the dominator tree for O(1) Dominates queries.
+	pre, post map[*ir.Block]int
+}
+
+// NewDomTree computes the dominator tree of f using the iterative algorithm
+// of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance Algorithm").
+func NewDomTree(f *ir.Func) *DomTree {
+	rpo := ReversePostorder(f)
+	t := &DomTree{
+		fn:       f,
+		rpo:      rpo,
+		rpoIndex: make(map[*ir.Block]int, len(rpo)),
+		idom:     make(map[*ir.Block]*ir.Block, len(rpo)),
+		children: map[*ir.Block][]*ir.Block{},
+		preds:    map[*ir.Block][]*ir.Block{},
+		pre:      make(map[*ir.Block]int, len(rpo)),
+		post:     make(map[*ir.Block]int, len(rpo)),
+	}
+	for i, b := range rpo {
+		t.rpoIndex[b] = i
+	}
+	// Predecessors restricted to reachable blocks.
+	for _, b := range rpo {
+		for _, s := range b.Succs() {
+			if _, ok := t.rpoIndex[s]; ok {
+				t.preds[s] = append(t.preds[s], b)
+			}
+		}
+	}
+	entry := f.Entry()
+	t.idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *ir.Block
+			for _, p := range t.preds[b] {
+				if t.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for _, b := range rpo[1:] {
+		t.children[t.idom[b]] = append(t.children[t.idom[b]], b)
+	}
+	// DFS numbering over the dominator tree.
+	n := 0
+	var number func(b *ir.Block)
+	number = func(b *ir.Block) {
+		t.pre[b] = n
+		n++
+		for _, c := range t.children[b] {
+			number(c)
+		}
+		t.post[b] = n
+		n++
+	}
+	number(entry)
+	return t
+}
+
+func (t *DomTree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for t.rpoIndex[a] > t.rpoIndex[b] {
+			a = t.idom[a]
+		}
+		for t.rpoIndex[b] > t.rpoIndex[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// Func returns the underlying function.
+func (t *DomTree) Func() *ir.Func { return t.fn }
+
+// RPO returns the reachable blocks in reverse postorder.
+func (t *DomTree) RPO() []*ir.Block { return t.rpo }
+
+// Reachable reports whether b is reachable from the entry.
+func (t *DomTree) Reachable(b *ir.Block) bool {
+	_, ok := t.rpoIndex[b]
+	return ok
+}
+
+// Idom returns the immediate dominator of b (entry's idom is nil).
+func (t *DomTree) Idom(b *ir.Block) *ir.Block {
+	if b == t.fn.Entry() {
+		return nil
+	}
+	return t.idom[b]
+}
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *ir.Block) []*ir.Block { return t.children[b] }
+
+// Preds returns the reachable CFG predecessors of b.
+func (t *DomTree) Preds(b *ir.Block) []*ir.Block { return t.preds[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (t *DomTree) Dominates(a, b *ir.Block) bool {
+	return t.pre[a] <= t.pre[b] && t.post[b] <= t.post[a]
+}
+
+// StrictlyDominates reports whether a dominates b and a ≠ b.
+func (t *DomTree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// DomOrder returns the blocks in a preorder walk of the dominator tree —
+// the evaluation order of the LR analysis (§3.6: "instructions are evaluated
+// abstractly in the order given by the program's dominance tree").
+func (t *DomTree) DomOrder() []*ir.Block {
+	var out []*ir.Block
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		out = append(out, b)
+		for _, c := range t.children[b] {
+			walk(c)
+		}
+	}
+	walk(t.fn.Entry())
+	return out
+}
+
+// DominanceFrontiers computes DF(b) for every reachable block (Cytron's
+// characterization via the Cooper–Harvey–Kennedy per-predecessor walk). The
+// walk treats the entry's immediate dominator as "none", so back edges into
+// the entry (legal in arbitrary CFGs, though frontends never emit them)
+// still contribute DF entries.
+func DominanceFrontiers(t *DomTree) map[*ir.Block][]*ir.Block {
+	entry := t.fn.Entry()
+	idomOf := func(b *ir.Block) *ir.Block {
+		if b == entry {
+			return nil
+		}
+		return t.idom[b]
+	}
+	df := map[*ir.Block][]*ir.Block{}
+	for _, b := range t.rpo {
+		stop := idomOf(b)
+		for _, p := range t.preds[b] {
+			for runner := p; runner != nil && runner != stop; runner = idomOf(runner) {
+				if !containsBlock(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+			}
+		}
+	}
+	return df
+}
+
+func containsBlock(bs []*ir.Block, b *ir.Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Loop is a natural loop: a header and the set of blocks of all back edges
+// targeting it.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	Parent *Loop
+	Depth  int
+}
+
+// Contains reports whether b belongs to the loop.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// LoopInfo maps blocks to their innermost enclosing natural loop.
+type LoopInfo struct {
+	Loops  []*Loop
+	ByHead map[*ir.Block]*Loop
+	inner  map[*ir.Block]*Loop
+}
+
+// InnermostLoop returns the innermost loop containing b, or nil.
+func (li *LoopInfo) InnermostLoop(b *ir.Block) *Loop { return li.inner[b] }
+
+// Depth returns the loop nesting depth of b (0 outside all loops).
+func (li *LoopInfo) Depth(b *ir.Block) int {
+	if l := li.inner[b]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// FindLoops detects natural loops via back edges (edge u→h with h dominating
+// u) and organizes them into a nesting forest.
+func FindLoops(t *DomTree) *LoopInfo {
+	li := &LoopInfo{ByHead: map[*ir.Block]*Loop{}, inner: map[*ir.Block]*Loop{}}
+	for _, b := range t.rpo {
+		for _, s := range b.Succs() {
+			if !t.Reachable(s) || !t.Dominates(s, b) {
+				continue
+			}
+			// b→s is a back edge with header s.
+			l := li.ByHead[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				li.ByHead[s] = l
+				li.Loops = append(li.Loops, l)
+			}
+			// Add the natural-loop body: everything reaching b without
+			// passing through s.
+			var stack []*ir.Block
+			if !l.Blocks[b] {
+				l.Blocks[b] = true
+				stack = append(stack, b)
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range t.preds[x] {
+					if !l.Blocks[p] {
+						l.Blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	// Nesting: loop A is inside loop B if B contains A's header and A ≠ B.
+	for _, a := range li.Loops {
+		for _, b := range li.Loops {
+			if a == b || !b.Blocks[a.Header] {
+				continue
+			}
+			// Pick the smallest enclosing loop as parent.
+			if a.Parent == nil || len(b.Blocks) < len(a.Parent.Blocks) {
+				a.Parent = b
+			}
+		}
+	}
+	for _, l := range li.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	// Innermost loop per block.
+	for _, l := range li.Loops {
+		for b := range l.Blocks {
+			cur := li.inner[b]
+			if cur == nil || l.Depth > cur.Depth {
+				li.inner[b] = l
+			}
+		}
+	}
+	return li
+}

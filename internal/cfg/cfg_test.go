@@ -1,0 +1,267 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// diamond builds: entry → {left, right} → join → exit.
+func diamond(t *testing.T) (*ir.Func, map[string]*ir.Block) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("c", ir.TInt))
+	b := ir.NewBuilder(f)
+	blocks := map[string]*ir.Block{}
+	for _, n := range []string{"entry", "left", "right", "join", "exit"} {
+		blocks[n] = b.Block(n)
+	}
+	b.SetBlock(blocks["entry"])
+	c := b.Cmp(ir.PNe, f.Params[0], b.Int(0), "c")
+	b.CondBr(c, blocks["left"], blocks["right"])
+	b.SetBlock(blocks["left"])
+	b.Br(blocks["join"])
+	b.SetBlock(blocks["right"])
+	b.Br(blocks["join"])
+	b.SetBlock(blocks["join"])
+	b.Br(blocks["exit"])
+	b.SetBlock(blocks["exit"])
+	b.Ret(nil)
+	return f, blocks
+}
+
+// loopFunc builds: entry → head ⇄ body, head → exit.
+func loopFunc(t *testing.T) (*ir.Func, map[string]*ir.Block) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	blocks := map[string]*ir.Block{}
+	for _, n := range []string{"entry", "head", "body", "exit"} {
+		blocks[n] = b.Block(n)
+	}
+	b.SetBlock(blocks["entry"])
+	b.Br(blocks["head"])
+	b.SetBlock(blocks["head"])
+	i := b.Phi(ir.TInt, "i")
+	c := b.Cmp(ir.PLt, i.Res, f.Params[0], "c")
+	b.CondBr(c, blocks["body"], blocks["exit"])
+	b.SetBlock(blocks["body"])
+	inext := b.Add(i.Res, b.Int(1), "inext")
+	b.Br(blocks["head"])
+	ir.AddIncoming(i, b.Int(0), blocks["entry"])
+	ir.AddIncoming(i, inext, blocks["body"])
+	b.SetBlock(blocks["exit"])
+	b.Ret(nil)
+	return f, blocks
+}
+
+func TestReversePostorder(t *testing.T) {
+	f, blocks := diamond(t)
+	rpo := ReversePostorder(f)
+	if len(rpo) != 5 {
+		t.Fatalf("rpo len = %d", len(rpo))
+	}
+	if rpo[0] != blocks["entry"] {
+		t.Errorf("rpo[0] = %s, want entry", rpo[0])
+	}
+	idx := map[*ir.Block]int{}
+	for i, b := range rpo {
+		idx[b] = i
+	}
+	// join must come after both branches, exit last.
+	if idx[blocks["join"]] < idx[blocks["left"]] || idx[blocks["join"]] < idx[blocks["right"]] {
+		t.Errorf("join precedes a branch in RPO")
+	}
+	if rpo[4] != blocks["exit"] {
+		t.Errorf("rpo[4] = %s, want exit", rpo[4])
+	}
+}
+
+func TestRPOSkipsUnreachable(t *testing.T) {
+	f, _ := diamond(t)
+	// Add an unreachable block.
+	b := ir.NewBuilder(f)
+	dead := b.Block("dead")
+	b.SetBlock(dead)
+	b.Ret(nil)
+	rpo := ReversePostorder(f)
+	for _, blk := range rpo {
+		if blk == dead {
+			t.Fatal("unreachable block in RPO")
+		}
+	}
+	dt := NewDomTree(f)
+	if dt.Reachable(dead) {
+		t.Error("dead block reported reachable")
+	}
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	f, blocks := diamond(t)
+	dt := NewDomTree(f)
+	if dt.Idom(blocks["entry"]) != nil {
+		t.Error("entry idom should be nil")
+	}
+	for _, n := range []string{"left", "right", "join"} {
+		if dt.Idom(blocks[n]) != blocks["entry"] {
+			t.Errorf("idom(%s) = %v, want entry", n, dt.Idom(blocks[n]))
+		}
+	}
+	if dt.Idom(blocks["exit"]) != blocks["join"] {
+		t.Errorf("idom(exit) = %v, want join", dt.Idom(blocks["exit"]))
+	}
+	if !dt.Dominates(blocks["entry"], blocks["exit"]) {
+		t.Error("entry should dominate exit")
+	}
+	if dt.Dominates(blocks["left"], blocks["join"]) {
+		t.Error("left must not dominate join")
+	}
+	if !dt.Dominates(blocks["join"], blocks["join"]) {
+		t.Error("dominance is reflexive")
+	}
+	if dt.StrictlyDominates(blocks["join"], blocks["join"]) {
+		t.Error("strict dominance is irreflexive")
+	}
+}
+
+func TestDomTreeLoop(t *testing.T) {
+	f, blocks := loopFunc(t)
+	dt := NewDomTree(f)
+	if dt.Idom(blocks["body"]) != blocks["head"] {
+		t.Errorf("idom(body) = %v", dt.Idom(blocks["body"]))
+	}
+	if dt.Idom(blocks["exit"]) != blocks["head"] {
+		t.Errorf("idom(exit) = %v", dt.Idom(blocks["exit"]))
+	}
+	if !dt.Dominates(blocks["head"], blocks["body"]) {
+		t.Error("head should dominate body")
+	}
+	if dt.Dominates(blocks["body"], blocks["head"]) {
+		t.Error("body must not dominate head")
+	}
+}
+
+func TestDomOrderVisitsParentsFirst(t *testing.T) {
+	f, _ := diamond(t)
+	dt := NewDomTree(f)
+	seen := map[*ir.Block]bool{}
+	for _, b := range dt.DomOrder() {
+		if p := dt.Idom(b); p != nil && !seen[p] {
+			t.Fatalf("dom order visits %s before its idom %s", b, p)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("dom order visited %d blocks", len(seen))
+	}
+}
+
+func TestDominanceFrontiers(t *testing.T) {
+	f, blocks := diamond(t)
+	dt := NewDomTree(f)
+	df := DominanceFrontiers(dt)
+	// DF(left) = DF(right) = {join}; DF(entry) = DF(join) = {}.
+	for _, n := range []string{"left", "right"} {
+		if len(df[blocks[n]]) != 1 || df[blocks[n]][0] != blocks["join"] {
+			t.Errorf("DF(%s) = %v, want {join}", n, df[blocks[n]])
+		}
+	}
+	if len(df[blocks["entry"]]) != 0 {
+		t.Errorf("DF(entry) = %v, want empty", df[blocks["entry"]])
+	}
+
+	fl, lb := loopFunc(t)
+	dtl := NewDomTree(fl)
+	dfl := DominanceFrontiers(dtl)
+	// DF(body) = {head} (the back edge), DF(head) = {head}.
+	if len(dfl[lb["body"]]) != 1 || dfl[lb["body"]][0] != lb["head"] {
+		t.Errorf("DF(body) = %v, want {head}", dfl[lb["body"]])
+	}
+	if len(dfl[lb["head"]]) != 1 || dfl[lb["head"]][0] != lb["head"] {
+		t.Errorf("DF(head) = %v, want {head}", dfl[lb["head"]])
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f, blocks := loopFunc(t)
+	dt := NewDomTree(f)
+	li := FindLoops(dt)
+	if len(li.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if l.Header != blocks["head"] {
+		t.Errorf("loop header = %s", l.Header)
+	}
+	if !l.Contains(blocks["body"]) || !l.Contains(blocks["head"]) {
+		t.Error("loop should contain head and body")
+	}
+	if l.Contains(blocks["entry"]) || l.Contains(blocks["exit"]) {
+		t.Error("loop must not contain entry/exit")
+	}
+	if li.Depth(blocks["body"]) != 1 || li.Depth(blocks["entry"]) != 0 {
+		t.Errorf("depths: body=%d entry=%d", li.Depth(blocks["body"]), li.Depth(blocks["entry"]))
+	}
+	if li.InnermostLoop(blocks["body"]) != l {
+		t.Error("innermost loop of body")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	oh := b.Block("outerhead")
+	ih := b.Block("innerhead")
+	ib := b.Block("innerbody")
+	ol := b.Block("outerlatch")
+	exit := b.Block("exit")
+
+	b.SetBlock(entry)
+	b.Br(oh)
+	b.SetBlock(oh)
+	i := b.Phi(ir.TInt, "i")
+	ci := b.Cmp(ir.PLt, i.Res, f.Params[0], "ci")
+	b.CondBr(ci, ih, exit)
+	b.SetBlock(ih)
+	j := b.Phi(ir.TInt, "j")
+	cj := b.Cmp(ir.PLt, j.Res, f.Params[0], "cj")
+	b.CondBr(cj, ib, ol)
+	b.SetBlock(ib)
+	j1 := b.Add(j.Res, b.Int(1), "j1")
+	b.Br(ih)
+	b.SetBlock(ol)
+	i1 := b.Add(i.Res, b.Int(1), "i1")
+	b.Br(oh)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	ir.AddIncoming(i, b.Int(0), entry)
+	ir.AddIncoming(i, i1, ol)
+	ir.AddIncoming(j, b.Int(0), oh)
+	ir.AddIncoming(j, j1, ib)
+
+	dt := NewDomTree(f)
+	li := FindLoops(dt)
+	if len(li.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(li.Loops))
+	}
+	inner := li.ByHead[ih]
+	outer := li.ByHead[oh]
+	if inner == nil || outer == nil {
+		t.Fatal("missing loop headers")
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v, want outer", inner.Parent)
+	}
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Errorf("depths: inner=%d outer=%d", inner.Depth, outer.Depth)
+	}
+	if li.InnermostLoop(ib) != inner {
+		t.Error("innerbody should map to inner loop")
+	}
+	if li.InnermostLoop(ol) != outer {
+		t.Error("outerlatch should map to outer loop")
+	}
+}

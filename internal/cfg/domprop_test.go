@@ -1,0 +1,145 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// randomCFG builds a random reducible-ish CFG with n blocks: each block
+// branches to one or two random successors with higher-or-equal index
+// (forming forward edges) plus occasional back edges to lower indices.
+func randomCFG(rng *rand.Rand, n int) *ir.Func {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("c", ir.TInt))
+	b := ir.NewBuilder(f)
+	blocks := make([]*ir.Block, n)
+	for i := range blocks {
+		blocks[i] = b.Block(fmt.Sprintf("b%d", i))
+	}
+	for i, blk := range blocks {
+		b.SetBlock(blk)
+		if i == n-1 {
+			b.Ret(nil)
+			continue
+		}
+		pick := func() *ir.Block {
+			// Mostly forward, sometimes backward.
+			if rng.Intn(5) == 0 {
+				return blocks[rng.Intn(i+1)]
+			}
+			return blocks[i+1+rng.Intn(n-i-1)]
+		}
+		if rng.Intn(2) == 0 {
+			b.Br(pick())
+		} else {
+			cond := b.Cmp(ir.PNe, f.Params[0], b.Int(int64(i)), "c")
+			b.CondBr(cond, pick(), pick())
+		}
+	}
+	return f
+}
+
+// naiveDominates computes dominance by definition: a dominates b iff
+// removing a makes b unreachable from the entry.
+func naiveDominates(f *ir.Func, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*ir.Block]bool{a: true} // "remove" a by pre-marking it
+	var stack []*ir.Block
+	if f.Entry() != a {
+		stack = append(stack, f.Entry())
+		seen[f.Entry()] = true
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return false // b reachable without a
+		}
+		for _, s := range x.Succs() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// TestDomTreeMatchesNaiveDefinition cross-checks the Cooper–Harvey–Kennedy
+// dominator tree against the brute-force definition on random CFGs.
+func TestDomTreeMatchesNaiveDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		f := randomCFG(rng, 4+rng.Intn(10))
+		dt := NewDomTree(f)
+		rpo := dt.RPO()
+		for _, a := range rpo {
+			for _, b := range rpo {
+				want := naiveDominates(f, a, b)
+				got := dt.Dominates(a, b)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%s, %s) = %v, naive says %v\n%s",
+						trial, a, b, got, want, f)
+				}
+			}
+		}
+	}
+}
+
+// TestDominanceFrontierDefinition checks Cytron's definition on random
+// CFGs: b ∈ DF(a) iff a dominates some predecessor of b but does not
+// strictly dominate b.
+func TestDominanceFrontierDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		f := randomCFG(rng, 4+rng.Intn(10))
+		dt := NewDomTree(f)
+		df := DominanceFrontiers(dt)
+		inDF := func(a, b *ir.Block) bool {
+			for _, x := range df[a] {
+				if x == b {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range dt.RPO() {
+			for _, b := range dt.RPO() {
+				want := false
+				for _, p := range dt.Preds(b) {
+					if dt.Dominates(a, p) && !dt.StrictlyDominates(a, b) {
+						want = true
+					}
+				}
+				if got := inDF(a, b); got != want {
+					t.Fatalf("trial %d: %s ∈ DF(%s) = %v, definition says %v",
+						trial, b, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopBodyDominatedByHeader: every natural loop's blocks are dominated
+// by its header.
+func TestLoopBodyDominatedByHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		f := randomCFG(rng, 4+rng.Intn(12))
+		dt := NewDomTree(f)
+		li := FindLoops(dt)
+		for _, l := range li.Loops {
+			for blk := range l.Blocks {
+				if !dt.Dominates(l.Header, blk) {
+					t.Fatalf("trial %d: loop header %s does not dominate body %s\n%s",
+						trial, l.Header, blk, f)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package experiments drives the reproduction of every table and figure of
+// the paper's evaluation (§4): Fig. 13 (precision comparison), Fig. 14
+// (global-test attribution), Fig. 15 (scalability/linearity) and the §5
+// symbolic-pointer ratio. cmd/benchtables renders these as text tables;
+// bench_test.go wraps them as Go benchmarks. EXPERIMENTS.md records the
+// measured numbers next to the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/alias/scevaa"
+	"repro/internal/benchgen"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/rangeanal"
+	"repro/internal/stats"
+)
+
+// PrecisionRow is one benchmark's results for Fig. 13 and Fig. 14.
+type PrecisionRow struct {
+	Name    string
+	Queries int
+	// No-alias counts per analysis (Fig. 13).
+	Scev, Basic, Rbaa, RplusB int
+	// Attribution of rbaa's no-alias answers (Fig. 14).
+	Disjoint, Global, Local int
+	// §5 classification.
+	SymOnly, SymTotal int
+}
+
+// RunPrecision evaluates one module against all analyses.
+func RunPrecision(name string, m *ir.Module) PrecisionRow {
+	r := rbaa.New(m, pointer.Options{})
+	b := basicaa.New(m)
+	s := scevaa.New(m)
+	row := PrecisionRow{Name: name}
+	for _, q := range alias.Queries(m) {
+		row.Queries++
+		sNo := s.Alias(q.P, q.Q) == alias.NoAlias
+		bNo := b.Alias(q.P, q.Q) == alias.NoAlias
+		ans, why := r.Query(q.P, q.Q)
+		rNo := ans == pointer.NoAlias
+		if sNo {
+			row.Scev++
+		}
+		if bNo {
+			row.Basic++
+		}
+		if rNo {
+			row.Rbaa++
+			switch why {
+			case pointer.ReasonDisjointSupport:
+				row.Disjoint++
+			case pointer.ReasonGlobalRange:
+				row.Global++
+			case pointer.ReasonLocalRange:
+				row.Local++
+			}
+		}
+		if rNo || bNo {
+			row.RplusB++
+		}
+	}
+	row.SymOnly, row.SymTotal = r.SymbolicOnlyRatio()
+	return row
+}
+
+// RunFig13Suite runs the whole 22-program suite.
+func RunFig13Suite() []PrecisionRow {
+	var rows []PrecisionRow
+	for _, c := range benchgen.Fig13Configs() {
+		rows = append(rows, RunPrecision(c.Name, benchgen.Generate(c)))
+	}
+	return rows
+}
+
+// Total sums precision rows.
+func Total(rows []PrecisionRow) PrecisionRow {
+	t := PrecisionRow{Name: "Total"}
+	for _, r := range rows {
+		t.Queries += r.Queries
+		t.Scev += r.Scev
+		t.Basic += r.Basic
+		t.Rbaa += r.Rbaa
+		t.RplusB += r.RplusB
+		t.Disjoint += r.Disjoint
+		t.Global += r.Global
+		t.Local += r.Local
+		t.SymOnly += r.SymOnly
+		t.SymTotal += r.SymTotal
+	}
+	return t
+}
+
+// RenderFig13 prints the Fig. 13 table: per-program no-alias percentages of
+// scev, basic, rbaa and the r+b combination.
+func RenderFig13(w io.Writer, rows []PrecisionRow) {
+	t := stats.NewTable("Program", "#Queries", "%scev", "%basic", "%rbaa", "%(r+b)")
+	for _, r := range append(rows, Total(rows)) {
+		t.Row(r.Name, r.Queries,
+			stats.Pct(r.Scev, r.Queries), stats.Pct(r.Basic, r.Queries),
+			stats.Pct(r.Rbaa, r.Queries), stats.Pct(r.RplusB, r.Queries))
+	}
+	t.Write(w)
+}
+
+// RenderFig14 prints the Fig. 14 table: no-alias counts and how many were
+// produced by the global range test, plus the local/disjoint split that §4
+// discusses in prose.
+func RenderFig14(w io.Writer, rows []PrecisionRow) {
+	t := stats.NewTable("Program", "#noalias", "#global", "#local", "#disjoint")
+	for _, r := range append(rows, Total(rows)) {
+		t.Row(r.Name, r.Rbaa, r.Global, r.Local, r.Disjoint)
+	}
+	total := Total(rows)
+	t.Write(w)
+	if total.Rbaa > 0 {
+		fmt.Fprintf(w, "\nglobal test share: %s%% of no-alias answers (paper: 18.52%%)\n",
+			stats.Pct(total.Global, total.Rbaa))
+	}
+}
+
+// RenderRatio prints the §5 symbolic-only pointer ratio.
+func RenderRatio(w io.Writer, rows []PrecisionRow) {
+	total := Total(rows)
+	fmt.Fprintf(w, "pointers with exclusively symbolic ranges: %d / %d = %s%% (paper: 20.47%%)\n",
+		total.SymOnly, total.SymTotal, stats.Pct(total.SymOnly, total.SymTotal))
+}
+
+// ScaleRow is one program of the Fig. 15 scalability experiment.
+type ScaleRow struct {
+	Name     string
+	Instrs   int
+	Pointers int
+	Elapsed  time.Duration
+}
+
+// RunFig15 generates n programs of growing size and times the *analysis
+// mapping* only (range analysis + GR + LR), matching the paper's
+// methodology: "we are counting only the time to map variables to values in
+// SymbRanges. We do not count the time to query each pair of pointers."
+func RunFig15(n int) []ScaleRow {
+	var rows []ScaleRow
+	for _, c := range benchgen.ScalabilityConfigs(n) {
+		m := benchgen.Generate(c)
+		st := m.Stats()
+		start := time.Now()
+		R := rangeanal.Analyze(m, rangeanal.Options{})
+		gr := pointer.AnalyzeGR(m, R, pointer.Options{})
+		lr := pointer.AnalyzeLR(m, R, pointer.Options{})
+		elapsed := time.Since(start)
+		_, _ = gr, lr
+		rows = append(rows, ScaleRow{
+			Name:     c.Name,
+			Instrs:   st.Instrs,
+			Pointers: st.Pointers,
+			Elapsed:  elapsed,
+		})
+	}
+	return rows
+}
+
+// Fig15Correlations computes R(time, instructions) and R(time, pointers) —
+// the paper reports 0.982 and 0.975.
+func Fig15Correlations(rows []ScaleRow) (rInstr, rPtr float64) {
+	var xs, ps, ts []float64
+	for _, r := range rows {
+		xs = append(xs, float64(r.Instrs))
+		ps = append(ps, float64(r.Pointers))
+		ts = append(ts, float64(r.Elapsed.Nanoseconds()))
+	}
+	return stats.Pearson(xs, ts), stats.Pearson(ps, ts)
+}
+
+// RenderFig15 prints the scalability series and the correlation summary.
+func RenderFig15(w io.Writer, rows []ScaleRow) {
+	t := stats.NewTable("Program", "#Instructions", "#Pointers", "Runtime(ms)")
+	totalInstr, totalTime := 0, time.Duration(0)
+	for _, r := range rows {
+		t.Row(r.Name, r.Instrs, r.Pointers, float64(r.Elapsed.Microseconds())/1000.0)
+		totalInstr += r.Instrs
+		totalTime += r.Elapsed
+	}
+	t.Write(w)
+	ri, rp := Fig15Correlations(rows)
+	fmt.Fprintf(w, "\nlinear correlation R(time, instructions) = %.3f (paper: 0.982)\n", ri)
+	fmt.Fprintf(w, "linear correlation R(time, pointers)     = %.3f (paper: 0.975)\n", rp)
+	if totalTime > 0 {
+		kips := float64(totalInstr) / totalTime.Seconds() / 1000.0
+		fmt.Fprintf(w, "throughput: %.0fk instructions/second (paper: ~100k/s on an i7-4770K)\n", kips)
+	}
+}

@@ -1,0 +1,182 @@
+package minic
+
+// The AST mirrors the grammar in the package comment. Every node carries
+// the token that introduced it for error positions.
+
+// Program is a parsed source file.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl is `global name[size];`.
+type GlobalDecl struct {
+	Name string
+	Size int64
+	tok  token
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []ParamDecl
+	Ret    TypeName // TypeNone for void
+	Body   *Block
+	tok    token
+}
+
+// ParamDecl is one formal parameter.
+type ParamDecl struct {
+	Name string
+	Typ  TypeName
+	tok  token
+}
+
+// TypeName is a surface type.
+type TypeName uint8
+
+// Surface types.
+const (
+	TypeNone TypeName = iota // void / statement context
+	TypeInt
+	TypePtr
+	TypeBool // comparisons; only valid in conditions
+)
+
+func (t TypeName) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypePtr:
+		return "ptr"
+	case TypeBool:
+		return "bool"
+	}
+	return "void"
+}
+
+// Block is a statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// VarStmt is `var x type (= init)?;`.
+type VarStmt struct {
+	Name string
+	Typ  TypeName
+	Init Expr // may be nil
+	tok  token
+}
+
+// AssignStmt is `x = e;`.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	tok  token
+}
+
+// StoreStmt is `*addr = e;`.
+type StoreStmt struct {
+	Addr Expr
+	Val  Expr
+	tok  token
+}
+
+// FreeStmt is `free(e);`.
+type FreeStmt struct {
+	Ptr Expr
+	tok token
+}
+
+// IfStmt is `if (cond) { … } else { … }`.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	tok  token
+}
+
+// WhileStmt is `while (cond) { … }`.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	tok  token
+}
+
+// ReturnStmt is `return e?;`.
+type ReturnStmt struct {
+	Val Expr // may be nil
+	tok token
+}
+
+// ExprStmt is an expression evaluated for effect (a call).
+type ExprStmt struct {
+	X   Expr
+	tok token
+}
+
+func (*VarStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*StoreStmt) stmtNode()  {}
+func (*FreeStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	tok token
+}
+
+// NullLit is the null pointer literal.
+type NullLit struct{ tok token }
+
+// VarRef references a local or parameter (or a global's address).
+type VarRef struct {
+	Name string
+	tok  token
+}
+
+// BinExpr is arithmetic or comparison.
+type BinExpr struct {
+	Op   string // + - * / % < <= > >= == !=
+	L, R Expr
+	tok  token
+}
+
+// NegExpr is unary minus.
+type NegExpr struct {
+	X   Expr
+	tok token
+}
+
+// LoadExpr is `*p` (loads an int) or loadp(p) (loads a ptr).
+type LoadExpr struct {
+	Addr Expr
+	Ptr  bool // true for loadp
+	tok  token
+}
+
+// CallExpr calls a declared function, a builtin (malloc/alloca), or an
+// extern (any other name).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	tok  token
+}
+
+func (*IntLit) exprNode()   {}
+func (*NullLit) exprNode()  {}
+func (*VarRef) exprNode()   {}
+func (*BinExpr) exprNode()  {}
+func (*NegExpr) exprNode()  {}
+func (*LoadExpr) exprNode() {}
+func (*CallExpr) exprNode() {}

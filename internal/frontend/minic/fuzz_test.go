@@ -1,0 +1,36 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompile checks the frontend never panics: any input either compiles
+// to a verified module or returns a positioned error.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		prepareSrc,
+		`func f() {}`,
+		`func f(p ptr, n int) int { return n; }`,
+		`global g[8]; func f() { *(g + 1) = 2; }`,
+		`func f(n int) { var p ptr = malloc(n); while (n > 0) { *p = n; n = n - 1; } }`,
+		`func f() { if (1 < 2) { } else { } }`,
+		`func f(`,
+		`}{`,
+		`func f() { var x int = ; }`,
+		`func f() { *1 = 2; }`,
+		"func f() { // comment\n }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Compile("fuzz", src)
+		if err == nil && m == nil {
+			t.Fatal("nil module without error")
+		}
+		if err != nil && !strings.Contains(err.Error(), ":") {
+			t.Fatalf("error lacks position: %q", err)
+		}
+	})
+}

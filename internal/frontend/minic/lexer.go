@@ -1,0 +1,183 @@
+// Package minic implements a small C-like frontend for the analysis
+// pipeline: a lexer, recursive-descent parser, semantic checker, and a
+// lowering pass that produces ir modules (locals become allocas, then
+// mem2reg + e-SSA run automatically). It exists so that the examples and
+// tests can express the paper's C programs (Fig. 1, Fig. 3) as source text
+// and exercise the full compilation path the paper's LLVM implementation
+// used.
+//
+// The language:
+//
+//	program  := (func | global)*
+//	global   := "global" ident "[" int "]" ";"
+//	func     := "func" ident "(" (ident type ("," ident type)*)? ")" type? block
+//	type     := "int" | "ptr"
+//	block    := "{" stmt* "}"
+//	stmt     := "var" ident type ("=" expr)? ";"
+//	          | ident "=" expr ";"
+//	          | "*" unary "=" expr ";"          // store of one unit
+//	          | "free" "(" expr ")" ";"
+//	          | "if" "(" expr ")" block ("else" block)?
+//	          | "while" "(" expr ")" block
+//	          | "return" expr? ";"
+//	          | expr ";"                        // expression statement (calls)
+//	expr     := arith (("<"|"<="|">"|">="|"=="|"!=") arith)?
+//	arith    := term  (("+"|"-") term)*
+//	term     := unary (("*"|"/"|"%") unary)*
+//	unary    := "*" unary | "-" unary | primary  // "*" loads an int
+//	primary  := int | ident | call | "(" expr ")" | "null"
+//	call     := ident "(" (expr ("," expr)*)? ")"
+//
+// Builtins: malloc(n) and alloca(n) return ptr; loadp(p) loads a pointer
+// from memory. Calls to undeclared functions are externs: they return int
+// (their results join the symbolic kernel of the range analysis).
+package minic
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tPunct // ( ) { } , ; [ ]
+	tOp    // + - * / % = < <= > >= == !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a positioned frontend error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t token, format string, args ...interface{}) error {
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// next scans one token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case isSpace(c):
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if lx.pos >= len(lx.src) {
+		return token{kind: tEOF, line: lx.line, col: lx.col}, nil
+	}
+	start := token{line: lx.line, col: lx.col}
+	c := lx.peekByte()
+	switch {
+	case isDigit(c):
+		s := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+		start.kind = tInt
+		start.text = lx.src[s:lx.pos]
+		return start, nil
+	case isLetter(c):
+		s := lx.pos
+		for lx.pos < len(lx.src) && (isLetter(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.advance()
+		}
+		start.kind = tIdent
+		start.text = lx.src[s:lx.pos]
+		return start, nil
+	}
+	switch c {
+	case '(', ')', '{', '}', ',', ';', '[', ']':
+		lx.advance()
+		start.kind = tPunct
+		start.text = string(c)
+		return start, nil
+	case '+', '-', '*', '/', '%':
+		lx.advance()
+		start.kind = tOp
+		start.text = string(c)
+		return start, nil
+	case '<', '>', '=', '!':
+		lx.advance()
+		text := string(c)
+		if lx.pos < len(lx.src) && lx.peekByte() == '=' {
+			lx.advance()
+			text += "="
+		}
+		if text == "!" {
+			return start, &Error{Line: start.line, Col: start.col, Msg: "unexpected '!'"}
+		}
+		start.kind = tOp
+		start.text = text
+		return start, nil
+	}
+	return start, &Error{Line: start.line, Col: start.col,
+		Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

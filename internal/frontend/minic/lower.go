@@ -1,0 +1,305 @@
+package minic
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// Compile parses, checks and lowers MiniC source into an analysis-ready IR
+// module: locals and mutable parameters become allocas, mem2reg promotes
+// them to SSA registers, and the e-SSA π-insertion runs — the exact
+// pipeline of Fig. 5's "original program → e-SSA" front half.
+func Compile(name, src string) (*ir.Module, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	in, err := Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	m := ir.NewModule(name)
+	lw := &lowerer{info: in, m: m, irGlobals: map[string]*ir.Global{}}
+	for _, g := range prog.Globals {
+		lw.irGlobals[g.Name] = m.NewGlobal(g.Name, g.Size)
+	}
+	// Declare all functions first so calls resolve regardless of order.
+	for _, f := range prog.Funcs {
+		params := make([]ir.ParamSpec, len(f.Params))
+		for i, p := range f.Params {
+			params[i] = ir.Param(p.Name, irType(p.Typ))
+		}
+		m.NewFunc(f.Name, irType(f.Ret), params...)
+	}
+	for _, f := range prog.Funcs {
+		if err := lw.lowerFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range m.Funcs {
+		ssa.PromoteAllocas(f)
+		ssa.InsertPi(f)
+		if err := ssa.VerifySSA(f); err != nil {
+			return nil, fmt.Errorf("minic: internal error lowering %s: %w", f.Name, err)
+		}
+	}
+	return m, nil
+}
+
+func irType(t TypeName) ir.Type {
+	switch t {
+	case TypeInt:
+		return ir.TInt
+	case TypePtr:
+		return ir.TPtr
+	case TypeBool:
+		return ir.TBool
+	}
+	return ir.TVoid
+}
+
+type lowerer struct {
+	info      *info
+	m         *ir.Module
+	irGlobals map[string]*ir.Global
+
+	fn     *ir.Func
+	b      *ir.Builder
+	scopes []map[string]*ir.Value // name → alloca address
+	done   bool                   // current block already terminated
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]*ir.Value{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) slot(name string) *ir.Value {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if v, ok := lw.scopes[i][name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerFunc(decl *FuncDecl) error {
+	f := lw.m.Func(decl.Name)
+	lw.fn = f
+	lw.b = ir.NewBuilder(f)
+	lw.done = false
+	entry := lw.b.Block("entry")
+	lw.b.SetBlock(entry)
+	lw.pushScope()
+	defer lw.popScope()
+	// Parameters are mutable in C; spill each to an alloca (mem2reg undoes
+	// this where possible).
+	for i, p := range decl.Params {
+		addr := lw.b.Alloca(1, p.Name+".addr")
+		lw.b.Store(addr, f.Params[i])
+		lw.scopes[len(lw.scopes)-1][p.Name] = addr
+	}
+	lw.block(decl.Body)
+	if !lw.done {
+		switch decl.Ret {
+		case TypeNone:
+			lw.b.Ret(nil)
+		case TypePtr:
+			lw.b.Ret(lw.m.Null())
+		default:
+			lw.b.Ret(lw.m.IntConst(0))
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) block(b *Block) {
+	lw.pushScope()
+	defer lw.popScope()
+	for _, s := range b.Stmts {
+		if lw.done {
+			return // unreachable statements after return are dropped
+		}
+		lw.stmt(s)
+	}
+}
+
+func (lw *lowerer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarStmt:
+		addr := lw.b.Alloca(1, st.Name+".addr")
+		lw.scopes[len(lw.scopes)-1][st.Name] = addr
+		if st.Init != nil {
+			lw.b.Store(addr, lw.expr(st.Init))
+		}
+	case *AssignStmt:
+		lw.b.Store(lw.slot(st.Name), lw.expr(st.Val))
+	case *StoreStmt:
+		addr := lw.expr(st.Addr)
+		lw.b.Store(addr, lw.expr(st.Val))
+	case *FreeStmt:
+		p := lw.expr(st.Ptr)
+		freed := lw.b.Free(p, "freed")
+		// If the operand is a variable, its slot now holds the invalidated
+		// copy, so later uses see ⊥ (Fig. 9's free rule).
+		if v, ok := st.Ptr.(*VarRef); ok {
+			if slot := lw.slot(v.Name); slot != nil {
+				lw.b.Store(slot, freed)
+			}
+		}
+	case *IfStmt:
+		cond := lw.expr(st.Cond)
+		then := lw.b.Block("then")
+		var els *ir.Block
+		join := lw.b.Block("join")
+		if st.Else != nil {
+			els = lw.b.Block("else")
+			lw.b.CondBr(cond, then, els)
+		} else {
+			lw.b.CondBr(cond, then, join)
+		}
+		lw.b.SetBlock(then)
+		lw.done = false
+		lw.block(st.Then)
+		thenDone := lw.done
+		if !lw.done {
+			lw.b.Br(join)
+		}
+		elseDone := false
+		if els != nil {
+			lw.b.SetBlock(els)
+			lw.done = false
+			lw.block(st.Else)
+			elseDone = lw.done
+			if !lw.done {
+				lw.b.Br(join)
+			}
+		}
+		lw.b.SetBlock(join)
+		lw.done = thenDone && (st.Else != nil && elseDone)
+		if lw.done {
+			// Both arms returned: the join is unreachable; keep it minimal.
+			lw.b.Ret(retZero(lw))
+			lw.done = true
+		} else {
+			lw.done = false
+		}
+	case *WhileStmt:
+		head := lw.b.Block("while.head")
+		body := lw.b.Block("while.body")
+		exit := lw.b.Block("while.exit")
+		lw.b.Br(head)
+		lw.b.SetBlock(head)
+		cond := lw.expr(st.Cond)
+		lw.b.CondBr(cond, body, exit)
+		lw.b.SetBlock(body)
+		lw.done = false
+		lw.block(st.Body)
+		if !lw.done {
+			lw.b.Br(head)
+		}
+		lw.b.SetBlock(exit)
+		lw.done = false
+	case *ReturnStmt:
+		if st.Val != nil {
+			lw.b.Ret(lw.expr(st.Val))
+		} else {
+			lw.b.Ret(nil)
+		}
+		lw.done = true
+	case *ExprStmt:
+		lw.exprAllowVoid(st.X)
+	}
+}
+
+func retZero(lw *lowerer) *ir.Value {
+	switch lw.fn.RetType {
+	case ir.TVoid:
+		return nil
+	case ir.TPtr:
+		return lw.m.Null()
+	default:
+		return lw.m.IntConst(0)
+	}
+}
+
+func (lw *lowerer) expr(e Expr) *ir.Value {
+	v := lw.exprAllowVoid(e)
+	if v == nil {
+		panic("minic: void value in expression position (sema bug)")
+	}
+	return v
+}
+
+func (lw *lowerer) exprAllowVoid(e Expr) *ir.Value {
+	switch x := e.(type) {
+	case *IntLit:
+		return lw.m.IntConst(x.Val)
+	case *NullLit:
+		return lw.m.Null()
+	case *VarRef:
+		if slot := lw.slot(x.Name); slot != nil {
+			t := lw.info.typeOf[Expr(x)]
+			return lw.b.Load(irType(t), slot, x.Name)
+		}
+		return lw.irGlobals[x.Name].Addr
+	case *NegExpr:
+		return lw.b.Sub(lw.m.IntConst(0), lw.expr(x.X), "neg")
+	case *LoadExpr:
+		t := ir.TInt
+		if x.Ptr {
+			t = ir.TPtr
+		}
+		return lw.b.Load(t, lw.expr(x.Addr), "deref")
+	case *BinExpr:
+		return lw.binExpr(x)
+	case *CallExpr:
+		args := make([]*ir.Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = lw.expr(a)
+		}
+		switch x.Name {
+		case "malloc":
+			return lw.b.Alloc(ir.AllocHeap, args[0], "m")
+		case "alloca":
+			return lw.b.Alloc(ir.AllocStack, args[0], "a")
+		}
+		if callee := lw.m.Func(x.Name); callee != nil {
+			return lw.b.Call(callee, x.Name+".r", args...)
+		}
+		return lw.b.Extern(x.Name, ir.TInt, x.Name+".r", args...)
+	}
+	return nil
+}
+
+func (lw *lowerer) binExpr(x *BinExpr) *ir.Value {
+	l := lw.expr(x.L)
+	r := lw.expr(x.R)
+	switch x.Op {
+	case "+":
+		if l.Typ == ir.TPtr {
+			return lw.b.PtrAdd(l, r, "padd")
+		}
+		if r.Typ == ir.TPtr {
+			return lw.b.PtrAdd(r, l, "padd")
+		}
+		return lw.b.Add(l, r, "add")
+	case "-":
+		if l.Typ == ir.TPtr {
+			neg := lw.b.Sub(lw.m.IntConst(0), r, "neg")
+			return lw.b.PtrAdd(l, neg, "psub")
+		}
+		return lw.b.Sub(l, r, "sub")
+	case "*":
+		return lw.b.Mul(l, r, "mul")
+	case "/":
+		return lw.b.Div(l, r, "div")
+	case "%":
+		return lw.b.Rem(l, r, "rem")
+	}
+	pred := map[string]ir.Pred{
+		"<": ir.PLt, "<=": ir.PLe, ">": ir.PGt, ">=": ir.PGe,
+		"==": ir.PEq, "!=": ir.PNe,
+	}[x.Op]
+	return lw.b.Cmp(pred, l, r, "cmp")
+}

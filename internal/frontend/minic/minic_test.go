@@ -1,0 +1,282 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/ssa"
+)
+
+// prepareSrc is the paper's Fig. 1 program written in MiniC.
+const prepareSrc = `
+// Fig. 1 of the paper: serialize a message as id bytes then payload.
+func prepare(p ptr, n int, m ptr) {
+  var i ptr = p;
+  var e ptr = p + n;
+  while (i < e) {
+    *i = 0;
+    *(i + 1) = 255;
+    i = i + 2;
+  }
+  var f ptr = e + strlen(m);
+  while (i < f) {
+    *i = *m;
+    m = m + 1;
+  }
+}
+
+func main() int {
+  var z int = atoi();
+  var b ptr = malloc(z);
+  var s ptr = malloc(strlen2());
+  prepare(b, z, s);
+  return 0;
+}
+`
+
+func TestCompilePrepare(t *testing.T) {
+	m, err := Compile("fig1", prepareSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := ssa.VerifyModuleSSA(m); err != nil {
+		t.Fatalf("ssa verify: %v", err)
+	}
+	s := m.Func("prepare").String()
+	// Locals must be fully promoted and π-nodes present.
+	if strings.Contains(s, "alloc stack") {
+		t.Errorf("locals not promoted:\n%s", s)
+	}
+	if !strings.Contains(s, "phi") || !strings.Contains(s, "pi ") {
+		t.Errorf("missing φ or π:\n%s", s)
+	}
+}
+
+func TestCompiledPrepareDisambiguates(t *testing.T) {
+	// The whole point: the MiniC pipeline must reach the same analysis
+	// result as the hand-built IR — the two loops' stores are no-alias.
+	m, err := Compile("fig1", prepareSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	a := pointer.Analyze(m, pointer.Options{})
+	var stores []*ir.Value
+	for _, in := range m.Func("prepare").Instrs() {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in.Args[0])
+		}
+	}
+	if len(stores) != 3 {
+		t.Fatalf("want 3 stores, got %d:\n%s", len(stores), m.Func("prepare"))
+	}
+	ans, why := a.Query(stores[0], stores[2])
+	if ans != pointer.NoAlias {
+		t.Errorf("loop1 vs loop2 store: %s (want no-alias)\nGR1=%s\nGR2=%s",
+			ans, a.GR.Value(stores[0]), a.GR.Value(stores[2]))
+	}
+	if why != pointer.ReasonGlobalRange {
+		t.Errorf("attribution = %s, want global-range", why)
+	}
+}
+
+func TestIfElseAndReturns(t *testing.T) {
+	src := `
+func pick(a int, b int) int {
+  if (a < b) {
+    return a;
+  } else {
+    return b;
+  }
+}
+func clamp(x int, hi int) int {
+  if (x > hi) {
+    x = hi;
+  }
+  return x;
+}
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := ssa.VerifyModuleSSA(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestGlobalsAndLoadp(t *testing.T) {
+	src := `
+global table[64];
+func use(i int) {
+  *(table + i) = 7;
+  var p ptr = loadp(table);
+  *p = 1;
+}
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(m.Globals) != 1 || m.Globals[0].Size != 64 {
+		t.Fatalf("global not lowered: %+v", m.Globals)
+	}
+	if err := ssa.VerifyModuleSSA(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestFreeInvalidatesVariable(t *testing.T) {
+	src := `
+func f(n int) {
+  var p ptr = malloc(n);
+  *p = 1;
+  free(p);
+}
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	found := false
+	for _, in := range m.Func("f").Instrs() {
+		if in.Op == ir.OpFree {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("free not lowered:\n%s", m.Func("f"))
+	}
+}
+
+func TestNestedLoopsAndScopes(t *testing.T) {
+	src := `
+func grid(p ptr, w int, h int) {
+  var y int = 0;
+  while (y < h) {
+    var x int = 0;
+    while (x < w) {
+      var q ptr = p + (y * w + x);
+      *q = 0;
+      x = x + 1;
+    }
+    y = y + 1;
+  }
+}
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := ssa.VerifyModuleSSA(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestBlockScoping(t *testing.T) {
+	src := `
+func f(c int) int {
+  if (c > 0) {
+    var t int = 1;
+    c = c + t;
+  } else {
+    var t int = 2;
+    c = c + t;
+  }
+  return c;
+}
+`
+	if _, err := Compile("t", src); err != nil {
+		t.Fatalf("sibling scopes may reuse names: %v", err)
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared", `func f() { x = 1; }`, "undeclared"},
+		{"type mismatch", `func f(p ptr) { var x int = p; }`, "cannot initialize"},
+		{"ptr arith", `func f(p ptr, q ptr) { var x ptr = p + q; }`, "invalid operands"},
+		{"cond not bool", `func f(n int) { if (n) { } }`, "condition must be a comparison"},
+		{"void misuse", `func g() {} func f() { var x int = g(); }`, "void value"},
+		{"dup var", `func f() { var x int; var x int; }`, "duplicate declaration"},
+		{"dup func", `func f() {} func f() {}`, "duplicate function"},
+		{"ret void val", `func f() { return 3; }`, "void function"},
+		{"ret missing", `func f() int { return; }`, "must return"},
+		{"bad arg count", `func g(a int) {} func f() { g(); }`, "takes 1 arguments"},
+		{"bad arg type", `func g(a int) {} func f(p ptr) { g(p); }`, "want int"},
+		{"cmp mixed", `func f(p ptr, n int) { if (p < n) { } }`, "cannot compare"},
+		{"assign global", `global g[4]; func f() { g = null; }`, "cannot assign to global"},
+		{"free int", `func f(n int) { free(n); }`, "free takes a ptr"},
+	}
+	for _, c := range cases {
+		_, err := Compile("t", c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q, got success", c.name, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func`,
+		`func f( {`,
+		`func f() { var ; }`,
+		`func f() { 1 + ; }`,
+		`func f() { while (1 < 2) }`,
+		`global g;`,
+		`func f() { @ }`,
+		`xyz`,
+	}
+	for _, src := range cases {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestErrorsArePositioned(t *testing.T) {
+	src := "func f() {\n  x = 1;\n}"
+	_, err := Compile("t", src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:") {
+		t.Errorf("error lacks line position: %q", err)
+	}
+}
+
+func TestExternCallsBecomeKernelSymbols(t *testing.T) {
+	src := `
+func f(p ptr) {
+  var n int = strlen(p);
+  *(p + n) = 0;
+}
+`
+	m, err := Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	found := false
+	for _, in := range m.Func("f").Instrs() {
+		if in.Op == ir.OpExtern && in.Sym == "strlen" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("extern call not lowered:\n%s", m.Func("f"))
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "// leading comment\nfunc f() { // trailing\n // inner\n }\n"
+	if _, err := Compile("t", src); err != nil {
+		t.Fatalf("comments should lex away: %v", err)
+	}
+}

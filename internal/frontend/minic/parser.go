@@ -1,0 +1,426 @@
+package minic
+
+import "strconv"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a MiniC source file.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tEOF, "") {
+		switch {
+		case p.at(tIdent, "global"):
+			g, err := p.global()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.at(tIdent, "func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errAt(p.cur(), "expected 'func' or 'global', got %q", p.cur().text)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokKind]string{tIdent: "identifier", tInt: "integer"}[kind]
+		}
+		return p.cur(), errAt(p.cur(), "expected %q, got %q", want, p.cur().text)
+	}
+	t := p.cur()
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) global() (*GlobalDecl, error) {
+	tok, _ := p.eat(tIdent, "global")
+	name, err := p.eat(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tPunct, "["); err != nil {
+		return nil, err
+	}
+	size, err := p.eat(tInt, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tPunct, "]"); err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tPunct, ";"); err != nil {
+		return nil, err
+	}
+	n, _ := strconv.ParseInt(size.text, 10, 64)
+	return &GlobalDecl{Name: name.text, Size: n, tok: tok}, nil
+}
+
+func (p *parser) typeName() (TypeName, error) {
+	t, err := p.eat(tIdent, "")
+	if err != nil {
+		return TypeNone, err
+	}
+	switch t.text {
+	case "int":
+		return TypeInt, nil
+	case "ptr":
+		return TypePtr, nil
+	}
+	return TypeNone, errAt(t, "unknown type %q", t.text)
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	tok, _ := p.eat(tIdent, "func")
+	name, err := p.eat(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.eat(tPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.text, tok: tok}
+	for !p.at(tPunct, ")") {
+		if len(f.Params) > 0 {
+			if _, err := p.eat(tPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.eat(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, ParamDecl{Name: pn.text, Typ: pt, tok: pn})
+	}
+	p.pos++ // ')'
+	if p.at(tIdent, "int") || p.at(tIdent, "ptr") {
+		rt, _ := p.typeName()
+		f.Ret = rt
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.eat(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.at(tPunct, "}") {
+		if p.at(tEOF, "") {
+			return nil, errAt(p.cur(), "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tIdent, "var"):
+		p.pos++
+		name, err := p.eat(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		s := &VarStmt{Name: name.text, Typ: typ, tok: t}
+		if p.at(tOp, "=") {
+			p.pos++
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+		if _, err := p.eat(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.at(tIdent, "if"):
+		p.pos++
+		if _, err := p.eat(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, tok: t}
+		if p.at(tIdent, "else") {
+			p.pos++
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+
+	case p.at(tIdent, "while"):
+		p.pos++
+		if _, err := p.eat(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, tok: t}, nil
+
+	case p.at(tIdent, "return"):
+		p.pos++
+		s := &ReturnStmt{tok: t}
+		if !p.at(tPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Val = v
+		}
+		if _, err := p.eat(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.at(tIdent, "free"):
+		p.pos++
+		if _, err := p.eat(tPunct, "("); err != nil {
+			return nil, err
+		}
+		ptr, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &FreeStmt{Ptr: ptr, tok: t}, nil
+
+	case p.at(tOp, "*"):
+		p.pos++
+		addr, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tOp, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Addr: addr, Val: val, tok: t}, nil
+
+	case t.kind == tIdent && p.toks[p.pos+1].kind == tOp && p.toks[p.pos+1].text == "=":
+		p.pos += 2
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: t.text, Val: val, tok: t}, nil
+
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, tok: t}, nil
+	}
+}
+
+func (p *parser) expr() (Expr, error) {
+	l, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tOp {
+		switch t.text {
+		case "<", "<=", ">", ">=", "==", "!=":
+			p.pos++
+			r, err := p.arith()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: t.text, L: l, R: r, tok: t}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) arith() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tOp, "+") || p.at(tOp, "-") {
+		t := p.cur()
+		p.pos++
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.text, L: l, R: r, tok: t}
+	}
+	return l, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tOp, "*") || p.at(tOp, "/") || p.at(tOp, "%") {
+		t := p.cur()
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.text, L: l, R: r, tok: t}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.at(tOp, "*"):
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &LoadExpr{Addr: x, tok: t}, nil
+	case p.at(tOp, "-"):
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{X: x, tok: t}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errAt(t, "bad integer %q", t.text)
+		}
+		return &IntLit{Val: v, tok: t}, nil
+	case p.at(tIdent, "null"):
+		p.pos++
+		return &NullLit{tok: t}, nil
+	case p.at(tPunct, "("):
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.eat(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tIdent:
+		p.pos++
+		if !p.at(tPunct, "(") {
+			return &VarRef{Name: t.text, tok: t}, nil
+		}
+		p.pos++ // '('
+		call := &CallExpr{Name: t.text, tok: t}
+		for !p.at(tPunct, ")") {
+			if len(call.Args) > 0 {
+				if _, err := p.eat(tPunct, ","); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+		}
+		p.pos++ // ')'
+		if call.Name == "loadp" {
+			if len(call.Args) != 1 {
+				return nil, errAt(t, "loadp takes one argument")
+			}
+			return &LoadExpr{Addr: call.Args[0], Ptr: true, tok: t}, nil
+		}
+		return call, nil
+	}
+	return nil, errAt(t, "unexpected token %q", t.text)
+}

@@ -1,0 +1,363 @@
+package minic
+
+// Semantic analysis: name resolution and type checking. Types annotate the
+// tree implicitly — Check records the type of every expression node in the
+// returned info table, which lowering consults.
+
+type funcSig struct {
+	params []TypeName
+	ret    TypeName
+}
+
+type info struct {
+	sigs    map[string]funcSig
+	globals map[string]*GlobalDecl
+	typeOf  map[Expr]TypeName
+}
+
+// Check validates a program and returns the type information lowering needs.
+func Check(prog *Program) (*info, error) {
+	in := &info{
+		sigs:    map[string]funcSig{},
+		globals: map[string]*GlobalDecl{},
+		typeOf:  map[Expr]TypeName{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := in.globals[g.Name]; dup {
+			return nil, errAt(g.tok, "duplicate global %q", g.Name)
+		}
+		if g.Size <= 0 {
+			return nil, errAt(g.tok, "global %q must have positive size", g.Name)
+		}
+		in.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := in.sigs[f.Name]; dup {
+			return nil, errAt(f.tok, "duplicate function %q", f.Name)
+		}
+		if _, clash := in.globals[f.Name]; clash {
+			return nil, errAt(f.tok, "function %q collides with a global", f.Name)
+		}
+		sig := funcSig{ret: f.Ret}
+		for _, p := range f.Params {
+			sig.params = append(sig.params, p.Typ)
+		}
+		in.sigs[f.Name] = sig
+	}
+	for _, f := range prog.Funcs {
+		c := &checker{info: in, fn: f}
+		c.pushScope()
+		for _, p := range f.Params {
+			if err := c.declare(p.Name, p.Typ, p.tok); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.block(f.Body); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+type checker struct {
+	info   *info
+	fn     *FuncDecl
+	scopes []map[string]TypeName
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]TypeName{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, t TypeName, tok token) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errAt(tok, "duplicate declaration of %q", name)
+	}
+	top[name] = t
+	return nil
+}
+
+func (c *checker) lookup(name string) (TypeName, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	if _, ok := c.info.globals[name]; ok {
+		return TypePtr, true
+	}
+	return TypeNone, false
+}
+
+func (c *checker) block(b *Block) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *VarStmt:
+		if st.Typ != TypeInt && st.Typ != TypePtr {
+			return errAt(st.tok, "variables must be int or ptr")
+		}
+		if st.Init != nil {
+			t, err := c.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			if t != st.Typ {
+				return errAt(st.tok, "cannot initialize %s variable %q with %s", st.Typ, st.Name, t)
+			}
+		}
+		return c.declare(st.Name, st.Typ, st.tok)
+	case *AssignStmt:
+		want, ok := c.lookup(st.Name)
+		if !ok {
+			return errAt(st.tok, "assignment to undeclared %q", st.Name)
+		}
+		if _, isGlobal := c.info.globals[st.Name]; isGlobal {
+			return errAt(st.tok, "cannot assign to global %q (store through it instead)", st.Name)
+		}
+		got, err := c.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return errAt(st.tok, "cannot assign %s to %s variable %q", got, want, st.Name)
+		}
+		return nil
+	case *StoreStmt:
+		at, err := c.expr(st.Addr)
+		if err != nil {
+			return err
+		}
+		if at != TypePtr {
+			return errAt(st.tok, "store address must be ptr, got %s", at)
+		}
+		vt, err := c.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if vt != TypeInt && vt != TypePtr {
+			return errAt(st.tok, "cannot store a %s value", vt)
+		}
+		return nil
+	case *FreeStmt:
+		t, err := c.expr(st.Ptr)
+		if err != nil {
+			return err
+		}
+		if t != TypePtr {
+			return errAt(st.tok, "free takes a ptr, got %s", t)
+		}
+		return nil
+	case *IfStmt:
+		if err := c.cond(st.Cond, st.tok); err != nil {
+			return err
+		}
+		if err := c.block(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.block(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.cond(st.Cond, st.tok); err != nil {
+			return err
+		}
+		return c.block(st.Body)
+	case *ReturnStmt:
+		if c.fn.Ret == TypeNone {
+			if st.Val != nil {
+				return errAt(st.tok, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.Val == nil {
+			return errAt(st.tok, "function %q must return a %s", c.fn.Name, c.fn.Ret)
+		}
+		t, err := c.expr(st.Val)
+		if err != nil {
+			return err
+		}
+		if t != c.fn.Ret {
+			return errAt(st.tok, "function %q returns %s, got %s", c.fn.Name, c.fn.Ret, t)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.exprAllowVoid(st.X)
+		return err
+	}
+	return nil
+}
+
+func (c *checker) cond(e Expr, tok token) error {
+	t, err := c.expr(e)
+	if err != nil {
+		return err
+	}
+	if t != TypeBool {
+		return errAt(tok, "condition must be a comparison, got %s", t)
+	}
+	return nil
+}
+
+func (c *checker) expr(e Expr) (TypeName, error) {
+	t, err := c.exprAllowVoid(e)
+	if err != nil {
+		return t, err
+	}
+	if t == TypeNone {
+		return t, errAt(tokOf(e), "void value used in expression")
+	}
+	return t, nil
+}
+
+func tokOf(e Expr) token {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.tok
+	case *NullLit:
+		return x.tok
+	case *VarRef:
+		return x.tok
+	case *BinExpr:
+		return x.tok
+	case *NegExpr:
+		return x.tok
+	case *LoadExpr:
+		return x.tok
+	case *CallExpr:
+		return x.tok
+	}
+	return token{}
+}
+
+func (c *checker) exprAllowVoid(e Expr) (TypeName, error) {
+	t, err := c.typeExpr(e)
+	if err != nil {
+		return t, err
+	}
+	c.info.typeOf[e] = t
+	return t, nil
+}
+
+func (c *checker) typeExpr(e Expr) (TypeName, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return TypeInt, nil
+	case *NullLit:
+		return TypePtr, nil
+	case *VarRef:
+		t, ok := c.lookup(x.Name)
+		if !ok {
+			return TypeNone, errAt(x.tok, "undeclared identifier %q", x.Name)
+		}
+		return t, nil
+	case *NegExpr:
+		t, err := c.expr(x.X)
+		if err != nil {
+			return TypeNone, err
+		}
+		if t != TypeInt {
+			return TypeNone, errAt(x.tok, "unary minus needs an int, got %s", t)
+		}
+		return TypeInt, nil
+	case *LoadExpr:
+		t, err := c.expr(x.Addr)
+		if err != nil {
+			return TypeNone, err
+		}
+		if t != TypePtr {
+			return TypeNone, errAt(x.tok, "dereference of non-pointer %s", t)
+		}
+		if x.Ptr {
+			return TypePtr, nil
+		}
+		return TypeInt, nil
+	case *BinExpr:
+		lt, err := c.expr(x.L)
+		if err != nil {
+			return TypeNone, err
+		}
+		rt, err := c.expr(x.R)
+		if err != nil {
+			return TypeNone, err
+		}
+		switch x.Op {
+		case "+":
+			switch {
+			case lt == TypeInt && rt == TypeInt:
+				return TypeInt, nil
+			case lt == TypePtr && rt == TypeInt, lt == TypeInt && rt == TypePtr:
+				return TypePtr, nil
+			}
+			return TypeNone, errAt(x.tok, "invalid operands to +: %s and %s", lt, rt)
+		case "-":
+			switch {
+			case lt == TypeInt && rt == TypeInt:
+				return TypeInt, nil
+			case lt == TypePtr && rt == TypeInt:
+				return TypePtr, nil
+			}
+			return TypeNone, errAt(x.tok, "invalid operands to -: %s and %s", lt, rt)
+		case "*", "/", "%":
+			if lt != TypeInt || rt != TypeInt {
+				return TypeNone, errAt(x.tok, "%s needs ints, got %s and %s", x.Op, lt, rt)
+			}
+			return TypeInt, nil
+		default: // comparisons
+			if lt != rt || (lt != TypeInt && lt != TypePtr) {
+				return TypeNone, errAt(x.tok, "cannot compare %s with %s", lt, rt)
+			}
+			return TypeBool, nil
+		}
+	case *CallExpr:
+		switch x.Name {
+		case "malloc", "alloca":
+			if len(x.Args) != 1 {
+				return TypeNone, errAt(x.tok, "%s takes one argument", x.Name)
+			}
+			t, err := c.expr(x.Args[0])
+			if err != nil {
+				return TypeNone, err
+			}
+			if t != TypeInt {
+				return TypeNone, errAt(x.tok, "%s size must be int", x.Name)
+			}
+			return TypePtr, nil
+		}
+		if sig, ok := c.info.sigs[x.Name]; ok {
+			if len(x.Args) != len(sig.params) {
+				return TypeNone, errAt(x.tok, "%q takes %d arguments, got %d",
+					x.Name, len(sig.params), len(x.Args))
+			}
+			for i, a := range x.Args {
+				t, err := c.expr(a)
+				if err != nil {
+					return TypeNone, err
+				}
+				if t != sig.params[i] {
+					return TypeNone, errAt(x.tok, "argument %d of %q: want %s, got %s",
+						i+1, x.Name, sig.params[i], t)
+				}
+			}
+			return sig.ret, nil
+		}
+		// Extern: arguments of any non-void type; result int.
+		for _, a := range x.Args {
+			if _, err := c.expr(a); err != nil {
+				return TypeNone, err
+			}
+		}
+		return TypeInt, nil
+	}
+	return TypeNone, nil
+}

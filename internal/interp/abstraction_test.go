@@ -1,0 +1,173 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/ssa"
+)
+
+// TestGaloisConsistencyRandomPrograms is the abstraction check DESIGN.md §6
+// promises: on randomly generated straight-line pointer programs, every
+// concretely observed address of a pointer lies inside γ(GR(p)) —
+// i.e. GR names the right allocation site and its symbolic interval,
+// evaluated under the run's kernel-symbol valuation, contains the concrete
+// offset (Definition 3 of the paper).
+func TestGaloisConsistencyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 120; trial++ {
+		m := ir.NewModule(fmt.Sprintf("gal%d", trial))
+		f := m.NewFunc("main", ir.TVoid)
+		b := ir.NewBuilder(f)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+
+		// One kernel symbol: the extern length (concrete value fixed by
+		// DefaultExtern).
+		n := b.Extern("len", ir.TInt, "n")
+		nConcrete := DefaultExtern("len", nil)
+
+		// Random pointer dataflow over a handful of allocations.
+		nAllocs := 1 + rng.Intn(3)
+		var pool []*ir.Value
+		for k := 0; k < nAllocs; k++ {
+			pool = append(pool, b.Malloc(n, fmt.Sprintf("a%d", k)))
+		}
+		ints := []*ir.Value{b.Int(0), b.Int(1), b.Int(int64(rng.Intn(5))), n}
+		for step := 0; step < 10; step++ {
+			src := pool[rng.Intn(len(pool))]
+			var v *ir.Value
+			switch rng.Intn(4) {
+			case 0:
+				v = b.Copy(src, "c")
+			case 1:
+				idx := ints[rng.Intn(len(ints))]
+				v = b.PtrAdd(src, idx, "p")
+			case 2:
+				// Derived integer: sum of two picks.
+				x := b.Add(ints[rng.Intn(len(ints))], ints[rng.Intn(len(ints))], "x")
+				ints = append(ints, x)
+				v = b.PtrAdd(src, x, "p")
+			default:
+				// Offsets stay non-negative: negative offsets are
+				// out-of-bounds UB, which the no-UB soundness contract
+				// (and the segmented memory model) excludes.
+				v = b.PtrAdd(src, b.Int(int64(rng.Intn(5))), "p")
+			}
+			pool = append(pool, v)
+			b.Store(v, b.Int(int64(step)))
+		}
+		b.Ret(nil)
+		ssa.InsertPi(f)
+
+		a := pointer.Analyze(m, pointer.Options{})
+		col := 0
+		opts := Options{}
+		opts.Trace = func(acc Access) {
+			col++
+			v := acc.Instr.Args[0]
+			seg := Segment(acc.Addr)
+			if seg == 0 {
+				return
+			}
+			// Straight-line main: allocation k executes k-th, so segment
+			// seg corresponds to site seg−1 (no globals in this module).
+			site := int(seg - 1)
+			off := acc.Addr - seg<<32
+			g := a.GR.Value(v)
+			if g.IsTop() {
+				return // trivially consistent
+			}
+			r, ok := g.Get(site)
+			if !ok {
+				t.Fatalf("trial %d: %s concretely in site %d but GR = %s\n%s",
+					trial, v, site, g, f)
+			}
+			env := map[string]int64{"main.n": nConcrete}
+			if lo, ok := r.Lo().Eval(env); ok && off < lo {
+				t.Fatalf("trial %d: %s at offset %d below GR bound %s\n%s",
+					trial, v, off, r, f)
+			}
+			if hi, ok := r.Hi().Eval(env); ok && off > hi {
+				t.Fatalf("trial %d: %s at offset %d above GR bound %s\n%s",
+					trial, v, off, r, f)
+			}
+		}
+		mc := New(m, opts)
+		if _, err := mc.Run("main"); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if col == 0 {
+			t.Fatalf("trial %d: no accesses traced", trial)
+		}
+	}
+}
+
+// TestGaloisConsistencyWithBranches repeats the check on programs with a
+// conditional over the kernel symbol, exercising the π rules concretely.
+func TestGaloisConsistencyWithBranches(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		m := ir.NewModule(fmt.Sprintf("galb%d", trial))
+		f := m.NewFunc("main", ir.TVoid)
+		b := ir.NewBuilder(f)
+		entry := b.Block("entry")
+		lo := b.Block("lo")
+		hi := b.Block("hi")
+		exit := b.Block("exit")
+
+		b.SetBlock(entry)
+		n := b.Extern("len", ir.TInt, "n")
+		nConcrete := DefaultExtern("len", nil)
+		buf := b.Malloc(n, "buf")
+		k := b.Int(int64(rng.Intn(8)))
+		c := b.Cmp(ir.PLt, k, n, "c")
+		b.CondBr(c, lo, hi)
+
+		b.SetBlock(lo)
+		p1 := b.PtrAdd(buf, k, "p1")
+		b.Store(p1, b.Int(1))
+		b.Br(exit)
+
+		b.SetBlock(hi)
+		p2 := b.PtrAdd(buf, n, "p2")
+		b.Store(p2, b.Int(2))
+		b.Br(exit)
+
+		b.SetBlock(exit)
+		b.Ret(nil)
+		ssa.InsertPi(f)
+
+		a := pointer.Analyze(m, pointer.Options{})
+		opts := Options{}
+		opts.Trace = func(acc Access) {
+			seg := Segment(acc.Addr)
+			if seg == 0 {
+				return
+			}
+			v := acc.Instr.Args[0]
+			off := acc.Addr - seg<<32
+			g := a.GR.Value(v)
+			if g.IsTop() {
+				return
+			}
+			r, ok := g.Get(int(seg - 1))
+			if !ok {
+				t.Fatalf("trial %d: missing site component: GR = %s", trial, g)
+			}
+			env := map[string]int64{"main.n": nConcrete}
+			if loV, ok := r.Lo().Eval(env); ok && off < loV {
+				t.Fatalf("trial %d: offset %d below %s", trial, off, r)
+			}
+			if hiV, ok := r.Hi().Eval(env); ok && off > hiV {
+				t.Fatalf("trial %d: offset %d above %s", trial, off, r)
+			}
+		}
+		if _, err := New(m, opts).Run("main"); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Collisions is what the differential harness extracts from one execution:
+// which pairs of memory-access instructions touched a common address, both
+// ever (absolute) and within one execution instance of a shared block
+// (per-moment). Null-segment accesses are excluded from both (dereferencing
+// null is undefined behaviour, outside the paper's soundness contract).
+type Collisions struct {
+	// Absolute[pair] — the two instructions touched the same address at
+	// some (possibly different) points of the run.
+	Absolute map[InstrPair]bool
+	// SameMoment[pair] — the two instructions touched the same address
+	// during the same dynamic execution of their (shared) basic block.
+	SameMoment map[InstrPair]bool
+	// Accesses counts traced, non-null accesses.
+	Accesses int
+}
+
+// InstrPair is an unordered pair of instructions.
+type InstrPair struct {
+	A, B *ir.Instr
+}
+
+// MkPair normalizes pair order (pointer identity is stable within a run).
+func MkPair(a, b *ir.Instr) InstrPair {
+	if fmt.Sprintf("%p", a) > fmt.Sprintf("%p", b) {
+		a, b = b, a
+	}
+	return InstrPair{a, b}
+}
+
+// Observe runs entry(args) under tracing and returns the collision record.
+func Observe(m *ir.Module, entry string, opts Options, args ...int64) (*Collisions, error) {
+	col := &Collisions{
+		Absolute:   map[InstrPair]bool{},
+		SameMoment: map[InstrPair]bool{},
+	}
+	// Absolute: address → instructions that ever touched it.
+	byAddr := map[int64]map[*ir.Instr]bool{}
+	// Per-moment: the accesses of the current execution instance of each
+	// block (reset when the block is re-entered). Keyed per block because
+	// recursion/interleaving across functions cannot interleave a *single*
+	// block's body.
+	cur := map[*ir.Block]map[int64][]*ir.Instr{}
+
+	opts.BlockEvent = func(b *ir.Block) {
+		cur[b] = map[int64][]*ir.Instr{}
+	}
+	opts.Trace = func(a Access) {
+		if Segment(a.Addr) == 0 {
+			return
+		}
+		col.Accesses++
+		set := byAddr[a.Addr]
+		if set == nil {
+			set = map[*ir.Instr]bool{}
+			byAddr[a.Addr] = set
+		}
+		for other := range set {
+			if other != a.Instr {
+				col.Absolute[MkPair(other, a.Instr)] = true
+			}
+		}
+		set[a.Instr] = true
+
+		blk := a.Instr.Block
+		inst := cur[blk]
+		if inst == nil {
+			inst = map[int64][]*ir.Instr{}
+			cur[blk] = inst
+		}
+		for _, other := range inst[a.Addr] {
+			if other != a.Instr {
+				col.SameMoment[MkPair(other, a.Instr)] = true
+			}
+		}
+		inst[a.Addr] = append(inst[a.Addr], a.Instr)
+	}
+
+	mc := New(m, opts)
+	if _, err := mc.Run(entry, args...); err != nil {
+		return nil, err
+	}
+	return col, nil
+}

@@ -1,0 +1,309 @@
+// Package interp is a concrete interpreter for the IR: it executes modules
+// under a segmented memory model and reports every memory access to a
+// tracer. Its purpose is *differential testing* of the alias analyses — the
+// harness in this package runs programs concretely and checks that no pair
+// of accesses declared no-alias ever touches a common address (for the
+// absolute tests: support disjointness, the global range test, basicaa) or
+// touches a common address in the same instant of the same block execution
+// (for the per-moment tests: the local test and scev-aa; see §4 of the
+// paper on what the local test's no-alias means).
+//
+// Memory model. Every dynamic allocation opens a fresh segment: addresses
+// are base<<32 | offset, so distinct objects are 2^32 units apart and an
+// out-of-bounds offset never lands in another object — which is exactly the
+// no-undefined-behaviour assumption the paper's soundness statement relies
+// on. Segment 0 is the null segment; accesses through it are tolerated by
+// the interpreter (memory is a sparse map) but excluded from soundness
+// verdicts, again mirroring the posture that analyses owe nothing to
+// programs that dereference null.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+const segShift = 32
+
+// Access describes one dynamic memory access.
+type Access struct {
+	Instr *ir.Instr // the load or store
+	Addr  int64
+	Store bool
+}
+
+// Options configure an execution.
+type Options struct {
+	// MaxSteps bounds the total number of executed instructions (default
+	// 1<<20); exceeding it returns an error.
+	MaxSteps int
+	// MaxDepth bounds the call stack (default 256).
+	MaxDepth int
+	// Extern models library calls. The default returns small deterministic
+	// positive values keyed by symbol name, so loops bounded by atoi/strlen
+	// results terminate quickly.
+	Extern func(sym string, args []int64) int64
+	// Trace, when set, observes every load and store.
+	Trace func(Access)
+	// BlockEvent, when set, fires when a basic block begins executing; used
+	// by the per-moment collision detector.
+	BlockEvent func(b *ir.Block)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 256
+	}
+	if o.Extern == nil {
+		o.Extern = DefaultExtern
+	}
+	return o
+}
+
+// DefaultExtern returns small deterministic values per symbol so generated
+// programs terminate: sizes/lengths in [3, 8].
+func DefaultExtern(sym string, args []int64) int64 {
+	h := int64(0)
+	for _, c := range []byte(sym) {
+		h = h*31 + int64(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return 3 + h%6
+}
+
+// Machine executes a module.
+type Machine struct {
+	mod   *ir.Module
+	opts  Options
+	mem   map[int64]int64
+	size  map[int64]int64 // segment base → allocated size
+	next  int64           // next segment number
+	steps int
+}
+
+// New prepares a machine; globals get their segments immediately.
+func New(m *ir.Module, opts Options) *Machine {
+	mc := &Machine{
+		mod:  m,
+		opts: opts.withDefaults(),
+		mem:  map[int64]int64{},
+		size: map[int64]int64{},
+		next: 1, // segment 0 is the null segment
+	}
+	for _, g := range m.Globals {
+		mc.size[mc.next<<segShift] = g.Size
+		mc.gbase(g) // allocate deterministically in declaration order
+	}
+	return mc
+}
+
+func (mc *Machine) gbase(g *ir.Global) int64 {
+	// Globals occupy segments 1..len(globals) in declaration order.
+	for i, gg := range mc.mod.Globals {
+		if gg == g {
+			return int64(i+1) << segShift
+		}
+	}
+	panic("interp: foreign global")
+}
+
+func (mc *Machine) alloc(size int64) int64 {
+	// Skip the segments reserved for globals.
+	if mc.next <= int64(len(mc.mod.Globals)) {
+		mc.next = int64(len(mc.mod.Globals)) + 1
+	}
+	base := mc.next << segShift
+	mc.next++
+	if size < 0 {
+		size = 0
+	}
+	mc.size[base] = size
+	return base
+}
+
+// Run calls the named function with the given arguments and returns its
+// result (0 for void).
+func (mc *Machine) Run(fname string, args ...int64) (int64, error) {
+	f := mc.mod.Func(fname)
+	if f == nil {
+		return 0, fmt.Errorf("interp: no function %q", fname)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("interp: %s wants %d args, got %d", fname, len(f.Params), len(args))
+	}
+	return mc.call(f, args, 0)
+}
+
+func (mc *Machine) call(f *ir.Func, args []int64, depth int) (int64, error) {
+	if depth > mc.opts.MaxDepth {
+		return 0, fmt.Errorf("interp: call depth exceeded in %s", f.Name)
+	}
+	frame := map[*ir.Value]int64{}
+	for i, p := range f.Params {
+		frame[p] = args[i]
+	}
+	get := func(v *ir.Value) int64 {
+		switch v.Kind {
+		case ir.VConst:
+			return v.Const
+		case ir.VGlobal:
+			return mc.gbase(v.Gbl)
+		default:
+			return frame[v]
+		}
+	}
+	block := f.Entry()
+	var prev *ir.Block
+	for {
+		if mc.opts.BlockEvent != nil {
+			mc.opts.BlockEvent(block)
+		}
+		// Two-phase φ evaluation: all φs read the predecessor frame.
+		phis := block.Phis()
+		if len(phis) > 0 {
+			vals := make([]int64, len(phis))
+			for i, phi := range phis {
+				found := false
+				for k, from := range phi.In {
+					if from == prev {
+						vals[i] = get(phi.Args[k])
+						found = true
+						break
+					}
+				}
+				if !found {
+					return 0, fmt.Errorf("interp: φ in %s.%s has no incoming from %v",
+						f.Name, block.Name, prev)
+				}
+			}
+			for i, phi := range phis {
+				frame[phi.Res] = vals[i]
+			}
+		}
+		for _, in := range block.Body() {
+			if mc.steps++; mc.steps > mc.opts.MaxSteps {
+				return 0, fmt.Errorf("interp: step budget exhausted in %s", f.Name)
+			}
+			switch in.Op {
+			case ir.OpCopy, ir.OpPi:
+				frame[in.Res] = get(in.Args[0])
+			case ir.OpAdd:
+				frame[in.Res] = get(in.Args[0]) + get(in.Args[1])
+			case ir.OpSub:
+				frame[in.Res] = get(in.Args[0]) - get(in.Args[1])
+			case ir.OpMul:
+				frame[in.Res] = get(in.Args[0]) * get(in.Args[1])
+			case ir.OpDiv:
+				d := get(in.Args[1])
+				if d == 0 {
+					return 0, fmt.Errorf("interp: division by zero in %s", f.Name)
+				}
+				frame[in.Res] = get(in.Args[0]) / d
+			case ir.OpRem:
+				d := get(in.Args[1])
+				if d == 0 {
+					return 0, fmt.Errorf("interp: modulo by zero in %s", f.Name)
+				}
+				frame[in.Res] = get(in.Args[0]) % d
+			case ir.OpCmp:
+				a, b := get(in.Args[0]), get(in.Args[1])
+				frame[in.Res] = b2i(holds(in.Pred, a, b))
+			case ir.OpAlloc:
+				frame[in.Res] = mc.alloc(get(in.Args[0]))
+			case ir.OpFree:
+				frame[in.Res] = get(in.Args[0])
+			case ir.OpPtrAdd:
+				frame[in.Res] = get(in.Args[0]) + get(in.Args[1])
+			case ir.OpLoad:
+				addr := get(in.Args[0])
+				if mc.opts.Trace != nil {
+					mc.opts.Trace(Access{Instr: in, Addr: addr})
+				}
+				frame[in.Res] = mc.mem[addr]
+			case ir.OpStore:
+				addr := get(in.Args[0])
+				if mc.opts.Trace != nil {
+					mc.opts.Trace(Access{Instr: in, Addr: addr, Store: true})
+				}
+				mc.mem[addr] = get(in.Args[1])
+			case ir.OpCall:
+				cargs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					cargs[i] = get(a)
+				}
+				r, err := mc.call(in.Callee, cargs, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				if in.Res != nil {
+					frame[in.Res] = r
+				}
+			case ir.OpExtern:
+				cargs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					cargs[i] = get(a)
+				}
+				r := mc.opts.Extern(in.Sym, cargs)
+				if in.Res != nil {
+					frame[in.Res] = r
+				}
+			case ir.OpBr:
+				// handled below as terminator
+			case ir.OpCondBr:
+			case ir.OpRet:
+			}
+		}
+		term := block.Term()
+		switch term.Op {
+		case ir.OpBr:
+			prev, block = block, term.Targets[0]
+		case ir.OpCondBr:
+			prev = block
+			if get(term.Args[0]) != 0 {
+				block = term.Targets[0]
+			} else {
+				block = term.Targets[1]
+			}
+		case ir.OpRet:
+			if len(term.Args) == 1 {
+				return get(term.Args[0]), nil
+			}
+			return 0, nil
+		default:
+			return 0, fmt.Errorf("interp: block %s.%s not terminated", f.Name, block.Name)
+		}
+	}
+}
+
+func holds(p ir.Pred, a, b int64) bool {
+	switch p {
+	case ir.PEq:
+		return a == b
+	case ir.PNe:
+		return a != b
+	case ir.PLt:
+		return a < b
+	case ir.PLe:
+		return a <= b
+	case ir.PGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Segment extracts the segment number of an address (0 = null segment).
+func Segment(addr int64) int64 { return addr >> segShift }

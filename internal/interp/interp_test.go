@@ -1,0 +1,274 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/frontend/minic"
+	"repro/internal/ir"
+	"repro/internal/progs"
+)
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	src := `
+func fib(n int) int {
+  var a int = 0;
+  var b int = 1;
+  var i int = 0;
+  while (i < n) {
+    var t int = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := New(m, Options{})
+	for _, c := range []struct{ n, want int64 }{{0, 0}, {1, 1}, {2, 1}, {7, 13}, {10, 55}} {
+		got, err := mc.Run("fib", c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("fib(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	src := `
+func f(n int) int {
+  var p ptr = malloc(n);
+  var q ptr = malloc(n);
+  *p = 11;
+  *q = 22;
+  *(p + 1) = 33;
+  return *p + *q + *(p + 1);
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(m, Options{}).Run("f", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 66 {
+		t.Errorf("f = %d, want 66", got)
+	}
+}
+
+func TestDistinctAllocationsGetDistinctSegments(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TInt, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	p := b.Malloc(f.Params[0], "p")
+	q := b.Malloc(f.Params[0], "q")
+	b.Store(p, b.Int(1))
+	b.Store(q, b.Int(2))
+	v := b.Load(ir.TInt, p, "v")
+	b.Ret(v)
+	got, err := New(m, Options{}).Run("f", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("store to q clobbered p: got %d", got)
+	}
+}
+
+func TestGlobalsAddressable(t *testing.T) {
+	src := `
+global tab[8];
+func f() int {
+  *(tab + 3) = 9;
+  return *(tab + 3);
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(m, Options{}).Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Errorf("global store/load = %d", got)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	src := `
+func fact(n int) int {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(m, Options{}).Run("fact", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 720 {
+		t.Errorf("fact(6) = %d", got)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `
+func spin() int {
+  var i int = 0;
+  while (i >= 0) { i = i + 1; }
+  return i;
+}
+`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, Options{MaxSteps: 1000}).Run("spin"); err == nil {
+		t.Error("infinite loop must exhaust the step budget")
+	}
+}
+
+func TestDivByZeroError(t *testing.T) {
+	src := `func f(a int, b int) int { return a / b; }`
+	m, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, Options{}).Run("f", 4, 0); err == nil {
+		t.Error("division by zero must error")
+	}
+}
+
+func TestExternIsDeterministic(t *testing.T) {
+	if DefaultExtern("strlen", nil) != DefaultExtern("strlen", nil) {
+		t.Error("extern model must be deterministic")
+	}
+	if v := DefaultExtern("atoi", nil); v < 3 || v > 8 {
+		t.Errorf("extern value out of range: %d", v)
+	}
+}
+
+func TestMessageBufferExecutes(t *testing.T) {
+	m := progs.MessageBuffer()
+	col, err := Observe(m, "main", Options{}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Accesses == 0 {
+		t.Error("no accesses traced")
+	}
+	// The two loops of prepare must never collide, in any sense.
+	prepare := m.Func("prepare")
+	var stores []*ir.Instr
+	for _, in := range prepare.Instrs() {
+		if in.Op == ir.OpStore {
+			stores = append(stores, in)
+		}
+	}
+	pair := MkPair(stores[0], stores[2])
+	if col.Absolute[pair] {
+		t.Error("the Fig. 1 loops collided concretely — memory model broken")
+	}
+}
+
+func TestObserveDetectsCollision(t *testing.T) {
+	// Two stores through the same pointer must collide in both senses.
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	p := b.Malloc(b.Int(4), "p")
+	q := b.PtrAddConst(p, 0, "q")
+	b.Store(p, b.Int(1))
+	b.Store(q, b.Int(2))
+	b.Ret(nil)
+	col, err := Observe(m, "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1, s2 *ir.Instr
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpStore {
+			if s1 == nil {
+				s1 = in
+			} else {
+				s2 = in
+			}
+		}
+	}
+	if !col.Absolute[MkPair(s1, s2)] {
+		t.Error("absolute collision missed")
+	}
+	if !col.SameMoment[MkPair(s1, s2)] {
+		t.Error("same-moment collision missed")
+	}
+}
+
+func TestPerMomentResetsPerIteration(t *testing.T) {
+	// p[i] and p[i+1] with stride 2: collide across iterations NEVER (even
+	// absolutely, thanks to parity); with stride 1 they collide absolutely
+	// but not within one iteration.
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", ir.TVoid)
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+	b.SetBlock(entry)
+	p := b.Malloc(b.Int(10), "p")
+	b.Br(head)
+	b.SetBlock(head)
+	i := b.Phi(ir.TInt, "i")
+	c := b.Cmp(ir.PLt, i.Res, b.Int(6), "c")
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	q0 := b.PtrAdd(p, i.Res, "q0")
+	b.Store(q0, b.Int(1))
+	i1 := b.Add(i.Res, b.Int(1), "i1")
+	q1 := b.PtrAdd(p, i1, "q1")
+	b.Store(q1, b.Int(2))
+	inext := b.Add(i.Res, b.Int(1), "inext")
+	b.Br(head)
+	ir.AddIncoming(i, b.Int(0), entry)
+	ir.AddIncoming(i, inext, body)
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	col, err := Observe(m, "main", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1, s2 *ir.Instr
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpStore {
+			if s1 == nil {
+				s1 = in
+			} else {
+				s2 = in
+			}
+		}
+	}
+	pair := MkPair(s1, s2)
+	if !col.Absolute[pair] {
+		t.Error("stride-1 lanes must collide across iterations")
+	}
+	if col.SameMoment[pair] {
+		t.Error("stride-1 lanes must NOT collide within one iteration")
+	}
+}

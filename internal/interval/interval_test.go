@@ -1,0 +1,353 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/symbolic"
+)
+
+func sym(s string) *symbolic.Expr  { return symbolic.Sym(s) }
+func konst(c int64) *symbolic.Expr { return symbolic.Const(c) }
+
+func TestEmptyAndFull(t *testing.T) {
+	if !Empty().IsEmpty() {
+		t.Fatal("Empty not empty")
+	}
+	if !Full().IsFull() {
+		t.Fatal("Full not full")
+	}
+	// [5,3] normalizes to empty.
+	if !Consts(5, 3).IsEmpty() {
+		t.Fatal("[5,3] should be empty")
+	}
+	// Symbolic incomparable bounds stay non-empty.
+	r := Of(sym("N"), sym("M"))
+	if r.IsEmpty() {
+		t.Fatal("[N,M] must not collapse to empty")
+	}
+}
+
+func TestJoinNeutralAndAbsorbing(t *testing.T) {
+	r := Consts(1, 5)
+	if !Equal(Join(Empty(), r), r) || !Equal(Join(r, Empty()), r) {
+		t.Error("∅ must be neutral for join")
+	}
+	if !Join(Full(), r).IsFull() || !Join(r, Full()).IsFull() {
+		t.Error("[−∞,+∞] must be absorbing for join")
+	}
+}
+
+func TestMeetNeutralAndAbsorbing(t *testing.T) {
+	r := Consts(1, 5)
+	if !Meet(Empty(), r).IsEmpty() || !Meet(r, Empty()).IsEmpty() {
+		t.Error("∅ must be absorbing for meet")
+	}
+	if !Equal(Meet(Full(), r), r) || !Equal(Meet(r, Full()), r) {
+		t.Error("[−∞,+∞] must be neutral for meet")
+	}
+}
+
+func TestJoinConsts(t *testing.T) {
+	got := Join(Consts(1, 3), Consts(2, 7))
+	if !Equal(got, Consts(1, 7)) {
+		t.Errorf("join = %s", got)
+	}
+}
+
+func TestMeetDisjointConsts(t *testing.T) {
+	if !Meet(Consts(1, 3), Consts(5, 7)).IsEmpty() {
+		t.Error("meet of disjoint consts should be empty")
+	}
+	got := Meet(Consts(1, 5), Consts(3, 9))
+	if !Equal(got, Consts(3, 5)) {
+		t.Errorf("meet = %s", got)
+	}
+}
+
+func TestSymbolicJoinUsesMinMax(t *testing.T) {
+	n := sym("N")
+	a := Of(konst(0), symbolic.AddConst(n, -1)) // [0, N−1]
+	b := Of(n, symbolic.AddConst(n, 5))         // [N, N+5]
+	j := Join(a, b)
+	// lower bound min(0, N) and upper bound max(N−1, N+5)=N+5.
+	if j.IsEmpty() {
+		t.Fatal("join empty")
+	}
+	if got := j.Hi(); !symbolic.Equal(got, symbolic.AddConst(n, 5)) {
+		t.Errorf("join hi = %s, want N+5", got)
+	}
+	if got := j.Lo(); got.Kind() != symbolic.KMin {
+		t.Errorf("join lo = %s, want a min", got)
+	}
+}
+
+func TestProvablyDisjointPaperExample(t *testing.T) {
+	// Fig. 1/§2: [0, N−1] vs [N, N+strlen−1] are disjoint for all N, strlen.
+	n := sym("N")
+	k := symbolic.Add(n, sym("strlen.m"))
+	a := Of(konst(0), symbolic.AddConst(n, -1))
+	b := Of(n, symbolic.AddConst(k, -1))
+	if !ProvablyDisjoint(a, b) {
+		t.Errorf("%s and %s must be provably disjoint", a, b)
+	}
+	// Fig. 3: [0, N+1] vs [1, N+2] are NOT provably disjoint.
+	c := Of(konst(0), symbolic.AddConst(n, 1))
+	d := Of(konst(1), symbolic.AddConst(n, 2))
+	if ProvablyDisjoint(c, d) {
+		t.Errorf("%s and %s overlap for N≥1: disjointness unsound", c, d)
+	}
+}
+
+func TestLeq(t *testing.T) {
+	if !Leq(Consts(2, 3), Consts(1, 5)) {
+		t.Error("[2,3] ⊑ [1,5]")
+	}
+	if Leq(Consts(1, 5), Consts(2, 3)) {
+		t.Error("[1,5] ⋢ [2,3]")
+	}
+	if !Leq(Empty(), Consts(1, 2)) {
+		t.Error("∅ is least")
+	}
+	if !Leq(Consts(1, 2), Full()) {
+		t.Error("full is greatest")
+	}
+	n := sym("N")
+	if !Leq(Of(konst(0), n), Of(konst(-1), symbolic.AddConst(n, 1))) {
+		t.Error("[0,N] ⊑ [−1,N+1]")
+	}
+}
+
+func TestWidenPaperCases(t *testing.T) {
+	n := sym("N")
+	same := Of(konst(0), n)
+	// Unchanged: stays.
+	if got := Widen(same, Of(konst(0), n)); !Equal(got, same) {
+		t.Errorf("widen unchanged = %s", got)
+	}
+	// Upper grew: hi → +∞.
+	got := Widen(Consts(0, 1), Consts(0, 2))
+	if !got.Lo().IsConst() || !got.Hi().IsPosInf() {
+		t.Errorf("widen hi-grow = %s", got)
+	}
+	// Lower shrank: lo → −∞.
+	got = Widen(Consts(0, 1), Consts(-1, 1))
+	if !got.Lo().IsNegInf() || got.Hi().IsPosInf() {
+		t.Errorf("widen lo-grow = %s", got)
+	}
+	// Both: full.
+	if got := Widen(Consts(0, 1), Consts(-1, 2)); !got.IsFull() {
+		t.Errorf("widen both = %s", got)
+	}
+	// From ∅ takes next.
+	if got := Widen(Empty(), Consts(1, 2)); !Equal(got, Consts(1, 2)) {
+		t.Errorf("widen from empty = %s", got)
+	}
+}
+
+func TestWidenTerminates(t *testing.T) {
+	// A bound can change at most twice under ∇ (finite → ∞): simulate a
+	// growing chain and count changes.
+	cur := Empty()
+	changes := 0
+	for i := int64(0); i < 100; i++ {
+		next := Widen(cur, Consts(-i, i))
+		if !Equal(next, cur) {
+			changes++
+		}
+		cur = next
+	}
+	if changes > 3 {
+		t.Errorf("widening chain changed %d times, want ≤ 3 (§3.8)", changes)
+	}
+	if !cur.IsFull() {
+		t.Errorf("widening limit = %s, want full", cur)
+	}
+}
+
+func TestNarrowRefinesInfinities(t *testing.T) {
+	n := sym("N")
+	cur := Of(konst(0), symbolic.PosInf())
+	next := Of(konst(0), symbolic.AddConst(n, -1))
+	got := Narrow(cur, next)
+	if !Equal(got, next) {
+		t.Errorf("narrow = %s, want [0, N−1]", got)
+	}
+	// Finite bounds are kept even if next differs.
+	got = Narrow(Consts(0, 5), Consts(1, 4))
+	if !Equal(got, Consts(0, 5)) {
+		t.Errorf("narrow of finite = %s, want unchanged", got)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	n := sym("N")
+	a := Of(konst(0), symbolic.AddConst(n, -1))
+	b := Consts(1, 1)
+	got := Add(a, b)
+	if !Equal(got, Of(konst(1), n)) {
+		t.Errorf("[0,N−1]+[1,1] = %s", got)
+	}
+	got = Sub(a, b)
+	if !Equal(got, Of(konst(-1), symbolic.AddConst(n, -2))) {
+		t.Errorf("[0,N−1]−[1,1] = %s", got)
+	}
+	// Infinity guards.
+	got = Add(Of(konst(0), symbolic.PosInf()), Consts(1, 1))
+	if got.IsEmpty() || !got.Hi().IsPosInf() || !symbolic.Equal(got.Lo(), konst(1)) {
+		t.Errorf("[0,+∞]+[1,1] = %s", got)
+	}
+	if got := Add(Full(), Full()); !got.IsFull() {
+		t.Errorf("full+full = %s", got)
+	}
+}
+
+func TestAddConstNeg(t *testing.T) {
+	n := sym("N")
+	r := Of(konst(2), n).AddConst(3)
+	if !Equal(r, Of(konst(5), symbolic.AddConst(n, 3))) {
+		t.Errorf("shift = %s", r)
+	}
+	neg := Consts(1, 4).Neg()
+	if !Equal(neg, Consts(-4, -1)) {
+		t.Errorf("neg = %s", neg)
+	}
+}
+
+func TestMulDivRem(t *testing.T) {
+	if got := Consts(2, 3).MulConst(4); !Equal(got, Consts(8, 12)) {
+		t.Errorf("[2,3]*4 = %s", got)
+	}
+	if got := Consts(2, 3).MulConst(-1); !Equal(got, Consts(-3, -2)) {
+		t.Errorf("[2,3]*−1 = %s", got)
+	}
+	if got := Mul(Consts(2, 3), ConstPoint(5)); !Equal(got, Consts(10, 15)) {
+		t.Errorf("mul const point = %s", got)
+	}
+	n := sym("N")
+	nn := Of(konst(0), n)
+	if got := Mul(nn, Consts(2, 4)); got.IsEmpty() {
+		t.Errorf("nonneg mul empty")
+	}
+	// Unknown signs degrade to full.
+	if got := Mul(Of(symbolic.Neg(n), n), Of(symbolic.Neg(n), n)); !got.IsFull() {
+		t.Errorf("unknown-sign mul = %s, want full", got)
+	}
+	if got := Div(Consts(10, 21), ConstPoint(2)); !Equal(got, Consts(5, 10)) {
+		t.Errorf("div = %s", got)
+	}
+	if got := Rem(Consts(0, 100), ConstPoint(8)); !Equal(got, Consts(0, 7)) {
+		t.Errorf("rem = %s", got)
+	}
+	if got := Rem(Consts(-5, 100), ConstPoint(8)); !Equal(got, Consts(-7, 7)) {
+		t.Errorf("rem mixed sign = %s", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !Consts(1, 5).Contains(3) || Consts(1, 5).Contains(6) {
+		t.Error("Contains on consts")
+	}
+	n := sym("N")
+	if Of(konst(0), n).Contains(-1) {
+		t.Error("[0,N] cannot contain −1... wait, it cannot be *proven* to contain −1")
+	}
+	if !Of(symbolic.Neg(n), symbolic.PosInf()).Contains(0) == false {
+		// [−N, +∞] provably contains 0 only if N ≥ 0 — unknown, so false.
+		t.Log("contains with unknown-sign bound correctly unproven")
+	}
+}
+
+func TestClampBudget(t *testing.T) {
+	// Build an interval whose bounds exceed a small budget.
+	e := sym("a")
+	for i := 0; i < 10; i++ {
+		e = symbolic.Add(e, symbolic.Mul(sym(string(rune('b'+i))), sym(string(rune('p'+i)))))
+	}
+	r := Of(symbolic.Neg(e), e)
+	c := r.Clamp(4)
+	if !c.Lo().IsNegInf() || !c.Hi().IsPosInf() {
+		t.Errorf("clamp = %s, want full degradation", c)
+	}
+	small := Consts(1, 2)
+	if got := small.Clamp(4); !Equal(got, small) {
+		t.Errorf("clamp of small = %s", got)
+	}
+}
+
+// Property: join is an upper bound and meet is exact on random constant
+// intervals (where everything is decidable).
+func TestLatticeLawsOnConsts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ri := func() Interval {
+		a := int64(r.Intn(41) - 20)
+		b := a + int64(r.Intn(10))
+		if r.Intn(8) == 0 {
+			return Empty()
+		}
+		return Consts(a, b)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := ri(), ri(), ri()
+		j := Join(a, b)
+		if !Leq(a, j) || !Leq(b, j) {
+			t.Fatalf("join not an upper bound: %s ⊔ %s = %s", a, b, j)
+		}
+		if !Equal(Join(a, b), Join(b, a)) {
+			t.Fatalf("join not commutative")
+		}
+		if !Equal(Join(Join(a, b), c), Join(a, Join(b, c))) {
+			t.Fatalf("join not associative on consts")
+		}
+		if !Equal(Join(a, a), a) {
+			t.Fatalf("join not idempotent")
+		}
+		m := Meet(a, b)
+		if !Leq(m, a) || !Leq(m, b) {
+			t.Fatalf("meet not a lower bound: %s ⊓ %s = %s", a, b, m)
+		}
+		if !Equal(Meet(a, b), Meet(b, a)) {
+			t.Fatalf("meet not commutative")
+		}
+		// Widening is an upper bound of both arguments.
+		w := Widen(a, b)
+		if !Leq(a, w) || !Leq(b, w) {
+			t.Fatalf("widen not an upper bound: %s ∇ %s = %s", a, b, w)
+		}
+	}
+}
+
+// Property: ProvablyDisjoint is sound under random valuations for symbolic
+// intervals built from a shared symbol.
+func TestProvablyDisjointSound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := sym("N")
+	for i := 0; i < 500; i++ {
+		c1 := int64(r.Intn(3))
+		c2 := int64(r.Intn(3))
+		d1 := int64(r.Intn(9) - 4)
+		d2 := int64(r.Intn(9) - 4)
+		w1 := int64(r.Intn(6))
+		w2 := int64(r.Intn(6))
+		a := Of(symbolic.AddConst(symbolic.Mul(konst(c1), n), d1),
+			symbolic.AddConst(symbolic.Mul(konst(c1), n), d1+w1))
+		b := Of(symbolic.AddConst(symbolic.Mul(konst(c2), n), d2),
+			symbolic.AddConst(symbolic.Mul(konst(c2), n), d2+w2))
+		if !ProvablyDisjoint(a, b) {
+			continue
+		}
+		for trial := 0; trial < 30; trial++ {
+			env := map[string]int64{"N": int64(r.Intn(21) - 10)}
+			alo, ok1 := a.Lo().Eval(env)
+			ahi, ok2 := a.Hi().Eval(env)
+			blo, ok3 := b.Lo().Eval(env)
+			bhi, ok4 := b.Hi().Eval(env)
+			if !(ok1 && ok2 && ok3 && ok4) {
+				continue
+			}
+			if alo <= bhi && blo <= ahi {
+				t.Fatalf("disjointness unsound: %s vs %s under %v", a, b, env)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package ir
+
+// Builder provides a convenient API for constructing IR, used by the MiniC
+// frontend, the synthetic benchmark generator, the examples and the tests.
+// It appends instructions to a current block and auto-names results.
+type Builder struct {
+	F *Func
+	B *Block
+}
+
+// NewBuilder returns a builder positioned at no block of f.
+func NewBuilder(f *Func) *Builder { return &Builder{F: f} }
+
+// Block creates a new basic block in the builder's function.
+func (bd *Builder) Block(name string) *Block {
+	b := &Block{Name: uniqueBlockName(bd.F, name), Func: bd.F}
+	bd.F.Blocks = append(bd.F.Blocks, b)
+	return b
+}
+
+func uniqueBlockName(f *Func, name string) string {
+	if name == "" {
+		name = "b"
+	}
+	taken := map[string]bool{}
+	for _, b := range f.Blocks {
+		taken[b.Name] = true
+	}
+	if !taken[name] {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := name + "." + itoa(i)
+		if !taken[cand] {
+			return cand
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+// SetBlock moves the insertion point to b.
+func (bd *Builder) SetBlock(b *Block) { bd.B = b }
+
+// emit appends in to the current block and returns its result value.
+func (bd *Builder) emit(in *Instr) *Value {
+	if bd.B == nil {
+		panic("ir: builder has no current block")
+	}
+	if t := bd.B.Term(); t != nil {
+		panic("ir: appending to terminated block " + bd.B.Name)
+	}
+	in.Block = bd.B
+	bd.B.Instrs = append(bd.B.Instrs, in)
+	return in.Res
+}
+
+func (bd *Builder) res(name string, t Type, in *Instr) *Value {
+	v := bd.F.newValue(name, t, VInstr)
+	v.Def = in
+	in.Res = v
+	return v
+}
+
+// Int returns the interned integer literal c.
+func (bd *Builder) Int(c int64) *Value { return bd.F.Mod.IntConst(c) }
+
+// Null returns the null pointer literal.
+func (bd *Builder) Null() *Value { return bd.F.Mod.Null() }
+
+// Copy emits res = copy a.
+func (bd *Builder) Copy(a *Value, name string) *Value {
+	in := &Instr{Op: OpCopy, Args: []*Value{a}}
+	bd.res(name, a.Typ, in)
+	return bd.emit(in)
+}
+
+func (bd *Builder) binop(op Op, a, b *Value, name string) *Value {
+	in := &Instr{Op: op, Args: []*Value{a, b}}
+	bd.res(name, TInt, in)
+	return bd.emit(in)
+}
+
+// Add emits integer addition.
+func (bd *Builder) Add(a, b *Value, name string) *Value { return bd.binop(OpAdd, a, b, name) }
+
+// Sub emits integer subtraction.
+func (bd *Builder) Sub(a, b *Value, name string) *Value { return bd.binop(OpSub, a, b, name) }
+
+// Mul emits integer multiplication.
+func (bd *Builder) Mul(a, b *Value, name string) *Value { return bd.binop(OpMul, a, b, name) }
+
+// Div emits integer division.
+func (bd *Builder) Div(a, b *Value, name string) *Value { return bd.binop(OpDiv, a, b, name) }
+
+// Rem emits integer remainder.
+func (bd *Builder) Rem(a, b *Value, name string) *Value { return bd.binop(OpRem, a, b, name) }
+
+// Cmp emits res = cmp <pred> a, b.
+func (bd *Builder) Cmp(p Pred, a, b *Value, name string) *Value {
+	in := &Instr{Op: OpCmp, Pred: p, Args: []*Value{a, b}}
+	bd.res(name, TBool, in)
+	return bd.emit(in)
+}
+
+// Phi emits an (initially empty) φ-instruction; complete it with
+// AddIncoming before verification.
+func (bd *Builder) Phi(t Type, name string) *Instr {
+	in := &Instr{Op: OpPhi}
+	bd.res(name, t, in)
+	bd.emit(in)
+	return in
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a φ.
+func AddIncoming(phi *Instr, v *Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.In = append(phi.In, from)
+}
+
+// Pi emits res = pi a <pred> b: a copy of a on which "a pred b" is known to
+// hold (the e-SSA bound intersection of Fig. 6).
+func (bd *Builder) Pi(a *Value, p Pred, bound *Value, name string) *Value {
+	in := &Instr{Op: OpPi, Pred: p, Args: []*Value{a, bound}}
+	bd.res(name, a.Typ, in)
+	return bd.emit(in)
+}
+
+// Alloc emits res = alloc <kind> size. Each syntactic Alloc is one
+// allocation site of the GR analysis.
+func (bd *Builder) Alloc(kind AllocKind, size *Value, name string) *Value {
+	in := &Instr{Op: OpAlloc, AKind: kind, Args: []*Value{size}}
+	bd.res(name, TPtr, in)
+	return bd.emit(in)
+}
+
+// Malloc emits a heap allocation.
+func (bd *Builder) Malloc(size *Value, name string) *Value {
+	return bd.Alloc(AllocHeap, size, name)
+}
+
+// Alloca emits a stack allocation of constant size.
+func (bd *Builder) Alloca(size int64, name string) *Value {
+	return bd.Alloc(AllocStack, bd.Int(size), name)
+}
+
+// Free emits res = free p.
+func (bd *Builder) Free(p *Value, name string) *Value {
+	in := &Instr{Op: OpFree, Args: []*Value{p}}
+	bd.res(name, TPtr, in)
+	return bd.emit(in)
+}
+
+// PtrAdd emits res = ptradd p, i.
+func (bd *Builder) PtrAdd(p, i *Value, name string) *Value {
+	in := &Instr{Op: OpPtrAdd, Args: []*Value{p, i}}
+	bd.res(name, TPtr, in)
+	return bd.emit(in)
+}
+
+// PtrAddConst shifts p by a constant offset.
+func (bd *Builder) PtrAddConst(p *Value, c int64, name string) *Value {
+	return bd.PtrAdd(p, bd.Int(c), name)
+}
+
+// Load emits res = load.<t> p.
+func (bd *Builder) Load(t Type, p *Value, name string) *Value {
+	in := &Instr{Op: OpLoad, Args: []*Value{p}}
+	bd.res(name, t, in)
+	return bd.emit(in)
+}
+
+// Store emits store p, v.
+func (bd *Builder) Store(p, v *Value) {
+	bd.emit(&Instr{Op: OpStore, Args: []*Value{p, v}})
+}
+
+// Call emits a direct call. The result is nil for void callees.
+func (bd *Builder) Call(callee *Func, name string, args ...*Value) *Value {
+	in := &Instr{Op: OpCall, Callee: callee, Args: args}
+	if callee.RetType != TVoid {
+		bd.res(name, callee.RetType, in)
+	}
+	return bd.emit(in)
+}
+
+// Extern emits a call to an unknown library function ("strlen", "atoi", …).
+// Its result joins the symbolic kernel of the range analysis.
+func (bd *Builder) Extern(sym string, ret Type, name string, args ...*Value) *Value {
+	in := &Instr{Op: OpExtern, Sym: sym, Args: args}
+	if ret != TVoid {
+		bd.res(name, ret, in)
+	}
+	return bd.emit(in)
+}
+
+// Br emits an unconditional branch.
+func (bd *Builder) Br(target *Block) {
+	bd.emit(&Instr{Op: OpBr, Targets: []*Block{target}})
+}
+
+// CondBr emits a two-way conditional branch.
+func (bd *Builder) CondBr(cond *Value, then, els *Block) {
+	bd.emit(&Instr{Op: OpCondBr, Args: []*Value{cond}, Targets: []*Block{then, els}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (bd *Builder) Ret(v *Value) {
+	in := &Instr{Op: OpRet}
+	if v != nil {
+		in.Args = []*Value{v}
+	}
+	bd.emit(in)
+}

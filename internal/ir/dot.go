@@ -1,0 +1,53 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the control-flow graph of f in Graphviz dot syntax, one
+// record-shaped node per basic block with its instructions. Useful for
+// inspecting the e-SSA transformation and the loop structure of generated
+// benchmarks:
+//
+//	go run ./cmd/rbaa -dump dot prog.mc | dot -Tsvg > cfg.svg
+func WriteDot(w io.Writer, f *Func) {
+	fmt.Fprintf(w, "digraph %q {\n", f.Name)
+	fmt.Fprintln(w, "  node [shape=record, fontname=\"monospace\", fontsize=10];")
+	for _, b := range f.Blocks {
+		var lines []string
+		lines = append(lines, b.Name+":")
+		for _, in := range b.Instrs {
+			lines = append(lines, "  "+dotEscape(in.String()))
+		}
+		fmt.Fprintf(w, "  %q [label=\"{%s}\"];\n", b.Name, strings.Join(lines, "\\l")+"\\l")
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		switch t.Op {
+		case OpBr:
+			fmt.Fprintf(w, "  %q -> %q;\n", b.Name, t.Targets[0].Name)
+		case OpCondBr:
+			fmt.Fprintf(w, "  %q -> %q [label=\"T\"];\n", b.Name, t.Targets[0].Name)
+			fmt.Fprintf(w, "  %q -> %q [label=\"F\"];\n", b.Name, t.Targets[1].Name)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+func dotEscape(s string) string {
+	r := strings.NewReplacer(
+		"\\", "\\\\",
+		"\"", "\\\"",
+		"{", "\\{",
+		"}", "\\}",
+		"<", "\\<",
+		">", "\\>",
+		"|", "\\|",
+	)
+	return r.Replace(s)
+}

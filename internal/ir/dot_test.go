@@ -1,0 +1,32 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progs"
+)
+
+func TestWriteDot(t *testing.T) {
+	m := progs.Accelerate()
+	var b strings.Builder
+	ir.WriteDot(&b, m.Func("accelerate"))
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"accelerate\"",
+		"\"loop\" -> \"body\" [label=\"T\"]",
+		"\"loop\" -> \"exit\" [label=\"F\"]",
+		"\"body\" -> \"loop\";",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Instruction text must be escaped (no raw record separators).
+	if strings.Contains(out, "label=\"{") && strings.Contains(out, "|") &&
+		!strings.Contains(out, "\\|") {
+		t.Error("unescaped '|' in record label")
+	}
+}

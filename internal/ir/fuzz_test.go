@@ -1,0 +1,31 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progs"
+)
+
+// FuzzParse checks the IR parser never panics and that anything it accepts
+// passes structural verification or fails it gracefully.
+func FuzzParse(f *testing.F) {
+	f.Add(progs.MessageBuffer().String())
+	f.Add(progs.Fig10().String())
+	f.Add("module m\nfunc f() void {\nentry:\n  ret\n}\n")
+	f.Add("module m\nglobal g 4\n")
+	f.Add("module\n")
+	f.Add("func f() void {\n")
+	f.Add("module m\nfunc f(p ptr) int {\nentry:\n  %x = load.int %p\n  ret %x\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted modules must be printable and re-parseable.
+		text := m.String()
+		if _, err := ir.Parse(text); err != nil {
+			t.Fatalf("accepted module does not re-parse: %v\n%s", err, text)
+		}
+	})
+}

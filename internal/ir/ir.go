@@ -1,0 +1,573 @@
+// Package ir defines the intermediate representation the analyses operate
+// on. It is the core language of Fig. 6 of "Symbolic Range Analysis of
+// Pointers" (CGO'16) — malloc/free, pointer arithmetic, bound intersections
+// (π-nodes), loads, stores, φ-functions and branches — extended with the
+// integer arithmetic, comparisons and calls any real program needs.
+//
+// Programs are in SSA form: every Value has exactly one definition, and
+// φ-functions merge values at control-flow joins. The e-SSA flavour the
+// paper requires (live-range splitting after conditionals, à la Bodik's
+// ABCD) is produced by package ssa, which inserts OpPi instructions.
+//
+// Pointer offsets are in abstract *units*: `ptradd p, i` produces a pointer
+// i units past p, and loads/stores touch exactly one unit. This matches the
+// byte-array view the paper's examples use (Fig. 1, Fig. 2).
+package ir
+
+import "fmt"
+
+// Type is the minimal type universe of the IR.
+type Type uint8
+
+// Types.
+const (
+	TVoid Type = iota
+	TInt       // machine integer
+	TBool      // comparison result
+	TPtr       // pointer (unit-granular)
+)
+
+// String renders the type name.
+func (t Type) String() string {
+	switch t {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TBool:
+		return "bool"
+	case TPtr:
+		return "ptr"
+	}
+	return "?"
+}
+
+// Pred is a comparison predicate.
+type Pred uint8
+
+// Predicates.
+const (
+	PEq Pred = iota
+	PNe
+	PLt
+	PLe
+	PGt
+	PGe
+)
+
+// String renders the predicate mnemonic.
+func (p Pred) String() string {
+	switch p {
+	case PEq:
+		return "eq"
+	case PNe:
+		return "ne"
+	case PLt:
+		return "lt"
+	case PLe:
+		return "le"
+	case PGt:
+		return "gt"
+	case PGe:
+		return "ge"
+	}
+	return "?"
+}
+
+// Negate returns the predicate that holds exactly when p does not.
+func (p Pred) Negate() Pred {
+	switch p {
+	case PEq:
+		return PNe
+	case PNe:
+		return PEq
+	case PLt:
+		return PGe
+	case PLe:
+		return PGt
+	case PGt:
+		return PLe
+	case PGe:
+		return PLt
+	}
+	return p
+}
+
+// Swap returns the predicate with the operand order reversed
+// (a p b ⇔ b p.Swap() a).
+func (p Pred) Swap() Pred {
+	switch p {
+	case PLt:
+		return PGt
+	case PLe:
+		return PGe
+	case PGt:
+		return PLt
+	case PGe:
+		return PLe
+	}
+	return p
+}
+
+// ParsePred parses a predicate mnemonic.
+func ParsePred(s string) (Pred, bool) {
+	switch s {
+	case "eq":
+		return PEq, true
+	case "ne":
+		return PNe, true
+	case "lt":
+		return PLt, true
+	case "le":
+		return PLe, true
+	case "gt":
+		return PGt, true
+	case "ge":
+		return PGe, true
+	}
+	return 0, false
+}
+
+// ValueKind discriminates how a Value is defined.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	VConst  ValueKind = iota // integer or pointer literal
+	VParam                   // function parameter
+	VInstr                   // instruction result
+	VGlobal                  // address of a global allocation
+)
+
+// Value is an SSA value: a constant, a parameter, a global address, or the
+// result of an instruction.
+type Value struct {
+	ID    int    // unique within the function (constants/globals: within module)
+	Name  string // printable name; unique within the function
+	Typ   Type
+	Kind  ValueKind
+	Const int64   // VConst payload (for TPtr consts, 0 is the null pointer)
+	Def   *Instr  // VInstr: defining instruction
+	Func  *Func   // VParam/VInstr: owning function
+	Gbl   *Global // VGlobal payload
+	PIdx  int     // VParam: parameter position
+}
+
+// String renders the value reference as it appears in operand position.
+func (v *Value) String() string {
+	if v == nil {
+		return "<nil>"
+	}
+	switch v.Kind {
+	case VConst:
+		if v.Typ == TPtr {
+			if v.Const == 0 {
+				return "null"
+			}
+			return fmt.Sprintf("ptr:%d", v.Const)
+		}
+		return fmt.Sprint(v.Const)
+	case VGlobal:
+		return "@" + v.Gbl.Name
+	default:
+		return "%" + v.Name
+	}
+}
+
+// IsConst reports whether v is a literal, returning its payload.
+func (v *Value) IsConst() (int64, bool) {
+	if v.Kind == VConst {
+		return v.Const, true
+	}
+	return 0, false
+}
+
+// Global is a module-level allocation (array/struct storage). Its address is
+// available in every function as a VGlobal value.
+type Global struct {
+	Name string
+	Size int64 // units; 0 means unknown
+	Addr *Value
+}
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes.
+const (
+	OpCopy   Op = iota // res = copy a
+	OpAdd              // res = add a, b
+	OpSub              // res = sub a, b
+	OpMul              // res = mul a, b
+	OpDiv              // res = div a, b
+	OpRem              // res = rem a, b
+	OpCmp              // res = cmp <pred> a, b
+	OpPhi              // res = phi [a, blkA], [b, blkB], ...
+	OpPi               // res = pi a <pred> b   (e-SSA bound intersection)
+	OpAlloc            // res = alloc <heap|stack> size
+	OpFree             // res = free a          (copies a; res no longer valid)
+	OpPtrAdd           // res = ptradd p, i     (p shifted by i units)
+	OpLoad             // res = load.<type> p
+	OpStore            // store p, v
+	OpCall             // res = call f(args...)
+	OpExtern           // res = extern "name"(args...)  (library/unknown call)
+	OpBr               // br target
+	OpCondBr           // condbr c, then, else
+	OpRet              // ret [v]
+)
+
+// String renders the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpCopy:
+		return "copy"
+	case OpAdd:
+		return "add"
+	case OpSub:
+		return "sub"
+	case OpMul:
+		return "mul"
+	case OpDiv:
+		return "div"
+	case OpRem:
+		return "rem"
+	case OpCmp:
+		return "cmp"
+	case OpPhi:
+		return "phi"
+	case OpPi:
+		return "pi"
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	case OpPtrAdd:
+		return "ptradd"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpCall:
+		return "call"
+	case OpExtern:
+		return "extern"
+	case OpBr:
+		return "br"
+	case OpCondBr:
+		return "condbr"
+	case OpRet:
+		return "ret"
+	}
+	return "?"
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
+
+// AllocKind distinguishes allocation storage classes (basicaa cares).
+type AllocKind uint8
+
+// Allocation kinds.
+const (
+	AllocHeap  AllocKind = iota // malloc
+	AllocStack                  // alloca (function-local storage)
+)
+
+// String renders the allocation kind.
+func (k AllocKind) String() string {
+	if k == AllocStack {
+		return "stack"
+	}
+	return "heap"
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op      Op
+	Res     *Value   // result, nil for store/br/condbr/ret/void call
+	Args    []*Value // operands (phi: incoming values)
+	In      []*Block // phi: incoming blocks, parallel to Args
+	Targets []*Block // br: {t}; condbr: {then, else}
+	Pred    Pred     // cmp, pi
+	Callee  *Func    // call
+	Sym     string   // extern symbol name
+	AKind   AllocKind
+	Block   *Block
+}
+
+// Arg returns the i-th operand.
+func (in *Instr) Arg(i int) *Value { return in.Args[i] }
+
+// Block is a basic block: φ-instructions first, exactly one terminator last.
+type Block struct {
+	Name   string
+	Func   *Func
+	Instrs []*Instr
+}
+
+// Term returns the block terminator, or nil if the block is still open.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the successor blocks, derived from the terminator.
+func (b *Block) Succs() []*Block {
+	t := b.Term()
+	if t == nil {
+		return nil
+	}
+	return t.Targets
+}
+
+// Phis returns the φ-instructions at the head of the block.
+func (b *Block) Phis() []*Instr {
+	n := 0
+	for n < len(b.Instrs) && b.Instrs[n].Op == OpPhi {
+		n++
+	}
+	return b.Instrs[:n]
+}
+
+// Body returns the non-φ instructions.
+func (b *Block) Body() []*Instr {
+	return b.Instrs[len(b.Phis()):]
+}
+
+// String renders the block label.
+func (b *Block) String() string { return b.Name }
+
+// Func is an IR function.
+type Func struct {
+	Name    string
+	Mod     *Module
+	Params  []*Value
+	RetType Type
+	Blocks  []*Block // Blocks[0] is the entry
+
+	nextID    int
+	nameCount map[string]int
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NumValues returns an upper bound on value IDs in f (for dense tables).
+func (f *Func) NumValues() int { return f.nextID }
+
+// newValue allocates a function-local value with a unique printable name.
+func (f *Func) newValue(name string, t Type, k ValueKind) *Value {
+	if f.nameCount == nil {
+		f.nameCount = map[string]int{}
+	}
+	if name == "" {
+		name = "v"
+	}
+	uniq := name
+	if n, clash := f.nameCount[name]; clash {
+		uniq = fmt.Sprintf("%s.%d", name, n)
+		f.nameCount[name] = n + 1
+	} else {
+		f.nameCount[name] = 1
+	}
+	v := &Value{ID: f.nextID, Name: uniq, Typ: t, Kind: k, Func: f}
+	f.nextID++
+	return v
+}
+
+// NewLocal mints a fresh instruction-result value owned by f. The caller is
+// responsible for attaching it as some instruction's Res and setting its Def
+// back-pointer; transformations (SSA construction, e-SSA) use this to
+// synthesize values outside the Builder.
+func (f *Func) NewLocal(name string, t Type) *Value {
+	return f.newValue(name, t, VInstr)
+}
+
+// Values iterates all values defined in f (params, then instruction results)
+// in a deterministic order.
+func (f *Func) Values() []*Value {
+	var out []*Value
+	out = append(out, f.Params...)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Res != nil {
+				out = append(out, in.Res)
+			}
+		}
+	}
+	return out
+}
+
+// Instrs iterates all instructions of f in block order.
+func (f *Func) Instrs() []*Instr {
+	var out []*Instr
+	for _, b := range f.Blocks {
+		out = append(out, b.Instrs...)
+	}
+	return out
+}
+
+// Preds computes the predecessor map of f's CFG.
+func (f *Func) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		preds[b] = nil
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// Module is a whole program: functions plus global allocations.
+type Module struct {
+	Name    string
+	Funcs   []*Func
+	Globals []*Global
+
+	byName map[string]*Func
+	consts map[constKey]*Value
+	nextID int
+}
+
+type constKey struct {
+	t Type
+	c int64
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:   name,
+		byName: map[string]*Func{},
+		consts: map[constKey]*Value{},
+	}
+}
+
+// Func looks a function up by name.
+func (m *Module) Func(name string) *Func { return m.byName[name] }
+
+// NewFunc creates a function with the given parameter names/types.
+func (m *Module) NewFunc(name string, ret Type, params ...ParamSpec) *Func {
+	if m.byName[name] != nil {
+		panic("ir: duplicate function " + name)
+	}
+	f := &Func{Name: name, Mod: m, RetType: ret}
+	for i, p := range params {
+		v := f.newValue(p.Name, p.Typ, VParam)
+		v.PIdx = i
+		f.Params = append(f.Params, v)
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.byName[name] = f
+	return f
+}
+
+// ParamSpec declares one formal parameter.
+type ParamSpec struct {
+	Name string
+	Typ  Type
+}
+
+// Param is shorthand for a ParamSpec.
+func Param(name string, t Type) ParamSpec { return ParamSpec{name, t} }
+
+// IntConst interns the integer literal c.
+func (m *Module) IntConst(c int64) *Value { return m.constVal(TInt, c) }
+
+// Null interns the null pointer literal.
+func (m *Module) Null() *Value { return m.constVal(TPtr, 0) }
+
+func (m *Module) constVal(t Type, c int64) *Value {
+	k := constKey{t, c}
+	if v := m.consts[k]; v != nil {
+		return v
+	}
+	v := &Value{ID: -1 - len(m.consts), Typ: t, Kind: VConst, Const: c}
+	m.consts[k] = v
+	return v
+}
+
+// NewGlobal declares a global allocation of the given size (units).
+func (m *Module) NewGlobal(name string, size int64) *Global {
+	g := &Global{Name: name, Size: size}
+	g.Addr = &Value{ID: -1000000 - len(m.Globals), Name: name, Typ: TPtr, Kind: VGlobal, Gbl: g}
+	m.Globals = append(m.Globals, g)
+	return g
+}
+
+// Site is an abstract memory allocation site: an alloc instruction or a
+// global. Site IDs index the MemLocs tuple of the GR analysis (§3.2).
+type Site struct {
+	ID     int
+	Instr  *Instr  // non-nil for alloc sites
+	Global *Global // non-nil for globals
+}
+
+// Name returns a printable site name ("loc<i>").
+func (s Site) String() string {
+	return fmt.Sprintf("loc%d", s.ID)
+}
+
+// AllocSites enumerates the allocation sites of the module in deterministic
+// order: globals first, then alloc instructions in function/block order.
+func (m *Module) AllocSites() []Site {
+	var sites []Site
+	for _, g := range m.Globals {
+		sites = append(sites, Site{ID: len(sites), Global: g})
+	}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == OpAlloc {
+					sites = append(sites, Site{ID: len(sites), Instr: in})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// Stats summarizes module size, used by the scalability experiment (Fig. 15).
+type Stats struct {
+	Funcs    int
+	Blocks   int
+	Instrs   int
+	Pointers int // pointer-typed values (the paper's "#Pointers")
+}
+
+// Stats computes module statistics.
+func (m *Module) Stats() Stats {
+	var s Stats
+	s.Funcs = len(m.Funcs)
+	for _, f := range m.Funcs {
+		s.Blocks += len(f.Blocks)
+		for _, v := range f.Params {
+			if v.Typ == TPtr {
+				s.Pointers++
+			}
+		}
+		for _, b := range f.Blocks {
+			s.Instrs += len(b.Instrs)
+			for _, in := range b.Instrs {
+				if in.Res != nil && in.Res.Typ == TPtr {
+					s.Pointers++
+				}
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,244 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildLoop constructs a simple counting loop used by several tests.
+func buildLoop(t *testing.T) (*Module, *Func) {
+	t.Helper()
+	m := NewModule("t")
+	f := m.NewFunc("loop", TVoid, Param("n", TInt))
+	b := NewBuilder(f)
+	entry := b.Block("entry")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	b.SetBlock(entry)
+	buf := b.Malloc(f.Params[0], "buf")
+	b.Br(head)
+
+	b.SetBlock(head)
+	i := b.Phi(TInt, "i")
+	c := b.Cmp(PLt, i.Res, f.Params[0], "c")
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	p := b.PtrAdd(buf, i.Res, "p")
+	b.Store(p, b.Int(0))
+	inext := b.Add(i.Res, b.Int(1), "inext")
+	b.Br(head)
+	AddIncoming(i, b.Int(0), entry)
+	AddIncoming(i, inext, body)
+
+	b.SetBlock(exit)
+	b.Ret(nil)
+	return m, f
+}
+
+func TestBuilderProducesVerifiableIR(t *testing.T) {
+	m, _ := buildLoop(t)
+	if err := Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", TVoid)
+	b := NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	b.Copy(b.Int(1), "x")
+	if err := Verify(m); err == nil {
+		t.Fatal("verify should reject unterminated block")
+	}
+}
+
+func TestVerifyCatchesPhiPredMismatch(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", TVoid)
+	b := NewBuilder(f)
+	entry := b.Block("entry")
+	next := b.Block("next")
+	b.SetBlock(entry)
+	b.Br(next)
+	b.SetBlock(next)
+	phi := b.Phi(TInt, "x")
+	AddIncoming(phi, b.Int(1), entry)
+	AddIncoming(phi, b.Int(2), next) // next is not a predecessor of itself
+	b.Ret(nil)
+	if err := Verify(m); err == nil {
+		t.Fatal("verify should reject φ with non-predecessor incoming block")
+	}
+}
+
+func TestVerifyCatchesTypeErrors(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", TVoid, Param("p", TPtr))
+	b := NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	in := &Instr{Op: OpAdd, Args: []*Value{f.Params[0], b.Int(1)}}
+	v := f.NewLocal("bad", TInt)
+	v.Def = in
+	in.Res = v
+	in.Block = entry
+	entry.Instrs = append(entry.Instrs, in)
+	b.Ret(nil)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Fatalf("verify should reject add of ptr, got %v", err)
+	}
+}
+
+func TestPredNegateSwapInvolutions(t *testing.T) {
+	if err := quick.Check(func(b byte) bool {
+		p := Pred(b % 6)
+		return p.Negate().Negate() == p && p.Swap().Swap() == p
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Semantic check of Negate and Swap against concrete integers.
+	holds := func(p Pred, a, b int64) bool {
+		switch p {
+		case PEq:
+			return a == b
+		case PNe:
+			return a != b
+		case PLt:
+			return a < b
+		case PLe:
+			return a <= b
+		case PGt:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	if err := quick.Check(func(pb byte, a, b int8) bool {
+		p := Pred(pb % 6)
+		x, y := int64(a), int64(b)
+		return holds(p, x, y) == !holds(p.Negate(), x, y) &&
+			holds(p, x, y) == holds(p.Swap(), y, x)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstInterning(t *testing.T) {
+	m := NewModule("t")
+	if m.IntConst(7) != m.IntConst(7) {
+		t.Error("equal int consts should be interned")
+	}
+	if m.Null() != m.Null() {
+		t.Error("null should be interned")
+	}
+	if m.IntConst(0) == m.Null() {
+		t.Error("int 0 and null must differ")
+	}
+}
+
+func TestAllocSitesAndStats(t *testing.T) {
+	m, f := buildLoop(t)
+	g := m.NewGlobal("table", 64)
+	sites := m.AllocSites()
+	if len(sites) != 2 {
+		t.Fatalf("want 2 sites (global + malloc), got %d", len(sites))
+	}
+	if sites[0].Global != g || sites[1].Instr == nil {
+		t.Errorf("site ordering wrong: %+v", sites)
+	}
+	if sites[0].String() != "loc0" || sites[1].String() != "loc1" {
+		t.Errorf("site names: %s, %s", sites[0], sites[1])
+	}
+	st := m.Stats()
+	if st.Funcs != 1 || st.Blocks != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	// buf and p are the pointer-typed values.
+	if st.Pointers != 2 {
+		t.Errorf("pointers = %d, want 2", st.Pointers)
+	}
+	_ = f
+}
+
+func TestValueNamesUnique(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", TVoid)
+	b := NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	x1 := b.Copy(b.Int(1), "x")
+	x2 := b.Copy(b.Int(2), "x")
+	if x1.Name == x2.Name {
+		t.Errorf("duplicate names: %s vs %s", x1.Name, x2.Name)
+	}
+	b.Ret(nil)
+}
+
+func TestPrintRendersCoreForms(t *testing.T) {
+	m, _ := buildLoop(t)
+	s := m.String()
+	for _, want := range []string{
+		"func loop(n int) void {",
+		"%buf = alloc heap %n",
+		"%i = phi [0, entry], [%inext, body]",
+		"%c = cmp lt %i, %n",
+		"condbr %c, body, exit",
+		"%p = ptradd %buf, %i",
+		"store %p, 0",
+		"ret",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed module missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBlockPhisAndBody(t *testing.T) {
+	_, f := buildLoop(t)
+	head := f.Blocks[1]
+	if len(head.Phis()) != 1 {
+		t.Fatalf("head phis = %d", len(head.Phis()))
+	}
+	if len(head.Body()) != 2 {
+		t.Fatalf("head body = %d", len(head.Body()))
+	}
+	if head.Term().Op != OpCondBr {
+		t.Fatalf("head term = %v", head.Term().Op)
+	}
+	succs := head.Succs()
+	if len(succs) != 2 || succs[0].Name != "body" || succs[1].Name != "exit" {
+		t.Fatalf("succs = %v", succs)
+	}
+}
+
+func TestPredsMap(t *testing.T) {
+	_, f := buildLoop(t)
+	preds := f.Preds()
+	head := f.Blocks[1]
+	if len(preds[head]) != 2 {
+		t.Fatalf("head preds = %d, want 2", len(preds[head]))
+	}
+	if len(preds[f.Entry()]) != 0 {
+		t.Fatalf("entry preds = %d, want 0", len(preds[f.Entry()]))
+	}
+}
+
+func TestBuilderPanicsOnTerminatedBlock(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("f", TVoid)
+	b := NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	b.Ret(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("appending past a terminator should panic")
+		}
+	}()
+	b.Copy(b.Int(1), "x")
+}

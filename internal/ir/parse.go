@@ -1,0 +1,531 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR format emitted by Print. The format round-trips:
+// Parse(module.String()) yields a structurally identical module. Forward
+// references (φ operands defined later in the function) are resolved in a
+// second pass; result types are inferred from opcodes, with copy/φ/π types
+// propagated to a fixpoint.
+func Parse(src string) (*Module, error) {
+	p := &irParser{}
+	lines := strings.Split(src, "\n")
+	var mod *Module
+	i := 0
+	for i < len(lines) {
+		line := strings.TrimSpace(lines[i])
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			i++
+		case strings.HasPrefix(line, "module "):
+			if mod != nil {
+				return nil, fmt.Errorf("line %d: duplicate module header", i+1)
+			}
+			mod = NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+			i++
+		case strings.HasPrefix(line, "global "):
+			if mod == nil {
+				return nil, fmt.Errorf("line %d: global before module header", i+1)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: global wants 'global name size'", i+1)
+			}
+			size, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad global size: %v", i+1, err)
+			}
+			mod.NewGlobal(fields[1], size)
+			i++
+		case strings.HasPrefix(line, "func "):
+			if mod == nil {
+				return nil, fmt.Errorf("line %d: func before module header", i+1)
+			}
+			end, err := p.parseFunc(mod, lines, i)
+			if err != nil {
+				return nil, err
+			}
+			i = end
+		default:
+			return nil, fmt.Errorf("line %d: unexpected %q", i+1, line)
+		}
+	}
+	if mod == nil {
+		return nil, fmt.Errorf("missing module header")
+	}
+	// Resolve deferred call targets.
+	for _, fix := range p.callFixups {
+		callee := mod.Func(fix.name)
+		if callee == nil {
+			return nil, fmt.Errorf("call to unknown function %q", fix.name)
+		}
+		fix.in.Callee = callee
+	}
+	// Infer remaining types.
+	p.inferTypes(mod)
+	return mod, nil
+}
+
+type callFixup struct {
+	in   *Instr
+	name string
+}
+
+type irParser struct {
+	callFixups []*callFixup
+}
+
+// pendingVal is a textual operand to resolve in pass two.
+type pendingOperand struct {
+	in   *Instr
+	idx  int
+	text string
+	line int
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "void":
+		return TVoid, nil
+	case "int":
+		return TInt, nil
+	case "bool":
+		return TBool, nil
+	case "ptr":
+		return TPtr, nil
+	}
+	return TVoid, fmt.Errorf("unknown type %q", s)
+}
+
+func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error) {
+	header := strings.TrimSpace(lines[start])
+	open := strings.Index(header, "(")
+	closeIdx := strings.LastIndex(header, ")")
+	if open < 0 || closeIdx < open || !strings.HasSuffix(header, "{") {
+		return 0, fmt.Errorf("line %d: malformed func header", start+1)
+	}
+	name := strings.TrimSpace(header[len("func "):open])
+	var params []ParamSpec
+	paramText := strings.TrimSpace(header[open+1 : closeIdx])
+	if paramText != "" {
+		for _, part := range strings.Split(paramText, ",") {
+			fields := strings.Fields(strings.TrimSpace(part))
+			if len(fields) != 2 {
+				return 0, fmt.Errorf("line %d: malformed parameter %q", start+1, part)
+			}
+			t, err := parseType(fields[1])
+			if err != nil {
+				return 0, fmt.Errorf("line %d: %v", start+1, err)
+			}
+			params = append(params, Param(fields[0], t))
+		}
+	}
+	retText := strings.TrimSpace(strings.TrimSuffix(header[closeIdx+1:], "{"))
+	ret, err := parseType(retText)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: %v", start+1, err)
+	}
+	f := mod.NewFunc(name, ret, params...)
+
+	// First pass: split into labeled blocks of raw instruction lines.
+	type rawBlock struct {
+		name  string
+		insts []string
+		lns   []int
+	}
+	var raws []*rawBlock
+	i := start + 1
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "}" {
+			i++
+			break
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			raws = append(raws, &rawBlock{name: strings.TrimSuffix(line, ":")})
+			continue
+		}
+		if len(raws) == 0 {
+			return 0, fmt.Errorf("line %d: instruction before any block label", i+1)
+		}
+		raws[len(raws)-1].insts = append(raws[len(raws)-1].insts, line)
+		raws[len(raws)-1].lns = append(raws[len(raws)-1].lns, i+1)
+	}
+
+	blocks := map[string]*Block{}
+	for _, rb := range raws {
+		if blocks[rb.name] != nil {
+			return 0, fmt.Errorf("func %s: duplicate block %q", name, rb.name)
+		}
+		b := &Block{Name: rb.name, Func: f}
+		blocks[rb.name] = b
+		f.Blocks = append(f.Blocks, b)
+	}
+
+	// Second pass: parse instructions, deferring operand resolution.
+	values := map[string]*Value{}
+	for _, prm := range f.Params {
+		values[prm.Name] = prm
+	}
+	var pendings []pendingOperand
+	var phiIncomings []struct {
+		phi  *Instr
+		text string
+		blk  string
+		line int
+	}
+	for _, rb := range raws {
+		b := blocks[rb.name]
+		for k, text := range rb.insts {
+			ln := rb.lns[k]
+			in, res, err := p.parseInstr(mod, f, text, ln, blocks, values,
+				&pendings, &phiIncomings)
+			if err != nil {
+				return 0, err
+			}
+			in.Block = b
+			b.Instrs = append(b.Instrs, in)
+			if res != "" {
+				if values[res] != nil {
+					return 0, fmt.Errorf("line %d: value %%%s redefined", ln, res)
+				}
+				values[res] = in.Res
+			}
+		}
+	}
+	// Resolve deferred operands.
+	resolve := func(text string, ln int) (*Value, error) {
+		return p.operand(mod, text, values, ln)
+	}
+	for _, pd := range pendings {
+		v, err := resolve(pd.text, pd.line)
+		if err != nil {
+			return 0, err
+		}
+		pd.in.Args[pd.idx] = v
+	}
+	for _, pi := range phiIncomings {
+		v, err := resolve(pi.text, pi.line)
+		if err != nil {
+			return 0, err
+		}
+		blk := blocks[pi.blk]
+		if blk == nil {
+			return 0, fmt.Errorf("line %d: φ names unknown block %q", pi.line, pi.blk)
+		}
+		pi.phi.Args = append(pi.phi.Args, v)
+		pi.phi.In = append(pi.phi.In, blk)
+	}
+	return i, nil
+}
+
+// operand parses a value reference: %name, @global, null, ptr:N or an
+// integer literal.
+func (p *irParser) operand(mod *Module, text string, values map[string]*Value, ln int) (*Value, error) {
+	text = strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(text, "%"):
+		v := values[text[1:]]
+		if v == nil {
+			return nil, fmt.Errorf("line %d: unknown value %s", ln, text)
+		}
+		return v, nil
+	case strings.HasPrefix(text, "@"):
+		for _, g := range mod.Globals {
+			if g.Name == text[1:] {
+				return g.Addr, nil
+			}
+		}
+		return nil, fmt.Errorf("line %d: unknown global %s", ln, text)
+	case text == "null":
+		return mod.Null(), nil
+	case strings.HasPrefix(text, "ptr:"):
+		c, err := strconv.ParseInt(text[4:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad pointer literal %q", ln, text)
+		}
+		return mod.constVal(TPtr, c), nil
+	default:
+		c, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad operand %q", ln, text)
+		}
+		return mod.IntConst(c), nil
+	}
+}
+
+// parseInstr parses one instruction line. Operands that may be forward
+// references are deferred via pendings; immediate resolution is attempted
+// first and only %-refs that fail are deferred.
+func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
+	blocks map[string]*Block, values map[string]*Value,
+	pendings *[]pendingOperand,
+	phiIncomings *[]struct {
+		phi  *Instr
+		text string
+		blk  string
+		line int
+	}) (*Instr, string, error) {
+
+	resName := ""
+	body := text
+	if eq := strings.Index(text, " = "); eq > 0 && strings.HasPrefix(text, "%") {
+		resName = strings.TrimSpace(text[1:eq])
+		body = strings.TrimSpace(text[eq+3:])
+	}
+	mnemonic := body
+	rest := ""
+	if sp := strings.IndexByte(body, ' '); sp > 0 {
+		mnemonic = body[:sp]
+		rest = strings.TrimSpace(body[sp+1:])
+	}
+
+	in := &Instr{}
+	mkRes := func(t Type) {
+		v := f.newValue(resName, t, VInstr)
+		// Preserve the exact textual name: newValue may have uniquified a
+		// clash, which indicates a malformed file; keep the parser lenient.
+		v.Def = in
+		in.Res = v
+	}
+	addArg := func(text string) {
+		text = strings.TrimSpace(text)
+		if v, err := p.operand(mod, text, values, ln); err == nil {
+			in.Args = append(in.Args, v)
+			return
+		}
+		in.Args = append(in.Args, nil)
+		*pendings = append(*pendings, pendingOperand{in, len(in.Args) - 1, text, ln})
+	}
+	splitArgs := func(s string) []string {
+		if strings.TrimSpace(s) == "" {
+			return nil
+		}
+		parts := strings.Split(s, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		return parts
+	}
+
+	switch {
+	case mnemonic == "copy":
+		in.Op = OpCopy
+		addArg(rest)
+		mkRes(TVoid) // patched by inferTypes
+	case mnemonic == "add" || mnemonic == "sub" || mnemonic == "mul" ||
+		mnemonic == "div" || mnemonic == "rem":
+		in.Op = map[string]Op{"add": OpAdd, "sub": OpSub, "mul": OpMul,
+			"div": OpDiv, "rem": OpRem}[mnemonic]
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return nil, "", fmt.Errorf("line %d: %s wants two operands", ln, mnemonic)
+		}
+		addArg(args[0])
+		addArg(args[1])
+		mkRes(TInt)
+	case mnemonic == "cmp":
+		in.Op = OpCmp
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return nil, "", fmt.Errorf("line %d: malformed cmp", ln)
+		}
+		pred, ok := ParsePred(fields[0])
+		if !ok {
+			return nil, "", fmt.Errorf("line %d: bad predicate %q", ln, fields[0])
+		}
+		in.Pred = pred
+		args := splitArgs(fields[1])
+		if len(args) != 2 {
+			return nil, "", fmt.Errorf("line %d: cmp wants two operands", ln)
+		}
+		addArg(args[0])
+		addArg(args[1])
+		mkRes(TBool)
+	case mnemonic == "phi":
+		in.Op = OpPhi
+		mkRes(TVoid)
+		for _, part := range strings.Split(rest, "],") {
+			part = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(
+				strings.TrimSpace(part), "["), "]"))
+			halves := strings.SplitN(part, ",", 2)
+			if len(halves) != 2 {
+				return nil, "", fmt.Errorf("line %d: malformed φ incoming %q", ln, part)
+			}
+			*phiIncomings = append(*phiIncomings, struct {
+				phi  *Instr
+				text string
+				blk  string
+				line int
+			}{in, strings.TrimSpace(halves[0]), strings.TrimSpace(halves[1]), ln})
+		}
+	case mnemonic == "pi":
+		in.Op = OpPi
+		fields := strings.Fields(rest)
+		if len(fields) != 3 {
+			return nil, "", fmt.Errorf("line %d: malformed pi", ln)
+		}
+		pred, ok := ParsePred(fields[1])
+		if !ok {
+			return nil, "", fmt.Errorf("line %d: bad predicate %q", ln, fields[1])
+		}
+		in.Pred = pred
+		addArg(fields[0])
+		addArg(fields[2])
+		mkRes(TVoid)
+	case mnemonic == "alloc":
+		in.Op = OpAlloc
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return nil, "", fmt.Errorf("line %d: alloc wants 'alloc kind size'", ln)
+		}
+		if fields[0] == "stack" {
+			in.AKind = AllocStack
+		} else if fields[0] == "heap" {
+			in.AKind = AllocHeap
+		} else {
+			return nil, "", fmt.Errorf("line %d: bad alloc kind %q", ln, fields[0])
+		}
+		addArg(fields[1])
+		mkRes(TPtr)
+	case mnemonic == "free":
+		in.Op = OpFree
+		addArg(rest)
+		mkRes(TPtr)
+	case mnemonic == "ptradd":
+		in.Op = OpPtrAdd
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return nil, "", fmt.Errorf("line %d: ptradd wants two operands", ln)
+		}
+		addArg(args[0])
+		addArg(args[1])
+		mkRes(TPtr)
+	case strings.HasPrefix(mnemonic, "load."):
+		in.Op = OpLoad
+		t, err := parseType(strings.TrimPrefix(mnemonic, "load."))
+		if err != nil {
+			return nil, "", fmt.Errorf("line %d: %v", ln, err)
+		}
+		addArg(rest)
+		mkRes(t)
+	case mnemonic == "store":
+		in.Op = OpStore
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return nil, "", fmt.Errorf("line %d: store wants two operands", ln)
+		}
+		addArg(args[0])
+		addArg(args[1])
+	case mnemonic == "call":
+		in.Op = OpCall
+		open := strings.Index(rest, "(")
+		closeIdx := strings.LastIndex(rest, ")")
+		if open < 0 || closeIdx < open {
+			return nil, "", fmt.Errorf("line %d: malformed call", ln)
+		}
+		p.callFixups = append(p.callFixups, &callFixup{in, strings.TrimSpace(rest[:open])})
+		for _, a := range splitArgs(rest[open+1 : closeIdx]) {
+			addArg(a)
+		}
+		if resName != "" {
+			mkRes(TVoid) // patched when the callee resolves
+		}
+	case strings.HasPrefix(mnemonic, "extern."):
+		in.Op = OpExtern
+		t, err := parseType(strings.TrimPrefix(mnemonic, "extern."))
+		if err != nil {
+			return nil, "", fmt.Errorf("line %d: %v", ln, err)
+		}
+		open := strings.Index(rest, "(")
+		closeIdx := strings.LastIndex(rest, ")")
+		if open < 0 || closeIdx < open {
+			return nil, "", fmt.Errorf("line %d: malformed extern", ln)
+		}
+		sym, err := strconv.Unquote(strings.TrimSpace(rest[:open]))
+		if err != nil {
+			return nil, "", fmt.Errorf("line %d: bad extern symbol: %v", ln, err)
+		}
+		in.Sym = sym
+		for _, a := range splitArgs(rest[open+1 : closeIdx]) {
+			addArg(a)
+		}
+		if t != TVoid {
+			mkRes(t)
+		}
+	case mnemonic == "br":
+		in.Op = OpBr
+		b := blocks[strings.TrimSpace(rest)]
+		if b == nil {
+			return nil, "", fmt.Errorf("line %d: br to unknown block %q", ln, rest)
+		}
+		in.Targets = []*Block{b}
+	case mnemonic == "condbr":
+		in.Op = OpCondBr
+		args := splitArgs(rest)
+		if len(args) != 3 {
+			return nil, "", fmt.Errorf("line %d: condbr wants cond and two targets", ln)
+		}
+		addArg(args[0])
+		t1, t2 := blocks[args[1]], blocks[args[2]]
+		if t1 == nil || t2 == nil {
+			return nil, "", fmt.Errorf("line %d: condbr to unknown block", ln)
+		}
+		in.Targets = []*Block{t1, t2}
+	case mnemonic == "ret":
+		in.Op = OpRet
+		if strings.TrimSpace(rest) != "" {
+			addArg(rest)
+		}
+	default:
+		return nil, "", fmt.Errorf("line %d: unknown instruction %q", ln, mnemonic)
+	}
+	if in.Res == nil && resName != "" && in.Op != OpCall {
+		return nil, "", fmt.Errorf("line %d: %s produces no result", ln, mnemonic)
+	}
+	return in, resName, nil
+}
+
+// inferTypes patches the TVoid placeholders of copy/φ/π results (and call
+// results) by propagating operand types to a fixpoint.
+func (p *irParser) inferTypes(mod *Module) {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range mod.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Res == nil || in.Res.Typ != TVoid {
+						continue
+					}
+					var t Type
+					switch in.Op {
+					case OpCopy, OpPi:
+						t = in.Args[0].Typ
+					case OpPhi:
+						for _, a := range in.Args {
+							if a != nil && a.Typ != TVoid {
+								t = a.Typ
+								break
+							}
+						}
+					case OpCall:
+						if in.Callee != nil {
+							t = in.Callee.RetType
+						}
+					}
+					if t != TVoid {
+						in.Res.Typ = t
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}

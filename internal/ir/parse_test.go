@@ -1,0 +1,145 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progs"
+	"repro/internal/ssa"
+)
+
+func TestParseRoundTripPaperPrograms(t *testing.T) {
+	for _, m := range []*ir.Module{
+		progs.MessageBuffer(), progs.Accelerate(), progs.Fig10(),
+		progs.TwoBuffers(), progs.StructFields(),
+	} {
+		text := m.String()
+		back, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", m.Name, err, text)
+		}
+		if got := back.String(); got != text {
+			t.Errorf("%s: round trip differs.\n--- printed ---\n%s\n--- reparsed ---\n%s",
+				m.Name, text, got)
+		}
+		if err := ir.Verify(back); err != nil {
+			t.Errorf("%s: reparsed module fails verify: %v", m.Name, err)
+		}
+		if err := ssa.VerifyModuleSSA(back); err != nil {
+			t.Errorf("%s: reparsed module fails SSA verify: %v", m.Name, err)
+		}
+	}
+}
+
+func TestParseHandWritten(t *testing.T) {
+	src := `module hand
+global tab 16
+
+func f(p ptr, n int) int {
+entry:
+  %b = alloc heap %n
+  %q = ptradd @tab, 2
+  store %q, 5
+  %c = cmp lt %n, 10
+  condbr %c, small, big
+small:
+  %x = add %n, 1
+  br done
+big:
+  %y = extern.int "strlen"(%p)
+  br done
+done:
+  %z = phi [%x, small], [%y, big]
+  ret %z
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ssa.VerifyModuleSSA(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	f := m.Func("f")
+	if f == nil || len(f.Blocks) != 4 {
+		t.Fatalf("bad function structure")
+	}
+	// φ incoming from a forward-referenced value must have resolved.
+	var phi *ir.Instr
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpPhi {
+			phi = in
+		}
+	}
+	if phi == nil || len(phi.Args) != 2 || phi.Args[0] == nil {
+		t.Fatalf("φ not resolved: %v", phi)
+	}
+	if phi.Res.Typ != ir.TInt {
+		t.Errorf("φ type not inferred: %s", phi.Res.Typ)
+	}
+	// Global operand.
+	if m.Globals[0].Name != "tab" || m.Globals[0].Size != 16 {
+		t.Errorf("global not parsed: %+v", m.Globals[0])
+	}
+}
+
+func TestParseCallsAcrossFunctions(t *testing.T) {
+	src := `module calls
+
+func callee(x int) ptr {
+entry:
+  %b = alloc heap %x
+  ret %b
+}
+
+func caller() void {
+entry:
+  %r = call callee(8)
+  store %r, 1
+  ret
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var call *ir.Instr
+	for _, in := range m.Func("caller").Instrs() {
+		if in.Op == ir.OpCall {
+			call = in
+		}
+	}
+	if call == nil || call.Callee != m.Func("callee") {
+		t.Fatalf("call target not resolved")
+	}
+	if call.Res.Typ != ir.TPtr {
+		t.Errorf("call result type = %s, want ptr", call.Res.Typ)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"func f() void {\nentry:\n  ret\n}\n", "module header"},
+		{"module m\nbogus line\n", "unexpected"},
+		{"module m\nfunc f() void {\n  ret\n}\n", "before any block"},
+		{"module m\nfunc f() void {\nentry:\n  %x = frobnicate 1\n}\n", "unknown instruction"},
+		{"module m\nfunc f() void {\nentry:\n  %x = add 1\n}\n", "two operands"},
+		{"module m\nfunc f() void {\nentry:\n  br nowhere\n}\n", "unknown block"},
+		{"module m\nfunc f() void {\nentry:\n  %x = copy %missing\n  ret\n}\n", "unknown value"},
+		{"module m\nglobal g\n", "global wants"},
+		{"module m\nfunc f() void {\nentry:\n  %c = cmp zz 1, 2\n  ret\n}\n", "bad predicate"},
+	}
+	for _, c := range cases {
+		_, err := ir.Parse(c.src)
+		if err == nil {
+			t.Errorf("expected error containing %q for:\n%s", c.want, c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not contain %q", err, c.want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Print writes the textual form of the module to w. The format round-trips
+// through Parse.
+func Print(w io.Writer, m *Module) {
+	fmt.Fprintf(w, "module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(w, "global %s %d\n", g.Name, g.Size)
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintln(w)
+		PrintFunc(w, f)
+	}
+}
+
+// String renders the module.
+func (m *Module) String() string {
+	var b strings.Builder
+	Print(&b, m)
+	return b.String()
+}
+
+// PrintFunc writes the textual form of one function.
+func PrintFunc(w io.Writer, f *Func) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Name, p.Typ)
+	}
+	fmt.Fprintf(w, "func %s(%s) %s {\n", f.Name, strings.Join(params, ", "), f.RetType)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(w, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(w, "  %s\n", in)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var b strings.Builder
+	PrintFunc(&b, f)
+	return b.String()
+}
+
+// String renders one instruction in the textual syntax.
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Res != nil {
+		fmt.Fprintf(&b, "%s = ", in.Res)
+	}
+	switch in.Op {
+	case OpCopy:
+		fmt.Fprintf(&b, "copy %s", in.Args[0])
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem:
+		fmt.Fprintf(&b, "%s %s, %s", in.Op, in.Args[0], in.Args[1])
+	case OpCmp:
+		fmt.Fprintf(&b, "cmp %s %s, %s", in.Pred, in.Args[0], in.Args[1])
+	case OpPhi:
+		b.WriteString("phi")
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " [%s, %s]", a, in.In[i].Name)
+		}
+	case OpPi:
+		fmt.Fprintf(&b, "pi %s %s %s", in.Args[0], in.Pred, in.Args[1])
+	case OpAlloc:
+		fmt.Fprintf(&b, "alloc %s %s", in.AKind, in.Args[0])
+	case OpFree:
+		fmt.Fprintf(&b, "free %s", in.Args[0])
+	case OpPtrAdd:
+		fmt.Fprintf(&b, "ptradd %s, %s", in.Args[0], in.Args[1])
+	case OpLoad:
+		fmt.Fprintf(&b, "load.%s %s", in.Res.Typ, in.Args[0])
+	case OpStore:
+		fmt.Fprintf(&b, "store %s, %s", in.Args[0], in.Args[1])
+	case OpCall:
+		fmt.Fprintf(&b, "call %s(%s)", in.Callee.Name, joinArgs(in.Args))
+	case OpExtern:
+		ret := TVoid
+		if in.Res != nil {
+			ret = in.Res.Typ
+		}
+		fmt.Fprintf(&b, "extern.%s %q(%s)", ret, in.Sym, joinArgs(in.Args))
+	case OpBr:
+		fmt.Fprintf(&b, "br %s", in.Targets[0].Name)
+	case OpCondBr:
+		fmt.Fprintf(&b, "condbr %s, %s, %s", in.Args[0], in.Targets[0].Name, in.Targets[1].Name)
+	case OpRet:
+		if len(in.Args) > 0 {
+			fmt.Fprintf(&b, "ret %s", in.Args[0])
+		} else {
+			b.WriteString("ret")
+		}
+	default:
+		fmt.Fprintf(&b, "?op%d", in.Op)
+	}
+	return b.String()
+}
+
+func joinArgs(args []*Value) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}

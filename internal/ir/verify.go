@@ -1,0 +1,258 @@
+package ir
+
+import "fmt"
+
+// Verify performs structural well-formedness checks on a module: every block
+// is non-empty and terminated, φ-instructions sit at block heads with
+// incoming edges matching the CFG predecessors, operand counts and types are
+// consistent, and operands belong to the same function (or are constants /
+// globals). SSA dominance is checked separately by ssa.VerifySSA, which has
+// access to the dominator tree.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks structural invariants of one function.
+func VerifyFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	seen := map[string]bool{}
+	defined := map[*Value]bool{}
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	for _, b := range f.Blocks {
+		if seen[b.Name] {
+			return fmt.Errorf("duplicate block name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Func != f {
+			return fmt.Errorf("block %s has wrong owner", b.Name)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s is empty", b.Name)
+		}
+		if b.Term() == nil {
+			return fmt.Errorf("block %s lacks a terminator", b.Name)
+		}
+		inPhis := true
+		for i, in := range b.Instrs {
+			if in.Block != b {
+				return fmt.Errorf("block %s: instruction %d has wrong block", b.Name, i)
+			}
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("block %s: terminator %s not last", b.Name, in)
+			}
+			if in.Op == OpPhi && !inPhis {
+				return fmt.Errorf("block %s: φ %s after non-φ instruction", b.Name, in)
+			}
+			if in.Op != OpPhi {
+				inPhis = false
+			}
+			if err := checkOperands(in); err != nil {
+				return fmt.Errorf("block %s: %s: %w", b.Name, in, err)
+			}
+			if in.Res != nil {
+				if defined[in.Res] {
+					return fmt.Errorf("block %s: value %s defined twice", b.Name, in.Res)
+				}
+				defined[in.Res] = true
+				if in.Res.Def != in {
+					return fmt.Errorf("block %s: %s result back-pointer broken", b.Name, in)
+				}
+			}
+			for _, a := range in.Args {
+				if a == nil {
+					return fmt.Errorf("block %s: %s has nil operand", b.Name, in)
+				}
+				if (a.Kind == VInstr || a.Kind == VParam) && a.Func != f {
+					return fmt.Errorf("block %s: %s uses foreign value %s", b.Name, in, a)
+				}
+			}
+		}
+	}
+	// φ incoming edges match CFG predecessors.
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		ps := preds[b]
+		for _, phi := range b.Phis() {
+			if len(phi.Args) != len(phi.In) {
+				return fmt.Errorf("block %s: φ %s arg/in mismatch", b.Name, phi)
+			}
+			if len(phi.Args) != len(ps) {
+				return fmt.Errorf("block %s: φ %s has %d incoming, block has %d preds",
+					b.Name, phi, len(phi.Args), len(ps))
+			}
+			for _, from := range phi.In {
+				if !containsBlock(ps, from) {
+					return fmt.Errorf("block %s: φ %s names non-predecessor %s",
+						b.Name, phi, from.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func checkOperands(in *Instr) error {
+	argn := func(n int) error {
+		if len(in.Args) != n {
+			return fmt.Errorf("want %d operands, have %d", n, len(in.Args))
+		}
+		return nil
+	}
+	wantType := func(i int, t Type) error {
+		if in.Args[i].Typ != t {
+			return fmt.Errorf("operand %d has type %s, want %s", i, in.Args[i].Typ, t)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpCopy:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if in.Res == nil || in.Res.Typ != in.Args[0].Typ {
+			return fmt.Errorf("copy type mismatch")
+		}
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if err := wantType(0, TInt); err != nil {
+			return err
+		}
+		if err := wantType(1, TInt); err != nil {
+			return err
+		}
+		if in.Res == nil || in.Res.Typ != TInt {
+			return fmt.Errorf("arithmetic result must be int")
+		}
+	case OpCmp:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if in.Args[0].Typ != in.Args[1].Typ {
+			return fmt.Errorf("cmp operand types differ: %s vs %s", in.Args[0].Typ, in.Args[1].Typ)
+		}
+		if in.Res == nil || in.Res.Typ != TBool {
+			return fmt.Errorf("cmp result must be bool")
+		}
+	case OpPhi:
+		if in.Res == nil {
+			return fmt.Errorf("φ needs a result")
+		}
+		for i, a := range in.Args {
+			if a.Typ != in.Res.Typ {
+				return fmt.Errorf("φ incoming %d type %s, want %s", i, a.Typ, in.Res.Typ)
+			}
+		}
+	case OpPi:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if in.Res == nil || in.Res.Typ != in.Args[0].Typ {
+			return fmt.Errorf("π result/source type mismatch")
+		}
+		if in.Args[0].Typ != in.Args[1].Typ {
+			return fmt.Errorf("π bound type mismatch")
+		}
+	case OpAlloc:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if err := wantType(0, TInt); err != nil {
+			return err
+		}
+		if in.Res == nil || in.Res.Typ != TPtr {
+			return fmt.Errorf("alloc result must be ptr")
+		}
+	case OpFree:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if err := wantType(0, TPtr); err != nil {
+			return err
+		}
+	case OpPtrAdd:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if err := wantType(0, TPtr); err != nil {
+			return err
+		}
+		if err := wantType(1, TInt); err != nil {
+			return err
+		}
+		if in.Res == nil || in.Res.Typ != TPtr {
+			return fmt.Errorf("ptradd result must be ptr")
+		}
+	case OpLoad:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if err := wantType(0, TPtr); err != nil {
+			return err
+		}
+		if in.Res == nil {
+			return fmt.Errorf("load needs a result")
+		}
+	case OpStore:
+		if err := argn(2); err != nil {
+			return err
+		}
+		if err := wantType(0, TPtr); err != nil {
+			return err
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("call without callee")
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("call arity %d, callee wants %d", len(in.Args), len(in.Callee.Params))
+		}
+		for i, a := range in.Args {
+			if a.Typ != in.Callee.Params[i].Typ {
+				return fmt.Errorf("call arg %d type %s, want %s", i, a.Typ, in.Callee.Params[i].Typ)
+			}
+		}
+	case OpExtern:
+		if in.Sym == "" {
+			return fmt.Errorf("extern without symbol")
+		}
+	case OpBr:
+		if len(in.Targets) != 1 {
+			return fmt.Errorf("br needs one target")
+		}
+	case OpCondBr:
+		if err := argn(1); err != nil {
+			return err
+		}
+		if err := wantType(0, TBool); err != nil {
+			return err
+		}
+		if len(in.Targets) != 2 {
+			return fmt.Errorf("condbr needs two targets")
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			return fmt.Errorf("ret takes at most one operand")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+// Package opt contains optimization clients of the alias analyses — the
+// consumers the paper's introduction motivates ("this importance comes as
+// no surprise… it provides the necessary information to transform code that
+// manipulates memory"). Two classic block-local transformations are
+// implemented, both parameterized by an alias.Analysis so the precision of
+// different analyses translates directly into optimization counts:
+//
+//   - redundant-load elimination with store-to-load forwarding: a load
+//     whose address provably cannot have been clobbered since a previous
+//     load/store of the same address reuses the earlier value;
+//   - dead-store elimination: a store provably overwritten before any
+//     potentially-aliasing read (or call) is removed.
+//
+// BenchmarkOptClient (bench_test.go) reports how many more loads rbaa lets
+// the optimizer remove compared to basicaa and scev-aa on the Fig. 13
+// corpus.
+package opt
+
+import (
+	"repro/internal/alias"
+	"repro/internal/ir"
+)
+
+// EliminateRedundantLoads performs block-local redundant-load elimination
+// and store-to-load forwarding in f, using aa to decide whether intervening
+// stores may clobber a remembered address. It returns the number of loads
+// removed. Calls and externs conservatively invalidate everything (they may
+// write any escaped memory).
+func EliminateRedundantLoads(f *ir.Func, aa alias.Analysis) int {
+	replace := map[*ir.Value]*ir.Value{}
+	for _, b := range f.Blocks {
+		// available[addr] = last known value of *addr in this block.
+		type avail struct {
+			addr *ir.Value
+			val  *ir.Value
+		}
+		var window []avail
+		lookup := func(addr *ir.Value) *ir.Value {
+			for _, a := range window {
+				if a.addr == addr {
+					return a.val
+				}
+			}
+			return nil
+		}
+		remember := func(addr, val *ir.Value) {
+			for i, a := range window {
+				if a.addr == addr {
+					window[i].val = val
+					return
+				}
+			}
+			window = append(window, avail{addr, val})
+		}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpLoad:
+				addr := in.Args[0]
+				if v := lookup(addr); v != nil && v.Typ == in.Res.Typ {
+					replace[in.Res] = v
+					continue // drop the load
+				}
+				remember(addr, in.Res)
+			case ir.OpStore:
+				addr, val := in.Args[0], in.Args[1]
+				filtered := window[:0]
+				for _, a := range window {
+					if a.addr == addr {
+						continue // superseded below
+					}
+					if aa.Alias(a.addr, addr) == alias.MayAlias {
+						continue // may be clobbered
+					}
+					filtered = append(filtered, a)
+				}
+				window = filtered
+				remember(addr, val)
+			case ir.OpCall, ir.OpExtern, ir.OpFree:
+				window = window[:0]
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	if len(replace) == 0 {
+		return 0
+	}
+	var resolve func(v *ir.Value) *ir.Value
+	resolve = func(v *ir.Value) *ir.Value {
+		if r, ok := replace[v]; ok {
+			rr := resolve(r)
+			replace[v] = rr
+			return rr
+		}
+		return v
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+		}
+	}
+	return len(replace)
+}
+
+// EliminateDeadStores removes block-local dead stores: a store whose
+// address is provably overwritten by a later store to the *same* address
+// value before any potentially-aliasing load, call or block end. Returns
+// the number of stores removed.
+func EliminateDeadStores(f *ir.Func, aa alias.Analysis) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		dead := map[*ir.Instr]bool{}
+		// Walk backwards: remember addresses that are overwritten before
+		// being read.
+		var overwritten []*ir.Value
+		mayRead := func(addr *ir.Value) {
+			filtered := overwritten[:0]
+			for _, o := range overwritten {
+				if aa.Alias(o, addr) == alias.MayAlias {
+					continue
+				}
+				filtered = append(filtered, o)
+			}
+			overwritten = filtered
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			switch in.Op {
+			case ir.OpStore:
+				addr := in.Args[0]
+				isDead := false
+				for _, o := range overwritten {
+					if o == addr {
+						isDead = true
+						break
+					}
+				}
+				if isDead {
+					dead[in] = true
+					removed++
+					continue
+				}
+				overwritten = append(overwritten, addr)
+			case ir.OpLoad:
+				mayRead(in.Args[0])
+			case ir.OpCall, ir.OpExtern, ir.OpRet, ir.OpFree:
+				overwritten = overwritten[:0]
+			}
+		}
+		if len(dead) > 0 {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if !dead[in] {
+					kept = append(kept, in)
+				}
+			}
+			b.Instrs = kept
+		}
+	}
+	return removed
+}
+
+// CountLoads counts the load instructions of a module (optimization-report
+// helper).
+func CountLoads(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs() {
+			if in.Op == ir.OpLoad {
+				n++
+			}
+		}
+	}
+	return n
+}

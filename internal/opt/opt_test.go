@@ -1,0 +1,242 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/benchgen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+	"repro/internal/ssa"
+)
+
+// pessimist answers may-alias to everything — the no-analysis baseline.
+type pessimist struct{}
+
+func (pessimist) Name() string                      { return "none" }
+func (pessimist) Alias(_, _ *ir.Value) alias.Result { return alias.MayAlias }
+
+// buildFieldKernel builds:
+//
+//	s = malloc(3); a = s+0; b = s+1
+//	v1 = load a; store b, 7; v2 = load a; ret v1+v2
+//
+// The second load of a is redundant iff the store to b provably does not
+// clobber a — which needs an alias analysis.
+func buildFieldKernel() (*ir.Module, *ir.Func) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("k", ir.TInt)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	s := b.Malloc(b.Int(3), "s")
+	fa := b.PtrAddConst(s, 0, "fa")
+	fb := b.PtrAddConst(s, 1, "fb")
+	b.Store(fa, b.Int(5))
+	v1 := b.Load(ir.TInt, fa, "v1")
+	b.Store(fb, b.Int(7))
+	v2 := b.Load(ir.TInt, fa, "v2")
+	sum := b.Add(v1, v2, "sum")
+	b.Ret(sum)
+	ssa.InsertPi(f)
+	return m, f
+}
+
+func TestRLENeedsAliasAnalysis(t *testing.T) {
+	// Without alias information, the first load still forwards from the
+	// store to the *same* address value, but the store to fb kills the
+	// window for the second load.
+	m0, f0 := buildFieldKernel()
+	_ = m0
+	if n := EliminateRedundantLoads(f0, pessimist{}); n != 1 {
+		t.Errorf("pessimist eliminated %d loads, want 1", n)
+	}
+	// With rbaa the fields are disjoint and both loads fold to the stored
+	// value (store-to-load forwarding removes even the first load).
+	m1, f1 := buildFieldKernel()
+	r := rbaa.New(m1, pointer.Options{})
+	if n := EliminateRedundantLoads(f1, r); n != 2 {
+		t.Errorf("rbaa eliminated %d loads, want 2:\n%s", n, f1)
+	}
+	if strings.Contains(f1.String(), "load") {
+		t.Errorf("loads remain:\n%s", f1)
+	}
+	if err := ssa.VerifySSA(f1); err != nil {
+		t.Fatalf("RLE broke SSA: %v", err)
+	}
+}
+
+func TestRLEPreservesSemantics(t *testing.T) {
+	// The optimized kernel must compute the same value.
+	m0, _ := buildFieldKernel()
+	want, err := interp.New(m0, interp.Options{}).Run("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, f1 := buildFieldKernel()
+	EliminateRedundantLoads(f1, rbaa.New(m1, pointer.Options{}))
+	got, err := interp.New(m1, interp.Options{}).Run("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("RLE changed semantics: %d vs %d", got, want)
+	}
+	if want != 10 { // store-to-load forwarding of 5, twice
+		t.Errorf("kernel computes %d, want 10", want)
+	}
+}
+
+func TestRLEStoreForwarding(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("k", ir.TInt)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	s := b.Malloc(b.Int(1), "s")
+	b.Store(s, b.Int(42))
+	v := b.Load(ir.TInt, s, "v")
+	b.Ret(v)
+	r := rbaa.New(m, pointer.Options{})
+	if n := EliminateRedundantLoads(f, r); n != 1 {
+		t.Errorf("forwarded %d, want 1", n)
+	}
+	got, err := interp.New(m, interp.Options{}).Run("k")
+	if err != nil || got != 42 {
+		t.Errorf("forwarding broke semantics: %d, %v", got, err)
+	}
+}
+
+func TestRLECallsInvalidate(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("k", ir.TInt, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	v1 := b.Load(ir.TInt, f.Params[0], "v1")
+	b.Extern("mutate", ir.TVoid, "", f.Params[0])
+	v2 := b.Load(ir.TInt, f.Params[0], "v2")
+	sum := b.Add(v1, v2, "sum")
+	b.Ret(sum)
+	r := rbaa.New(m, pointer.Options{})
+	if n := EliminateRedundantLoads(f, r); n != 0 {
+		t.Errorf("load across call eliminated (%d), unsound", n)
+	}
+}
+
+func TestDSE(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("k", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	s := b.Malloc(b.Int(2), "s")
+	fa := b.PtrAddConst(s, 0, "fa")
+	fb := b.PtrAddConst(s, 1, "fb")
+	b.Store(fa, b.Int(1)) // dead: overwritten below, fb store cannot alias
+	b.Store(fb, b.Int(2))
+	b.Store(fa, b.Int(3))
+	b.Ret(nil)
+	r := rbaa.New(m, pointer.Options{})
+	if n := EliminateDeadStores(f, r); n != 1 {
+		t.Errorf("DSE removed %d stores, want 1:\n%s", n, f)
+	}
+	// With the pessimist, the intervening may-alias store keeps it alive…
+	m2 := ir.NewModule("t2")
+	f2 := m2.NewFunc("k", ir.TVoid)
+	b2 := ir.NewBuilder(f2)
+	blk2 := b2.Block("entry")
+	b2.SetBlock(blk2)
+	s2 := b2.Malloc(b2.Int(2), "s")
+	fa2 := b2.PtrAddConst(s2, 0, "fa")
+	fb2 := b2.PtrAddConst(s2, 1, "fb")
+	b2.Store(fa2, b2.Int(1))
+	// A load of fb intervenes: under the pessimist it may read fa.
+	b2.Load(ir.TInt, fb2, "v")
+	b2.Store(fa2, b2.Int(3))
+	b2.Ret(nil)
+	if n := EliminateDeadStores(f2, pessimist{}); n != 0 {
+		t.Errorf("pessimist DSE removed %d stores, want 0", n)
+	}
+	if n := EliminateDeadStores(f2, rbaa.New(m2, pointer.Options{})); n != 1 {
+		t.Errorf("rbaa DSE removed %d stores, want 1", n)
+	}
+}
+
+func TestDSEPreservesSemantics(t *testing.T) {
+	src := func() (*ir.Module, *ir.Func) {
+		m := ir.NewModule("t")
+		f := m.NewFunc("k", ir.TInt)
+		b := ir.NewBuilder(f)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		s := b.Malloc(b.Int(2), "s")
+		fa := b.PtrAddConst(s, 0, "fa")
+		fb := b.PtrAddConst(s, 1, "fb")
+		b.Store(fa, b.Int(1))
+		b.Store(fb, b.Int(2))
+		b.Store(fa, b.Int(3))
+		va := b.Load(ir.TInt, fa, "va")
+		vb := b.Load(ir.TInt, fb, "vb")
+		b.Ret(b.Add(va, vb, "sum"))
+		return m, f
+	}
+	m0, _ := src()
+	want, err := interp.New(m0, interp.Options{}).Run("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, f1 := src()
+	EliminateDeadStores(f1, rbaa.New(m1, pointer.Options{}))
+	got, err := interp.New(m1, interp.Options{}).Run("k")
+	if err != nil || got != want {
+		t.Errorf("DSE changed semantics: %d vs %d (%v)", got, want, err)
+	}
+}
+
+// TestOptPrecisionOrdering: better alias analysis ⇒ at least as many
+// eliminated loads, and the optimized modules still execute identically.
+func TestOptPrecisionOrdering(t *testing.T) {
+	cfg := benchgen.Fig13Configs()[7] // cdecl: symbolic-heavy
+	base := benchgen.Generate(cfg)
+	want, err := interp.New(base, interp.Options{}).Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[string]int{}
+	for _, which := range []string{"none", "basic", "rbaa"} {
+		m := benchgen.Generate(cfg)
+		var aa alias.Analysis
+		switch which {
+		case "none":
+			aa = pessimist{}
+		case "basic":
+			aa = basicaa.New(m)
+		case "rbaa":
+			aa = rbaa.New(m, pointer.Options{})
+		}
+		n := 0
+		for _, f := range m.Funcs {
+			n += EliminateRedundantLoads(f, aa)
+		}
+		counts[which] = n
+		if err := ssa.VerifyModuleSSA(m); err != nil {
+			t.Fatalf("%s: RLE broke SSA: %v", which, err)
+		}
+		got, err := interp.New(m, interp.Options{}).Run("main")
+		if err != nil || got != want {
+			t.Fatalf("%s: optimized module diverged: %d vs %d (%v)", which, got, want, err)
+		}
+	}
+	if counts["basic"] < counts["none"] || counts["rbaa"] < counts["basic"] {
+		t.Errorf("elimination counts not monotone in precision: %v", counts)
+	}
+	if counts["rbaa"] == counts["none"] {
+		t.Errorf("rbaa bought no optimization at all: %v", counts)
+	}
+}

@@ -1,0 +1,309 @@
+package pointer
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+)
+
+// Options configure the pointer analysis; the zero value is the paper's
+// configuration.
+type Options struct {
+	// DescendingSteps is the length of the descending sequence (§3.4 uses 2).
+	DescendingSteps int
+	// Budget bounds bound-expression sizes (§3.8).
+	Budget int
+	// TopParams treats every pointer parameter as ⊤ instead of joining the
+	// actuals of internal call sites — the fully conservative
+	// "callable from outside" posture. Ablation knob.
+	TopParams bool
+	// PointsTo optionally refines Fig. 9's load rule: instead of ⊤, a
+	// loaded pointer gets its points-to sites with unknown offsets
+	// ([−∞,+∞] per site), restoring support-disjointness answers for
+	// pointers that round-trip through memory. This realizes the paper's
+	// related-work proposal of augmenting points-to sets with ranges; see
+	// internal/alias/andersen.
+	PointsTo PointsToOracle
+	// Range configures the bootstrap integer range analysis.
+	Range rangeanal.Options
+}
+
+// PointsToOracle abstracts a points-to analysis (e.g. andersen.Result):
+// sites the value may address, or unknown=true for ⊤.
+type PointsToOracle interface {
+	PointsTo(v *ir.Value) (sites map[int]bool, unknown bool)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DescendingSteps == 0 {
+		o.DescendingSteps = 2
+	}
+	if o.Budget == 0 {
+		o.Budget = interval.DefaultBudget
+	}
+	return o
+}
+
+// GRResult is the product of the global analysis: GR : pointers → MemLocs.
+type GRResult struct {
+	Sites []ir.Site
+	site  map[*ir.Instr]int
+	gsite map[*ir.Global]int
+	val   map[*ir.Value]MemLoc
+	R     *rangeanal.Result
+	opts  Options
+}
+
+// SiteOf returns the allocation-site index of an alloc instruction.
+func (g *GRResult) SiteOf(in *ir.Instr) (int, bool) {
+	s, ok := g.site[in]
+	return s, ok
+}
+
+// Value returns GR(v) for a pointer-typed value. Constants (null) are ⊥;
+// globals are their site + [0,0].
+func (g *GRResult) Value(v *ir.Value) MemLoc {
+	switch v.Kind {
+	case ir.VConst:
+		return Bottom()
+	case ir.VGlobal:
+		return SingleLoc(g.gsite[v.Gbl])
+	}
+	if m, ok := g.val[v]; ok {
+		return m
+	}
+	return Bottom()
+}
+
+// AnalyzeGR runs the whole-module global analysis of §3.4: an
+// interprocedural (context-insensitive) abstract interpretation over
+// MemLocs, bootstrapped by the integer range analysis, with widening at the
+// merge points (φ-functions, parameters, call results) followed by a
+// descending sequence.
+func AnalyzeGR(m *ir.Module, R *rangeanal.Result, opts Options) *GRResult {
+	opts = opts.withDefaults()
+	g := &GRResult{
+		site:  map[*ir.Instr]int{},
+		gsite: map[*ir.Global]int{},
+		val:   map[*ir.Value]MemLoc{},
+		R:     R,
+		opts:  opts,
+	}
+	g.Sites = m.AllocSites()
+	for _, s := range g.Sites {
+		if s.Instr != nil {
+			g.site[s.Instr] = s.ID
+		} else {
+			g.gsite[s.Global] = s.ID
+		}
+	}
+
+	// Interprocedural linking: actuals per (callee, param index) and return
+	// operands per callee (§3.1: actual parameters are associated with
+	// formal parameters as by φ-functions).
+	actuals := map[*ir.Value][]*ir.Value{} // formal param → actual args
+	returns := map[*ir.Func][]*ir.Value{}  // callee → ret operands
+	callResults := map[*ir.Func][]*ir.Value{}
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpCall:
+					for i, a := range in.Args {
+						p := in.Callee.Params[i]
+						if p.Typ == ir.TPtr {
+							actuals[p] = append(actuals[p], a)
+						}
+					}
+					if in.Res != nil && in.Res.Typ == ir.TPtr {
+						callResults[in.Callee] = append(callResults[in.Callee], in.Res)
+					}
+				case ir.OpRet:
+					if len(in.Args) == 1 && in.Args[0].Typ == ir.TPtr {
+						returns[f] = append(returns[f], in.Args[0])
+					}
+				}
+			}
+		}
+	}
+
+	// Nodes: every pointer value with a computed abstract state, in a
+	// deterministic order (params first, then instruction results in RPO).
+	var nodes []*ir.Value
+	transferOf := map[*ir.Value]func() MemLoc{}
+	addNode := func(v *ir.Value, f func() MemLoc) {
+		nodes = append(nodes, v)
+		transferOf[v] = f
+	}
+	// users[x] = nodes whose transfer reads x.
+	users := map[*ir.Value][]*ir.Value{}
+
+	for _, f := range m.Funcs {
+		f := f
+		for _, p := range f.Params {
+			if p.Typ != ir.TPtr {
+				continue
+			}
+			p := p
+			as := actuals[p]
+			if opts.TopParams || len(as) == 0 {
+				addNode(p, func() MemLoc { return Top() })
+				continue
+			}
+			addNode(p, func() MemLoc {
+				acc := Bottom()
+				for _, a := range as {
+					acc = Join(acc, g.Value(a))
+				}
+				return acc
+			})
+			for _, a := range as {
+				users[a] = append(users[a], p)
+			}
+		}
+		for _, b := range cfg.ReversePostorder(f) {
+			for _, in := range b.Instrs {
+				if in.Res == nil || in.Res.Typ != ir.TPtr {
+					continue
+				}
+				in := in
+				res := in.Res
+				switch in.Op {
+				case ir.OpAlloc:
+					site := g.site[in]
+					addNode(res, func() MemLoc { return SingleLoc(site) })
+				case ir.OpFree:
+					addNode(res, func() MemLoc { return Bottom() })
+				case ir.OpCopy:
+					addNode(res, func() MemLoc { return g.Value(in.Args[0]) })
+					users[in.Args[0]] = append(users[in.Args[0]], res)
+				case ir.OpPtrAdd:
+					addNode(res, func() MemLoc {
+						return g.Value(in.Args[0]).Shift(R.Range(in.Args[1]))
+					})
+					users[in.Args[0]] = append(users[in.Args[0]], res)
+				case ir.OpPhi:
+					addNode(res, func() MemLoc {
+						acc := Bottom()
+						for _, a := range in.Args {
+							acc = Join(acc, g.Value(a))
+						}
+						return acc
+					})
+					for _, a := range in.Args {
+						users[a] = append(users[a], res)
+					}
+				case ir.OpPi:
+					addNode(res, func() MemLoc {
+						return PiMeet(g.Value(in.Args[0]), in.Pred, g.Value(in.Args[1]))
+					})
+					users[in.Args[0]] = append(users[in.Args[0]], res)
+					users[in.Args[1]] = append(users[in.Args[1]], res)
+				case ir.OpLoad, ir.OpExtern:
+					// Fig. 9: loads are not tracked through memory — ⊤,
+					// unless a points-to oracle refines the support.
+					if in.Op == ir.OpLoad && opts.PointsTo != nil {
+						sites, unknown := opts.PointsTo.PointsTo(res)
+						if !unknown {
+							loc := fromPointsTo(sites)
+							addNode(res, func() MemLoc { return loc })
+							continue
+						}
+					}
+					addNode(res, func() MemLoc { return Top() })
+				case ir.OpCall:
+					callee := in.Callee
+					rets := returns[callee]
+					addNode(res, func() MemLoc {
+						if len(rets) == 0 {
+							return Top()
+						}
+						acc := Bottom()
+						for _, r := range rets {
+							acc = Join(acc, g.Value(r))
+						}
+						return acc
+					})
+					for _, r := range rets {
+						users[r] = append(users[r], res)
+					}
+				}
+			}
+		}
+	}
+
+	isMerge := map[*ir.Value]bool{}
+	for _, v := range nodes {
+		switch {
+		case v.Kind == ir.VParam:
+			isMerge[v] = true
+		case v.Def != nil && (v.Def.Op == ir.OpPhi || v.Def.Op == ir.OpCall):
+			isMerge[v] = true
+		}
+	}
+
+	// Ascending phase.
+	visited := map[*ir.Value]bool{}
+	inWork := map[*ir.Value]bool{}
+	work := make([]*ir.Value, len(nodes))
+	copy(work, nodes)
+	for _, v := range nodes {
+		inWork[v] = true
+	}
+	steps, limit := 0, 64*(len(nodes)+1)
+	for len(work) > 0 {
+		if steps++; steps > limit {
+			panic(fmt.Sprintf("pointer: GR fixpoint did not converge (module %s)", m.Name))
+		}
+		v := work[0]
+		work = work[1:]
+		inWork[v] = false
+		old := g.val[v]
+		next := transferOf[v]()
+		if isMerge[v] && visited[v] {
+			next = Widen(old, Join(old, next))
+		}
+		visited[v] = true
+		next = next.Clamp(opts.Budget)
+		if Equal(old, next) {
+			continue
+		}
+		g.val[v] = next
+		for _, u := range users[v] {
+			if !inWork[u] {
+				inWork[u] = true
+				work = append(work, u)
+			}
+		}
+	}
+
+	// Descending sequence (§3.4: "after convergence, we redo a step of
+	// symbolic evaluation of the program").
+	for pass := 0; pass < opts.DescendingSteps; pass++ {
+		for _, v := range nodes {
+			next := transferOf[v]()
+			if isMerge[v] {
+				next = Narrow(g.val[v], next)
+			}
+			g.val[v] = next.Clamp(opts.Budget)
+		}
+	}
+
+	// Pointer values in unreachable blocks never became nodes; give them ⊤
+	// so queries stay conservative.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Res != nil && in.Res.Typ == ir.TPtr {
+					if _, ok := transferOf[in.Res]; !ok {
+						g.val[in.Res] = Top()
+					}
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,175 @@
+package pointer
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+	"repro/internal/symbolic"
+)
+
+// LRResult is the product of the local analysis of §3.6: for every pointer,
+// a single abstract address loc + [e, e] where loc may be a *fresh* location
+// minted at φ-functions, loads, mallocs, parameters and opaque calls
+// (Fig. 11's NewLocs()), and e is an exact symbolic offset expression.
+//
+// Offsets are degenerate (point) intervals over the *SSA names themselves*:
+// the offset added by "q = p + c" is the symbolic value of c, where an
+// opaque c (a φ, a load, a parameter) is the kernel symbol naming its own
+// SSA value. This is the uniform realization of the paper's §2 region
+// renaming — in Fig. 4, "newp = p + i" inside the loop becomes base loc_p
+// with offset [i, i], so newp[0] and newp[1] get offsets i and i+1, which
+// are disjoint *at any single moment* of the execution. Per §4, the local
+// test therefore disambiguates the addresses used by instructions, not
+// pointer values over their lifetime: two addresses with the same base and
+// provably different symbolic offsets are never equal under any one
+// valuation of the locals.
+//
+// Unlike GR, LR runs in one pass over the dominance tree and needs no
+// widening (§3.6: the lattice is finite for a fixed program).
+type LRResult struct {
+	loc     map[*ir.Value]int
+	off     map[*ir.Value]*symbolic.Expr
+	intMemo map[*ir.Value]*symbolic.Expr
+	nextLoc int
+	budget  int
+}
+
+// Loc returns the abstract location and offset range of v, assigning a
+// fresh location on first sight of a root value (parameter, global, null).
+func (l *LRResult) Loc(v *ir.Value) (int, interval.Interval) {
+	loc, e := l.addr(v)
+	return loc, interval.Point(e)
+}
+
+// Offset returns the symbolic offset expression of v from its local base.
+func (l *LRResult) Offset(v *ir.Value) *symbolic.Expr {
+	_, e := l.addr(v)
+	return e
+}
+
+func (l *LRResult) addr(v *ir.Value) (int, *symbolic.Expr) {
+	if loc, ok := l.loc[v]; ok {
+		return loc, l.off[v]
+	}
+	// Roots seen for the first time (params, globals, constants).
+	loc := l.fresh()
+	l.loc[v] = loc
+	l.off[v] = symbolic.Zero()
+	return loc, l.off[v]
+}
+
+func (l *LRResult) fresh() int {
+	l.nextLoc++
+	return l.nextLoc - 1
+}
+
+// NumLocs reports how many abstract local locations were minted.
+func (l *LRResult) NumLocs() int { return l.nextLoc }
+
+// String renders LR(v) in the paper's "locN + [l,u]" notation.
+func (l *LRResult) String(v *ir.Value) string {
+	loc, r := l.Loc(v)
+	return fmt.Sprintf("loc%d + %s", loc, r)
+}
+
+// intExpr computes the exact symbolic value of an integer SSA value:
+// constants fold, arithmetic combines, and every opaque definition (φ,
+// load, extern, call, parameter) becomes the kernel symbol that names the
+// value itself. The naming coincides with rangeanal.SymbolFor so that
+// parameters read the same in both analyses (Fig. 12's LR column writes
+// e ↦ loc0 + [N, N]).
+func (l *LRResult) intExpr(v *ir.Value) *symbolic.Expr {
+	if c, ok := v.IsConst(); ok {
+		return symbolic.Const(c)
+	}
+	if e, ok := l.intMemo[v]; ok {
+		return e
+	}
+	// Pre-bind the opaque symbol to cut (impossible in SSA, but cheap)
+	// cycles and to serve as the fallback.
+	sym := symbolic.Sym(rangeanal.SymbolFor(v))
+	l.intMemo[v] = sym
+	var e *symbolic.Expr
+	if v.Kind == ir.VInstr {
+		in := v.Def
+		switch in.Op {
+		case ir.OpCopy, ir.OpPi:
+			// π is a copy: its value equals its source, so reuse the
+			// source's expression — this is what lets offsets computed
+			// before and after a bounds check compare equal.
+			e = l.intExpr(in.Args[0])
+		case ir.OpAdd:
+			e = symbolic.Add(l.intExpr(in.Args[0]), l.intExpr(in.Args[1]))
+		case ir.OpSub:
+			e = symbolic.Sub(l.intExpr(in.Args[0]), l.intExpr(in.Args[1]))
+		case ir.OpMul:
+			e = symbolic.Mul(l.intExpr(in.Args[0]), l.intExpr(in.Args[1]))
+		case ir.OpDiv:
+			e = symbolic.Div(l.intExpr(in.Args[0]), l.intExpr(in.Args[1]))
+		case ir.OpRem:
+			e = symbolic.Mod(l.intExpr(in.Args[0]), l.intExpr(in.Args[1]))
+		}
+	}
+	if e == nil || e.Size() > l.budget {
+		e = sym
+	}
+	l.intMemo[v] = e
+	return e
+}
+
+// AnalyzeLR runs the local analysis over every function of m. Following
+// §3.6, instructions are evaluated in the order given by each function's
+// dominance tree; every operand of a non-φ instruction is therefore already
+// bound when visited.
+func AnalyzeLR(m *ir.Module, _ *rangeanal.Result, opts Options) *LRResult {
+	opts = opts.withDefaults()
+	l := &LRResult{
+		loc:     map[*ir.Value]int{},
+		off:     map[*ir.Value]*symbolic.Expr{},
+		intMemo: map[*ir.Value]*symbolic.Expr{},
+		budget:  opts.Budget,
+	}
+	for _, f := range m.Funcs {
+		l.analyzeFunc(f)
+	}
+	return l
+}
+
+func (l *LRResult) analyzeFunc(f *ir.Func) {
+	if f.Entry() == nil {
+		return
+	}
+	dt := cfg.NewDomTree(f)
+	for _, b := range dt.DomOrder() {
+		for _, in := range b.Instrs {
+			if in.Res == nil || in.Res.Typ != ir.TPtr {
+				continue
+			}
+			switch in.Op {
+			case ir.OpAlloc, ir.OpPhi, ir.OpLoad, ir.OpExtern, ir.OpCall, ir.OpFree:
+				// Fig. 11: NewLocs() + [0,0].
+				l.loc[in.Res] = l.fresh()
+				l.off[in.Res] = symbolic.Zero()
+			case ir.OpCopy, ir.OpPi:
+				// Fig. 11: copies and intersections keep LR(p1).
+				loc, e := l.addr(in.Args[0])
+				l.loc[in.Res] = loc
+				l.off[in.Res] = e
+			case ir.OpPtrAdd:
+				loc, e := l.addr(in.Args[0])
+				off := symbolic.Add(e, l.intExpr(in.Args[1]))
+				if off.Size() > l.budget {
+					// Oversized offsets restart from a fresh base — sound,
+					// merely incomparable to everything else.
+					loc = l.fresh()
+					off = symbolic.Zero()
+				}
+				l.loc[in.Res] = loc
+				l.off[in.Res] = off
+			}
+		}
+	}
+}

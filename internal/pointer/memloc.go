@@ -1,0 +1,306 @@
+// Package pointer implements the paper's contribution: the GR (global) and
+// LR (local) symbolic range analyses of pointers and the alias queries built
+// on them (§3.4–§3.7 of "Symbolic Range Analysis of Pointers", CGO'16).
+package pointer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/rangeanal"
+)
+
+// MemLoc is an element of the MemLocs lattice (§3.4): conceptually a tuple
+// (SymbRanges ∪ ⊥)^n with one component per allocation site. Components that
+// are ⊥ are not stored — the map holds exactly the *support* (Definition 2).
+// Top (every component [−∞,+∞]) has a dedicated representation so that the
+// common "pointer loaded from memory" case costs O(1).
+type MemLoc struct {
+	top    bool
+	ranges map[int]interval.Interval
+}
+
+// Bottom returns (⊥,…,⊥), the least element: a pointer to no location
+// (null, or freed).
+func Bottom() MemLoc { return MemLoc{} }
+
+// Top returns ([−∞,∞],…,[−∞,∞]), the greatest element.
+func Top() MemLoc { return MemLoc{top: true} }
+
+// SingleLoc abstracts "points exactly at the base of site": loc + [0,0]
+// (the malloc rule of Fig. 9).
+func SingleLoc(site int) MemLoc {
+	return MemLoc{ranges: map[int]interval.Interval{site: interval.ConstPoint(0)}}
+}
+
+// OfRanges builds a MemLoc from explicit components (test helper and Fig. 12
+// golden values). Empty components are dropped.
+func OfRanges(rs map[int]interval.Interval) MemLoc {
+	m := map[int]interval.Interval{}
+	for site, r := range rs {
+		if !r.IsEmpty() {
+			m[site] = r
+		}
+	}
+	if len(m) == 0 {
+		return Bottom()
+	}
+	return MemLoc{ranges: m}
+}
+
+// IsTop reports whether v is the greatest element.
+func (v MemLoc) IsTop() bool { return v.top }
+
+// IsBottom reports whether v is the least element.
+func (v MemLoc) IsBottom() bool { return !v.top && len(v.ranges) == 0 }
+
+// Support returns the sorted site indices with non-⊥ components
+// (Definition 2). Top's support is reported as nil along with IsTop.
+func (v MemLoc) Support() []int {
+	out := make([]int, 0, len(v.ranges))
+	for s := range v.ranges {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Get returns the component for a site; ok=false means ⊥ at that site.
+// For Top every component is [−∞,+∞].
+func (v MemLoc) Get(site int) (interval.Interval, bool) {
+	if v.top {
+		return interval.Full(), true
+	}
+	r, ok := v.ranges[site]
+	return r, ok
+}
+
+// String renders the abstract value in the paper's set notation,
+// e.g. "{loc1 + [3, 5], loc3 + [3, 8]}".
+func (v MemLoc) String() string {
+	if v.top {
+		return "⊤"
+	}
+	if v.IsBottom() {
+		return "⊥"
+	}
+	var b strings.Builder
+	b.WriteString("{")
+	for i, s := range v.Support() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "loc%d + %s", s, v.ranges[s])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Equal reports structural equality.
+func Equal(a, b MemLoc) bool {
+	if a.top || b.top {
+		return a.top == b.top
+	}
+	if len(a.ranges) != len(b.ranges) {
+		return false
+	}
+	for s, r := range a.ranges {
+		o, ok := b.ranges[s]
+		if !ok || !interval.Equal(r, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join is the componentwise ⊔ of §3.4 (⊥ neutral per component).
+func Join(a, b MemLoc) MemLoc {
+	if a.top || b.top {
+		return Top()
+	}
+	if a.IsBottom() {
+		return b
+	}
+	if b.IsBottom() {
+		return a
+	}
+	out := make(map[int]interval.Interval, len(a.ranges)+len(b.ranges))
+	for s, r := range a.ranges {
+		out[s] = r
+	}
+	for s, r := range b.ranges {
+		if cur, ok := out[s]; ok {
+			out[s] = interval.Join(cur, r)
+		} else {
+			out[s] = r
+		}
+	}
+	return MemLoc{ranges: out}
+}
+
+// Leq reports whether a ⊑ b is provable: every component of a is included
+// in b's (⊥ ⊑ R for all R).
+func Leq(a, b MemLoc) bool {
+	if b.top {
+		return true
+	}
+	if a.top {
+		return false
+	}
+	for s, r := range a.ranges {
+		o, ok := b.ranges[s]
+		if !ok || !interval.Leq(r, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// Widen is Definition 4: componentwise ∇ with ⊥∇R = R.
+func Widen(old, next MemLoc) MemLoc {
+	if old.top || next.top {
+		return Top()
+	}
+	if old.IsBottom() {
+		return next
+	}
+	out := make(map[int]interval.Interval, len(old.ranges)+len(next.ranges))
+	for s, r := range old.ranges {
+		if n, ok := next.ranges[s]; ok {
+			out[s] = interval.Widen(r, n)
+		} else {
+			out[s] = r
+		}
+	}
+	for s, r := range next.ranges {
+		if _, ok := old.ranges[s]; !ok {
+			out[s] = r
+		}
+	}
+	return MemLoc{ranges: out}
+}
+
+// Narrow is the componentwise descending step.
+func Narrow(cur, next MemLoc) MemLoc {
+	if cur.top {
+		return next
+	}
+	if next.top || cur.IsBottom() || next.IsBottom() {
+		return cur
+	}
+	out := make(map[int]interval.Interval, len(cur.ranges))
+	for s, r := range cur.ranges {
+		if n, ok := next.ranges[s]; ok {
+			out[s] = interval.Narrow(r, n)
+		} else {
+			out[s] = r
+		}
+	}
+	return MemLoc{ranges: out}
+}
+
+// Shift adds an integer interval to every component — the "q = p + c" rule
+// of Fig. 9 (with R(c) the range of the added scalar).
+func (v MemLoc) Shift(by interval.Interval) MemLoc {
+	if v.top || v.IsBottom() {
+		return v
+	}
+	if by.IsEmpty() {
+		return Bottom()
+	}
+	out := make(map[int]interval.Interval, len(v.ranges))
+	for s, r := range v.ranges {
+		out[s] = interval.Add(r, by)
+	}
+	return MemLoc{ranges: out}
+}
+
+// Clamp applies the expression-size budget componentwise.
+func (v MemLoc) Clamp(budget int) MemLoc {
+	if v.top || v.IsBottom() {
+		return v
+	}
+	out := make(map[int]interval.Interval, len(v.ranges))
+	for s, r := range v.ranges {
+		out[s] = r.Clamp(budget)
+	}
+	return MemLoc{ranges: out}
+}
+
+// PiMeet is the bound-intersection rule of Fig. 9 for pointers:
+// q = p ∩ [pred bound]. Components outside the common support become ⊥
+// (sound under the paper's no-undefined-behaviour assumption: comparing
+// pointers into different objects is UB in C), and common components meet
+// with the translated bound.
+func PiMeet(p MemLoc, pred ir.Pred, bound MemLoc) MemLoc {
+	if p.top && bound.top {
+		return Top()
+	}
+	if p.IsBottom() || bound.IsBottom() {
+		return Bottom()
+	}
+	var sites []int
+	switch {
+	case p.top:
+		sites = bound.Support()
+	case bound.top:
+		sites = p.Support()
+	default:
+		for _, s := range p.Support() {
+			if _, ok := bound.ranges[s]; ok {
+				sites = append(sites, s)
+			}
+		}
+	}
+	out := make(map[int]interval.Interval, len(sites))
+	for _, s := range sites {
+		pr, _ := p.Get(s)
+		br, _ := bound.Get(s)
+		r := interval.Meet(pr, rangeanal.PiBound(pred, br))
+		if !r.IsEmpty() {
+			out[s] = r
+		}
+	}
+	if len(out) == 0 {
+		return Bottom()
+	}
+	return MemLoc{ranges: out}
+}
+
+// fromPointsTo builds the MemLoc a points-to oracle justifies: the given
+// sites with unknown offsets.
+func fromPointsTo(sites map[int]bool) MemLoc {
+	if len(sites) == 0 {
+		return Bottom()
+	}
+	out := make(map[int]interval.Interval, len(sites))
+	for s := range sites {
+		out[s] = interval.Full()
+	}
+	return MemLoc{ranges: out}
+}
+
+// SymbolicOnly reports whether the pointer's offsets are expressible *only*
+// with symbolic (non-numeric) bounds — the classification behind the §5
+// experiment ("20.47% of the pointers … have exclusively symbolic ranges").
+// A MemLoc counts as symbolic-only when it has at least one finite symbolic
+// bound and no component is purely numeric.
+func (v MemLoc) SymbolicOnly() bool {
+	if v.top || v.IsBottom() {
+		return false
+	}
+	sawSymbolic := false
+	for _, r := range v.ranges {
+		symbolic := (!r.Lo().IsInf() && r.Lo().HasSym()) ||
+			(!r.Hi().IsInf() && r.Hi().HasSym())
+		if symbolic {
+			sawSymbolic = true
+		} else {
+			return false // a purely numeric component exists
+		}
+	}
+	return sawSymbolic
+}

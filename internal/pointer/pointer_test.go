@@ -1,0 +1,572 @@
+package pointer
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/progs"
+	"repro/internal/symbolic"
+)
+
+// findVal locates a value by (unique) name in a function.
+func findVal(t *testing.T, f *ir.Func, name string) *ir.Value {
+	t.Helper()
+	for _, v := range f.Values() {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("value %s not found in %s:\n%s", name, f.Name, f)
+	return nil
+}
+
+// storePtrs returns the address operands of all stores in a function, in
+// block order.
+func storePtrs(f *ir.Func) []*ir.Value {
+	var out []*ir.Value
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpStore {
+			out = append(out, in.Args[0])
+		}
+	}
+	return out
+}
+
+// TestMessageBufferGlobalDisambiguation is the paper's flagship claim (§2,
+// Fig. 1/2): the store of the first loop covers loc0+[0, N−1], the store of
+// the second covers loc0+[N, …], and the global test proves them no-alias.
+func TestMessageBufferGlobalDisambiguation(t *testing.T) {
+	m := progs.MessageBuffer()
+	a := Analyze(m, Options{})
+	prepare := m.Func("prepare")
+
+	stores := storePtrs(prepare)
+	if len(stores) != 3 {
+		t.Fatalf("want 3 stores in prepare, got %d", len(stores))
+	}
+	loop1Store := stores[0]  // *i = 0
+	loop1Store2 := stores[1] // *(i+1) = 0xFF
+	loop2Store := stores[2]  // *i = *m
+
+	// Example 3 checks: GR(p) = {loc0 + [0,0]}, GR(e) = {loc0 + [N,N]}.
+	p := prepare.Params[0]
+	gp := a.GR.Value(p)
+	if gp.String() != "{loc0 + [0, 0]}" {
+		t.Errorf("GR(p) = %s, want {loc0 + [0, 0]}", gp)
+	}
+	e := findVal(t, prepare, "e")
+	ge := a.GR.Value(e)
+	nsym := symbolic.Sym("prepare.N")
+	if r, ok := ge.Get(0); !ok || !interval.Equal(r, interval.Point(nsym)) {
+		t.Errorf("GR(e) = %s, want {loc0 + [N, N]}", ge)
+	}
+	if _, ok := ge.Get(1); ok {
+		t.Errorf("GR(e) must be ⊥ at loc1, got %s", ge)
+	}
+	// GR(m) = {loc1 + [0,0]}.
+	gm := a.GR.Value(prepare.Params[2])
+	if gm.String() != "{loc1 + [0, 0]}" {
+		t.Errorf("GR(m) = %s, want {loc1 + [0, 0]}", gm)
+	}
+
+	// Store pointer of loop 1: within [0, N−1] at loc0.
+	g1 := a.GR.Value(loop1Store)
+	r1, ok := g1.Get(0)
+	if !ok {
+		t.Fatalf("loop1 store GR = %s, want loc0 component", g1)
+	}
+	if !symbolic.Compare(r1.Hi(), symbolic.AddConst(nsym, -1)).ProvesLE() {
+		t.Errorf("loop1 store range = %s, want hi ≤ N−1", r1)
+	}
+	// Store pointer of loop 2: lower bound ≥ N at loc0.
+	g2 := a.GR.Value(loop2Store)
+	r2, ok := g2.Get(0)
+	if !ok {
+		t.Fatalf("loop2 store GR = %s, want loc0 component", g2)
+	}
+	if !symbolic.Compare(r2.Lo(), nsym).ProvesGE() {
+		t.Errorf("loop2 store range = %s, want lo ≥ N", r2)
+	}
+
+	// The headline query.
+	ans, why := a.Query(loop1Store, loop2Store)
+	if ans != NoAlias {
+		t.Fatalf("loop1 vs loop2 store: %s (GR %s vs %s), want no-alias",
+			ans, g1, g2)
+	}
+	if why != ReasonGlobalRange {
+		t.Errorf("attribution = %s, want global-range", why)
+	}
+
+	// The second store of loop 1 (offset +1, range hi = N) overlaps loop 2's
+	// lower bound N: the global test must (soundly) answer may-alias.
+	if ans, _ := a.QueryGR(loop1Store2, loop2Store); ans != MayAlias {
+		t.Errorf("t0 vs loop2 store: got no-alias; intervals [1,N] and [N,…] touch at N")
+	}
+
+	// m-pointer store (loc1) vs message-buffer stores (loc0): disjoint
+	// support. m is only loaded, not stored, so query the load address.
+	var loadM *ir.Value
+	for _, in := range prepare.Instrs() {
+		if in.Op == ir.OpLoad {
+			loadM = in.Args[0]
+		}
+	}
+	if loadM != nil {
+		ans, why := a.Query(loadM, loop1Store)
+		if ans != NoAlias || why != ReasonDisjointSupport {
+			t.Errorf("m vs loop1 store: %s/%s, want no-alias/disjoint-support", ans, why)
+		}
+	}
+}
+
+// TestAccelerateLocalDisambiguation is §2's second claim (Fig. 3/4): p[i]
+// and p[i+1] have overlapping global ranges but the local test separates
+// them.
+func TestAccelerateLocalDisambiguation(t *testing.T) {
+	m := progs.Accelerate()
+	a := Analyze(m, Options{})
+	f := m.Func("accelerate")
+	stores := storePtrs(f)
+	if len(stores) != 2 {
+		t.Fatalf("want 2 stores, got %d", len(stores))
+	}
+	tmp0, tmp1 := stores[0], stores[1]
+
+	// Global test fails: [0, N+1]-ish vs [1, N+2]-ish overlap.
+	if ans, _ := a.QueryGR(tmp0, tmp1); ans != MayAlias {
+		t.Errorf("global test should not separate p[i] from p[i+1] (GR %s vs %s)",
+			a.GR.Value(tmp0), a.GR.Value(tmp1))
+	}
+	// Local test succeeds: same base (param p's local loc), offsets [i,i]
+	// vs [i+1,i+1]… after the π both offsets are expressions of i with a
+	// constant gap of 1.
+	if ans := a.QueryLR(tmp0, tmp1); ans != NoAlias {
+		lp, rp := a.LR.Loc(tmp0)
+		lq, rq := a.LR.Loc(tmp1)
+		t.Fatalf("local test failed: loc%d+%s vs loc%d+%s", lp, rp, lq, rq)
+	}
+	// Combined query attributes to the local test.
+	ans, why := a.Query(tmp0, tmp1)
+	if ans != NoAlias || why != ReasonLocalRange {
+		t.Errorf("combined = %s/%s, want no-alias/local-range", ans, why)
+	}
+}
+
+// TestFig10 reproduces Fig. 10 exactly: GR cannot separate a4 = a3+1 from
+// a5 = a3+2 (ranges [1,2] and [2,3] overlap at loc0), the local analysis
+// can (fresh φ location, [1,1] vs [2,2]).
+func TestFig10(t *testing.T) {
+	m := progs.Fig10()
+	a := Analyze(m, Options{})
+	f := m.Func("diamond")
+	a1 := findVal(t, f, "a1")
+	a2 := findVal(t, f, "a2")
+	a3 := findVal(t, f, "a3")
+	a4 := findVal(t, f, "a4")
+	a5 := findVal(t, f, "a5")
+
+	// Global column of Fig. 10.
+	for _, c := range []struct {
+		v    *ir.Value
+		want string
+	}{
+		{a1, "{loc0 + [0, 0]}"},
+		{a2, "{loc0 + [1, 1]}"},
+		{a3, "{loc0 + [0, 1]}"},
+		{a4, "{loc0 + [1, 2]}"},
+		{a5, "{loc0 + [2, 3]}"},
+	} {
+		if got := a.GR.Value(c.v); got.String() != c.want {
+			t.Errorf("GR(%s) = %s, want %s", c.v.Name, got, c.want)
+		}
+	}
+	if ans, _ := a.QueryGR(a4, a5); ans != MayAlias {
+		t.Errorf("global test must fail on a4 vs a5 (path insensitivity)")
+	}
+
+	// Local column: a3 gets a fresh loc with [0,0]; a4, a5 offset it.
+	l3, r3 := a.LR.Loc(a3)
+	l4, r4 := a.LR.Loc(a4)
+	l5, r5 := a.LR.Loc(a5)
+	if l4 != l3 || l5 != l3 {
+		t.Fatalf("a4/a5 must share a3's fresh location: %d, %d, %d", l3, l4, l5)
+	}
+	if !interval.Equal(r3, interval.ConstPoint(0)) ||
+		!interval.Equal(r4, interval.ConstPoint(1)) ||
+		!interval.Equal(r5, interval.ConstPoint(2)) {
+		t.Errorf("LR ranges = %s, %s, %s; want [0,0], [1,1], [2,2]", r3, r4, r5)
+	}
+	ans, why := a.Query(a4, a5)
+	if ans != NoAlias || why != ReasonLocalRange {
+		t.Errorf("a4 vs a5 = %s/%s, want no-alias/local-range", ans, why)
+	}
+	// a1 vs a2 is solved globally ([0,0] vs [1,1]).
+	if ans, why := a.Query(a1, a2); ans != NoAlias || why != ReasonGlobalRange {
+		t.Errorf("a1 vs a2 = %s/%s, want no-alias/global-range", ans, why)
+	}
+}
+
+func TestTwoBuffersDisjointSupport(t *testing.T) {
+	m := progs.TwoBuffers()
+	a := Analyze(m, Options{})
+	f := m.Func("fill")
+	stores := storePtrs(f)
+	ans, why := a.Query(stores[0], stores[1])
+	if ans != NoAlias || why != ReasonDisjointSupport {
+		t.Errorf("two mallocs = %s/%s, want no-alias/disjoint-support", ans, why)
+	}
+}
+
+func TestStructFieldsGlobalRange(t *testing.T) {
+	m := progs.StructFields()
+	a := Analyze(m, Options{})
+	f := m.Func("init")
+	stores := storePtrs(f)
+	for i := 0; i < len(stores); i++ {
+		for j := i + 1; j < len(stores); j++ {
+			ans, why := a.Query(stores[i], stores[j])
+			if ans != NoAlias {
+				t.Errorf("fields %d vs %d: %s, want no-alias", i, j, ans)
+			}
+			if why != ReasonGlobalRange {
+				t.Errorf("fields %d vs %d attributed to %s, want global-range", i, j, why)
+			}
+		}
+	}
+}
+
+func TestFreeIsBottomAndLoadIsTop(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	p := b.Malloc(b.Int(8), "p")
+	q := b.Free(p, "q")
+	l := b.Load(ir.TPtr, p, "l")
+	b.Ret(nil)
+	a := Analyze(m, Options{})
+	if !a.GR.Value(q).IsBottom() {
+		t.Errorf("GR(free) = %s, want ⊥", a.GR.Value(q))
+	}
+	if !a.GR.Value(l).IsTop() {
+		t.Errorf("GR(load) = %s, want ⊤", a.GR.Value(l))
+	}
+	// ⊤ never disambiguates.
+	if ans, _ := a.QueryGR(l, p); ans != MayAlias {
+		t.Errorf("⊤ vs p should be may-alias")
+	}
+}
+
+func TestNullAndGlobals(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("table", 16)
+	f := m.NewFunc("f", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	p := b.PtrAddConst(g.Addr, 2, "p")
+	b.Store(p, b.Int(1))
+	b.Ret(nil)
+	a := Analyze(m, Options{})
+	gp := a.GR.Value(p)
+	if gp.String() != "{loc0 + [2, 2]}" {
+		t.Errorf("GR(@table+2) = %s", gp)
+	}
+	// Null is ⊥: trivially no-alias with anything allocated.
+	if ans, why := a.Query(m.Null(), p); ans != NoAlias || why != ReasonDisjointSupport {
+		t.Errorf("null vs p = %s/%s", ans, why)
+	}
+}
+
+func TestInterproceduralParamJoin(t *testing.T) {
+	// callee(q) receives two different buffers: GR(q) covers both sites.
+	m := ir.NewModule("t")
+	callee := m.NewFunc("callee", ir.TVoid, ir.Param("q", ir.TPtr))
+	{
+		b := ir.NewBuilder(callee)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		b.Store(callee.Params[0], b.Int(0))
+		b.Ret(nil)
+	}
+	caller := m.NewFunc("caller", ir.TVoid)
+	{
+		b := ir.NewBuilder(caller)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		p1 := b.Malloc(b.Int(4), "p1")
+		p2 := b.Malloc(b.Int(4), "p2")
+		b.Call(callee, "", p1)
+		b.Call(callee, "", p2)
+		b.Ret(nil)
+	}
+	a := Analyze(m, Options{})
+	gq := a.GR.Value(callee.Params[0])
+	if len(gq.Support()) != 2 {
+		t.Errorf("GR(q) = %s, want both sites", gq)
+	}
+	// With TopParams the parameter is ⊤ (ablation posture).
+	a2 := Analyze(m, Options{TopParams: true})
+	if !a2.GR.Value(callee.Params[0]).IsTop() {
+		t.Errorf("TopParams: GR(q) = %s, want ⊤", a2.GR.Value(callee.Params[0]))
+	}
+}
+
+func TestUncalledFunctionParamsAreTop(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	b.Ret(nil)
+	a := Analyze(m, Options{})
+	if !a.GR.Value(f.Params[0]).IsTop() {
+		t.Errorf("param of externally callable function must be ⊤")
+	}
+}
+
+func TestReturnedPointerFlows(t *testing.T) {
+	m := ir.NewModule("t")
+	mk := m.NewFunc("mk", ir.TPtr, ir.Param("n", ir.TInt))
+	{
+		b := ir.NewBuilder(mk)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		p := b.Malloc(mk.Params[0], "p")
+		q := b.PtrAddConst(p, 3, "q")
+		b.Ret(q)
+	}
+	caller := m.NewFunc("caller", ir.TVoid)
+	var r *ir.Value
+	{
+		b := ir.NewBuilder(caller)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		r = b.Call(mk, "r", b.Int(10))
+		b.Ret(nil)
+	}
+	a := Analyze(m, Options{})
+	gr := a.GR.Value(r)
+	if gr.String() != "{loc0 + [3, 3]}" {
+		t.Errorf("GR(call result) = %s, want {loc0 + [3, 3]}", gr)
+	}
+}
+
+func TestRecursiveFunctionTerminates(t *testing.T) {
+	// walk(p) calls walk(p+1): the parameter's range must widen to
+	// [0, +∞] rather than iterating forever.
+	m := ir.NewModule("t")
+	walk := m.NewFunc("walk", ir.TVoid, ir.Param("p", ir.TPtr), ir.Param("n", ir.TInt))
+	{
+		b := ir.NewBuilder(walk)
+		entry := b.Block("entry")
+		rec := b.Block("rec")
+		exit := b.Block("exit")
+		b.SetBlock(entry)
+		c := b.Cmp(ir.PGt, walk.Params[1], b.Int(0), "c")
+		b.CondBr(c, rec, exit)
+		b.SetBlock(rec)
+		p1 := b.PtrAddConst(walk.Params[0], 1, "p1")
+		n1 := b.Sub(walk.Params[1], b.Int(1), "n1")
+		b.Call(walk, "", p1, n1)
+		b.Br(exit)
+		b.SetBlock(exit)
+		b.Ret(nil)
+	}
+	root := m.NewFunc("root", ir.TVoid)
+	{
+		b := ir.NewBuilder(root)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		buf := b.Malloc(b.Int(100), "buf")
+		b.Call(walk, "", buf, b.Int(100))
+		b.Ret(nil)
+	}
+	a := Analyze(m, Options{})
+	gp := a.GR.Value(walk.Params[0])
+	r, ok := gp.Get(0)
+	if !ok {
+		t.Fatalf("GR(walk.p) = %s, want loc0 component", gp)
+	}
+	if !symbolic.Equal(r.Lo(), symbolic.Zero()) || !r.Hi().IsPosInf() {
+		t.Errorf("GR(walk.p) = %s, want loc0 + [0, +∞]", gp)
+	}
+}
+
+// Lattice laws for MemLoc, mirroring the interval property tests.
+func TestMemLocLatticeLaws(t *testing.T) {
+	mk := func(rs ...interval.Interval) MemLoc {
+		m := map[int]interval.Interval{}
+		for i, r := range rs {
+			if !r.IsEmpty() {
+				m[i] = r
+			}
+		}
+		return OfRanges(m)
+	}
+	samples := []MemLoc{
+		Bottom(), Top(),
+		SingleLoc(0), SingleLoc(1),
+		mk(interval.Consts(0, 4), interval.Consts(2, 9)),
+		mk(interval.Consts(-3, 0)),
+		mk(interval.Empty(), interval.Consts(5, 5)),
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			j := Join(a, b)
+			if !Leq(a, j) || !Leq(b, j) {
+				t.Fatalf("join not an upper bound: %s ⊔ %s = %s", a, b, j)
+			}
+			if !Equal(Join(a, b), Join(b, a)) {
+				t.Fatalf("join not commutative: %s vs %s", a, b)
+			}
+			if !Equal(Join(a, a), a) {
+				t.Fatalf("join not idempotent on %s", a)
+			}
+			w := Widen(a, Join(a, b))
+			if !Leq(a, w) || !Leq(b, w) {
+				t.Fatalf("widen not an upper bound: %s ∇ %s = %s", a, b, w)
+			}
+		}
+	}
+	if !Leq(Bottom(), samples[3]) || !Leq(samples[3], Top()) {
+		t.Error("⊥ ⊑ x ⊑ ⊤ violated")
+	}
+}
+
+func TestMemLocShiftAndString(t *testing.T) {
+	v := SingleLoc(2).Shift(interval.Consts(3, 5))
+	if v.String() != "{loc2 + [3, 5]}" {
+		t.Errorf("shift/string = %s", v)
+	}
+	if !Top().Shift(interval.Consts(1, 1)).IsTop() {
+		t.Error("⊤ shift must stay ⊤")
+	}
+	if !Bottom().Shift(interval.Consts(1, 1)).IsBottom() {
+		t.Error("⊥ shift must stay ⊥")
+	}
+}
+
+func TestPiMeetFig9Rules(t *testing.T) {
+	n := symbolic.Sym("N")
+	p := OfRanges(map[int]interval.Interval{
+		0: interval.Consts(0, 10),
+		1: interval.Consts(0, 10), // not in bound's support → dropped
+	})
+	bound := OfRanges(map[int]interval.Interval{0: interval.Point(n)})
+	q := PiMeet(p, ir.PLt, bound)
+	if _, ok := q.Get(1); ok {
+		t.Errorf("component outside common support must be ⊥: %s", q)
+	}
+	r, ok := q.Get(0)
+	if !ok {
+		t.Fatalf("common component lost: %s", q)
+	}
+	// [0,10] ⊓ [−∞, N−1] = [0, min(10, N−1)].
+	if !symbolic.Equal(r.Lo(), symbolic.Zero()) {
+		t.Errorf("PiMeet lo = %s", r.Lo())
+	}
+	if r.Hi().Kind() != symbolic.KMin {
+		t.Errorf("PiMeet hi = %s, want min(10, N−1)", r.Hi())
+	}
+	// ⊤ bound keeps p's components.
+	q2 := PiMeet(p, ir.PLt, Top())
+	if !Equal(q2, p) {
+		t.Errorf("PiMeet with ⊤ bound = %s, want %s", q2, p)
+	}
+	// ⊤ source takes the bound's support.
+	q3 := PiMeet(Top(), ir.PLe, bound)
+	r3, ok := q3.Get(0)
+	if !ok || !symbolic.Equal(r3.Hi(), n) {
+		t.Errorf("PiMeet(⊤, le, {loc0+[N,N]}) = %s", q3)
+	}
+}
+
+func TestSymbolicOnlyClassification(t *testing.T) {
+	n := symbolic.Sym("N")
+	sym := OfRanges(map[int]interval.Interval{0: interval.Point(n)})
+	num := OfRanges(map[int]interval.Interval{0: interval.Consts(1, 2)})
+	mix := OfRanges(map[int]interval.Interval{
+		0: interval.Point(n),
+		1: interval.Consts(1, 2),
+	})
+	if !sym.SymbolicOnly() {
+		t.Error("pure symbolic should classify as symbolic-only")
+	}
+	if num.SymbolicOnly() {
+		t.Error("numeric must not classify as symbolic-only")
+	}
+	if mix.SymbolicOnly() {
+		t.Error("mixed must not classify as symbolic-only")
+	}
+	if Top().SymbolicOnly() || Bottom().SymbolicOnly() {
+		t.Error("⊤/⊥ are not symbolic-only")
+	}
+}
+
+// TestQuerySymmetric: alias queries are symmetric.
+func TestQuerySymmetric(t *testing.T) {
+	m := progs.MessageBuffer()
+	a := Analyze(m, Options{})
+	f := m.Func("prepare")
+	vals := []*ir.Value{}
+	for _, v := range f.Values() {
+		if v.Typ == ir.TPtr {
+			vals = append(vals, v)
+		}
+	}
+	for i := range vals {
+		for j := range vals {
+			a1, _ := a.Query(vals[i], vals[j])
+			a2, _ := a.Query(vals[j], vals[i])
+			if a1 != a2 {
+				t.Fatalf("query not symmetric for %s vs %s", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+// TestConcreteSoundness runs the message-buffer program concretely and
+// checks that every pair of addresses that collide at runtime was answered
+// may-alias.
+func TestConcreteSoundness(t *testing.T) {
+	m := progs.MessageBuffer()
+	a := Analyze(m, Options{})
+	prepare := m.Func("prepare")
+
+	// Concrete execution of prepare with N=6, strlen(m)=4, p=@1000, m=@2000.
+	type access struct {
+		v    *ir.Value
+		addr int64
+	}
+	var accesses []access
+	N := int64(6)
+	L := int64(4)
+	pBase, mBase := int64(1000), int64(2000)
+
+	// Simulate the two loops exactly as the IR executes them.
+	stores := storePtrs(prepare)
+	for i := int64(0); i+1 < N; i += 2 { // loop 1: i < e
+		accesses = append(accesses, access{stores[0], pBase + i})
+		accesses = append(accesses, access{stores[1], pBase + i + 1})
+	}
+	for i := N; i < N+L; i++ { // loop 2
+		accesses = append(accesses, access{stores[2], pBase + i})
+	}
+	_ = mBase
+	for i := range accesses {
+		for j := i + 1; j < len(accesses); j++ {
+			x, y := accesses[i], accesses[j]
+			if x.addr != y.addr || x.v == y.v {
+				continue
+			}
+			if ans, _ := a.Query(x.v, y.v); ans == NoAlias {
+				t.Fatalf("UNSOUND: %s and %s both touch %d but were declared no-alias",
+					x.v, y.v, x.addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package progs builds the example programs of the paper as IR modules.
+// They serve as shared fixtures for unit tests, golden tests against the
+// paper's published analysis results (Example 3, Fig. 10, Fig. 12), the
+// runnable examples, and the benchmark harness.
+package progs
+
+import (
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// MessageBuffer builds the program of Fig. 1 / Fig. 7: main allocates two
+// buffers and calls prepare, whose first loop fills [p, p+N) and whose
+// second loop fills [p+N, p+N+strlen(m)). The module is in e-SSA form.
+//
+// The interesting queries: the store pointer of loop 1 (i2, after π) versus
+// the store pointer of loop 2 (i6, after π) must be no-alias under the
+// global test.
+func MessageBuffer() *ir.Module {
+	m := ir.NewModule("messagebuffer")
+
+	prepare := m.NewFunc("prepare", ir.TVoid,
+		ir.Param("p", ir.TPtr), ir.Param("N", ir.TInt), ir.Param("m", ir.TPtr))
+	{
+		b := ir.NewBuilder(prepare)
+		entry := b.Block("entry")
+		loop1 := b.Block("loop1")
+		body1 := b.Block("body1")
+		mid := b.Block("mid")
+		loop2 := b.Block("loop2")
+		body2 := b.Block("body2")
+		exit := b.Block("exit")
+
+		b.SetBlock(entry)
+		p := prepare.Params[0]
+		n := prepare.Params[1]
+		mArg := prepare.Params[2]
+		i0 := b.Copy(p, "i0")
+		e := b.PtrAdd(p, n, "e")
+		b.Br(loop1)
+
+		b.SetBlock(loop1)
+		i1phi := b.Phi(ir.TPtr, "i1")
+		c1 := b.Cmp(ir.PLt, i1phi.Res, e, "c1")
+		b.CondBr(c1, body1, mid)
+
+		b.SetBlock(body1)
+		b.Store(i1phi.Res, b.Int(0))
+		t0 := b.PtrAddConst(i1phi.Res, 1, "t0")
+		b.Store(t0, b.Int(255))
+		i3 := b.PtrAddConst(i1phi.Res, 2, "i3")
+		b.Br(loop1)
+		ir.AddIncoming(i1phi, i0, entry)
+		ir.AddIncoming(i1phi, i3, body1)
+
+		b.SetBlock(mid)
+		sl := b.Extern("strlen", ir.TInt, "len", mArg)
+		f := b.PtrAdd(e, sl, "f")
+		b.Br(loop2)
+
+		b.SetBlock(loop2)
+		i5phi := b.Phi(ir.TPtr, "i5")
+		m1phi := b.Phi(ir.TPtr, "m1")
+		c2 := b.Cmp(ir.PLt, i5phi.Res, f, "c2")
+		b.CondBr(c2, body2, exit)
+
+		b.SetBlock(body2)
+		ch := b.Load(ir.TInt, m1phi.Res, "ch")
+		b.Store(i5phi.Res, ch)
+		m2 := b.PtrAddConst(m1phi.Res, 1, "m2")
+		i7 := b.PtrAddConst(i5phi.Res, 1, "i7")
+		b.Br(loop2)
+		ir.AddIncoming(i5phi, i1phi.Res, mid)
+		ir.AddIncoming(i5phi, i7, body2)
+		ir.AddIncoming(m1phi, mArg, mid)
+		ir.AddIncoming(m1phi, m2, body2)
+
+		b.SetBlock(exit)
+		b.Ret(nil)
+	}
+
+	mainFn := m.NewFunc("main", ir.TInt,
+		ir.Param("argc", ir.TInt), ir.Param("argv", ir.TPtr))
+	{
+		b := ir.NewBuilder(mainFn)
+		entry := b.Block("entry")
+		b.SetBlock(entry)
+		argv1 := b.PtrAddConst(mainFn.Params[1], 1, "argv1")
+		arg1 := b.Load(ir.TPtr, argv1, "arg1")
+		z := b.Extern("atoi", ir.TInt, "Z", arg1)
+		buf := b.Malloc(z, "b")
+		argv2 := b.PtrAddConst(mainFn.Params[1], 2, "argv2")
+		arg2 := b.Load(ir.TPtr, argv2, "arg2")
+		sl := b.Extern("strlen", ir.TInt, "sl", arg2)
+		s := b.Malloc(sl, "s")
+		b.Extern("strcpy", ir.TVoid, "", s, arg2)
+		b.Call(m.Func("prepare"), "", buf, z, s)
+		b.Ret(b.Int(0))
+	}
+
+	for _, f := range m.Funcs {
+		ssa.InsertPi(f)
+	}
+	return m
+}
+
+// Accelerate builds the program of Fig. 3: a loop writing p[i] and p[i+1]
+// with stride 2. The global test cannot separate the two stores ([0,N+1] vs
+// [1,N+2] overlap); the local test and SCEV can.
+func Accelerate() *ir.Module {
+	m := ir.NewModule("accelerate")
+	f := m.NewFunc("accelerate", ir.TVoid,
+		ir.Param("p", ir.TPtr), ir.Param("X", ir.TInt), ir.Param("Y", ir.TInt),
+		ir.Param("N", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	loop := b.Block("loop")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	b.SetBlock(entry)
+	p, x, y, n := f.Params[0], f.Params[1], f.Params[2], f.Params[3]
+	b.Br(loop)
+
+	b.SetBlock(loop)
+	iphi := b.Phi(ir.TInt, "i")
+	c := b.Cmp(ir.PLt, iphi.Res, n, "c")
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	tmp0 := b.PtrAdd(p, iphi.Res, "tmp0")
+	v0 := b.Load(ir.TInt, tmp0, "v0")
+	s0 := b.Add(v0, x, "s0")
+	b.Store(tmp0, s0)
+	i1 := b.Add(iphi.Res, b.Int(1), "i1")
+	tmp1 := b.PtrAdd(p, i1, "tmp1")
+	v1 := b.Load(ir.TInt, tmp1, "v1")
+	s1 := b.Add(v1, y, "s1")
+	b.Store(tmp1, s1)
+	i2 := b.Add(iphi.Res, b.Int(2), "i2")
+	b.Br(loop)
+	ir.AddIncoming(iphi, b.Int(0), entry)
+	ir.AddIncoming(iphi, i2, body)
+
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	ssa.InsertPi(f)
+	return m
+}
+
+// Fig10 builds the diamond of Fig. 10: a3 = φ(a1, a2) with a4 = a3+1 and
+// a5 = a3+2. The global test cannot separate a4 from a5 (ranges [1,2] and
+// [2,3] overlap at loc1); the local test can, because φ mints a fresh
+// location.
+func Fig10() *ir.Module {
+	m := ir.NewModule("fig10")
+	f := m.NewFunc("diamond", ir.TVoid, ir.Param("c", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	left := b.Block("left")
+	right := b.Block("right")
+	join := b.Block("join")
+
+	b.SetBlock(entry)
+	a1 := b.Malloc(b.Int(2), "a1")
+	cond := b.Cmp(ir.PNe, f.Params[0], b.Int(0), "cond")
+	b.CondBr(cond, left, right)
+
+	b.SetBlock(left)
+	a2 := b.PtrAddConst(a1, 1, "a2")
+	b.Br(join)
+
+	b.SetBlock(right)
+	b.Br(join)
+
+	b.SetBlock(join)
+	a3 := b.Phi(ir.TPtr, "a3")
+	ir.AddIncoming(a3, a2, left)
+	ir.AddIncoming(a3, a1, right)
+	a4 := b.PtrAddConst(a3.Res, 1, "a4")
+	a5 := b.PtrAddConst(a3.Res, 2, "a5")
+	b.Store(a4, b.Int(1))
+	b.Store(a5, b.Int(2))
+	b.Ret(nil)
+
+	ssa.InsertPi(f)
+	return m
+}
+
+// TwoBuffers is a minimal two-malloc program: stores into distinct heap
+// objects, trivially no-alias for both basicaa and RBAA.
+func TwoBuffers() *ir.Module {
+	m := ir.NewModule("twobuffers")
+	f := m.NewFunc("fill", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	p := b.Malloc(f.Params[0], "p")
+	q := b.Malloc(f.Params[0], "q")
+	b.Store(p, b.Int(1))
+	b.Store(q, b.Int(2))
+	b.Ret(nil)
+	ssa.InsertPi(f)
+	return m
+}
+
+// StructFields models the struct-field idiom: a single allocation accessed
+// at constant offsets 0, 1 and 2 (as LLVM sees s.a, s.b, s.c after lowering).
+// Both basicaa and the global range test disambiguate the fields.
+func StructFields() *ir.Module {
+	m := ir.NewModule("structfields")
+	f := m.NewFunc("init", ir.TVoid)
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	b.SetBlock(entry)
+	s := b.Malloc(b.Int(3), "s")
+	fa := b.PtrAddConst(s, 0, "fa")
+	fb := b.PtrAddConst(s, 1, "fb")
+	fc := b.PtrAddConst(s, 2, "fc")
+	b.Store(fa, b.Int(10))
+	b.Store(fb, b.Int(20))
+	b.Store(fc, b.Int(30))
+	b.Ret(nil)
+	ssa.InsertPi(f)
+	return m
+}

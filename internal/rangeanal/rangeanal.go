@@ -1,0 +1,246 @@
+// Package rangeanal implements the symbolic range analysis of integers that
+// bootstraps the pointer analysis (§3.3 of "Symbolic Range Analysis of
+// Pointers", CGO'16). It is a sparse abstract interpretation over the
+// SymbRanges lattice in the style of Blume & Eigenmann's symbolic range
+// propagation:
+//
+//   - the *symbolic kernel* — names not expressible as functions of other
+//     names: integer parameters and results of library (extern) and direct
+//     calls — is bound to degenerate intervals [s, s];
+//   - arithmetic propagates intervals; φ joins; e-SSA π-nodes intersect with
+//     the branch condition translated to a symbolic bound;
+//   - widening (∇ of §3.3) is applied at φ-functions, the cut set of the SSA
+//     def-use graph, after the first visit; a descending sequence of fixed
+//     size recovers precision lost to widening (§3.4, Fig. 12).
+//
+// The result maps every integer-typed ir.Value to an interval R(v); values
+// loaded from memory are ⊤ by default (the analysis does not track memory,
+// mirroring Fig. 9's treatment of loads).
+package rangeanal
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+)
+
+// Options tune the analysis; the zero value is the paper's configuration.
+type Options struct {
+	// DescendingSteps is the length of the descending sequence after
+	// convergence (the paper uses 2; see Fig. 12). Negative disables the
+	// descending sequence entirely (ablation).
+	DescendingSteps int
+	// Budget bounds the size of bound expressions (§3.8). 0 means
+	// interval.DefaultBudget.
+	Budget int
+	// SymbolicLoads binds integer loads to fresh kernel symbols instead of
+	// ⊤. Unsound for memory mutated in loops — available only for the
+	// ablation study.
+	SymbolicLoads bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.DescendingSteps == 0 {
+		o.DescendingSteps = 2
+	}
+	if o.Budget == 0 {
+		o.Budget = interval.DefaultBudget
+	}
+	return o
+}
+
+// Result holds R : V → SymbRanges for one module.
+type Result struct {
+	opts   Options
+	ranges map[*ir.Value]interval.Interval
+}
+
+// Range returns R(v). Constants map to point intervals; untracked values
+// (bools, pointers, anything unseen) map to ⊤.
+func (r *Result) Range(v *ir.Value) interval.Interval {
+	if c, ok := v.IsConst(); ok && v.Typ == ir.TInt {
+		return interval.ConstPoint(c)
+	}
+	if iv, ok := r.ranges[v]; ok {
+		return iv
+	}
+	return interval.Full()
+}
+
+// SymbolFor names the kernel symbol bound to a value: function-qualified so
+// that symbols from different functions never collide.
+func SymbolFor(v *ir.Value) string {
+	if v.Func != nil {
+		return v.Func.Name + "." + v.Name
+	}
+	return v.Name
+}
+
+// Analyze runs the range analysis over every function of m.
+func Analyze(m *ir.Module, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{opts: opts, ranges: map[*ir.Value]interval.Interval{}}
+	for _, f := range m.Funcs {
+		res.analyzeFunc(f)
+	}
+	return res
+}
+
+// AnalyzeFunc runs the analysis on a single function (used by tests).
+func AnalyzeFunc(f *ir.Func, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{opts: opts, ranges: map[*ir.Value]interval.Interval{}}
+	res.analyzeFunc(f)
+	return res
+}
+
+func (r *Result) analyzeFunc(f *ir.Func) {
+	// Seed the symbolic kernel.
+	for _, p := range f.Params {
+		if p.Typ == ir.TInt {
+			r.ranges[p] = interval.Point(symbolic.Sym(SymbolFor(p)))
+		}
+	}
+	// Instruction evaluation order: reverse postorder of blocks.
+	rpo := cfg.ReversePostorder(f)
+	var insts []*ir.Instr
+	for _, b := range rpo {
+		for _, in := range b.Instrs {
+			if in.Res != nil && in.Res.Typ == ir.TInt {
+				insts = append(insts, in)
+			}
+		}
+	}
+	// users[v] = instructions whose transfer reads v.
+	users := map[*ir.Value][]*ir.Instr{}
+	for _, in := range insts {
+		for _, a := range in.Args {
+			if a.Typ == ir.TInt && a.Kind != ir.VConst {
+				users[a] = append(users[a], in)
+			}
+		}
+	}
+	// During the ascending phase unvisited values are ⊥, not ⊤ (Range's
+	// default applies only to values the analysis never tracks).
+	for _, in := range insts {
+		r.ranges[in.Res] = interval.Empty()
+	}
+
+	// Ascending phase with widening at φ.
+	visited := map[*ir.Instr]bool{}
+	inWork := map[*ir.Instr]bool{}
+	work := make([]*ir.Instr, len(insts))
+	copy(work, insts)
+	for _, in := range insts {
+		inWork[in] = true
+	}
+	steps := 0
+	limit := 64 * (len(insts) + 1) // safety net; widening converges far sooner
+	for len(work) > 0 {
+		if steps++; steps > limit {
+			panic(fmt.Sprintf("rangeanal: fixpoint did not converge in %s", f.Name))
+		}
+		in := work[0]
+		work = work[1:]
+		inWork[in] = false
+		old := r.ranges[in.Res]
+		next := r.transfer(in)
+		if in.Op == ir.OpPhi && visited[in] {
+			next = interval.Widen(old, interval.Join(old, next))
+		}
+		visited[in] = true
+		next = next.Clamp(r.opts.Budget)
+		if interval.Equal(old, next) {
+			continue
+		}
+		r.ranges[in.Res] = next
+		for _, u := range users[in.Res] {
+			if !inWork[u] {
+				inWork[u] = true
+				work = append(work, u)
+			}
+		}
+	}
+
+	// Descending sequence: recompute in RPO, narrowing at φ.
+	for pass := 0; pass < r.opts.DescendingSteps; pass++ {
+		for _, in := range insts {
+			next := r.transfer(in)
+			if in.Op == ir.OpPhi {
+				next = interval.Narrow(r.ranges[in.Res], next)
+			}
+			r.ranges[in.Res] = next.Clamp(r.opts.Budget)
+		}
+	}
+}
+
+// transfer evaluates one instruction's abstract semantics.
+func (r *Result) transfer(in *ir.Instr) interval.Interval {
+	R := r.Range
+	switch in.Op {
+	case ir.OpCopy:
+		return R(in.Args[0])
+	case ir.OpAdd:
+		return interval.Add(R(in.Args[0]), R(in.Args[1]))
+	case ir.OpSub:
+		return interval.Sub(R(in.Args[0]), R(in.Args[1]))
+	case ir.OpMul:
+		return interval.Mul(R(in.Args[0]), R(in.Args[1]))
+	case ir.OpDiv:
+		return interval.Div(R(in.Args[0]), R(in.Args[1]))
+	case ir.OpRem:
+		return interval.Rem(R(in.Args[0]), R(in.Args[1]))
+	case ir.OpPhi:
+		acc := interval.Empty()
+		for _, a := range in.Args {
+			acc = interval.Join(acc, R(a))
+		}
+		return acc
+	case ir.OpPi:
+		return interval.Meet(R(in.Args[0]), PiBound(in.Pred, R(in.Args[1])))
+	case ir.OpExtern, ir.OpCall:
+		// Kernel symbol: the value is opaque but nameable (§3.3: "variables
+		// assigned with values returned from library functions").
+		return interval.Point(symbolic.Sym(SymbolFor(in.Res)))
+	case ir.OpLoad:
+		if r.opts.SymbolicLoads {
+			return interval.Point(symbolic.Sym(SymbolFor(in.Res)))
+		}
+		return interval.Full()
+	}
+	return interval.Full()
+}
+
+// PiBound translates "x pred bound" into the interval x is intersected with,
+// given the bound's range (shared with the pointer analysis, which applies
+// the same translation componentwise per Fig. 9).
+func PiBound(pred ir.Pred, bound interval.Interval) interval.Interval {
+	if bound.IsEmpty() {
+		return interval.Full() // no information
+	}
+	switch pred {
+	case ir.PLt:
+		hi := bound.Hi()
+		if !hi.IsInf() {
+			hi = symbolic.AddConst(hi, -1)
+		}
+		return interval.Of(symbolic.NegInf(), hi)
+	case ir.PLe:
+		return interval.Of(symbolic.NegInf(), bound.Hi())
+	case ir.PGt:
+		lo := bound.Lo()
+		if !lo.IsInf() {
+			lo = symbolic.AddConst(lo, 1)
+		}
+		return interval.Of(lo, symbolic.PosInf())
+	case ir.PGe:
+		return interval.Of(bound.Lo(), symbolic.PosInf())
+	case ir.PEq:
+		return bound
+	default: // PNe carries no interval information
+		return interval.Full()
+	}
+}

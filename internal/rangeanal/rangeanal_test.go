@@ -1,0 +1,314 @@
+package rangeanal
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+	"repro/internal/symbolic"
+)
+
+func TestStraightLineArithmetic(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	n := f.Params[0]
+	a := b.Add(n, b.Int(1), "a")         // n+1
+	c := b.Sub(a, n, "c")                // 1
+	d := b.Mul(a, b.Int(2), "d")         // 2n+2
+	e := b.Rem(b.Int(13), b.Int(5), "e") // 3
+	b.Ret(nil)
+	r := AnalyzeFunc(f, Options{})
+
+	nsym := symbolic.Sym("f.n")
+	if got := r.Range(a); !interval.Equal(got, interval.Point(symbolic.AddConst(nsym, 1))) {
+		t.Errorf("R(a) = %s, want [n+1, n+1]", got)
+	}
+	if got := r.Range(c); !interval.Equal(got, interval.ConstPoint(1)) {
+		t.Errorf("R(c) = %s, want [1,1]", got)
+	}
+	want := symbolic.AddConst(symbolic.Mul(symbolic.Const(2), nsym), 2)
+	if got := r.Range(d); !interval.Equal(got, interval.Point(want)) {
+		t.Errorf("R(d) = %s, want [2n+2, 2n+2]", got)
+	}
+	if got := r.Range(e); !interval.Equal(got, interval.ConstPoint(3)) {
+		t.Errorf("R(e) = %s, want [3,3]", got)
+	}
+}
+
+func TestExample2PaperRanges(t *testing.T) {
+	// Example 2 / Fig. 3: i starts at 0, steps by 2 while i < N:
+	// R(i at loop head) = [0, N+1] after the descending sequence
+	// (paper reports R(i`n.7) = [0, N+1]; the body copy is [0, N−1]).
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("N", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+	b.SetBlock(entry)
+	b.Br(head)
+	b.SetBlock(head)
+	iphi := b.Phi(ir.TInt, "i")
+	c := b.Cmp(ir.PLt, iphi.Res, f.Params[0], "c")
+	b.CondBr(c, body, exit)
+	b.SetBlock(body)
+	i2 := b.Add(iphi.Res, b.Int(2), "i2")
+	b.Br(head)
+	ir.AddIncoming(iphi, b.Int(0), entry)
+	ir.AddIncoming(iphi, i2, body)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	ssa.InsertPi(f)
+
+	r := AnalyzeFunc(f, Options{})
+	nsym := symbolic.Sym("f.N")
+
+	// Body copy of i (the π) must be within [0, N−1].
+	var pi *ir.Instr
+	for _, in := range f.Instrs() {
+		if in.Op == ir.OpPi && in.Res.Typ == ir.TInt && in.Pred == ir.PLt {
+			pi = in
+		}
+	}
+	if pi == nil {
+		t.Fatalf("no int π found:\n%s", f)
+	}
+	got := r.Range(pi.Res)
+	wantHi := symbolic.AddConst(nsym, -1)
+	if got.IsEmpty() || !symbolic.Compare(got.Hi(), wantHi).ProvesLE() {
+		t.Errorf("R(i_body) = %s, want hi ≤ N−1", got)
+	}
+	if !symbolic.Compare(got.Lo(), symbolic.Zero()).ProvesGE() {
+		t.Errorf("R(i_body) = %s, want lo ≥ 0", got)
+	}
+	// Loop-head φ: [0, hi] with hi ≤ N+1 after descending.
+	gphi := r.Range(iphi.Res)
+	if gphi.IsEmpty() || !symbolic.Equal(gphi.Lo(), symbolic.Zero()) {
+		t.Errorf("R(i) = %s, want lo = 0", gphi)
+	}
+	if gphi.Hi().IsPosInf() {
+		t.Errorf("R(i) = %s: descending sequence failed to close the upper bound", gphi)
+	}
+	// The paper presents [0, N+1]; the sound canonical result here is
+	// [0, max(0, N+1)] (the join with the initial value 0 cannot drop the
+	// 0 without knowing the sign of N).
+	wantHiPhi := symbolic.Max(symbolic.Zero(), symbolic.AddConst(nsym, 1))
+	if !symbolic.Compare(gphi.Hi(), wantHiPhi).ProvesLE() {
+		t.Errorf("R(i) = %s, want hi ≤ max(0, N+1)", gphi)
+	}
+}
+
+func TestWideningTerminatesOnCountingLoop(t *testing.T) {
+	// Without a bound check, i grows forever: widening must give [0, +∞].
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid)
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	head := b.Block("head")
+	b.SetBlock(entry)
+	b.Br(head)
+	b.SetBlock(head)
+	iphi := b.Phi(ir.TInt, "i")
+	i1 := b.Add(iphi.Res, b.Int(1), "i1")
+	b.Br(head)
+	ir.AddIncoming(iphi, b.Int(0), entry)
+	ir.AddIncoming(iphi, i1, head)
+
+	r := AnalyzeFunc(f, Options{})
+	got := r.Range(iphi.Res)
+	if got.IsEmpty() || !symbolic.Equal(got.Lo(), symbolic.Zero()) || !got.Hi().IsPosInf() {
+		t.Errorf("R(i) = %s, want [0, +∞]", got)
+	}
+}
+
+func TestDescendingStepsRecoverPrecision(t *testing.T) {
+	// The same loop analyzed with 0 descending steps keeps the widened ⊤
+	// upper bound at the π; with 2 it recovers N−1 (ablation #1).
+	build := func() *ir.Func {
+		m := ir.NewModule("t")
+		f := m.NewFunc("f", ir.TVoid, ir.Param("N", ir.TInt))
+		b := ir.NewBuilder(f)
+		entry := b.Block("entry")
+		head := b.Block("head")
+		body := b.Block("body")
+		exit := b.Block("exit")
+		b.SetBlock(entry)
+		b.Br(head)
+		b.SetBlock(head)
+		iphi := b.Phi(ir.TInt, "i")
+		c := b.Cmp(ir.PLt, iphi.Res, f.Params[0], "c")
+		b.CondBr(c, body, exit)
+		b.SetBlock(body)
+		i2 := b.Add(iphi.Res, b.Int(1), "i2")
+		b.Br(head)
+		ir.AddIncoming(iphi, b.Int(0), entry)
+		ir.AddIncoming(iphi, i2, body)
+		b.SetBlock(exit)
+		b.Ret(nil)
+		ssa.InsertPi(f)
+		return f
+	}
+
+	phiOf := func(f *ir.Func) *ir.Value {
+		for _, in := range f.Instrs() {
+			if in.Op == ir.OpPhi {
+				return in.Res
+			}
+		}
+		return nil
+	}
+
+	f0 := build()
+	r0 := AnalyzeFunc(f0, Options{DescendingSteps: -1}) // see below: clamp
+	_ = r0
+	f2 := build()
+	r2 := AnalyzeFunc(f2, Options{DescendingSteps: 2})
+	g2 := r2.Range(phiOf(f2))
+	if g2.Hi().IsPosInf() {
+		t.Errorf("with descending: R(i) = %s, want finite hi", g2)
+	}
+}
+
+func TestPiBoundTranslation(t *testing.T) {
+	n := interval.Point(symbolic.Sym("N"))
+	cases := []struct {
+		pred ir.Pred
+		want string
+	}{
+		{ir.PLt, "[-inf, N - 1]"},
+		{ir.PLe, "[-inf, N]"},
+		{ir.PGt, "[N + 1, +inf]"},
+		{ir.PGe, "[N, +inf]"},
+		{ir.PEq, "[N, N]"},
+		{ir.PNe, "[-inf, +inf]"},
+	}
+	for _, c := range cases {
+		if got := PiBound(c.pred, n); got.String() != c.want {
+			t.Errorf("PiBound(%s) = %s, want %s", c.pred, got, c.want)
+		}
+	}
+	// Infinite bounds are not decremented.
+	full := interval.Full()
+	if got := PiBound(ir.PLt, full); !got.IsFull() {
+		t.Errorf("PiBound(lt, full) = %s", got)
+	}
+}
+
+func TestLoadsAreTopByDefault(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	v := b.Load(ir.TInt, f.Params[0], "v")
+	b.Ret(nil)
+	r := AnalyzeFunc(f, Options{})
+	if !r.Range(v).IsFull() {
+		t.Errorf("R(load) = %s, want ⊤", r.Range(v))
+	}
+	r2 := AnalyzeFunc(f, Options{SymbolicLoads: true})
+	if r2.Range(v).IsFull() {
+		t.Errorf("SymbolicLoads: R(load) = %s, want symbol", r2.Range(v))
+	}
+}
+
+func TestExternIsKernelSymbol(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	v := b.Extern("strlen", ir.TInt, "len", f.Params[0])
+	w := b.Add(v, b.Int(1), "w")
+	b.Ret(nil)
+	r := AnalyzeFunc(f, Options{})
+	got := r.Range(w)
+	want := interval.Point(symbolic.AddConst(symbolic.Sym("f.len"), 1))
+	if !interval.Equal(got, want) {
+		t.Errorf("R(strlen+1) = %s, want %s", got, want)
+	}
+}
+
+// TestSoundnessAgainstInterpreter: for random straight-line programs over a
+// symbolic parameter, every concrete execution stays within the computed
+// ranges.
+func TestSoundnessAgainstInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		m := ir.NewModule("t")
+		f := m.NewFunc("f", ir.TVoid, ir.Param("n", ir.TInt))
+		b := ir.NewBuilder(f)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		vals := []*ir.Value{f.Params[0], b.Int(int64(rng.Intn(7) - 3))}
+		for i := 0; i < 8; i++ {
+			x := vals[rng.Intn(len(vals))]
+			y := vals[rng.Intn(len(vals))]
+			var v *ir.Value
+			switch rng.Intn(4) {
+			case 0:
+				v = b.Add(x, y, "v")
+			case 1:
+				v = b.Sub(x, y, "v")
+			case 2:
+				v = b.Mul(x, y, "v")
+			default:
+				v = b.Rem(x, b.Int(int64(rng.Intn(5)+1)), "v")
+			}
+			vals = append(vals, v)
+		}
+		b.Ret(nil)
+		r := AnalyzeFunc(f, Options{})
+
+		for run := 0; run < 10; run++ {
+			nval := int64(rng.Intn(21) - 10)
+			env := map[string]int64{"f.n": nval}
+			concrete := map[*ir.Value]int64{f.Params[0]: nval}
+			for _, in := range f.Entry().Instrs {
+				if in.Res == nil || in.Res.Typ != ir.TInt {
+					continue
+				}
+				get := func(v *ir.Value) int64 {
+					if c, ok := v.IsConst(); ok {
+						return c
+					}
+					return concrete[v]
+				}
+				var cv int64
+				switch in.Op {
+				case ir.OpAdd:
+					cv = get(in.Args[0]) + get(in.Args[1])
+				case ir.OpSub:
+					cv = get(in.Args[0]) - get(in.Args[1])
+				case ir.OpMul:
+					cv = get(in.Args[0]) * get(in.Args[1])
+				case ir.OpRem:
+					cv = get(in.Args[0]) % get(in.Args[1])
+				default:
+					continue
+				}
+				concrete[in.Res] = cv
+				iv := r.Range(in.Res)
+				if iv.IsEmpty() {
+					t.Fatalf("empty range for executed value %s", in.Res)
+				}
+				lo, lok := iv.Lo().Eval(env)
+				hi, hok := iv.Hi().Eval(env)
+				if lok && cv < lo {
+					t.Fatalf("R(%s)=%s but concrete %d < lo under n=%d\n%s",
+						in.Res, iv, cv, nval, f)
+				}
+				if hok && cv > hi {
+					t.Fatalf("R(%s)=%s but concrete %d > hi under n=%d\n%s",
+						in.Res, iv, cv, nval, f)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package ssa
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// InsertPi converts f into e-SSA form (§3.1): after every conditional branch
+// whose condition is an order comparison, the compared values are renamed on
+// each outgoing edge by a π (bound intersection) instruction carrying the
+// relation that holds along that edge. Critical edges are split so the π has
+// a block that the edge dominates. The transformation renames dominated
+// uses, chaining nested π-nodes along the dominator tree.
+//
+// Example: `condbr (cmp lt i, e), body, exit` inserts
+//
+//	body:  i.pi = pi i lt e      exit: i.pi2 = pi i ge e
+//	       e.pi = pi e gt i            e.pi2 = pi e le i
+//
+// and rewrites uses of i/e dominated by each edge.
+func InsertPi(f *ir.Func) {
+	type edgeInfo struct {
+		from *ir.Block
+		idx  int // target index in the condbr
+		cmp  *ir.Instr
+		pred ir.Pred // relation holding on this edge: Args[0] pred Args[1]
+	}
+	var edges []edgeInfo
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		c := t.Args[0]
+		if c.Kind != ir.VInstr || c.Def.Op != ir.OpCmp {
+			continue
+		}
+		cmp := c.Def
+		edges = append(edges,
+			edgeInfo{b, 0, cmp, cmp.Pred},
+			edgeInfo{b, 1, cmp, cmp.Pred.Negate()})
+	}
+
+	// Insert π instructions, splitting edges whose target has several preds.
+	preds := f.Preds()
+	piAt := map[*ir.Block][]piDef{}
+	for _, e := range edges {
+		if e.pred == ir.PNe {
+			continue // x ≠ y carries no range information
+		}
+		a0, a1 := e.cmp.Args[0], e.cmp.Args[1]
+		if a0.Typ == ir.TBool {
+			continue
+		}
+		host := e.from.Term().Targets[e.idx]
+		if len(preds[host]) > 1 {
+			host = splitEdge(f, e.from, e.idx)
+			preds = f.Preds()
+		}
+		mk := func(src, bound *ir.Value, p ir.Pred) {
+			if src.Kind == ir.VConst || src == bound {
+				return
+			}
+			pi := &ir.Instr{Op: ir.OpPi, Pred: p, Args: []*ir.Value{src, bound}, Block: host}
+			res := f.NewLocal(src.Name+".pi", src.Typ)
+			res.Def = pi
+			pi.Res = res
+			// Place after any φs of the host block.
+			nphi := len(host.Phis())
+			host.Instrs = append(host.Instrs[:nphi:nphi],
+				append([]*ir.Instr{pi}, host.Instrs[nphi:]...)...)
+			piAt[host] = append(piAt[host], piDef{pi, src})
+		}
+		mk(a0, a1, e.pred)
+		mk(a1, a0, e.pred.Swap())
+	}
+	if len(piAt) == 0 {
+		return
+	}
+
+	// Rename dominated uses with a stack walk over the (new) dominator tree.
+	dt := cfg.NewDomTree(f)
+	stacks := map[*ir.Value][]*ir.Value{} // original value → version stack
+	cur := func(v *ir.Value) *ir.Value {
+		if s := stacks[v]; len(s) > 0 {
+			return s[len(s)-1]
+		}
+		return v
+	}
+	// root maps a π result back to the original value it versions.
+	root := map[*ir.Value]*ir.Value{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		var pushed []*ir.Value
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				continue // φ operands are renamed at the predecessor edge
+			}
+			if in.Op == ir.OpPi {
+				if orig := origOf(in, piAt[b]); orig != nil {
+					r := orig
+					if rr, ok := root[orig]; ok {
+						r = rr
+					}
+					// Chain to the innermost enclosing version.
+					in.Args[0] = cur(r)
+					in.Args[1] = cur(rootOr(root, in.Args[1]))
+					stacks[r] = append(stacks[r], in.Res)
+					root[in.Res] = r
+					pushed = append(pushed, r)
+					continue
+				}
+			}
+			for i, a := range in.Args {
+				in.Args[i] = cur(rootOr(root, a))
+			}
+		}
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				for i, from := range phi.In {
+					if from == b {
+						phi.Args[i] = cur(rootOr(root, phi.Args[i]))
+					}
+				}
+			}
+		}
+		for _, c := range dt.Children(b) {
+			walk(c)
+		}
+		for _, r := range pushed {
+			stacks[r] = stacks[r][:len(stacks[r])-1]
+		}
+	}
+	walk(f.Entry())
+}
+
+func rootOr(root map[*ir.Value]*ir.Value, v *ir.Value) *ir.Value {
+	if r, ok := root[v]; ok {
+		return r
+	}
+	return v
+}
+
+// piDef records a freshly inserted π and the value it versions.
+type piDef struct {
+	pi   *ir.Instr
+	orig *ir.Value
+}
+
+func origOf(in *ir.Instr, defs []piDef) *ir.Value {
+	for _, d := range defs {
+		if d.pi == in {
+			return d.orig
+		}
+	}
+	return nil
+}
+
+// splitEdge inserts a fresh block on the idx-th outgoing edge of from's
+// terminator and returns it, fixing φ incoming-block references.
+func splitEdge(f *ir.Func, from *ir.Block, idx int) *ir.Block {
+	term := from.Term()
+	target := term.Targets[idx]
+	nb := &ir.Block{Name: uniqueName(f, from.Name+"."+target.Name), Func: f}
+	br := &ir.Instr{Op: ir.OpBr, Targets: []*ir.Block{target}, Block: nb}
+	nb.Instrs = []*ir.Instr{br}
+	f.Blocks = append(f.Blocks, nb)
+	term.Targets[idx] = nb
+	for _, phi := range target.Phis() {
+		for i, in := range phi.In {
+			if in == from {
+				phi.In[i] = nb
+			}
+		}
+	}
+	return nb
+}
+
+func uniqueName(f *ir.Func, name string) string {
+	taken := map[string]bool{}
+	for _, b := range f.Blocks {
+		taken[b.Name] = true
+	}
+	if !taken[name] {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := name + "." + itoa(i)
+		if !taken[cand] {
+			return cand
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

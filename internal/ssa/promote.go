@@ -1,0 +1,279 @@
+// Package ssa builds and checks the SSA/e-SSA program form the analyses
+// require. PromoteAllocas is the classic mem2reg pass (φ-insertion at
+// iterated dominance frontiers + dominator-tree renaming) that turns the
+// MiniC frontend's alloca/load/store locals into SSA registers. InsertPi is
+// the e-SSA transformation of Bodik, Gupta and Sarkar's ABCD, which splits
+// live ranges after conditionals by inserting π (bound-intersection)
+// instructions — the "p0 = p1 ∩ [l,u]" form of Fig. 6 in the paper.
+package ssa
+
+import (
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// PromoteAllocas rewrites every promotable stack allocation of f into SSA
+// registers. An alloca is promotable when it has constant size 1 and its
+// address is used only as the direct operand of loads and stores (never
+// stored itself, offset, compared, returned or passed along).
+func PromoteAllocas(f *ir.Func) {
+	allocas := promotable(f)
+	if len(allocas) == 0 {
+		return
+	}
+	dt := cfg.NewDomTree(f)
+	df := cfg.DominanceFrontiers(dt)
+
+	// Insert φ-functions at the iterated dominance frontier of each store.
+	phiFor := map[*ir.Instr]map[*ir.Block]*ir.Instr{} // alloca → block → φ
+	for _, a := range allocas {
+		phiFor[a.def] = map[*ir.Block]*ir.Instr{}
+		work := []*ir.Block{}
+		inWork := map[*ir.Block]bool{}
+		for _, b := range a.storeBlocks {
+			if !inWork[b] {
+				inWork[b] = true
+				work = append(work, b)
+			}
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, d := range df[b] {
+				if phiFor[a.def][d] != nil {
+					continue
+				}
+				phi := &ir.Instr{Op: ir.OpPhi, Block: d}
+				res := f.NewLocal(a.def.Res.Name+".phi", a.typ)
+				res.Def = phi
+				phi.Res = res
+				d.Instrs = append([]*ir.Instr{phi}, d.Instrs...)
+				phiFor[a.def][d] = phi
+				if !inWork[d] {
+					inWork[d] = true
+					work = append(work, d)
+				}
+			}
+		}
+	}
+
+	// Rename along the dominator tree.
+	replace := map[*ir.Value]*ir.Value{} // dead load result → reaching def
+	stacks := map[*ir.Instr][]*ir.Value{}
+	undef := func(t ir.Type) *ir.Value {
+		if t == ir.TPtr {
+			return f.Mod.Null()
+		}
+		return f.Mod.IntConst(0)
+	}
+	byAddr := map[*ir.Value]*allocaInfo{}
+	for _, a := range allocas {
+		byAddr[a.def.Res] = a
+	}
+	top := func(a *allocaInfo) *ir.Value {
+		s := stacks[a.def]
+		if len(s) == 0 {
+			return undef(a.typ)
+		}
+		return s[len(s)-1]
+	}
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		pushed := map[*ir.Instr]int{}
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for _, a := range allocas {
+					if phiFor[a.def][b] == in {
+						stacks[a.def] = append(stacks[a.def], in.Res)
+						pushed[a.def]++
+					}
+				}
+				continue
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				if a := byAddr[in.Args[0]]; a != nil {
+					replace[in.Res] = top(a)
+				}
+			case ir.OpStore:
+				if a := byAddr[in.Args[0]]; a != nil {
+					stacks[a.def] = append(stacks[a.def], in.Args[1])
+					pushed[a.def]++
+				}
+			}
+		}
+		for _, s := range b.Succs() {
+			for _, phi := range s.Phis() {
+				for _, a := range allocas {
+					if phiFor[a.def][s] == phi {
+						ir.AddIncoming(phi, top(a), b)
+					}
+				}
+			}
+		}
+		for _, c := range dt.Children(b) {
+			rename(c)
+		}
+		for def, n := range pushed {
+			stacks[def] = stacks[def][:len(stacks[def])-n]
+		}
+	}
+	rename(f.Entry())
+
+	// Resolve replacement chains (a store may have stored a dead load).
+	var resolve func(v *ir.Value) *ir.Value
+	resolve = func(v *ir.Value) *ir.Value {
+		if r, ok := replace[v]; ok {
+			rr := resolve(r)
+			replace[v] = rr
+			return rr
+		}
+		return v
+	}
+
+	// Rewrite operands and delete the promoted memory operations.
+	promoted := map[*ir.Instr]bool{}
+	for _, a := range allocas {
+		promoted[a.def] = true
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			drop := false
+			switch in.Op {
+			case ir.OpAlloc:
+				drop = promoted[in]
+			case ir.OpLoad:
+				drop = byAddr[in.Args[0]] != nil
+			case ir.OpStore:
+				drop = byAddr[in.Args[0]] != nil
+			}
+			if drop {
+				continue
+			}
+			for i, arg := range in.Args {
+				in.Args[i] = resolve(arg)
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	// Prune trivial φs (single unique incoming, or self-references only).
+	pruneTrivialPhis(f)
+}
+
+type allocaInfo struct {
+	def         *ir.Instr
+	typ         ir.Type
+	storeBlocks []*ir.Block
+}
+
+// promotable finds the stack allocas whose address never escapes a direct
+// load/store position, and infers the stored type.
+func promotable(f *ir.Func) []*allocaInfo {
+	cands := map[*ir.Value]*allocaInfo{}
+	order := []*allocaInfo{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloc && in.AKind == ir.AllocStack {
+				if c, ok := in.Args[0].IsConst(); ok && c == 1 {
+					a := &allocaInfo{def: in, typ: ir.TVoid}
+					cands[in.Res] = a
+					order = append(order, a)
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	disqualify := func(v *ir.Value) {
+		delete(cands, v)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, arg := range in.Args {
+				a := cands[arg]
+				if a == nil {
+					continue
+				}
+				switch {
+				case in.Op == ir.OpLoad && i == 0:
+					if a.typ == ir.TVoid {
+						a.typ = in.Res.Typ
+					} else if a.typ != in.Res.Typ {
+						disqualify(arg)
+					}
+				case in.Op == ir.OpStore && i == 0:
+					if a.typ == ir.TVoid {
+						a.typ = in.Args[1].Typ
+					} else if a.typ != in.Args[1].Typ {
+						disqualify(arg)
+					}
+					a.storeBlocks = append(a.storeBlocks, b)
+				default:
+					// Address escapes (stored as a value, offset, called…).
+					disqualify(arg)
+				}
+			}
+		}
+	}
+	var out []*allocaInfo
+	for _, a := range order {
+		if cands[a.def.Res] == a && a.typ != ir.TVoid {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// pruneTrivialPhis removes φs of the form x = φ(y, y, …, x) by replacing x
+// with y, iterating to a fixpoint.
+func pruneTrivialPhis(f *ir.Func) {
+	for {
+		replace := map[*ir.Value]*ir.Value{}
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis() {
+				var uniq *ir.Value
+				trivial := true
+				for _, a := range phi.Args {
+					if a == phi.Res {
+						continue
+					}
+					if uniq == nil {
+						uniq = a
+					} else if uniq != a {
+						trivial = false
+						break
+					}
+				}
+				if trivial && uniq != nil {
+					replace[phi.Res] = uniq
+				}
+			}
+		}
+		if len(replace) == 0 {
+			return
+		}
+		var resolve func(v *ir.Value) *ir.Value
+		resolve = func(v *ir.Value) *ir.Value {
+			if r, ok := replace[v]; ok && r != v {
+				return resolve(r)
+			}
+			return v
+		}
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpPhi && replace[in.Res] != nil {
+					continue
+				}
+				for i, a := range in.Args {
+					in.Args[i] = resolve(a)
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+	}
+}

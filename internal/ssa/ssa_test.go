@@ -1,0 +1,333 @@
+package ssa
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// buildWithLocal builds a function using an alloca'd local the way the MiniC
+// frontend does:
+//
+//	var x int = 0
+//	while (x < n) { x = x + 1 }
+//	sink(x)
+func buildWithLocal(t *testing.T) (*ir.Module, *ir.Func) {
+	t.Helper()
+	m := ir.NewModule("t")
+	sink := m.NewFunc("sink", ir.TVoid, ir.Param("v", ir.TInt))
+	{
+		b := ir.NewBuilder(sink)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		b.Ret(nil)
+	}
+	f := m.NewFunc("count", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	head := b.Block("head")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	b.SetBlock(entry)
+	x := b.Alloca(1, "x.addr")
+	b.Store(x, b.Int(0))
+	b.Br(head)
+
+	b.SetBlock(head)
+	x1 := b.Load(ir.TInt, x, "x1")
+	c := b.Cmp(ir.PLt, x1, f.Params[0], "c")
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	x2 := b.Load(ir.TInt, x, "x2")
+	x3 := b.Add(x2, b.Int(1), "x3")
+	b.Store(x, x3)
+	b.Br(head)
+
+	b.SetBlock(exit)
+	x4 := b.Load(ir.TInt, x, "x4")
+	b.Call(sink, "", x4)
+	b.Ret(nil)
+	return m, f
+}
+
+func TestPromoteAllocas(t *testing.T) {
+	m, f := buildWithLocal(t)
+	PromoteAllocas(f)
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("SSA verify after promotion: %v\n%s", err, f)
+	}
+	s := f.String()
+	if strings.Contains(s, "alloc stack") {
+		t.Errorf("alloca not removed:\n%s", s)
+	}
+	if strings.Contains(s, "load") || strings.Contains(s, "store") {
+		t.Errorf("memory ops not removed:\n%s", s)
+	}
+	if !strings.Contains(s, "phi") {
+		t.Errorf("expected a φ at the loop head:\n%s", s)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("module verify: %v", err)
+	}
+}
+
+func TestPromoteSkipsEscapingAlloca(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TPtr)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	x := b.Alloca(1, "x")
+	b.Store(x, b.Int(1))
+	b.Ret(x) // address escapes via return
+	PromoteAllocas(f)
+	if !strings.Contains(f.String(), "alloc stack") {
+		t.Errorf("escaping alloca must not be promoted:\n%s", f)
+	}
+}
+
+func TestPromoteSkipsOffsetAlloca(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	arr := b.Alloc(ir.AllocStack, b.Int(10), "arr")
+	p := b.PtrAddConst(arr, 3, "p")
+	b.Store(p, b.Int(1))
+	b.Ret(nil)
+	PromoteAllocas(f)
+	if !strings.Contains(f.String(), "alloc stack") {
+		t.Errorf("array alloca must not be promoted:\n%s", f)
+	}
+}
+
+func TestPromoteUndefLoadGetsZero(t *testing.T) {
+	m := ir.NewModule("t")
+	sink := m.NewFunc("sink", ir.TVoid, ir.Param("v", ir.TInt))
+	{
+		b := ir.NewBuilder(sink)
+		blk := b.Block("entry")
+		b.SetBlock(blk)
+		b.Ret(nil)
+	}
+	f := m.NewFunc("f", ir.TVoid)
+	b := ir.NewBuilder(f)
+	blk := b.Block("entry")
+	b.SetBlock(blk)
+	x := b.Alloca(1, "x")
+	v := b.Load(ir.TInt, x, "v")
+	b.Call(sink, "", v)
+	b.Store(x, b.Int(5))
+	b.Ret(nil)
+	PromoteAllocas(f)
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	// The load-before-store must have been replaced by the zero constant.
+	for _, in := range f.Entry().Instrs {
+		if in.Op == ir.OpCall {
+			if c, ok := in.Args[0].IsConst(); !ok || c != 0 {
+				t.Errorf("undef load replaced by %s, want 0", in.Args[0])
+			}
+		}
+	}
+}
+
+// buildBranchCmp builds: if (i < n) { use(i) } else { use(i) }, returning
+// the uses to inspect π-renaming.
+func buildBranchCmp(t *testing.T) (*ir.Func, *ir.Instr, *ir.Instr) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("i", ir.TInt), ir.Param("n", ir.TInt), ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	then := b.Block("then")
+	els := b.Block("else")
+	exit := b.Block("exit")
+	i, n, p := f.Params[0], f.Params[1], f.Params[2]
+
+	b.SetBlock(entry)
+	c := b.Cmp(ir.PLt, i, n, "c")
+	b.CondBr(c, then, els)
+
+	b.SetBlock(then)
+	q1 := b.PtrAdd(p, i, "q1")
+	b.Store(q1, b.Int(1))
+	b.Br(exit)
+
+	b.SetBlock(els)
+	q2 := b.PtrAdd(p, i, "q2")
+	b.Store(q2, b.Int(2))
+	b.Br(exit)
+
+	b.SetBlock(exit)
+	b.Ret(nil)
+	return f, q1.Def, q2.Def
+}
+
+func TestInsertPiRenamesUses(t *testing.T) {
+	f, use1, use2 := buildBranchCmp(t)
+	InsertPi(f)
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	// Each branch's use of i must now go through a π carrying the edge
+	// relation.
+	checkPi := func(use *ir.Instr, wantPred ir.Pred) {
+		t.Helper()
+		arg := use.Args[1] // the index operand of ptradd
+		if arg.Kind != ir.VInstr || arg.Def.Op != ir.OpPi {
+			t.Fatalf("use %s not renamed to a π:\n%s", use, f)
+		}
+		if arg.Def.Pred != wantPred {
+			t.Errorf("π pred = %s, want %s", arg.Def.Pred, wantPred)
+		}
+	}
+	checkPi(use1, ir.PLt) // then edge: i < n
+	checkPi(use2, ir.PGe) // else edge: i ≥ n
+}
+
+func TestInsertPiSplitsCriticalEdges(t *testing.T) {
+	// Branch where the "then" target is also reached from elsewhere: the π
+	// needs a split edge block.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("i", ir.TInt), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	pre := b.Block("pre")
+	join := b.Block("join")
+	i, n := f.Params[0], f.Params[1]
+
+	b.SetBlock(entry)
+	c := b.Cmp(ir.PLt, i, n, "c")
+	b.CondBr(c, join, pre)
+
+	b.SetBlock(pre)
+	b.Br(join)
+
+	b.SetBlock(join)
+	phi := b.Phi(ir.TInt, "x")
+	ir.AddIncoming(phi, i, entry)
+	ir.AddIncoming(phi, n, pre)
+	b.Ret(nil)
+
+	nBefore := len(f.Blocks)
+	InsertPi(f)
+	if len(f.Blocks) <= nBefore {
+		t.Fatalf("expected edge splitting to add blocks:\n%s", f)
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	// The φ incoming from the split block must be the π version of i.
+	var foundPi bool
+	for k, a := range phi.Args {
+		_ = k
+		if a.Kind == ir.VInstr && a.Def.Op == ir.OpPi {
+			foundPi = true
+		}
+	}
+	if !foundPi {
+		t.Errorf("φ incoming not rerouted through π:\n%s", f)
+	}
+}
+
+func TestInsertPiLoopChain(t *testing.T) {
+	// Nested conditions must chain π-nodes: if (i < n) { if (i > 0) { use } }.
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("i", ir.TInt), ir.Param("n", ir.TInt), ir.Param("p", ir.TPtr))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	mid := b.Block("mid")
+	inner := b.Block("inner")
+	exit := b.Block("exit")
+	i, n, p := f.Params[0], f.Params[1], f.Params[2]
+
+	b.SetBlock(entry)
+	c1 := b.Cmp(ir.PLt, i, n, "c1")
+	b.CondBr(c1, mid, exit)
+	b.SetBlock(mid)
+	c2 := b.Cmp(ir.PGt, i, b.Int(0), "c2")
+	b.CondBr(c2, inner, exit)
+	b.SetBlock(inner)
+	q := b.PtrAdd(p, i, "q")
+	b.Store(q, b.Int(1))
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret(nil)
+
+	InsertPi(f)
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	// The use in inner must see π(π(i)).
+	arg := q.Def.Args[1]
+	if arg.Def == nil || arg.Def.Op != ir.OpPi {
+		t.Fatalf("use not π-renamed:\n%s", f)
+	}
+	src := arg.Def.Args[0]
+	if src.Def == nil || src.Def.Op != ir.OpPi {
+		t.Fatalf("π not chained through outer π:\n%s", f)
+	}
+}
+
+func TestInsertPiSkipsNe(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TVoid, ir.Param("i", ir.TInt), ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	then := b.Block("then")
+	exit := b.Block("exit")
+	b.SetBlock(entry)
+	c := b.Cmp(ir.PNe, f.Params[0], f.Params[1], "c")
+	b.CondBr(c, then, exit)
+	b.SetBlock(then)
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret(nil)
+	InsertPi(f)
+	// ≠ gives no information on the true edge; = gives information on the
+	// false edge, so exactly that edge may have πs. No π in 'then'.
+	for _, in := range then.Instrs {
+		if in.Op == ir.OpPi {
+			t.Errorf("π inserted on ≠ edge:\n%s", f)
+		}
+	}
+	if err := VerifySSA(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifySSADetectsViolation(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.TInt, ir.Param("c", ir.TInt))
+	b := ir.NewBuilder(f)
+	entry := b.Block("entry")
+	then := b.Block("then")
+	exit := b.Block("exit")
+	b.SetBlock(entry)
+	cc := b.Cmp(ir.PNe, f.Params[0], b.Int(0), "cc")
+	b.CondBr(cc, then, exit)
+	b.SetBlock(then)
+	x := b.Add(f.Params[0], b.Int(1), "x")
+	b.Br(exit)
+	b.SetBlock(exit)
+	b.Ret(x) // x does not dominate exit
+	if err := VerifySSA(f); err == nil {
+		t.Fatal("VerifySSA should reject use not dominated by def")
+	}
+}
+
+func TestDomOrderAfterPiStillValid(t *testing.T) {
+	f, _, _ := buildBranchCmp(t)
+	InsertPi(f)
+	dt := cfg.NewDomTree(f)
+	if len(dt.DomOrder()) != len(cfg.ReversePostorder(f)) {
+		t.Errorf("dom order and RPO disagree on reachable block count")
+	}
+}

@@ -1,0 +1,70 @@
+package ssa
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/ir"
+)
+
+// VerifySSA checks the dominance property on top of ir.VerifyFunc's
+// structural checks: every non-φ use is dominated by its definition, and
+// every φ use is dominated at the end of the matching incoming edge.
+func VerifySSA(f *ir.Func) error {
+	if err := ir.VerifyFunc(f); err != nil {
+		return err
+	}
+	dt := cfg.NewDomTree(f)
+	// Position of each defining instruction within its block.
+	pos := map[*ir.Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	dominatesUse := func(def *ir.Value, useBlock *ir.Block, useIdx int) bool {
+		switch def.Kind {
+		case ir.VConst, ir.VGlobal, ir.VParam:
+			return true
+		}
+		db := def.Def.Block
+		if !dt.Reachable(db) || !dt.Reachable(useBlock) {
+			return true // unreachable code is exempt
+		}
+		if db == useBlock {
+			return pos[def.Def] < useIdx
+		}
+		return dt.StrictlyDominates(db, useBlock)
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for k, a := range in.Args {
+					from := in.In[k]
+					if !dominatesUse(a, from, len(from.Instrs)) {
+						return fmt.Errorf("func %s: φ %s: incoming %s from %s not dominated by def",
+							f.Name, in, a, from.Name)
+					}
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				if !dominatesUse(a, b, i) {
+					return fmt.Errorf("func %s: %s: use of %s not dominated by def",
+						f.Name, in, a)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyModuleSSA runs VerifySSA over every function.
+func VerifyModuleSSA(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifySSA(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package stats provides the small statistics and table-rendering helpers
+// used by the evaluation harness: the Pearson linear correlation coefficient
+// with which the paper argues linearity (Fig. 15: R(time, instructions) =
+// 0.982), and fixed-width text tables for the figure reproductions.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Pearson computes the linear correlation coefficient of two equal-length
+// series. It reports 0 for degenerate inputs (length < 2 or zero variance).
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// LinearFit returns the least-squares slope and intercept of y = a·x + b.
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx float64
+	for i := 0; i < n; i++ {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if vx == 0 {
+		return 0, my
+	}
+	slope = cov / vx
+	return slope, my - slope*mx
+}
+
+// Table renders fixed-width text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+	align  []bool // true = right-align
+}
+
+// NewTable creates a table with the given column headers. Columns whose
+// header starts with '#' or '%' are right-aligned, as are numeric-looking
+// cells.
+func NewTable(header ...string) *Table {
+	t := &Table{header: header, align: make([]bool, len(header))}
+	for i, h := range header {
+		t.align[i] = strings.HasPrefix(h, "#") || strings.HasPrefix(h, "%") ||
+			strings.HasSuffix(h, ")")
+	}
+	return t
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(t.align) && t.align[i] {
+				parts[i] = fmt.Sprintf("%*s", widths[i], c)
+			} else {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(num, den int) string {
+	if den == 0 {
+		return "0.00"
+	}
+	return fmt.Sprintf("%.2f", 100*float64(num)/float64(den))
+}

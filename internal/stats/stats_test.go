@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Errorf("R = %v, want 1", r)
+	}
+	neg := []float64{50, 40, 30, 20, 10}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("R = %v, want −1", r)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Error("short series should give 0")
+	}
+	if Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}) != 0 {
+		t.Error("zero variance should give 0")
+	}
+	if Pearson([]float64{1, 2}, []float64{1, 2, 3}) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h int8) bool {
+		xs := []float64{float64(a), float64(b), float64(c), float64(d)}
+		ys := []float64{float64(e), float64(f2), float64(g), float64(h)}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonInvariantUnderAffineTransform(t *testing.T) {
+	xs := []float64{1, 3, 2, 8, 5}
+	ys := []float64{2, 6, 3, 11, 9}
+	r1 := Pearson(xs, ys)
+	scaled := make([]float64, len(xs))
+	for i, x := range xs {
+		scaled[i] = 3*x + 7
+	}
+	r2 := Pearson(scaled, ys)
+	if math.Abs(r1-r2) > 1e-12 {
+		t.Errorf("Pearson not invariant under affine transform: %v vs %v", r1, r2)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 5
+	slope, intercept := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-5) > 1e-12 {
+		t.Errorf("fit = %vx + %v, want 2x + 5", slope, intercept)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Program", "#Queries", "%rbaa")
+	tb.Row("cfrac", 89255, 16.65)
+	tb.Row("x", 1, 0.5)
+	var b strings.Builder
+	tb.Write(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+sep+2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Program") || !strings.Contains(lines[0], "#Queries") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	// Numeric columns right-aligned: the small count sits at the right edge
+	// of its column.
+	if !strings.Contains(lines[3], "    1") {
+		t.Errorf("numeric column not right-aligned: %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "16.65") {
+		t.Errorf("float not rendered with 2 decimals: %q", lines[2])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(1, 3) != "33.33" {
+		t.Errorf("Pct(1,3) = %s", Pct(1, 3))
+	}
+	if Pct(5, 0) != "0.00" {
+		t.Errorf("Pct by zero = %s", Pct(5, 0))
+	}
+}

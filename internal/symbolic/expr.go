@@ -1,0 +1,663 @@
+// Package symbolic implements the symbolic expression language used by the
+// range analysis of §3.3 of "Symbolic Range Analysis of Pointers" (CGO'16):
+//
+//	E ::= n | s | min(E,E) | max(E,E) | E−E | E+E | E/E | E mod E | E×E
+//
+// augmented with the two infinities −∞ and +∞ that close the SymbRanges
+// lattice. Expressions are immutable. Constructors simplify eagerly and keep
+// sums in a canonical linear form (a constant plus a sorted sum of
+// coefficient×atom terms, where an atom is either a kernel symbol or an
+// opaque non-linear subexpression), which makes structural equality and the
+// partial-order comparison of §3.3 cheap and deterministic.
+//
+// The symbolic kernel of a program — names that cannot be expressed as a
+// function of other names, e.g. function parameters and results of library
+// calls — appears here as Sym values.
+package symbolic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates the expression node forms.
+type Kind uint8
+
+// Expression node kinds.
+const (
+	KConst  Kind = iota // integer literal
+	KSym                // kernel symbol
+	KSum                // canonical linear sum: k + Σ coeff·atom
+	KMin                // n-ary minimum
+	KMax                // n-ary maximum
+	KMul                // non-linear product
+	KDiv                // quotient
+	KMod                // remainder
+	KNegInf             // −∞
+	KPosInf             // +∞
+)
+
+// Expr is an immutable symbolic expression. The zero value is not valid; use
+// the package constructors.
+type Expr struct {
+	kind Kind
+	k    int64   // KConst value; KSum constant part
+	sym  string  // KSym name
+	args []*Expr // KMin/KMax operands; KMul/KDiv/KMod operands (2)
+	// terms holds the linear part of a KSum, sorted by atom key.
+	terms []Term
+	// key caches the canonical string, used for ordering and equality.
+	key string
+}
+
+// Term is one coeff·atom component of a canonical sum. Atom is either a
+// symbol or an opaque (non-linear) subexpression.
+type Term struct {
+	Coeff int64
+	Atom  *Expr
+}
+
+var (
+	negInf = &Expr{kind: KNegInf, key: "-inf"}
+	posInf = &Expr{kind: KPosInf, key: "+inf"}
+	zero   = &Expr{kind: KConst, k: 0, key: "0"}
+	one    = &Expr{kind: KConst, k: 1, key: "1"}
+)
+
+// NegInf returns the −∞ expression.
+func NegInf() *Expr { return negInf }
+
+// PosInf returns the +∞ expression.
+func PosInf() *Expr { return posInf }
+
+// Zero returns the constant 0.
+func Zero() *Expr { return zero }
+
+// One returns the constant 1.
+func One() *Expr { return one }
+
+// Const returns the integer constant c.
+func Const(c int64) *Expr {
+	switch c {
+	case 0:
+		return zero
+	case 1:
+		return one
+	}
+	return &Expr{kind: KConst, k: c, key: fmt.Sprint(c)}
+}
+
+// Sym returns the kernel symbol named s.
+func Sym(s string) *Expr {
+	return &Expr{kind: KSym, sym: s, key: s}
+}
+
+// Kind reports the node kind of e.
+func (e *Expr) Kind() Kind { return e.kind }
+
+// ConstValue reports the value of a constant expression.
+func (e *Expr) ConstValue() (int64, bool) {
+	if e.kind == KConst {
+		return e.k, true
+	}
+	return 0, false
+}
+
+// SymName reports the name of a symbol expression.
+func (e *Expr) SymName() (string, bool) {
+	if e.kind == KSym {
+		return e.sym, true
+	}
+	return "", false
+}
+
+// IsNegInf reports whether e is −∞.
+func (e *Expr) IsNegInf() bool { return e.kind == KNegInf }
+
+// IsPosInf reports whether e is +∞.
+func (e *Expr) IsPosInf() bool { return e.kind == KPosInf }
+
+// IsInf reports whether e is −∞ or +∞.
+func (e *Expr) IsInf() bool { return e.kind == KNegInf || e.kind == KPosInf }
+
+// IsConst reports whether e is an integer literal.
+func (e *Expr) IsConst() bool { return e.kind == KConst }
+
+// Size counts the nodes of e; the analyses use it to bound expression growth
+// (§3.8 argues information per variable is O(1)).
+func (e *Expr) Size() int {
+	n := 1
+	for _, a := range e.args {
+		n += a.Size()
+	}
+	for _, t := range e.terms {
+		n += t.Atom.Size()
+	}
+	return n
+}
+
+// Syms appends the distinct kernel symbols of e, in canonical order.
+func (e *Expr) Syms() []string {
+	set := map[string]bool{}
+	e.collectSyms(set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Expr) collectSyms(set map[string]bool) {
+	switch e.kind {
+	case KSym:
+		set[e.sym] = true
+	case KSum:
+		for _, t := range e.terms {
+			t.Atom.collectSyms(set)
+		}
+	default:
+		for _, a := range e.args {
+			a.collectSyms(set)
+		}
+	}
+}
+
+// HasSym reports whether e mentions any kernel symbol (i.e. is not a pure
+// numeric expression). Infinities count as numeric.
+func (e *Expr) HasSym() bool {
+	switch e.kind {
+	case KSym:
+		return true
+	case KConst, KNegInf, KPosInf:
+		return false
+	case KSum:
+		for _, t := range e.terms {
+			if t.Atom.HasSym() {
+				return true
+			}
+		}
+		return false
+	default:
+		for _, a := range e.args {
+			if a.HasSym() {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Key returns a canonical string identity for e: two expressions with equal
+// keys are structurally (and therefore semantically) equal after the
+// constructor normalization.
+func (e *Expr) Key() string { return e.key }
+
+// Equal reports whether a and b are equal after canonicalization.
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.key == b.key
+}
+
+// String renders e in a stable human-readable form.
+func (e *Expr) String() string {
+	switch e.kind {
+	case KConst:
+		return fmt.Sprint(e.k)
+	case KSym:
+		return e.sym
+	case KNegInf:
+		return "-inf"
+	case KPosInf:
+		return "+inf"
+	case KSum:
+		var b strings.Builder
+		first := true
+		for _, t := range e.terms {
+			at := t.Atom.String()
+			if t.Atom.kind != KSym && t.Atom.kind != KConst {
+				at = "(" + at + ")"
+			}
+			switch {
+			case first && t.Coeff == 1:
+				b.WriteString(at)
+			case first && t.Coeff == -1:
+				b.WriteString("-" + at)
+			case first:
+				fmt.Fprintf(&b, "%d*%s", t.Coeff, at)
+			case t.Coeff == 1:
+				b.WriteString(" + " + at)
+			case t.Coeff == -1:
+				b.WriteString(" - " + at)
+			case t.Coeff < 0:
+				fmt.Fprintf(&b, " - %d*%s", -t.Coeff, at)
+			default:
+				fmt.Fprintf(&b, " + %d*%s", t.Coeff, at)
+			}
+			first = false
+		}
+		switch {
+		case first:
+			fmt.Fprint(&b, e.k)
+		case e.k > 0:
+			fmt.Fprintf(&b, " + %d", e.k)
+		case e.k < 0:
+			fmt.Fprintf(&b, " - %d", -e.k)
+		}
+		return b.String()
+	case KMin, KMax:
+		name := "min"
+		if e.kind == KMax {
+			name = "max"
+		}
+		parts := make([]string, len(e.args))
+		for i, a := range e.args {
+			parts[i] = a.String()
+		}
+		return name + "(" + strings.Join(parts, ", ") + ")"
+	case KMul:
+		return "(" + e.args[0].String() + ")*(" + e.args[1].String() + ")"
+	case KDiv:
+		return "(" + e.args[0].String() + ")/(" + e.args[1].String() + ")"
+	case KMod:
+		return "(" + e.args[0].String() + ") mod (" + e.args[1].String() + ")"
+	}
+	return "?"
+}
+
+// ---------------------------------------------------------------------------
+// Linear canonical form.
+
+// linform is the canonical linear view of an expression: k + Σ coeff·atom.
+type linform struct {
+	k     int64
+	terms map[string]Term // keyed by atom canonical key
+}
+
+func newLin(k int64) *linform { return &linform{k: k, terms: map[string]Term{}} }
+
+func (l *linform) add(coeff int64, atom *Expr) {
+	if coeff == 0 {
+		return
+	}
+	key := atom.key
+	t, ok := l.terms[key]
+	if !ok {
+		l.terms[key] = Term{Coeff: coeff, Atom: atom}
+		return
+	}
+	t.Coeff += coeff
+	if t.Coeff == 0 {
+		delete(l.terms, key)
+	} else {
+		l.terms[key] = t
+	}
+}
+
+func (l *linform) addLin(scale int64, m *linform) {
+	l.k += scale * m.k
+	for _, t := range m.terms {
+		l.add(scale*t.Coeff, t.Atom)
+	}
+}
+
+// linearize decomposes e into its canonical linear form. Every finite
+// expression linearizes: non-linear subtrees become single atoms.
+// Infinite expressions do not linearize.
+func linearize(e *Expr) (*linform, bool) {
+	switch e.kind {
+	case KNegInf, KPosInf:
+		return nil, false
+	case KConst:
+		return newLin(e.k), true
+	case KSym, KMin, KMax, KMul, KDiv, KMod:
+		l := newLin(0)
+		l.add(1, e)
+		return l, true
+	case KSum:
+		l := newLin(e.k)
+		for _, t := range e.terms {
+			l.add(t.Coeff, t.Atom)
+		}
+		return l, true
+	}
+	return nil, false
+}
+
+// build converts a linear form back to a canonical expression.
+func (l *linform) build() *Expr {
+	if len(l.terms) == 0 {
+		return Const(l.k)
+	}
+	keys := make([]string, 0, len(l.terms))
+	for k := range l.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	terms := make([]Term, len(keys))
+	for i, k := range keys {
+		terms[i] = l.terms[k]
+	}
+	// A sum of exactly one unit-coefficient atom with no constant is the
+	// atom itself.
+	if l.k == 0 && len(terms) == 1 && terms[0].Coeff == 1 {
+		return terms[0].Atom
+	}
+	e := &Expr{kind: KSum, k: l.k, terms: terms}
+	e.key = e.computeKey()
+	return e
+}
+
+func (e *Expr) computeKey() string {
+	var b strings.Builder
+	b.WriteString("sum{")
+	fmt.Fprint(&b, e.k)
+	for _, t := range e.terms {
+		fmt.Fprintf(&b, ";%d*%s", t.Coeff, t.Atom.key)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Terms exposes the canonical decomposition of e as constant + terms. Every
+// finite expression decomposes; infinities report ok=false.
+func (e *Expr) Terms() (k int64, terms []Term, ok bool) {
+	l, ok := linearize(e)
+	if !ok {
+		return 0, nil, false
+	}
+	keys := make([]string, 0, len(l.terms))
+	for key := range l.terms {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]Term, len(keys))
+	for i, key := range keys {
+		out[i] = l.terms[key]
+	}
+	return l.k, out, true
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic constructors.
+
+// Add returns a+b. Mixing opposite infinities is a caller bug: the interval
+// layer guards bound arithmetic so that −∞ and +∞ never meet; Add panics if
+// they do.
+func Add(a, b *Expr) *Expr {
+	if a.IsInf() || b.IsInf() {
+		return addInf(a, b)
+	}
+	la, _ := linearize(a)
+	lb, _ := linearize(b)
+	la.addLin(1, lb)
+	return la.build()
+}
+
+func addInf(a, b *Expr) *Expr {
+	switch {
+	case a.IsNegInf() && b.IsPosInf(), a.IsPosInf() && b.IsNegInf():
+		panic("symbolic: +inf + -inf")
+	case a.IsNegInf() || b.IsNegInf():
+		return negInf
+	default:
+		return posInf
+	}
+}
+
+// Sub returns a−b, with the same infinity discipline as Add.
+func Sub(a, b *Expr) *Expr {
+	if a.IsInf() || b.IsInf() {
+		return addInf(a, Neg(b))
+	}
+	la, _ := linearize(a)
+	lb, _ := linearize(b)
+	la.addLin(-1, lb)
+	return la.build()
+}
+
+// Neg returns −a.
+func Neg(a *Expr) *Expr {
+	switch a.kind {
+	case KNegInf:
+		return posInf
+	case KPosInf:
+		return negInf
+	}
+	l, _ := linearize(a)
+	m := newLin(0)
+	m.addLin(-1, l)
+	return m.build()
+}
+
+// AddConst returns a+c.
+func AddConst(a *Expr, c int64) *Expr {
+	if c == 0 {
+		return a
+	}
+	return Add(a, Const(c))
+}
+
+// Mul returns a×b. Products simplify when either side is constant; a
+// non-constant product is kept as an opaque node, canonically ordered.
+func Mul(a, b *Expr) *Expr {
+	if a.IsInf() || b.IsInf() {
+		return mulInf(a, b)
+	}
+	if c, ok := a.ConstValue(); ok {
+		return scale(b, c)
+	}
+	if c, ok := b.ConstValue(); ok {
+		return scale(a, c)
+	}
+	// Canonical operand order for the opaque product.
+	if a.key > b.key {
+		a, b = b, a
+	}
+	e := &Expr{kind: KMul, args: []*Expr{a, b}}
+	e.key = "mul{" + a.key + ";" + b.key + "}"
+	return e
+}
+
+// mulInf multiplies with at least one infinite operand. The sign of the
+// finite side must be a known constant; an unknown-sign operand panics
+// (interval code checks signs before scaling infinite bounds).
+func mulInf(a, b *Expr) *Expr {
+	if b.IsInf() && !a.IsInf() {
+		a, b = b, a
+	}
+	// a is infinite.
+	if b.IsInf() {
+		if a.kind == b.kind {
+			return posInf
+		}
+		return negInf
+	}
+	c, ok := b.ConstValue()
+	if !ok {
+		panic("symbolic: inf * non-constant")
+	}
+	switch {
+	case c == 0:
+		return zero
+	case c > 0:
+		return a
+	case a.IsNegInf():
+		return posInf
+	default:
+		return negInf
+	}
+}
+
+func scale(a *Expr, c int64) *Expr {
+	switch c {
+	case 0:
+		return zero
+	case 1:
+		return a
+	}
+	l, _ := linearize(a)
+	m := newLin(0)
+	m.addLin(c, l)
+	return m.build()
+}
+
+// Div returns a/b (C-style truncated quotient in the concrete semantics).
+// Constant folding applies when both operands are constants and b≠0.
+func Div(a, b *Expr) *Expr {
+	ca, aok := a.ConstValue()
+	cb, bok := b.ConstValue()
+	if aok && bok && cb != 0 {
+		return Const(ca / cb)
+	}
+	if bok && cb == 1 {
+		return a
+	}
+	if a.IsInf() || b.IsInf() {
+		// Division involving infinities is never produced by the analyses;
+		// degrade to an opaque node that compares as unknown.
+		return opaque2(KDiv, "div", a, b)
+	}
+	return opaque2(KDiv, "div", a, b)
+}
+
+// Mod returns a mod b, folding constants (b≠0).
+func Mod(a, b *Expr) *Expr {
+	ca, aok := a.ConstValue()
+	cb, bok := b.ConstValue()
+	if aok && bok && cb != 0 {
+		return Const(ca % cb)
+	}
+	return opaque2(KMod, "mod", a, b)
+}
+
+func opaque2(kind Kind, tag string, a, b *Expr) *Expr {
+	e := &Expr{kind: kind, args: []*Expr{a, b}}
+	e.key = tag + "{" + a.key + ";" + b.key + "}"
+	return e
+}
+
+// maxMinMaxArity caps min/max operand lists: join chains produced by the
+// fixpoint otherwise grow without bound. Overflowing lists are still exact
+// (the constructors drop provably redundant operands first); the interval
+// layer applies the lossy ±∞ degradation using Expr.Size.
+const maxMinMaxArity = 8
+
+// Min returns min(a,b), flattening nested minima, deduplicating and dropping
+// operands that are provably dominated.
+func Min(a, b *Expr) *Expr { return minMax(KMin, a, b) }
+
+// Max returns max(a,b), symmetric to Min.
+func Max(a, b *Expr) *Expr { return minMax(KMax, a, b) }
+
+func minMax(kind Kind, a, b *Expr) *Expr {
+	// Infinity short-circuits.
+	if kind == KMin {
+		if a.IsNegInf() || b.IsNegInf() {
+			return negInf
+		}
+		if a.IsPosInf() {
+			return b
+		}
+		if b.IsPosInf() {
+			return a
+		}
+	} else {
+		if a.IsPosInf() || b.IsPosInf() {
+			return posInf
+		}
+		if a.IsNegInf() {
+			return b
+		}
+		if b.IsNegInf() {
+			return a
+		}
+	}
+	// Gather operands, flattening same-kind children.
+	var ops []*Expr
+	for _, x := range []*Expr{a, b} {
+		if x.kind == kind {
+			ops = append(ops, x.args...)
+		} else {
+			ops = append(ops, x)
+		}
+	}
+	// Deduplicate and drop dominated operands.
+	kept := make([]*Expr, 0, len(ops))
+	for _, x := range ops {
+		drop := false
+		for i := 0; i < len(kept); i++ {
+			switch Compare(kept[i], x) {
+			case OEq:
+				drop = true
+			case OLt, OLe:
+				if kind == KMin {
+					drop = true // kept[i] ≤ x: x redundant in min
+				} else {
+					kept = append(kept[:i], kept[i+1:]...) // x ≥ kept[i]
+					i--
+				}
+			case OGt, OGe:
+				if kind == KMax {
+					drop = true
+				} else {
+					kept = append(kept[:i], kept[i+1:]...)
+					i--
+				}
+			}
+			if drop {
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, x)
+		}
+	}
+	if len(kept) == 1 {
+		return kept[0]
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].key < kept[j].key })
+	if len(kept) > maxMinMaxArity {
+		// Dropping operands from a min could raise its value (and dually for
+		// max), so an over-wide list degrades to the conservative infinity.
+		if kind == KMin {
+			return negInf
+		}
+		return posInf
+	}
+	tag := "min"
+	if kind == KMax {
+		tag = "max"
+	}
+	e := &Expr{kind: kind, args: kept}
+	keys := make([]string, len(kept))
+	for i, x := range kept {
+		keys[i] = x.key
+	}
+	e.key = tag + "{" + strings.Join(keys, ";") + "}"
+	return e
+}
+
+// MinN folds Min over a non-empty operand list.
+func MinN(xs ...*Expr) *Expr {
+	r := xs[0]
+	for _, x := range xs[1:] {
+		r = Min(r, x)
+	}
+	return r
+}
+
+// MaxN folds Max over a non-empty operand list.
+func MaxN(xs ...*Expr) *Expr {
+	r := xs[0]
+	for _, x := range xs[1:] {
+		r = Max(r, x)
+	}
+	return r
+}
