@@ -7,12 +7,14 @@
 package repro
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/alias"
 	"repro/internal/alias/andersen"
 	"repro/internal/alias/basicaa"
 	"repro/internal/alias/rbaa"
+	"repro/internal/alias/scevaa"
 	"repro/internal/benchgen"
 	"repro/internal/experiments"
 	"repro/internal/ir"
@@ -256,6 +258,82 @@ func BenchmarkOptClient(b *testing.B) {
 	}
 	b.ReportMetric(float64(counts["basic"]), "loads-rle(basic)")
 	b.ReportMetric(float64(counts["rbaa"]), "loads-rle(rbaa)")
+}
+
+// BenchmarkDriverFig13Suite compares the sequential and parallel experiment
+// drivers end-to-end on the 22-program Fig. 13 suite (generation + analysis
+// construction + query sweep). Tables are byte-identical either way (see
+// experiments.TestParallelMatchesSequentialTables); only the wall clock
+// changes.
+func BenchmarkDriverFig13Suite(b *testing.B) {
+	for _, bench := range []struct {
+		name     string
+		parallel int
+	}{{"seq", 1}, {"par4", 4}} {
+		b.Run(bench.name, func(b *testing.B) {
+			d := &experiments.Driver{Parallel: bench.parallel}
+			var total experiments.PrecisionRow
+			for i := 0; i < b.N; i++ {
+				total = experiments.Total(d.RunFig13Suite())
+			}
+			b.ReportMetric(float64(total.Queries)/b.Elapsed().Seconds()*float64(b.N), "queries/s")
+		})
+	}
+}
+
+// xlDriver lazily builds the scaleXL-2M program (~1.9M IR instructions, the
+// large tier of the Fig. 15 suite) and a deterministic strided sample of
+// its pointer-pair queries. Construction takes tens of seconds and is
+// shared by the sequential and parallel driver benchmarks below.
+var xlDriver struct {
+	once sync.Once
+	mgr  *alias.Manager
+	qs   []alias.Pair
+}
+
+func xlDriverSetup(b *testing.B) {
+	xlDriver.once.Do(func() {
+		cfg := benchgen.XLScalabilityConfigs()[0]
+		m := benchgen.Generate(cfg)
+		// Caching is disabled so every iteration measures member-evaluation
+		// throughput, not cache-replay throughput; member order matches
+		// experiments.NewPrecisionManager (Sweep decodes positionally).
+		xlDriver.mgr = alias.NewManager(
+			alias.ManagerOptions{Label: "scev+basic+rbaa", CacheLimit: -1},
+			scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{}))
+		all := alias.Queries(m)
+		const sample = 30000
+		stride := len(all) / sample
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(all) && len(xlDriver.qs) < sample; i += stride {
+			xlDriver.qs = append(xlDriver.qs, all[i])
+		}
+	})
+}
+
+// BenchmarkDriverXL compares sequential against parallel query-sweep
+// throughput on the extra-large scalability program. The acceptance target
+// is ≥2× queries/s for par4 over seq on a ≥4-core machine (GOMAXPROCS
+// permitting; a single-core container cannot show the speedup).
+func BenchmarkDriverXL(b *testing.B) {
+	for _, bench := range []struct {
+		name     string
+		parallel int
+	}{{"seq", 1}, {"par4", 4}} {
+		b.Run(bench.name, func(b *testing.B) {
+			xlDriverSetup(b)
+			d := &experiments.Driver{Parallel: bench.parallel}
+			b.ResetTimer()
+			var row experiments.PrecisionRow
+			for i := 0; i < b.N; i++ {
+				row = d.Sweep(xlDriver.mgr, xlDriver.qs)
+			}
+			b.ReportMetric(float64(row.Queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			b.ReportMetric(float64(row.Rbaa)/float64(row.Queries)*100, "%rbaa")
+		})
+	}
 }
 
 // BenchmarkQueryThroughput times the query side, which the paper's Fig. 15

@@ -6,6 +6,12 @@
 //	benchtables -fig 15    # scalability / linearity (Fig. 15)
 //	benchtables -fig ratio # §5 symbolic-only pointer ratio
 //	benchtables -fig all   # everything
+//
+// -parallel N fans benchmarks and query chunks out over N workers (the
+// tables are byte-identical for every N). Fig. 15 is the exception: it is
+// a timing experiment and always runs sequentially so the reported numbers
+// cannot be distorted by CPU contention. -xl appends the two extra-large
+// scalability programs to the Fig. 15 suite.
 package main
 
 import (
@@ -13,18 +19,31 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/benchgen"
 	"repro/internal/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 13, 14, 15, ratio, all")
 	scalePrograms := flag.Int("scale-programs", 50, "number of programs in the Fig. 15 suite")
+	parallel := flag.Int("parallel", 1, "worker count for fig 13/14/ratio (-1 = GOMAXPROCS); fig 15 timing always runs sequentially")
+	xl := flag.Bool("xl", false, "append the extra-large (≥1.9M instruction) programs to Fig. 15")
 	flag.Parse()
+
+	d := &experiments.Driver{Parallel: *parallel}
 
 	needPrecision := *fig == "13" || *fig == "14" || *fig == "ratio" || *fig == "all"
 	var rows []experiments.PrecisionRow
 	if needPrecision {
-		rows = experiments.RunFig13Suite()
+		rows = d.RunFig13Suite()
+	}
+
+	runScale := func() []experiments.ScaleRow {
+		cfgs := benchgen.ScalabilityConfigs(*scalePrograms)
+		if *xl {
+			cfgs = append(cfgs, benchgen.XLScalabilityConfigs()...)
+		}
+		return d.RunScale(cfgs)
 	}
 
 	switch *fig {
@@ -35,7 +54,7 @@ func main() {
 	case "ratio":
 		experiments.RenderRatio(os.Stdout, rows)
 	case "15":
-		experiments.RenderFig15(os.Stdout, experiments.RunFig15(*scalePrograms))
+		experiments.RenderFig15(os.Stdout, runScale())
 	case "all":
 		fmt.Println("=== Fig. 13: precision comparison ===")
 		experiments.RenderFig13(os.Stdout, rows)
@@ -44,7 +63,7 @@ func main() {
 		fmt.Println("\n=== §5: symbolic-only pointer ratio ===")
 		experiments.RenderRatio(os.Stdout, rows)
 		fmt.Println("\n=== Fig. 15: scalability ===")
-		experiments.RenderFig15(os.Stdout, experiments.RunFig15(*scalePrograms))
+		experiments.RenderFig15(os.Stdout, runScale())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
 		os.Exit(2)

@@ -19,10 +19,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/alias"
-	"repro/internal/alias/basicaa"
 	"repro/internal/alias/rbaa"
-	"repro/internal/alias/scevaa"
+	"repro/internal/experiments"
 	"repro/internal/frontend/minic"
 	"repro/internal/ir"
 	"repro/internal/pointer"
@@ -34,19 +32,20 @@ func main() {
 	dump := flag.String("dump", "", "dump: ir, gr, lr, ranges, dot")
 	queries := flag.Bool("queries", false, "run all pointer-pair queries and summarize")
 	query := flag.String("query", "", "answer one query: func.name,func.name")
+	parallel := flag.Int("parallel", 1, "worker count for the pair-summary sweep (default and -queries modes; -1 = GOMAXPROCS)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rbaa [flags] <file.mc|file.ir|->")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *format, *dump, *queries, *query); err != nil {
+	if err := run(flag.Arg(0), *format, *dump, *queries, *query, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "rbaa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, format, dump string, queries bool, query string) error {
+func run(path, format, dump string, queries bool, query string, parallel int) error {
 	var src []byte
 	var err error
 	if path == "-" {
@@ -79,7 +78,10 @@ func run(path, format, dump string, queries bool, query string) error {
 		return err
 	}
 
-	a := rbaa.New(m, pointer.Options{})
+	// The dump/-query paths need the rbaa pipeline directly; the summary
+	// path below builds its own analyses inside RunPrecision, so construct
+	// lazily to avoid analyzing large modules twice.
+	analyze := func() *rbaa.Analysis { return rbaa.New(m, pointer.Options{}) }
 
 	switch dump {
 	case "ir":
@@ -91,6 +93,7 @@ func run(path, format, dump string, queries bool, query string) error {
 		}
 		return nil
 	case "gr":
+		a := analyze()
 		for _, f := range m.Funcs {
 			fmt.Printf("func %s:\n", f.Name)
 			for _, v := range f.Values() {
@@ -101,6 +104,7 @@ func run(path, format, dump string, queries bool, query string) error {
 		}
 		return nil
 	case "lr":
+		a := analyze()
 		for _, f := range m.Funcs {
 			fmt.Printf("func %s:\n", f.Name)
 			for _, v := range f.Values() {
@@ -111,6 +115,7 @@ func run(path, format, dump string, queries bool, query string) error {
 		}
 		return nil
 	case "ranges":
+		a := analyze()
 		for _, f := range m.Funcs {
 			fmt.Printf("func %s:\n", f.Name)
 			for _, v := range f.Values() {
@@ -138,6 +143,7 @@ func run(path, format, dump string, queries bool, query string) error {
 		if err != nil {
 			return err
 		}
+		a := analyze()
 		ans, why := a.Query(p, q)
 		fmt.Printf("%s vs %s: %s", parts[0], parts[1], ans)
 		if ans == pointer.NoAlias {
@@ -151,21 +157,22 @@ func run(path, format, dump string, queries bool, query string) error {
 		return nil
 	}
 
-	// Default / -queries: per-analysis summary over all pairs.
-	b := basicaa.New(m)
-	s := scevaa.New(m)
-	comb := &alias.Combined{Members: []alias.Analysis{a, b}, Label: "r+b"}
-	n, counts := alias.Count(m, s, b, a, comb)
+	// Default / -queries: per-analysis summary over all pairs, evaluated by
+	// the experiments driver (chunked across -parallel workers; the table
+	// is byte-identical for every worker count).
+	row := (&experiments.Driver{Parallel: parallel}).RunPrecision(m.Name, m)
 	t := stats.NewTable("analysis", "#noalias", "%of queries")
-	for _, name := range []string{"scev", "basic", "rbaa", "r+b"} {
-		t.Row(name, counts[name], stats.Pct(counts[name], n))
+	for _, e := range []struct {
+		name string
+		n    int
+	}{{"scev", row.Scev}, {"basic", row.Basic}, {"rbaa", row.Rbaa}, {"r+b", row.RplusB}} {
+		t.Row(e.name, e.n, stats.Pct(e.n, row.Queries))
 	}
-	fmt.Printf("%s: %d pointer-pair queries\n\n", m.Name, n)
+	fmt.Printf("%s: %d pointer-pair queries\n\n", m.Name, row.Queries)
 	t.Write(os.Stdout)
 	if queries {
-		at := a.Attribute(m)
 		fmt.Printf("\nrbaa attribution: disjoint-support %d, global-range %d, local-range %d\n",
-			at.DisjointSupport, at.GlobalRange, at.LocalRange)
+			row.Disjoint, row.Global, row.Local)
 	}
 	return nil
 }

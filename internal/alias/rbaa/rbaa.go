@@ -29,6 +29,17 @@ func (a *Analysis) Alias(p, q *ir.Value) alias.Result {
 	return alias.MayAlias
 }
 
+var _ alias.Explainer = (*Analysis)(nil)
+
+// Explain implements alias.Explainer: no-alias answers carry the
+// pointer.Reason string that Fig. 14 attributes them to.
+func (a *Analysis) Explain(p, q *ir.Value) (alias.Result, string) {
+	if ans, why := a.Query(p, q); ans == pointer.NoAlias {
+		return alias.NoAlias, why.String()
+	}
+	return alias.MayAlias, ""
+}
+
 // Attribution tallies no-alias answers per reason over all module queries —
 // the data behind Fig. 14 ("column noalias … column global").
 type Attribution struct {

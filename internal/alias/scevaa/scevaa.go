@@ -12,12 +12,24 @@ type Analysis struct {
 
 var _ alias.Analysis = (*Analysis)(nil)
 
-// New builds the analysis (loop detection + lazy closed forms per function).
+// New builds the analysis: loop detection plus the closed forms Alias can
+// ever read — the index operand of each ptradd (of() memoizes the operand
+// chains transitively). Computing them eagerly here means Alias never
+// touches the memo tables afterwards: the resulting Analysis is immutable
+// and safe for concurrent queries (the contract alias.Manager relies on),
+// without materializing closed forms for the non-index values of large
+// modules.
 func New(m *ir.Module) *Analysis {
 	a := &Analysis{byFunc: map[*ir.Func]*funcSCEV{}}
 	for _, f := range m.Funcs {
 		if f.Entry() != nil {
-			a.byFunc[f] = newFuncSCEV(f)
+			fs := newFuncSCEV(f)
+			for _, in := range f.Instrs() {
+				if in.Op == ir.OpPtrAdd {
+					fs.of(in.Args[1])
+				}
+			}
+			a.byFunc[f] = fs
 		}
 	}
 	return a

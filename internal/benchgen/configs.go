@@ -84,6 +84,22 @@ func ScalabilityConfigs(n int) []Config {
 	return out
 }
 
+// XLScalabilityConfigs is the large tier of the Fig. 15 experiment: two
+// programs at least an order of magnitude above the biggest program of the
+// default 50-program suite (~165k instructions), exercising the paper's
+// linearity claim at the "million assembly instructions" scale of §1 per
+// *single module* (≈1.9M and ≈3.8M IR instructions). These are deliberately
+// kept out of ScalabilityConfigs: generation is fast but analysis takes
+// tens of seconds per program, so they are opt-in (benchtables -fig 15 -xl,
+// and the sequential-vs-parallel driver benchmarks in bench_test.go).
+func XLScalabilityConfigs() []Config {
+	base := Mix{Message: 2, Stride: 2, Fields: 2, MultiObj: 2, Chase: 3, Soup: 3, Cond: 1, Local: 1}
+	return []Config{
+		{Name: "scaleXL-2M", Seed: 9900, Workers: 75000, Mix: base},
+		{Name: "scaleXL-4M", Seed: 9901, Workers: 150000, Mix: base},
+	}
+}
+
 func pow(b float64, e int) float64 {
 	r := 1.0
 	for i := 0; i < e; i++ {

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/benchgen"
+)
+
+// TestParallelMatchesSequentialTables is the determinism contract of the
+// worker-pool driver: the rendered Fig. 13 and Fig. 14 tables (and the §5
+// ratio line) must be byte-identical for every Parallel setting.
+func TestParallelMatchesSequentialTables(t *testing.T) {
+	render := func(rows []PrecisionRow) string {
+		var b strings.Builder
+		RenderFig13(&b, rows)
+		RenderFig14(&b, rows)
+		RenderRatio(&b, rows)
+		return b.String()
+	}
+	seq := (&Driver{Parallel: 1}).RunFig13Suite()
+	want := render(seq)
+	for _, p := range []int{2, 8, -1} {
+		got := render((&Driver{Parallel: p}).RunFig13Suite())
+		if got != want {
+			t.Fatalf("Parallel=%d tables differ from sequential.\n--- seq ---\n%s\n--- par ---\n%s",
+				p, want, got)
+		}
+	}
+}
+
+// TestDriverChunkBoundaries drives the chunked sweep over query counts that
+// straddle the chunk size, on one module, comparing against Parallel=1.
+func TestDriverChunkBoundaries(t *testing.T) {
+	cfg := benchgen.Fig13Configs()[1] // espresso, the largest query count
+	m := benchgen.Generate(cfg)
+	seq := (&Driver{}).RunPrecision(cfg.Name, m)
+	for _, p := range []int{2, 3, 16} {
+		par := (&Driver{Parallel: p}).RunPrecision(cfg.Name, m)
+		if par != seq {
+			t.Errorf("Parallel=%d row differs: %+v vs %+v", p, par, seq)
+		}
+	}
+}
+
+// TestDriverConcurrentReuse: one driver value is stateless and usable from
+// several goroutines at once.
+func TestDriverConcurrentReuse(t *testing.T) {
+	d := &Driver{Parallel: 4}
+	cfgs := benchgen.Fig13Configs()[:3]
+	var wg sync.WaitGroup
+	rows := make([][]PrecisionRow, 4)
+	for i := range rows {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows[i] = d.RunSuite(cfgs)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < len(rows); i++ {
+		for j := range rows[i] {
+			if rows[i][j] != rows[0][j] {
+				t.Errorf("run %d row %d differs: %+v vs %+v", i, j, rows[i][j], rows[0][j])
+			}
+		}
+	}
+}
+
+// TestRunScaleDriverIndependence: RunScale deliberately ignores the
+// driver's parallelism (timing fidelity) — same programs, sizes and
+// ordering for every setting.
+func TestRunScaleDriverIndependence(t *testing.T) {
+	seq := (&Driver{}).RunFig15(6)
+	par := (&Driver{Parallel: 4}).RunFig15(6)
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Name != par[i].Name || seq[i].Instrs != par[i].Instrs ||
+			seq[i].Pointers != par[i].Pointers {
+			t.Errorf("row %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}

@@ -4,11 +4,19 @@
 // symbolic-pointer ratio. cmd/benchtables renders these as text tables;
 // bench_test.go wraps them as Go benchmarks. EXPERIMENTS.md records the
 // measured numbers next to the paper's.
+//
+// The pipeline is concurrent: a Driver fans benchmarks out across a worker
+// pool and splits each benchmark's query sweep into chunks evaluated in
+// parallel against an alias.Manager chaining scev → basic → rbaa. All
+// reductions are sums of per-chunk counters, so the resulting rows — and
+// the rendered tables — are byte-identical for every Parallel setting.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/alias"
@@ -20,6 +28,45 @@ import (
 	"repro/internal/pointer"
 	"repro/internal/rangeanal"
 	"repro/internal/stats"
+)
+
+// Driver runs the evaluation pipeline with a bounded worker pool.
+// The zero value runs everything on the calling goroutine.
+type Driver struct {
+	// Parallel is the worker count for both benchmark fan-out and
+	// per-benchmark query chunks. 0 or 1 means sequential; negative means
+	// GOMAXPROCS.
+	Parallel int
+}
+
+func (d *Driver) workers() int {
+	switch {
+	case d == nil, d.Parallel == 0:
+		return 1
+	case d.Parallel < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return d.Parallel
+	}
+}
+
+// chunkSize splits n queries into chunks sized for p workers: enough chunks
+// to balance uneven query costs, large enough to amortize scheduling.
+func chunkSize(n, p int) int {
+	c := n / (p * 4)
+	if c < 1024 {
+		c = 1024
+	}
+	return c
+}
+
+// Chain order of the precision manager built by NewPrecisionManager;
+// Sweep decodes member verdicts positionally against it, so a caller
+// assembling its own alias.Manager for Sweep must use the same order.
+const (
+	MemberScev = iota
+	MemberBasic
+	MemberRbaa
 )
 
 // PrecisionRow is one benchmark's results for Fig. 13 and Fig. 14.
@@ -34,18 +81,88 @@ type PrecisionRow struct {
 	SymOnly, SymTotal int
 }
 
-// RunPrecision evaluates one module against all analyses.
-func RunPrecision(name string, m *ir.Module) PrecisionRow {
+// add folds another partial row into r (all fields are plain sums).
+func (r *PrecisionRow) add(o PrecisionRow) {
+	r.Queries += o.Queries
+	r.Scev += o.Scev
+	r.Basic += o.Basic
+	r.Rbaa += o.Rbaa
+	r.RplusB += o.RplusB
+	r.Disjoint += o.Disjoint
+	r.Global += o.Global
+	r.Local += o.Local
+	r.SymOnly += o.SymOnly
+	r.SymTotal += o.SymTotal
+}
+
+// NewPrecisionManager builds the evaluation chain of Fig. 13 — scev →
+// basic → rbaa — over one module, returning the manager and the rbaa
+// member (needed separately for the §5 ratio). Memoization is disabled:
+// a precision sweep visits each canonical pair exactly once, so a cache
+// would pay per-query stores for a guaranteed 0% hit rate. Clients that
+// re-query pairs (opt passes, interactive use) should build their own
+// manager with the default cache.
+func NewPrecisionManager(m *ir.Module) (*alias.Manager, *rbaa.Analysis) {
 	r := rbaa.New(m, pointer.Options{})
-	b := basicaa.New(m)
-	s := scevaa.New(m)
-	row := PrecisionRow{Name: name}
-	for _, q := range alias.Queries(m) {
+	mgr := alias.NewManager(
+		alias.ManagerOptions{Label: "scev+basic+rbaa", CacheLimit: -1},
+		scevaa.New(m), basicaa.New(m), r)
+	return mgr, r
+}
+
+// RunPrecision evaluates one module against the chained analyses, splitting
+// the query sweep across the driver's workers. The analyses are built once
+// and are immutable during the sweep (see pointer.Analyze); each chunk
+// reduces into its own partial row and partial rows are summed in chunk
+// order, so the result is independent of goroutine scheduling.
+func (d *Driver) RunPrecision(name string, m *ir.Module) PrecisionRow {
+	mgr, r := NewPrecisionManager(m)
+	row := d.Sweep(mgr, alias.Queries(m))
+	row.Name = name
+	row.SymOnly, row.SymTotal = r.SymbolicOnlyRatio()
+	return row
+}
+
+// Sweep evaluates a fixed list of queries through a precision manager on
+// the driver's worker pool, reducing per-chunk partial rows in chunk order.
+// The manager must have been built by NewPrecisionManager (the member
+// indices are decoded positionally).
+func (d *Driver) Sweep(mgr *alias.Manager, qs []alias.Pair) PrecisionRow {
+	for i, want := range []string{"scev", "basic", "rbaa"} {
+		if mgr.NumMembers() <= i || mgr.MemberName(i) != want {
+			panic(fmt.Sprintf("experiments.Sweep: manager member %d is not %q; build the chain like NewPrecisionManager", i, want))
+		}
+	}
+	p := d.workers()
+	if p <= 1 || len(qs) == 0 {
+		return evalChunk(mgr, qs)
+	}
+	size := chunkSize(len(qs), p)
+	nchunks := (len(qs) + size - 1) / size
+	partials := make([]PrecisionRow, nchunks)
+	d.forEach(nchunks, func(c int) {
+		lo, hi := c*size, (c+1)*size
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		partials[c] = evalChunk(mgr, qs[lo:hi])
+	})
+	var row PrecisionRow
+	for _, pr := range partials {
+		row.add(pr)
+	}
+	return row
+}
+
+// evalChunk sweeps one slice of queries through the manager.
+func evalChunk(mgr *alias.Manager, qs []alias.Pair) PrecisionRow {
+	var row PrecisionRow
+	for _, q := range qs {
+		v := mgr.Evaluate(q.P, q.Q)
 		row.Queries++
-		sNo := s.Alias(q.P, q.Q) == alias.NoAlias
-		bNo := b.Alias(q.P, q.Q) == alias.NoAlias
-		ans, why := r.Query(q.P, q.Q)
-		rNo := ans == pointer.NoAlias
+		sNo := v.MemberNoAlias(MemberScev)
+		bNo := v.MemberNoAlias(MemberBasic)
+		rNo := v.MemberNoAlias(MemberRbaa)
 		if sNo {
 			row.Scev++
 		}
@@ -54,12 +171,12 @@ func RunPrecision(name string, m *ir.Module) PrecisionRow {
 		}
 		if rNo {
 			row.Rbaa++
-			switch why {
-			case pointer.ReasonDisjointSupport:
+			switch v.Detail(MemberRbaa) {
+			case pointer.ReasonDisjointSupport.String():
 				row.Disjoint++
-			case pointer.ReasonGlobalRange:
+			case pointer.ReasonGlobalRange.String():
 				row.Global++
-			case pointer.ReasonLocalRange:
+			case pointer.ReasonLocalRange.String():
 				row.Local++
 			}
 		}
@@ -67,33 +184,83 @@ func RunPrecision(name string, m *ir.Module) PrecisionRow {
 			row.RplusB++
 		}
 	}
-	row.SymOnly, row.SymTotal = r.SymbolicOnlyRatio()
 	return row
 }
 
-// RunFig13Suite runs the whole 22-program suite.
-func RunFig13Suite() []PrecisionRow {
-	var rows []PrecisionRow
-	for _, c := range benchgen.Fig13Configs() {
-		rows = append(rows, RunPrecision(c.Name, benchgen.Generate(c)))
+// RunSuite evaluates a list of benchmark configs, fanning the benchmarks
+// out across the driver's workers. Rows come back in config order. The
+// worker budget is split between the two levels — p benchmarks in flight ×
+// p/p′ sweep workers each — so the total stays at roughly d.Parallel
+// instead of its square.
+func (d *Driver) RunSuite(configs []benchgen.Config) []PrecisionRow {
+	p := d.workers()
+	outer := p
+	if outer > len(configs) {
+		outer = len(configs)
 	}
+	inner := &Driver{Parallel: 1}
+	if outer > 0 && p/outer > 1 {
+		inner.Parallel = p / outer
+	}
+	rows := make([]PrecisionRow, len(configs))
+	d.forEach(len(configs), func(i int) {
+		rows[i] = inner.RunPrecision(configs[i].Name, benchgen.Generate(configs[i]))
+	})
 	return rows
+}
+
+// forEach runs f(0..n-1) on the driver's worker pool, in order when
+// sequential.
+func (d *Driver) forEach(n int, f func(i int)) {
+	p := d.workers()
+	if p <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RunFig13Suite runs the whole 22-program suite.
+func (d *Driver) RunFig13Suite() []PrecisionRow {
+	return d.RunSuite(benchgen.Fig13Configs())
+}
+
+// RunPrecision evaluates one module sequentially (compatibility wrapper
+// around Driver).
+func RunPrecision(name string, m *ir.Module) PrecisionRow {
+	return (&Driver{}).RunPrecision(name, m)
+}
+
+// RunFig13Suite runs the whole 22-program suite sequentially.
+func RunFig13Suite() []PrecisionRow {
+	return (&Driver{}).RunFig13Suite()
 }
 
 // Total sums precision rows.
 func Total(rows []PrecisionRow) PrecisionRow {
 	t := PrecisionRow{Name: "Total"}
 	for _, r := range rows {
-		t.Queries += r.Queries
-		t.Scev += r.Scev
-		t.Basic += r.Basic
-		t.Rbaa += r.Rbaa
-		t.RplusB += r.RplusB
-		t.Disjoint += r.Disjoint
-		t.Global += r.Global
-		t.Local += r.Local
-		t.SymOnly += r.SymOnly
-		t.SymTotal += r.SymTotal
+		t.add(r)
 	}
 	return t
 }
@@ -141,13 +308,20 @@ type ScaleRow struct {
 	Elapsed  time.Duration
 }
 
-// RunFig15 generates n programs of growing size and times the *analysis
-// mapping* only (range analysis + GR + LR), matching the paper's
-// methodology: "we are counting only the time to map variables to values in
-// SymbRanges. We do not count the time to query each pair of pointers."
-func RunFig15(n int) []ScaleRow {
-	var rows []ScaleRow
-	for _, c := range benchgen.ScalabilityConfigs(n) {
+// RunScale times the *analysis mapping* only (range analysis + GR + LR) on
+// each config, matching the paper's methodology: "we are counting only the
+// time to map variables to values in SymbRanges. We do not count the time
+// to query each pair of pointers."
+//
+// RunScale deliberately ignores the driver's parallelism: it is a *timing*
+// experiment, so generation and analysis strictly interleave — one module
+// live at a time, nothing else on the CPU during a timed region. Running
+// generation (or other analyses) concurrently would inflate Elapsed by
+// memory-bandwidth and scheduler contention and make the reported numbers
+// depend on the worker count, which the determinism contract forbids.
+func (d *Driver) RunScale(configs []benchgen.Config) []ScaleRow {
+	rows := make([]ScaleRow, len(configs))
+	for i, c := range configs {
 		m := benchgen.Generate(c)
 		st := m.Stats()
 		start := time.Now()
@@ -156,14 +330,25 @@ func RunFig15(n int) []ScaleRow {
 		lr := pointer.AnalyzeLR(m, R, pointer.Options{})
 		elapsed := time.Since(start)
 		_, _ = gr, lr
-		rows = append(rows, ScaleRow{
+		rows[i] = ScaleRow{
 			Name:     c.Name,
 			Instrs:   st.Instrs,
 			Pointers: st.Pointers,
 			Elapsed:  elapsed,
-		})
+		}
 	}
 	return rows
+}
+
+// RunFig15 generates n programs of growing size and times their analysis
+// mapping (see RunScale).
+func (d *Driver) RunFig15(n int) []ScaleRow {
+	return d.RunScale(benchgen.ScalabilityConfigs(n))
+}
+
+// RunFig15 is the sequential compatibility wrapper around Driver.RunFig15.
+func RunFig15(n int) []ScaleRow {
+	return (&Driver{}).RunFig15(n)
 }
 
 // Fig15Correlations computes R(time, instructions) and R(time, pointers) —

@@ -61,6 +61,16 @@ type Analysis struct {
 
 // Analyze runs the full pipeline of Fig. 5 on a module already in e-SSA
 // form (run ssa.InsertPi first; frontends do this automatically).
+//
+// Concurrency contract: the returned Analysis is immutable. All query
+// methods (Query, QueryGR, QueryLR, Alias, SymbolicOnlyRatio) are pure
+// reads over state fixed at construction — AnalyzeLR eagerly binds every
+// root of the module so no lazy memoization remains — and are therefore
+// safe to call from any number of goroutines without synchronization, for
+// values of m's functions (parameters, instruction results, operands),
+// its globals, and the interned null constant. Querying values of a
+// *different* module, or pointer constants created after Analyze, is not
+// part of the contract.
 func Analyze(m *ir.Module, opts Options) *Analysis {
 	opts = opts.withDefaults()
 	R := rangeanal.Analyze(m, opts.Range)
@@ -110,7 +120,8 @@ func (a *Analysis) QueryLR(p, q *ir.Value) AliasAnswer {
 // complementary — "one is not a superset of the other" (§2) — so a pair is
 // no-alias if either succeeds. The returned Reason attributes the answer
 // for the Fig. 14 accounting (support disjointness, then the global range
-// test, then the local test).
+// test, then the local test). Query is a pure read and safe for concurrent
+// use (see Analyze).
 func (a *Analysis) Query(p, q *ir.Value) (AliasAnswer, Reason) {
 	if ans, why := a.QueryGR(p, q); ans == NoAlias {
 		return NoAlias, why

@@ -124,6 +124,11 @@ func (l *LRResult) intExpr(v *ir.Value) *symbolic.Expr {
 // §3.6, instructions are evaluated in the order given by each function's
 // dominance tree; every operand of a non-φ instruction is therefore already
 // bound when visited.
+//
+// After the pass, every value of m (including parameters, globals and
+// constant operands, which Fig. 11 treats as roots with offset [0,0]) has a
+// bound location, so queries through Loc/Offset on the module's values are
+// pure reads — the read-only concurrency contract of Analysis.Query.
 func AnalyzeLR(m *ir.Module, _ *rangeanal.Result, opts Options) *LRResult {
 	opts = opts.withDefaults()
 	l := &LRResult{
@@ -135,6 +140,31 @@ func AnalyzeLR(m *ir.Module, _ *rangeanal.Result, opts Options) *LRResult {
 	for _, f := range m.Funcs {
 		l.analyzeFunc(f)
 	}
+	// Bind the remaining roots eagerly: pointer values the dominance walk
+	// did not define (parameters, unreachable-block results), globals, and
+	// pointer constants appearing as operands. addr keeps existing
+	// bindings, so reachable results retain their computed locations.
+	for _, f := range m.Funcs {
+		for _, v := range f.Values() {
+			if v.Typ == ir.TPtr {
+				l.addr(v)
+			}
+		}
+		for _, in := range f.Instrs() {
+			for _, arg := range in.Args {
+				if arg != nil && arg.Typ == ir.TPtr {
+					l.addr(arg)
+				}
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		l.addr(g.Addr)
+	}
+	// The interned null constant is a legitimate query operand even when no
+	// instruction uses it (Null interns it on first call, so binding it
+	// here covers later Query(m.Null(), …) calls without a lazy write).
+	l.addr(m.Null())
 	return l
 }
 
