@@ -1,0 +1,58 @@
+// Command aliasd serves batched alias queries over HTTP/JSON — the daemon
+// face of internal/service.
+//
+//	aliasd                             # listen on 127.0.0.1:8417
+//	aliasd -addr 127.0.0.1:0 -portfile addr.txt   # random port, written to a file
+//	aliasd -parallel 8 -max-batch 8192 # bigger query worker pool and batches
+//
+// A session:
+//
+//	curl -X POST --data-binary @prog.mc "http://localhost:8417/v1/modules?name=prog&format=minic"
+//	curl -X POST -d '{"module":"prog","pairs":[{"func":"main","a":"p","b":"q"}]}' http://localhost:8417/v1/query
+//	curl http://localhost:8417/v1/stats
+//
+// See the package documentation of internal/service for the full API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8417", "listen address (use port 0 for a random port)")
+	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripted callers)")
+	parallel := flag.Int("parallel", -1, "query-stage worker pool size (-1 = GOMAXPROCS, 0/1 = sequential)")
+	maxBatch := flag.Int("max-batch", service.DefaultMaxBatch, "maximum pairs per /v1/query request")
+	maxSource := flag.Int("max-source-bytes", service.DefaultMaxSourceBytes, "maximum module source size accepted by /v1/modules")
+	maxModules := flag.Int("max-modules", service.DefaultMaxModules, "maximum registered modules")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		MaxBatch:       *maxBatch,
+		MaxSourceBytes: *maxSource,
+		MaxModules:     *maxModules,
+		Parallel:       *parallel,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("aliasd: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("aliasd: writing portfile: %v", err)
+		}
+	}
+	fmt.Printf("aliasd: listening on %s\n", bound)
+	if err := http.Serve(ln, svc.Handler()); err != nil {
+		log.Fatalf("aliasd: serve: %v", err)
+	}
+}

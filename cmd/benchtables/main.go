@@ -12,6 +12,10 @@
 // a timing experiment and always runs sequentially so the reported numbers
 // cannot be distorted by CPU contention. -xl appends the two extra-large
 // scalability programs to the Fig. 15 suite.
+//
+// -json replaces the text tables with one machine-readable report (the
+// experiments.Report schema) covering the selected figures — the format
+// bench-tracking tooling and cmd/aliasload consumers parse.
 package main
 
 import (
@@ -28,6 +32,7 @@ func main() {
 	scalePrograms := flag.Int("scale-programs", 50, "number of programs in the Fig. 15 suite")
 	parallel := flag.Int("parallel", 1, "worker count for fig 13/14/ratio (-1 = GOMAXPROCS); fig 15 timing always runs sequentially")
 	xl := flag.Bool("xl", false, "append the extra-large (≥1.9M instruction) programs to Fig. 15")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON report instead of text tables")
 	flag.Parse()
 
 	d := &experiments.Driver{Parallel: *parallel}
@@ -44,6 +49,25 @@ func main() {
 			cfgs = append(cfgs, benchgen.XLScalabilityConfigs()...)
 		}
 		return d.RunScale(cfgs)
+	}
+
+	if *asJSON {
+		var scale []experiments.ScaleRow
+		switch *fig {
+		case "13", "14", "ratio":
+		case "15":
+			scale = runScale()
+		case "all":
+			scale = runScale()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		if err := experiments.WriteJSON(os.Stdout, experiments.BuildReport(rows, scale)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	switch *fig {

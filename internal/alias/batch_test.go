@@ -1,0 +1,113 @@
+package alias_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/benchgen"
+)
+
+// TestManagerBatchedCountersMatchSequentialReplay models the aliasd
+// workload: batches drawn with replacement from the query set (so batches
+// overlap and replay pairs, exercising the memo cache) are evaluated by
+// concurrent workers through a read-only Snapshot. Every counter the
+// /v1/stats endpoint reports — queries, cache hits, computed, no-alias,
+// per-member counts, first-wins attribution, and the Fig. 14 detail
+// histograms — must equal a sequential replay of the exact same multiset of
+// queries on a twin manager.
+func TestManagerBatchedCountersMatchSequentialReplay(t *testing.T) {
+	m := benchgen.Generate(benchgen.Fig13Configs()[9]) // fixoutput: small, rich verdict mix
+	qs := alias.Queries(m)
+	if len(qs) < 10 {
+		t.Fatalf("fixture too small: %d queries", len(qs))
+	}
+
+	// Deterministic batches with duplicates: 64 batches × 128 pairs.
+	rng := rand.New(rand.NewSource(42))
+	const nBatches, batchSize = 64, 128
+	batches := make([][]alias.Pair, nBatches)
+	for b := range batches {
+		batches[b] = make([]alias.Pair, batchSize)
+		for i := range batches[b] {
+			q := qs[rng.Intn(len(qs))]
+			if rng.Intn(2) == 0 { // both orientations must canonicalize
+				q.P, q.Q = q.Q, q.P
+			}
+			batches[b][i] = q
+		}
+	}
+
+	// Concurrent run: workers pull whole batches via the snapshot handle.
+	concurrent := newTestManager(m, alias.ManagerOptions{})
+	snap := concurrent.Snapshot()
+	if !snap.Valid() {
+		t.Fatal("snapshot of a live manager reports invalid")
+	}
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range next {
+				for _, q := range batches[b] {
+					snap.Evaluate(q.P, q.Q)
+				}
+			}
+		}()
+	}
+	for b := range batches {
+		next <- b
+	}
+	close(next)
+	wg.Wait()
+
+	// Sequential replay of the same multiset on a twin manager.
+	sequential := newTestManager(m, alias.ManagerOptions{})
+	for _, batch := range batches {
+		for _, q := range batch {
+			sequential.Evaluate(q.P, q.Q)
+		}
+	}
+
+	got, want := snap.Stats(), sequential.Stats()
+	if got.Queries != int64(nBatches*batchSize) {
+		t.Errorf("queries = %d, want %d", got.Queries, nBatches*batchSize)
+	}
+	if got.CacheHits+got.Computed != got.Queries {
+		t.Errorf("cache hits %d + computed %d != queries %d", got.CacheHits, got.Computed, got.Queries)
+	}
+	if got.CacheHits == 0 {
+		t.Error("no cache hits despite replayed batches; fixture does not exercise the cache")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("concurrent batched stats diverge from sequential replay\n got: %+v\nwant: %+v", got, want)
+	}
+	if rate := got.CacheHitRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("cache hit rate = %v, want in (0, 1)", rate)
+	}
+
+	// The snapshot is a pure view: its verdicts must match the manager's.
+	for _, q := range qs[:10] {
+		if !sameVerdict(snap.Evaluate(q.P, q.Q), concurrent.Evaluate(q.P, q.Q)) {
+			t.Fatalf("snapshot verdict diverges from manager for %s,%s", q.P.Name, q.Q.Name)
+		}
+	}
+	if snap.Name() != concurrent.Name() || snap.NumMembers() != concurrent.NumMembers() {
+		t.Error("snapshot metadata diverges from manager")
+	}
+	for i := 0; i < snap.NumMembers(); i++ {
+		if snap.MemberName(i) != concurrent.MemberName(i) {
+			t.Errorf("snapshot member %d = %q, manager %q", i, snap.MemberName(i), concurrent.MemberName(i))
+		}
+	}
+	var zero alias.Snapshot
+	if zero.Valid() {
+		t.Error("zero snapshot reports valid")
+	}
+}

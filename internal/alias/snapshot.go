@@ -1,0 +1,50 @@
+package alias
+
+import "repro/internal/ir"
+
+// Snapshot is a read-only query handle over a Manager. Long-lived clients —
+// the network service in internal/service foremost — hold Snapshots rather
+// than *Manager so that the surface they can reach is exactly the
+// concurrency-safe one: answering queries and reading counters. A Snapshot
+// cannot rebuild or reorder the chain, and its zero value is invalid (Valid
+// reports false), which lets registries distinguish "module not loaded"
+// without nil-pointer hazards.
+//
+// Snapshots share the underlying Manager: queries issued through any
+// Snapshot of a Manager populate the same cache and the same counters.
+type Snapshot struct {
+	mg *Manager
+}
+
+// Snapshot returns a read-only handle over the manager.
+func (mg *Manager) Snapshot() Snapshot { return Snapshot{mg: mg} }
+
+// Valid reports whether the snapshot is backed by a manager.
+func (s Snapshot) Valid() bool { return s.mg != nil }
+
+// Name returns the chain label.
+func (s Snapshot) Name() string { return s.mg.Name() }
+
+// NumMembers returns the length of the chain.
+func (s Snapshot) NumMembers() int { return s.mg.NumMembers() }
+
+// MemberName returns the Name() of member i.
+func (s Snapshot) MemberName(i int) string { return s.mg.MemberName(i) }
+
+// Alias answers one query with the chained result.
+func (s Snapshot) Alias(p, q *ir.Value) Result { return s.mg.Alias(p, q) }
+
+// Evaluate answers one query with the full per-member verdict.
+func (s Snapshot) Evaluate(p, q *ir.Value) Verdict { return s.mg.Evaluate(p, q) }
+
+// Stats snapshots the manager's counters.
+func (s Snapshot) Stats() ManagerStats { return s.mg.Stats() }
+
+// CacheHitRate returns the fraction of queries served from the memo cache,
+// in [0, 1]; 0 when no queries have been answered.
+func (st ManagerStats) CacheHitRate() float64 {
+	if st.Queries == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(st.Queries)
+}

@@ -15,8 +15,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/alias"
@@ -26,12 +24,14 @@ import (
 	"repro/internal/benchgen"
 	"repro/internal/ir"
 	"repro/internal/pointer"
+	"repro/internal/pool"
 	"repro/internal/rangeanal"
 	"repro/internal/stats"
 )
 
-// Driver runs the evaluation pipeline with a bounded worker pool.
-// The zero value runs everything on the calling goroutine.
+// Driver runs the evaluation pipeline with a bounded worker pool
+// (internal/pool, shared with the alias-query service). The zero value runs
+// everything on the calling goroutine.
 type Driver struct {
 	// Parallel is the worker count for both benchmark fan-out and
 	// per-benchmark query chunks. 0 or 1 means sequential; negative means
@@ -39,26 +39,14 @@ type Driver struct {
 	Parallel int
 }
 
-func (d *Driver) workers() int {
-	switch {
-	case d == nil, d.Parallel == 0:
-		return 1
-	case d.Parallel < 0:
-		return runtime.GOMAXPROCS(0)
-	default:
-		return d.Parallel
+func (d *Driver) pool() *pool.Pool {
+	if d == nil {
+		return &pool.Pool{}
 	}
+	return &pool.Pool{Parallel: d.Parallel}
 }
 
-// chunkSize splits n queries into chunks sized for p workers: enough chunks
-// to balance uneven query costs, large enough to amortize scheduling.
-func chunkSize(n, p int) int {
-	c := n / (p * 4)
-	if c < 1024 {
-		c = 1024
-	}
-	return c
-}
+func (d *Driver) workers() int { return d.pool().Workers() }
 
 // Chain order of the precision manager built by NewPrecisionManager;
 // Sweep decodes member verdicts positionally against it, so a caller
@@ -137,15 +125,10 @@ func (d *Driver) Sweep(mgr *alias.Manager, qs []alias.Pair) PrecisionRow {
 	if p <= 1 || len(qs) == 0 {
 		return evalChunk(mgr, qs)
 	}
-	size := chunkSize(len(qs), p)
-	nchunks := (len(qs) + size - 1) / size
-	partials := make([]PrecisionRow, nchunks)
-	d.forEach(nchunks, func(c int) {
-		lo, hi := c*size, (c+1)*size
-		if hi > len(qs) {
-			hi = len(qs)
-		}
-		partials[c] = evalChunk(mgr, qs[lo:hi])
+	chunks := pool.Chunks(len(qs), pool.ChunkSize(len(qs), p))
+	partials := make([]PrecisionRow, len(chunks))
+	d.pool().ForEach(len(chunks), func(c int) {
+		partials[c] = evalChunk(mgr, qs[chunks[c][0]:chunks[c][1]])
 	})
 	var row PrecisionRow
 	for _, pr := range partials {
@@ -203,41 +186,10 @@ func (d *Driver) RunSuite(configs []benchgen.Config) []PrecisionRow {
 		inner.Parallel = p / outer
 	}
 	rows := make([]PrecisionRow, len(configs))
-	d.forEach(len(configs), func(i int) {
+	d.pool().ForEach(len(configs), func(i int) {
 		rows[i] = inner.RunPrecision(configs[i].Name, benchgen.Generate(configs[i]))
 	})
 	return rows
-}
-
-// forEach runs f(0..n-1) on the driver's worker pool, in order when
-// sequential.
-func (d *Driver) forEach(n int, f func(i int)) {
-	p := d.workers()
-	if p <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	if p > n {
-		p = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // RunFig13Suite runs the whole 22-program suite.

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the machine-readable form of the evaluation tables, emitted by
+// cmd/benchtables -json and consumed by bench-tracking tooling (and by
+// anything that wants the Fig. 13/14 numbers without scraping text tables).
+// Sections are nil when the corresponding figure was not requested.
+type Report struct {
+	// Fig13 carries one row per benchmark; each PrecisionRow also holds
+	// the Fig. 14 attribution counts and the §5 symbolic classification.
+	Fig13 []PrecisionRow `json:"fig13,omitempty"`
+	// Total sums the Fig13 rows.
+	Total *PrecisionRow `json:"total,omitempty"`
+	// GlobalSharePct is the Fig. 14 headline: global-test share of rbaa's
+	// no-alias answers, in percent (paper: 18.52).
+	GlobalSharePct float64 `json:"global_share_pct,omitempty"`
+	// SymOnlyPct is the §5 ratio in percent (paper: 20.47).
+	SymOnlyPct float64 `json:"sym_only_pct,omitempty"`
+	// Fig15 carries the scalability series.
+	Fig15 []ScaleRowJSON `json:"fig15,omitempty"`
+	// RInstr/RPtr are the Fig. 15 linear correlations (paper: 0.982/0.975).
+	RInstr float64 `json:"r_instr,omitempty"`
+	RPtr   float64 `json:"r_ptr,omitempty"`
+}
+
+// ScaleRowJSON is a ScaleRow with the duration flattened to milliseconds
+// (time.Duration would marshal as opaque nanoseconds).
+type ScaleRowJSON struct {
+	Name      string  `json:"name"`
+	Instrs    int     `json:"instrs"`
+	Pointers  int     `json:"pointers"`
+	RuntimeMS float64 `json:"runtime_ms"`
+}
+
+// BuildReport assembles a Report from precision and/or scale rows (either
+// may be nil).
+func BuildReport(rows []PrecisionRow, scale []ScaleRow) Report {
+	var rep Report
+	if rows != nil {
+		rep.Fig13 = rows
+		total := Total(rows)
+		rep.Total = &total
+		if total.Rbaa > 0 {
+			rep.GlobalSharePct = 100 * float64(total.Global) / float64(total.Rbaa)
+		}
+		if total.SymTotal > 0 {
+			rep.SymOnlyPct = 100 * float64(total.SymOnly) / float64(total.SymTotal)
+		}
+	}
+	for _, r := range scale {
+		rep.Fig15 = append(rep.Fig15, ScaleRowJSON{
+			Name:      r.Name,
+			Instrs:    r.Instrs,
+			Pointers:  r.Pointers,
+			RuntimeMS: float64(r.Elapsed.Microseconds()) / 1000.0,
+		})
+	}
+	if len(scale) > 0 {
+		rep.RInstr, rep.RPtr = Fig15Correlations(scale)
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+func WriteJSON(w io.Writer, rep Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

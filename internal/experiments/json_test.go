@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestBuildReportAndWriteJSON(t *testing.T) {
+	rows := []PrecisionRow{
+		{Name: "a", Queries: 10, Scev: 1, Basic: 2, Rbaa: 4, RplusB: 5, Global: 2, SymOnly: 1, SymTotal: 4},
+		{Name: "b", Queries: 20, Scev: 2, Basic: 4, Rbaa: 6, RplusB: 8, Global: 3, SymOnly: 1, SymTotal: 6},
+	}
+	scale := []ScaleRow{
+		{Name: "s0", Instrs: 100, Pointers: 10, Elapsed: 2 * time.Millisecond},
+		{Name: "s1", Instrs: 200, Pointers: 20, Elapsed: 4 * time.Millisecond},
+	}
+	rep := BuildReport(rows, scale)
+	if rep.Total == nil || rep.Total.Queries != 30 || rep.Total.Rbaa != 10 {
+		t.Fatalf("total = %+v", rep.Total)
+	}
+	if rep.GlobalSharePct != 50 {
+		t.Errorf("global share = %v, want 50 (5 of 10)", rep.GlobalSharePct)
+	}
+	if rep.SymOnlyPct != 20 {
+		t.Errorf("sym-only = %v, want 20 (2 of 10)", rep.SymOnlyPct)
+	}
+	if len(rep.Fig15) != 2 || rep.Fig15[1].RuntimeMS != 4 {
+		t.Errorf("fig15 = %+v", rep.Fig15)
+	}
+	if rep.RInstr < 0.99 {
+		t.Errorf("r_instr = %v for a perfectly linear series", rep.RInstr)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(round.Fig13) != 2 || round.Fig13[0].Name != "a" || round.Total.Queries != 30 {
+		t.Fatalf("round-tripped report = %+v", round)
+	}
+}

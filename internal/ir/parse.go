@@ -6,12 +6,67 @@ import (
 	"strings"
 )
 
+// ParseError describes a malformed textual-IR input. Every error returned
+// by Parse/ParseWithOptions unwraps to one, so network-facing callers can
+// report the offending line to clients without string-matching.
+type ParseError struct {
+	// Line is the 1-based source line the error points at; 0 when the
+	// error is not tied to a single line (truncated input, size limit,
+	// cross-function problems).
+	Line int
+	Msg  string
+}
+
+// Error renders the familiar "line N: msg" form.
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+	}
+	return e.Msg
+}
+
+// errAt builds a ParseError at the given 1-based line (0 = no line).
+func errAt(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseOptions bounds the work Parse does on untrusted input.
+type ParseOptions struct {
+	// MaxBytes rejects sources longer than this many bytes before any
+	// parsing happens; 0 means unlimited.
+	MaxBytes int
+}
+
 // Parse reads the textual IR format emitted by Print. The format round-trips:
 // Parse(module.String()) yields a structurally identical module. Forward
 // references (φ operands defined later in the function) are resolved in a
 // second pass; result types are inferred from opcodes, with copy/φ/π types
 // propagated to a fixpoint.
+//
+// Parse never panics on malformed input and every error it returns unwraps
+// to a *ParseError. Use ParseWithOptions to also bound the input size.
 func Parse(src string) (*Module, error) {
+	return ParseWithOptions(src, ParseOptions{})
+}
+
+// ParseWithOptions is Parse with limits suitable for untrusted
+// (network-reachable) input.
+func ParseWithOptions(src string, opts ParseOptions) (mod *Module, err error) {
+	if opts.MaxBytes > 0 && len(src) > opts.MaxBytes {
+		return nil, errAt(0, "source is %d bytes, exceeding the %d-byte limit", len(src), opts.MaxBytes)
+	}
+	// The grammar has no recursion and every loop advances, so a panic here
+	// is a parser bug — but this path serves untrusted input, so convert it
+	// into an error rather than taking the process down.
+	defer func() {
+		if r := recover(); r != nil {
+			mod, err = nil, errAt(0, "internal parser error: %v", r)
+		}
+	}()
+	return parse(src)
+}
+
+func parse(src string) (*Module, error) {
 	p := &irParser{}
 	lines := strings.Split(src, "\n")
 	var mod *Module
@@ -23,27 +78,27 @@ func Parse(src string) (*Module, error) {
 			i++
 		case strings.HasPrefix(line, "module "):
 			if mod != nil {
-				return nil, fmt.Errorf("line %d: duplicate module header", i+1)
+				return nil, errAt(i+1, "duplicate module header")
 			}
 			mod = NewModule(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
 			i++
 		case strings.HasPrefix(line, "global "):
 			if mod == nil {
-				return nil, fmt.Errorf("line %d: global before module header", i+1)
+				return nil, errAt(i+1, "global before module header")
 			}
 			fields := strings.Fields(line)
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("line %d: global wants 'global name size'", i+1)
+				return nil, errAt(i+1, "global wants 'global name size'")
 			}
 			size, err := strconv.ParseInt(fields[2], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("line %d: bad global size: %v", i+1, err)
+				return nil, errAt(i+1, "bad global size: %v", err)
 			}
 			mod.NewGlobal(fields[1], size)
 			i++
 		case strings.HasPrefix(line, "func "):
 			if mod == nil {
-				return nil, fmt.Errorf("line %d: func before module header", i+1)
+				return nil, errAt(i+1, "func before module header")
 			}
 			end, err := p.parseFunc(mod, lines, i)
 			if err != nil {
@@ -51,17 +106,17 @@ func Parse(src string) (*Module, error) {
 			}
 			i = end
 		default:
-			return nil, fmt.Errorf("line %d: unexpected %q", i+1, line)
+			return nil, errAt(i+1, "unexpected %q", line)
 		}
 	}
 	if mod == nil {
-		return nil, fmt.Errorf("missing module header")
+		return nil, errAt(0, "missing module header")
 	}
 	// Resolve deferred call targets.
 	for _, fix := range p.callFixups {
 		callee := mod.Func(fix.name)
 		if callee == nil {
-			return nil, fmt.Errorf("call to unknown function %q", fix.name)
+			return nil, errAt(0, "call to unknown function %q", fix.name)
 		}
 		fix.in.Callee = callee
 	}
@@ -106,20 +161,26 @@ func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error
 	open := strings.Index(header, "(")
 	closeIdx := strings.LastIndex(header, ")")
 	if open < 0 || closeIdx < open || !strings.HasSuffix(header, "{") {
-		return 0, fmt.Errorf("line %d: malformed func header", start+1)
+		return 0, errAt(start+1, "malformed func header")
 	}
 	name := strings.TrimSpace(header[len("func "):open])
+	if name == "" {
+		return 0, errAt(start+1, "func header has no name")
+	}
+	if mod.Func(name) != nil {
+		return 0, errAt(start+1, "duplicate function %q", name)
+	}
 	var params []ParamSpec
 	paramText := strings.TrimSpace(header[open+1 : closeIdx])
 	if paramText != "" {
 		for _, part := range strings.Split(paramText, ",") {
 			fields := strings.Fields(strings.TrimSpace(part))
 			if len(fields) != 2 {
-				return 0, fmt.Errorf("line %d: malformed parameter %q", start+1, part)
+				return 0, errAt(start+1, "malformed parameter %q", part)
 			}
 			t, err := parseType(fields[1])
 			if err != nil {
-				return 0, fmt.Errorf("line %d: %v", start+1, err)
+				return 0, errAt(start+1, "%v", err)
 			}
 			params = append(params, Param(fields[0], t))
 		}
@@ -127,7 +188,7 @@ func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error
 	retText := strings.TrimSpace(strings.TrimSuffix(header[closeIdx+1:], "{"))
 	ret, err := parseType(retText)
 	if err != nil {
-		return 0, fmt.Errorf("line %d: %v", start+1, err)
+		return 0, errAt(start+1, "%v", err)
 	}
 	f := mod.NewFunc(name, ret, params...)
 
@@ -138,10 +199,12 @@ func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error
 		lns   []int
 	}
 	var raws []*rawBlock
+	closed := false
 	i := start + 1
 	for ; i < len(lines); i++ {
 		line := strings.TrimSpace(lines[i])
 		if line == "}" {
+			closed = true
 			i++
 			break
 		}
@@ -153,16 +216,19 @@ func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error
 			continue
 		}
 		if len(raws) == 0 {
-			return 0, fmt.Errorf("line %d: instruction before any block label", i+1)
+			return 0, errAt(i+1, "instruction before any block label")
 		}
 		raws[len(raws)-1].insts = append(raws[len(raws)-1].insts, line)
 		raws[len(raws)-1].lns = append(raws[len(raws)-1].lns, i+1)
+	}
+	if !closed {
+		return 0, errAt(start+1, "func %s: missing closing '}'", name)
 	}
 
 	blocks := map[string]*Block{}
 	for _, rb := range raws {
 		if blocks[rb.name] != nil {
-			return 0, fmt.Errorf("func %s: duplicate block %q", name, rb.name)
+			return 0, errAt(0, "func %s: duplicate block %q", name, rb.name)
 		}
 		b := &Block{Name: rb.name, Func: f}
 		blocks[rb.name] = b
@@ -194,7 +260,7 @@ func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error
 			b.Instrs = append(b.Instrs, in)
 			if res != "" {
 				if values[res] != nil {
-					return 0, fmt.Errorf("line %d: value %%%s redefined", ln, res)
+					return 0, errAt(ln, "value %%%s redefined", res)
 				}
 				values[res] = in.Res
 			}
@@ -218,7 +284,7 @@ func (p *irParser) parseFunc(mod *Module, lines []string, start int) (int, error
 		}
 		blk := blocks[pi.blk]
 		if blk == nil {
-			return 0, fmt.Errorf("line %d: φ names unknown block %q", pi.line, pi.blk)
+			return 0, errAt(pi.line, "φ names unknown block %q", pi.blk)
 		}
 		pi.phi.Args = append(pi.phi.Args, v)
 		pi.phi.In = append(pi.phi.In, blk)
@@ -234,7 +300,7 @@ func (p *irParser) operand(mod *Module, text string, values map[string]*Value, l
 	case strings.HasPrefix(text, "%"):
 		v := values[text[1:]]
 		if v == nil {
-			return nil, fmt.Errorf("line %d: unknown value %s", ln, text)
+			return nil, errAt(ln, "unknown value %s", text)
 		}
 		return v, nil
 	case strings.HasPrefix(text, "@"):
@@ -243,19 +309,19 @@ func (p *irParser) operand(mod *Module, text string, values map[string]*Value, l
 				return g.Addr, nil
 			}
 		}
-		return nil, fmt.Errorf("line %d: unknown global %s", ln, text)
+		return nil, errAt(ln, "unknown global %s", text)
 	case text == "null":
 		return mod.Null(), nil
 	case strings.HasPrefix(text, "ptr:"):
 		c, err := strconv.ParseInt(text[4:], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: bad pointer literal %q", ln, text)
+			return nil, errAt(ln, "bad pointer literal %q", text)
 		}
 		return mod.constVal(TPtr, c), nil
 	default:
 		c, err := strconv.ParseInt(text, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: bad operand %q", ln, text)
+			return nil, errAt(ln, "bad operand %q", text)
 		}
 		return mod.IntConst(c), nil
 	}
@@ -326,7 +392,7 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 			"div": OpDiv, "rem": OpRem}[mnemonic]
 		args := splitArgs(rest)
 		if len(args) != 2 {
-			return nil, "", fmt.Errorf("line %d: %s wants two operands", ln, mnemonic)
+			return nil, "", errAt(ln, "%s wants two operands", mnemonic)
 		}
 		addArg(args[0])
 		addArg(args[1])
@@ -335,16 +401,16 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpCmp
 		fields := strings.SplitN(rest, " ", 2)
 		if len(fields) != 2 {
-			return nil, "", fmt.Errorf("line %d: malformed cmp", ln)
+			return nil, "", errAt(ln, "malformed cmp")
 		}
 		pred, ok := ParsePred(fields[0])
 		if !ok {
-			return nil, "", fmt.Errorf("line %d: bad predicate %q", ln, fields[0])
+			return nil, "", errAt(ln, "bad predicate %q", fields[0])
 		}
 		in.Pred = pred
 		args := splitArgs(fields[1])
 		if len(args) != 2 {
-			return nil, "", fmt.Errorf("line %d: cmp wants two operands", ln)
+			return nil, "", errAt(ln, "cmp wants two operands")
 		}
 		addArg(args[0])
 		addArg(args[1])
@@ -357,7 +423,7 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 				strings.TrimSpace(part), "["), "]"))
 			halves := strings.SplitN(part, ",", 2)
 			if len(halves) != 2 {
-				return nil, "", fmt.Errorf("line %d: malformed φ incoming %q", ln, part)
+				return nil, "", errAt(ln, "malformed φ incoming %q", part)
 			}
 			*phiIncomings = append(*phiIncomings, struct {
 				phi  *Instr
@@ -370,11 +436,11 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpPi
 		fields := strings.Fields(rest)
 		if len(fields) != 3 {
-			return nil, "", fmt.Errorf("line %d: malformed pi", ln)
+			return nil, "", errAt(ln, "malformed pi")
 		}
 		pred, ok := ParsePred(fields[1])
 		if !ok {
-			return nil, "", fmt.Errorf("line %d: bad predicate %q", ln, fields[1])
+			return nil, "", errAt(ln, "bad predicate %q", fields[1])
 		}
 		in.Pred = pred
 		addArg(fields[0])
@@ -384,14 +450,14 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpAlloc
 		fields := strings.Fields(rest)
 		if len(fields) != 2 {
-			return nil, "", fmt.Errorf("line %d: alloc wants 'alloc kind size'", ln)
+			return nil, "", errAt(ln, "alloc wants 'alloc kind size'")
 		}
 		if fields[0] == "stack" {
 			in.AKind = AllocStack
 		} else if fields[0] == "heap" {
 			in.AKind = AllocHeap
 		} else {
-			return nil, "", fmt.Errorf("line %d: bad alloc kind %q", ln, fields[0])
+			return nil, "", errAt(ln, "bad alloc kind %q", fields[0])
 		}
 		addArg(fields[1])
 		mkRes(TPtr)
@@ -403,7 +469,7 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpPtrAdd
 		args := splitArgs(rest)
 		if len(args) != 2 {
-			return nil, "", fmt.Errorf("line %d: ptradd wants two operands", ln)
+			return nil, "", errAt(ln, "ptradd wants two operands")
 		}
 		addArg(args[0])
 		addArg(args[1])
@@ -412,7 +478,7 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpLoad
 		t, err := parseType(strings.TrimPrefix(mnemonic, "load."))
 		if err != nil {
-			return nil, "", fmt.Errorf("line %d: %v", ln, err)
+			return nil, "", errAt(ln, "%v", err)
 		}
 		addArg(rest)
 		mkRes(t)
@@ -420,7 +486,7 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpStore
 		args := splitArgs(rest)
 		if len(args) != 2 {
-			return nil, "", fmt.Errorf("line %d: store wants two operands", ln)
+			return nil, "", errAt(ln, "store wants two operands")
 		}
 		addArg(args[0])
 		addArg(args[1])
@@ -429,7 +495,7 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		open := strings.Index(rest, "(")
 		closeIdx := strings.LastIndex(rest, ")")
 		if open < 0 || closeIdx < open {
-			return nil, "", fmt.Errorf("line %d: malformed call", ln)
+			return nil, "", errAt(ln, "malformed call")
 		}
 		p.callFixups = append(p.callFixups, &callFixup{in, strings.TrimSpace(rest[:open])})
 		for _, a := range splitArgs(rest[open+1 : closeIdx]) {
@@ -442,16 +508,16 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpExtern
 		t, err := parseType(strings.TrimPrefix(mnemonic, "extern."))
 		if err != nil {
-			return nil, "", fmt.Errorf("line %d: %v", ln, err)
+			return nil, "", errAt(ln, "%v", err)
 		}
 		open := strings.Index(rest, "(")
 		closeIdx := strings.LastIndex(rest, ")")
 		if open < 0 || closeIdx < open {
-			return nil, "", fmt.Errorf("line %d: malformed extern", ln)
+			return nil, "", errAt(ln, "malformed extern")
 		}
 		sym, err := strconv.Unquote(strings.TrimSpace(rest[:open]))
 		if err != nil {
-			return nil, "", fmt.Errorf("line %d: bad extern symbol: %v", ln, err)
+			return nil, "", errAt(ln, "bad extern symbol: %v", err)
 		}
 		in.Sym = sym
 		for _, a := range splitArgs(rest[open+1 : closeIdx]) {
@@ -464,19 +530,19 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 		in.Op = OpBr
 		b := blocks[strings.TrimSpace(rest)]
 		if b == nil {
-			return nil, "", fmt.Errorf("line %d: br to unknown block %q", ln, rest)
+			return nil, "", errAt(ln, "br to unknown block %q", rest)
 		}
 		in.Targets = []*Block{b}
 	case mnemonic == "condbr":
 		in.Op = OpCondBr
 		args := splitArgs(rest)
 		if len(args) != 3 {
-			return nil, "", fmt.Errorf("line %d: condbr wants cond and two targets", ln)
+			return nil, "", errAt(ln, "condbr wants cond and two targets")
 		}
 		addArg(args[0])
 		t1, t2 := blocks[args[1]], blocks[args[2]]
 		if t1 == nil || t2 == nil {
-			return nil, "", fmt.Errorf("line %d: condbr to unknown block", ln)
+			return nil, "", errAt(ln, "condbr to unknown block")
 		}
 		in.Targets = []*Block{t1, t2}
 	case mnemonic == "ret":
@@ -485,10 +551,10 @@ func (p *irParser) parseInstr(mod *Module, f *Func, text string, ln int,
 			addArg(rest)
 		}
 	default:
-		return nil, "", fmt.Errorf("line %d: unknown instruction %q", ln, mnemonic)
+		return nil, "", errAt(ln, "unknown instruction %q", mnemonic)
 	}
 	if in.Res == nil && resName != "" && in.Op != OpCall {
-		return nil, "", fmt.Errorf("line %d: %s produces no result", ln, mnemonic)
+		return nil, "", errAt(ln, "%s produces no result", mnemonic)
 	}
 	return in, resName, nil
 }

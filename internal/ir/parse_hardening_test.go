@@ -1,0 +1,96 @@
+package ir_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestParseMalformedNeverPanics throws hostile inputs at the parser — the
+// inputs a network client can now send via the aliasd service — and asserts
+// each yields a structured error rather than a panic or an accepted module.
+func TestParseMalformedNeverPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"bare module kw", "module\n"},
+		{"duplicate module", "module a\nmodule b\n"},
+		{"global before module", "global g 4\n"},
+		{"global bad arity", "module m\nglobal g\n"},
+		{"global bad size", "module m\nglobal g four\n"},
+		{"func before module", "func f() void {\nentry:\n  ret\n}\n"},
+		{"func no name", "module m\nfunc (p ptr) void {\nentry:\n  ret\n}\n"},
+		{"duplicate func", "module m\nfunc f() void {\nentry:\n  ret\n}\nfunc f() void {\nentry:\n  ret\n}\n"},
+		{"unterminated func", "module m\nfunc f() void {\nentry:\n  ret\n"},
+		{"bad param", "module m\nfunc f(p) void {\nentry:\n  ret\n}\n"},
+		{"bad ret type", "module m\nfunc f() float {\nentry:\n  ret\n}\n"},
+		{"instr before label", "module m\nfunc f() void {\n  ret\n}\n"},
+		{"duplicate block", "module m\nfunc f() void {\nentry:\nentry:\n  ret\n}\n"},
+		{"unknown instr", "module m\nfunc f() void {\nentry:\n  launch %x\n}\n"},
+		{"unknown operand", "module m\nfunc f() int {\nentry:\n  %x = add %nope, 1\n  ret %x\n}\n"},
+		{"unknown global ref", "module m\nfunc f() void {\nentry:\n  store @g, 1\n  ret\n}\n"},
+		{"redefined value", "module m\nfunc f() int {\nentry:\n  %x = add 1, 2\n  %x = add 3, 4\n  ret %x\n}\n"},
+		{"add arity", "module m\nfunc f() int {\nentry:\n  %x = add 1\n  ret %x\n}\n"},
+		{"bad predicate", "module m\nfunc f() void {\nentry:\n  %c = cmp spaceship 1, 2\n  ret\n}\n"},
+		{"bad alloc kind", "module m\nfunc f() void {\nentry:\n  %p = alloc tape 8\n  ret\n}\n"},
+		{"branch unknown block", "module m\nfunc f() void {\nentry:\n  br nowhere\n}\n"},
+		{"phi unknown block", "module m\nfunc f() int {\nentry:\n  %x = phi [1, ghost]\n  ret %x\n}\n"},
+		{"call unknown func", "module m\nfunc f() void {\nentry:\n  call g()\n  ret\n}\n"},
+		{"malformed call", "module m\nfunc f() void {\nentry:\n  call g(\n  ret\n}\n"},
+		{"bad pointer literal", "module m\nfunc f() void {\nentry:\n  store ptr:xyz, 1\n  ret\n}\n"},
+		{"bad extern symbol", "module m\nfunc f() void {\nentry:\n  extern.void notquoted()\n  ret\n}\n"},
+		{"result on void op", "module m\nfunc f() void {\nentry:\n  %x = br entry\n}\n"},
+		{"binary junk", "module m\nfunc \x00\xff(\x01) void {\nentry:\n  ret\n}\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := ir.Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse accepted malformed input, module %v", m.Name)
+			}
+			var pe *ir.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v (%T) is not a *ir.ParseError", err, err)
+			}
+		})
+	}
+}
+
+// TestParseErrorLineInfo pins the line attribution of a representative error.
+func TestParseErrorLineInfo(t *testing.T) {
+	src := "module m\nfunc f() int {\nentry:\n  %x = add %nope, 1\n  ret %x\n}\n"
+	_, err := ir.Parse(src)
+	var pe *ir.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v (%T)", err, err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("error %q attributed to line %d, want 4", pe.Msg, pe.Line)
+	}
+	if !strings.Contains(err.Error(), "line 4:") {
+		t.Fatalf("Error() = %q, want a line 4 prefix", err.Error())
+	}
+}
+
+// TestParseSizeLimit checks the configurable byte cap for untrusted input.
+func TestParseSizeLimit(t *testing.T) {
+	src := "module m\nfunc f() void {\nentry:\n  ret\n}\n"
+	if _, err := ir.ParseWithOptions(src, ir.ParseOptions{MaxBytes: len(src)}); err != nil {
+		t.Fatalf("source at exactly the limit rejected: %v", err)
+	}
+	_, err := ir.ParseWithOptions(src, ir.ParseOptions{MaxBytes: len(src) - 1})
+	if err == nil {
+		t.Fatal("over-limit source accepted")
+	}
+	var pe *ir.ParseError
+	if !errors.As(err, &pe) || pe.Line != 0 {
+		t.Fatalf("size-limit error = %v, want *ParseError with Line 0", err)
+	}
+	if !strings.Contains(pe.Msg, "limit") {
+		t.Fatalf("size-limit message %q does not mention the limit", pe.Msg)
+	}
+}

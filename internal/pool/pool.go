@@ -1,0 +1,107 @@
+// Package pool provides the bounded fan-out primitives shared by the
+// evaluation pipeline (internal/experiments) and the alias-query service
+// (internal/service): a fixed-size worker pool that indexes work items, and
+// the chunking heuristic that splits long query sweeps into pieces large
+// enough to amortize scheduling but numerous enough to balance uneven costs.
+//
+// The scheduling contract matters to both clients: ForEach hands out item
+// indices, and callers write results into per-index slots, so reductions can
+// run in index order afterwards and stay byte-identical for every worker
+// count.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. The zero value runs everything on the
+// calling goroutine.
+type Pool struct {
+	// Parallel is the worker count. 0 or 1 means sequential; negative
+	// means GOMAXPROCS.
+	Parallel int
+}
+
+// Workers resolves Parallel into a concrete worker count (≥ 1).
+func (p *Pool) Workers() int {
+	switch {
+	case p == nil, p.Parallel == 0:
+		return 1
+	case p.Parallel < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return p.Parallel
+	}
+}
+
+// ForEach runs f(0..n-1) on the pool's workers, in index order when
+// sequential. It returns once every call has completed. f must be safe for
+// concurrent invocation when the pool is parallel.
+func (p *Pool) ForEach(n int, f func(i int)) {
+	w := p.Workers()
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// minChunk is the floor ChunkSize returns: chunks below ~1k items pay more
+// in scheduling than they gain in balance for alias-query workloads.
+const minChunk = 1024
+
+// ChunkSize splits n items over w workers: enough chunks (≈ 4 per worker)
+// to balance uneven item costs, but never smaller than the amortization
+// floor.
+func ChunkSize(n, w int) int {
+	if w < 1 {
+		w = 1
+	}
+	c := n / (w * 4)
+	if c < minChunk {
+		c = minChunk
+	}
+	return c
+}
+
+// Chunks cuts [0, n) into half-open ranges of at most size items and returns
+// their bounds. Callers feed the chunk list to ForEach and index per-chunk
+// result slots with it.
+func Chunks(n, size int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if size < 1 {
+		size = 1
+	}
+	out := make([][2]int, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}

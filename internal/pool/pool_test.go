@@ -1,0 +1,102 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		parallel int
+		want     int
+	}{
+		{0, 1},
+		{1, 1},
+		{7, 7},
+		{-1, runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		p := &Pool{Parallel: c.parallel}
+		if got := p.Workers(); got != c.want {
+			t.Errorf("Pool{%d}.Workers() = %d, want %d", c.parallel, got, c.want)
+		}
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, parallel := range []int{0, 1, 4, -1} {
+		p := &Pool{Parallel: parallel}
+		const n = 1000
+		var hits [n]atomic.Int32
+		p.ForEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("parallel=%d: index %d visited %d times", parallel, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialOrder(t *testing.T) {
+	p := &Pool{}
+	var seen []int
+	p.ForEach(5, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if i != v {
+			t.Fatalf("sequential ForEach out of order: %v", seen)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("sequential ForEach visited %d of 5", len(seen))
+	}
+}
+
+func TestChunkSize(t *testing.T) {
+	if got := ChunkSize(100, 4); got != minChunk {
+		t.Errorf("small n: ChunkSize = %d, want floor %d", got, minChunk)
+	}
+	if got := ChunkSize(1<<20, 4); got != (1<<20)/16 {
+		t.Errorf("large n: ChunkSize = %d, want %d", got, (1<<20)/16)
+	}
+	if got := ChunkSize(10, 0); got != minChunk {
+		t.Errorf("w=0: ChunkSize = %d, want %d", got, minChunk)
+	}
+}
+
+func TestChunksCoverRange(t *testing.T) {
+	for _, n := range []int{0, 1, 1023, 1024, 1025, 5000} {
+		chunks := Chunks(n, 1024)
+		next := 0
+		for _, c := range chunks {
+			if c[0] != next || c[1] <= c[0] || c[1] > n {
+				t.Fatalf("n=%d: bad chunk %v (next=%d)", n, c, next)
+			}
+			next = c[1]
+		}
+		if next != n {
+			t.Fatalf("n=%d: chunks stop at %d", n, next)
+		}
+	}
+}
+
+func TestChunkedForEachCoversRange(t *testing.T) {
+	p := &Pool{Parallel: 4}
+	const n = 5000
+	var hits [n]atomic.Int32
+	chunks := Chunks(n, ChunkSize(n, p.Workers()))
+	p.ForEach(len(chunks), func(c int) {
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, hits[i].Load())
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/ir"
+	"repro/internal/pool"
+)
+
+// Pair is one alias query of a batch: two value names within one function,
+// the textual form of alias.Pair.
+type Pair struct {
+	Func string `json:"func"`
+	A    string `json:"a"`
+	B    string `json:"b"`
+}
+
+// Result is the service-side rendering of one alias.Verdict.
+type Result struct {
+	// Result is "no-alias" or "may-alias" (alias.Result.String()).
+	Result string `json:"result"`
+	// Resolved names the first chain member that proved no-alias — the
+	// LLVM-AAResults attribution. Empty for may-alias.
+	Resolved string `json:"resolved,omitempty"`
+	// Provers names every member that independently proved no-alias.
+	Provers []string `json:"provers,omitempty"`
+	// Detail carries rbaa's Fig. 14 attribution ("global-range", …) when
+	// an Explainer member produced one.
+	Detail string `json:"detail,omitempty"`
+}
+
+// resolvedPair is a validated pair, pinned to its request index so the
+// aggregate stage can reassemble results in request order.
+type resolvedPair struct {
+	idx  int
+	p, q *ir.Value
+}
+
+// shard groups the resolved pairs of one function. Shards are the pipeline's
+// locality unit: a function's queries hit the same analysis rows, so one
+// worker streams through them with a warm cache.
+type shard struct {
+	fn    string
+	pairs []resolvedPair
+}
+
+// resolveBatch is the validate stage: every name must resolve against the
+// handle's value index and both values must be pointer-typed. The first
+// offending pair aborts the batch (the client sent a malformed request;
+// partial evaluation would make responses order-dependent).
+func resolveBatch(h *Handle, pairs []Pair) ([]resolvedPair, error) {
+	out := make([]resolvedPair, len(pairs))
+	for i, pr := range pairs {
+		p, err := h.Lookup(pr.Func, pr.A)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d: %v", i, err)
+		}
+		q, err := h.Lookup(pr.Func, pr.B)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d: %v", i, err)
+		}
+		if p.Typ != ir.TPtr {
+			return nil, fmt.Errorf("pair %d: value %q is not pointer-typed", i, pr.A)
+		}
+		if q.Typ != ir.TPtr {
+			return nil, fmt.Errorf("pair %d: value %q is not pointer-typed", i, pr.B)
+		}
+		out[i] = resolvedPair{idx: i, p: p, q: q}
+	}
+	return out, nil
+}
+
+// shardByFunc is the shard stage: pairs grouped by function, shards ordered
+// by first appearance, request order preserved within each shard.
+func shardByFunc(pairs []Pair, rs []resolvedPair) []shard {
+	index := map[string]int{}
+	var shards []shard
+	for i, rp := range rs {
+		fn := pairs[i].Func
+		si, ok := index[fn]
+		if !ok {
+			si = len(shards)
+			index[fn] = si
+			shards = append(shards, shard{fn: fn})
+		}
+		shards[si].pairs = append(shards[si].pairs, rp)
+	}
+	return shards
+}
+
+// batchChunk caps the pairs one worker takes at a time. Batches are at most
+// Config.MaxBatch pairs, far below the experiment sweeps that pool.ChunkSize
+// is tuned for, so the pipeline cuts finer to keep all workers busy.
+const batchChunk = 256
+
+// evaluate is the query-worker stage plus the order-restoring half of the
+// aggregate stage: shards are cut into chunks, chunks fan out across the
+// service pool, and each worker writes results into the request-indexed
+// slots of the output slice. The result is byte-identical to a sequential
+// evaluation because slot i depends only on pair i.
+func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
+	out := make([]Result, n)
+	type task struct {
+		sh     int
+		lo, hi int
+	}
+	var tasks []task
+	for si := range shards {
+		for _, c := range pool.Chunks(len(shards[si].pairs), batchChunk) {
+			tasks = append(tasks, task{sh: si, lo: c[0], hi: c[1]})
+		}
+	}
+	s.pool.ForEach(len(tasks), func(ti int) {
+		t := tasks[ti]
+		for _, rp := range shards[t.sh].pairs[t.lo:t.hi] {
+			out[rp.idx] = encodeVerdict(h.Snap, h.Snap.Evaluate(rp.p, rp.q))
+		}
+	})
+	return out
+}
+
+// encodeVerdict renders one verdict with member names resolved against the
+// snapshot's chain.
+func encodeVerdict(snap alias.Snapshot, v alias.Verdict) Result {
+	r := Result{Result: v.Result.String()}
+	if v.Result == alias.NoAlias && v.Resolved >= 0 {
+		r.Resolved = snap.MemberName(v.Resolved)
+	}
+	for i := 0; i < snap.NumMembers(); i++ {
+		if v.MemberNoAlias(i) {
+			r.Provers = append(r.Provers, snap.MemberName(i))
+		}
+		if d := v.Detail(i); d != "" && r.Detail == "" {
+			r.Detail = d
+		}
+	}
+	return r
+}
+
+// RunBatch pushes one decoded batch through validate → shard → query
+// workers and returns the request-ordered results. It is the programmatic
+// core of POST /v1/query, exported for golden tests and embedders.
+func (s *Service) RunBatch(h *Handle, pairs []Pair) ([]Result, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	if len(pairs) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("batch has %d pairs, exceeding the %d-pair limit", len(pairs), s.cfg.MaxBatch)
+	}
+	rs, err := resolveBatch(h, pairs)
+	if err != nil {
+		return nil, err
+	}
+	return s.evaluate(h, shardByFunc(pairs, rs), len(pairs)), nil
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/alias/andersen"
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/alias/scevaa"
+	"repro/internal/frontend/minic"
+	"repro/internal/ir"
+	"repro/internal/pointer"
+)
+
+// Handle is one registered module: the verified IR, the analysis chain
+// behind its read-only snapshot, and the value index the validate stage
+// resolves query names against. Handles are immutable after construction;
+// the snapshot's counters are the only mutable state, and they are
+// internally synchronized.
+type Handle struct {
+	Name    string
+	Format  string // "ir" or "minic"
+	Mod     *ir.Module
+	Snap    alias.Snapshot
+	IRStats ir.Stats
+	// PairQueries is the module's paper-style query count (all unordered
+	// same-function pointer pairs) — the natural unit load generators
+	// replay.
+	PairQueries int
+	CreatedAt   time.Time
+
+	// values indexes func name → value name → value for the validate stage.
+	values map[string]map[string]*ir.Value
+}
+
+// Lookup resolves a "func", "name" reference against the handle's module.
+func (h *Handle) Lookup(fn, name string) (*ir.Value, error) {
+	vals, ok := h.values[fn]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q", fn)
+	}
+	v, ok := vals[name]
+	if !ok {
+		return nil, fmt.Errorf("no value %q in function %q", name, fn)
+	}
+	return v, nil
+}
+
+// NewChain builds the service's analysis stack over one verified module:
+// rbaa's construction runs the bootstrap range analysis and the GR/LR
+// pointer analyses; scevaa, basicaa and the andersen points-to oracle
+// complete the chain, combined LLVM-AAResults-style by an alias.Manager
+// with the default memo cache (service clients re-query pairs, unlike the
+// one-shot experiment sweeps).
+func NewChain(m *ir.Module) *alias.Manager {
+	return alias.NewManager(alias.ManagerOptions{},
+		scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{}), andersen.Analyze(m))
+}
+
+// BuildHandle parses (enforcing maxSourceBytes), verifies, and analyzes one
+// module source. format is "ir" or "minic". The returned error is safe to
+// echo to clients.
+func BuildHandle(name, format, src string, maxSourceBytes int) (*Handle, error) {
+	if maxSourceBytes > 0 && len(src) > maxSourceBytes {
+		return nil, fmt.Errorf("source is %d bytes, exceeding the %d-byte limit", len(src), maxSourceBytes)
+	}
+	var m *ir.Module
+	var err error
+	switch format {
+	case "ir":
+		m, err = ir.Parse(src)
+	case "minic":
+		m, err = minic.Compile(name, src)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want \"ir\" or \"minic\")", format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("parse: %v", err)
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("verify: %v", err)
+	}
+	h := &Handle{
+		Name:        name,
+		Format:      format,
+		Mod:         m,
+		Snap:        NewChain(m).Snapshot(),
+		IRStats:     m.Stats(),
+		PairQueries: alias.NumQueries(m),
+		CreatedAt:   time.Now(),
+		values:      map[string]map[string]*ir.Value{},
+	}
+	for _, f := range m.Funcs {
+		vals := make(map[string]*ir.Value, len(f.Params))
+		for _, v := range f.Values() {
+			vals[v.Name] = v
+		}
+		h.values[f.Name] = vals
+	}
+	return h, nil
+}
+
+// Registry is the bounded, concurrency-safe map of registered modules.
+type Registry struct {
+	mu   sync.RWMutex
+	max  int
+	mods map[string]*Handle
+}
+
+// NewRegistry builds a registry holding at most max modules (≤ 0 means
+// unbounded).
+func NewRegistry(max int) *Registry {
+	return &Registry{max: max, mods: map[string]*Handle{}}
+}
+
+// Add registers a handle. It refuses duplicates (delete first — replacing a
+// live module under concurrent queries would silently reset its counters)
+// and enforces the registry bound.
+func (r *Registry) Add(h *Handle) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.mods[h.Name]; ok {
+		return fmt.Errorf("module %q already registered", h.Name)
+	}
+	if r.max > 0 && len(r.mods) >= r.max {
+		return fmt.Errorf("registry full (%d modules)", r.max)
+	}
+	r.mods[h.Name] = h
+	return nil
+}
+
+// Get looks a module up by name.
+func (r *Registry) Get(name string) (*Handle, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.mods[name]
+	return h, ok
+}
+
+// Remove drops a module, reporting whether it was present.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.mods[name]
+	delete(r.mods, name)
+	return ok
+}
+
+// Len returns the module count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.mods)
+}
+
+// List returns the handles sorted by name.
+func (r *Registry) List() []*Handle {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Handle, 0, len(r.mods))
+	for _, h := range r.mods {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

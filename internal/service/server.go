@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ModuleInfo is the public summary of a registered module.
+type ModuleInfo struct {
+	Name        string    `json:"name"`
+	Format      string    `json:"format"`
+	Chain       string    `json:"chain"`
+	Funcs       int       `json:"funcs"`
+	Blocks      int       `json:"blocks"`
+	Instrs      int       `json:"instrs"`
+	Pointers    int       `json:"pointers"`
+	PairQueries int       `json:"pair_queries"`
+	CreatedAt   time.Time `json:"created_at"`
+}
+
+func moduleInfo(h *Handle) ModuleInfo {
+	return ModuleInfo{
+		Name:        h.Name,
+		Format:      h.Format,
+		Chain:       h.Snap.Name(),
+		Funcs:       h.IRStats.Funcs,
+		Blocks:      h.IRStats.Blocks,
+		Instrs:      h.IRStats.Instrs,
+		Pointers:    h.IRStats.Pointers,
+		PairQueries: h.PairQueries,
+		CreatedAt:   h.CreatedAt,
+	}
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Module string `json:"module"`
+	Pairs  []Pair `json:"pairs"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query: results in
+// request order plus the aggregate no-alias count.
+type QueryResponse struct {
+	Module  string   `json:"module"`
+	Results []Result `json:"results"`
+	NoAlias int      `json:"noalias"`
+}
+
+// MemberStats is one chain member's counters in /v1/stats.
+type MemberStats struct {
+	Name      string           `json:"name"`
+	NoAlias   int64            `json:"noalias"`
+	FirstWins int64            `json:"first_wins"`
+	Details   map[string]int64 `json:"details,omitempty"`
+}
+
+// ModuleStats is one module's live counters in /v1/stats.
+type ModuleStats struct {
+	Name         string        `json:"name"`
+	Chain        string        `json:"chain"`
+	Queries      int64         `json:"queries"`
+	CacheHits    int64         `json:"cache_hits"`
+	CacheHitRate float64       `json:"cache_hit_rate"`
+	Computed     int64         `json:"computed"`
+	NoAlias      int64         `json:"noalias"`
+	Members      []MemberStats `json:"members"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeMS int64         `json:"uptime_ms"`
+	Modules  []ModuleStats `json:"modules"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Modules int    `json:"modules"`
+}
+
+// writeJSON marshals v as the response body (one JSON document plus a
+// trailing newline — the framing the golden tests pin down).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Modules: s.reg.Len()})
+}
+
+func (s *Service) handleListModules(w http.ResponseWriter, r *http.Request) {
+	handles := s.reg.List()
+	infos := make([]ModuleInfo, len(handles))
+	for i, h := range handles {
+		infos[i] = moduleInfo(h)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing ?name=")
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ir"
+	}
+	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+		return
+	}
+	h, err := BuildHandle(name, format, string(src), s.cfg.MaxSourceBytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.reg.Add(h); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, moduleInfo(h))
+}
+
+func (s *Service) handleGetModule(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "module %q not registered", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, moduleInfo(h))
+}
+
+func (s *Service) handleDeleteModule(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Remove(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "module %q not registered", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	h, ok := s.reg.Get(req.Module)
+	if !ok {
+		writeError(w, http.StatusNotFound, "module %q not registered", req.Module)
+		return
+	}
+	results, err := s.RunBatch(h, req.Pairs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := QueryResponse{Module: req.Module, Results: results}
+	for _, res := range results {
+		if res.Result == "no-alias" {
+			resp.NoAlias++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{UptimeMS: time.Since(s.start).Milliseconds()}
+	for _, h := range s.reg.List() {
+		st := h.Snap.Stats()
+		ms := ModuleStats{
+			Name:         h.Name,
+			Chain:        h.Snap.Name(),
+			Queries:      st.Queries,
+			CacheHits:    st.CacheHits,
+			CacheHitRate: st.CacheHitRate(),
+			Computed:     st.Computed,
+			NoAlias:      st.NoAlias,
+		}
+		for _, m := range st.Members {
+			mem := MemberStats{Name: m.Name, NoAlias: m.NoAlias, FirstWins: m.FirstWins}
+			if len(m.Details) > 0 {
+				mem.Details = m.Details
+			}
+			ms.Members = append(ms.Members, mem)
+		}
+		resp.Modules = append(resp.Modules, ms)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

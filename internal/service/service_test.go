@@ -1,0 +1,375 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/frontend/minic"
+	"repro/internal/ir"
+)
+
+func fig1Source(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/fig1.mc")
+	if err != nil {
+		t.Fatalf("reading fig1.mc: %v", err)
+	}
+	return string(src)
+}
+
+func startServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postModule(t *testing.T, ts *httptest.Server, name, format, src string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/modules?name=%s&format=%s", ts.URL, name, format),
+		"text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("POST /v1/modules: %v", err)
+	}
+	return resp
+}
+
+func body(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return b
+}
+
+// namedPairs maps a module's paper-style query enumeration to the textual
+// pair form the service accepts.
+func namedPairs(m *ir.Module) []Pair {
+	qs := alias.Queries(m)
+	out := make([]Pair, len(qs))
+	for i, q := range qs {
+		out[i] = Pair{Func: q.P.Func.Name, A: q.P.Name, B: q.Q.Name}
+	}
+	return out
+}
+
+// TestBatchedResponseByteIdenticalToDirectManager is the tentpole's golden
+// test: for every pair of the Fig. 1 module, the /v1/query response body
+// must be byte-for-byte what encoding the verdicts of a directly constructed
+// alias.Manager produces.
+func TestBatchedResponseByteIdenticalToDirectManager(t *testing.T) {
+	src := fig1Source(t)
+
+	// Direct path: compile + analyze in-process, no service involved.
+	direct, err := minic.Compile("fig1", src)
+	if err != nil {
+		t.Fatalf("compiling fig1: %v", err)
+	}
+	snap := NewChain(direct).Snapshot()
+	pairs := namedPairs(direct)
+	if len(pairs) == 0 {
+		t.Fatal("fig1 yields no pair queries")
+	}
+	want := QueryResponse{Module: "fig1"}
+	for _, pr := range pairs {
+		f := direct.Func(pr.Func)
+		var p, q *ir.Value
+		for _, v := range f.Values() {
+			if v.Name == pr.A {
+				p = v
+			}
+			if v.Name == pr.B {
+				q = v
+			}
+		}
+		res := encodeVerdict(snap, snap.Evaluate(p, q))
+		want.Results = append(want.Results, res)
+		if res.Result == "no-alias" {
+			want.NoAlias++
+		}
+	}
+	wantBytes, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal expected: %v", err)
+	}
+	wantBytes = append(wantBytes, '\n')
+
+	// Service path: upload the same source, query the same pairs.
+	_, ts := startServer(t, Config{Parallel: 4})
+	resp := postModule(t, ts, "fig1", "minic", src)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("module upload: %d %s", resp.StatusCode, body(t, resp))
+	}
+	body(t, resp)
+
+	reqBody, _ := json.Marshal(QueryRequest{Module: "fig1", Pairs: pairs})
+	qresp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", qresp.StatusCode, body(t, qresp))
+	}
+	got := body(t, qresp)
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatalf("service response differs from direct manager encoding\n got: %s\nwant: %s", got, wantBytes)
+	}
+	if want.NoAlias == 0 {
+		t.Fatal("fig1 produced no no-alias answers; golden test is vacuous")
+	}
+}
+
+// TestBatchOrderIndependence shuffles a batch and checks each result still
+// lands at its pair's index.
+func TestBatchOrderIndependence(t *testing.T) {
+	src := fig1Source(t)
+	m, err := minic.Compile("fig1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Parallel: 4})
+	h, err := BuildHandle("fig1", "minic", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := namedPairs(m)
+	base, err := s.RunBatch(h, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(1)).Perm(len(pairs))
+	shuffled := make([]Pair, len(pairs))
+	for i, j := range perm {
+		shuffled[i] = pairs[j]
+	}
+	got, err := s.RunBatch(h, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range perm {
+		if fmt.Sprint(got[i]) != fmt.Sprint(base[j]) {
+			t.Fatalf("shuffled result %d = %+v, want %+v", i, got[i], base[j])
+		}
+	}
+}
+
+// TestStatsCountersAfterConcurrentBatches hammers one module from many
+// client goroutines and checks the /v1/stats totals reconcile: every issued
+// query is counted, computed+hits = queries, computed = distinct pairs.
+func TestStatsCountersAfterConcurrentBatches(t *testing.T) {
+	src := fig1Source(t)
+	s, ts := startServer(t, Config{Parallel: 2})
+	resp := postModule(t, ts, "fig1", "minic", src)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body(t, resp))
+	}
+	body(t, resp)
+
+	h, _ := s.Registry().Get("fig1")
+	pairs := namedPairs(h.Mod)
+	const clients = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				reqBody, _ := json.Marshal(QueryRequest{Module: "fig1", Pairs: pairs})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body(t, sresp), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Modules) != 1 {
+		t.Fatalf("stats has %d modules, want 1", len(stats.Modules))
+	}
+	ms := stats.Modules[0]
+	wantQueries := int64(clients * rounds * len(pairs))
+	if ms.Queries != wantQueries {
+		t.Errorf("queries = %d, want %d", ms.Queries, wantQueries)
+	}
+	if ms.Computed != int64(len(pairs)) {
+		t.Errorf("computed = %d, want %d distinct pairs", ms.Computed, len(pairs))
+	}
+	if ms.CacheHits+ms.Computed != ms.Queries {
+		t.Errorf("cache_hits %d + computed %d != queries %d", ms.CacheHits, ms.Computed, ms.Queries)
+	}
+	if ms.CacheHitRate <= 0 {
+		t.Errorf("cache_hit_rate = %v, want > 0 after replays", ms.CacheHitRate)
+	}
+	if ms.NoAlias == 0 {
+		t.Error("noalias = 0, want > 0 on fig1")
+	}
+	if len(ms.Members) != 4 {
+		t.Fatalf("stats lists %d members, want 4 (scev, basic, rbaa, andersen)", len(ms.Members))
+	}
+	if ms.Members[2].Name != "rbaa" || len(ms.Members[2].Details) == 0 {
+		t.Errorf("rbaa member stats missing attribution details: %+v", ms.Members[2])
+	}
+}
+
+// TestModuleLifecycleAndErrors covers the registry endpoints and the error
+// surface a hostile or clumsy client sees.
+func TestModuleLifecycleAndErrors(t *testing.T) {
+	src := fig1Source(t)
+	_, ts := startServer(t, Config{MaxBatch: 8, MaxSourceBytes: 1 << 20, MaxModules: 2})
+
+	// healthz before anything.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.Unmarshal(body(t, hresp), &health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz = %+v, err %v", health, err)
+	}
+
+	// Upload, duplicate, list, get, delete.
+	if resp := postModule(t, ts, "fig1", "minic", src); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body(t, resp))
+	} else {
+		body(t, resp)
+	}
+	if resp := postModule(t, ts, "fig1", "minic", src); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate upload: %d, want 409", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	lresp, _ := http.Get(ts.URL + "/v1/modules")
+	var infos []ModuleInfo
+	if err := json.Unmarshal(body(t, lresp), &infos); err != nil || len(infos) != 1 || infos[0].Name != "fig1" {
+		t.Fatalf("list = %+v, err %v", infos, err)
+	}
+	if infos[0].PairQueries == 0 || infos[0].Instrs == 0 {
+		t.Fatalf("module info missing stats: %+v", infos[0])
+	}
+
+	// Malformed source must be a structured 400, not a panic.
+	if resp := postModule(t, ts, "broken", "ir", "module m\nfunc f() void {\n"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed upload: %d, want 400", resp.StatusCode)
+	} else if b := body(t, resp); !bytes.Contains(b, []byte("error")) {
+		t.Fatalf("malformed upload body %s lacks error field", b)
+	}
+	if resp := postModule(t, ts, "weird", "wasm", "x"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: %d, want 400", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+
+	post := func(reqBody []byte) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	// Unknown module.
+	b, _ := json.Marshal(QueryRequest{Module: "ghost", Pairs: []Pair{{Func: "f", A: "a", B: "b"}}})
+	if resp := post(b); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown module: %d, want 404", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	// Unknown value.
+	b, _ = json.Marshal(QueryRequest{Module: "fig1", Pairs: []Pair{{Func: "prepare", A: "nope", B: "nada"}}})
+	if resp := post(b); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown value: %d, want 400", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	// Oversized batch (MaxBatch = 8 here).
+	big := QueryRequest{Module: "fig1"}
+	for i := 0; i < 9; i++ {
+		big.Pairs = append(big.Pairs, Pair{Func: "prepare", A: "x", B: "y"})
+	}
+	b, _ = json.Marshal(big)
+	if resp := post(b); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d, want 400", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	// Empty batch.
+	b, _ = json.Marshal(QueryRequest{Module: "fig1"})
+	if resp := post(b); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d, want 400", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+
+	// Delete and 404 afterwards.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/modules/fig1", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil || dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %v %d", err, dresp.StatusCode)
+	}
+	gresp, _ := http.Get(ts.URL + "/v1/modules/fig1")
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d, want 404", gresp.StatusCode)
+	}
+	body(t, gresp)
+}
+
+// TestSourceSizeLimit checks the upload cap is enforced with a clean error.
+func TestSourceSizeLimit(t *testing.T) {
+	_, ts := startServer(t, Config{MaxSourceBytes: 64})
+	resp := postModule(t, ts, "big", "ir", strings.Repeat("# padding\n", 100))
+	if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized source: %d, want 400/413", resp.StatusCode)
+	}
+	body(t, resp)
+}
+
+// TestRegistryBound checks MaxModules is enforced.
+func TestRegistryBound(t *testing.T) {
+	reg := NewRegistry(1)
+	h1, err := BuildHandle("a", "ir", "module a\nfunc f() void {\nentry:\n  ret\n}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := BuildHandle("b", "ir", "module b\nfunc f() void {\nentry:\n  ret\n}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(h2); err == nil {
+		t.Fatal("registry accepted a module past its bound")
+	}
+	if !reg.Remove("a") {
+		t.Fatal("remove failed")
+	}
+	if err := reg.Add(h2); err != nil {
+		t.Fatalf("add after remove: %v", err)
+	}
+}
