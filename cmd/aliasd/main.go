@@ -4,6 +4,9 @@
 //	aliasd                             # listen on 127.0.0.1:8417
 //	aliasd -addr 127.0.0.1:0 -portfile addr.txt   # random port, written to a file
 //	aliasd -parallel 8 -max-batch 8192 # bigger query worker pool and batches
+//	aliasd -cache-limit 4096 -evict-modules -build-workers 4
+//	                                   # small bounded LRU memo per module,
+//	                                   # idle-LRU registry eviction, async builds
 //
 // A session:
 //
@@ -32,6 +35,9 @@ func main() {
 	maxBatch := flag.Int("max-batch", service.DefaultMaxBatch, "maximum pairs per /v1/query request")
 	maxSource := flag.Int("max-source-bytes", service.DefaultMaxSourceBytes, "maximum module source size accepted by /v1/modules")
 	maxModules := flag.Int("max-modules", service.DefaultMaxModules, "maximum registered modules")
+	cacheLimit := flag.Int("cache-limit", 0, "per-module verdict memo cache entries (0 = default 1M, negative disables caching)")
+	evictModules := flag.Bool("evict-modules", false, "evict the least-recently-queried module when the registry is full instead of refusing the upload")
+	buildWorkers := flag.Int("build-workers", service.DefaultBuildWorkers, "async module-build workers (POST /v1/modules?async=1)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -39,7 +45,11 @@ func main() {
 		MaxSourceBytes: *maxSource,
 		MaxModules:     *maxModules,
 		Parallel:       *parallel,
+		CacheLimit:     *cacheLimit,
+		EvictModules:   *evictModules,
+		BuildWorkers:   *buildWorkers,
 	})
+	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/ir"
 )
 
@@ -62,21 +63,37 @@ type MemberStats struct {
 
 // ManagerStats is a point-in-time snapshot of a Manager's counters.
 //
-// Per-member counters tally distinct *computed* queries, not cache replays:
-// over a sweep that visits each pair once (the experiments driver), they
-// are exact and deterministic regardless of how the sweep is scheduled.
+// Per-member counters tally *counted* computations, not cache replays. With
+// caching enabled a computation is counted exactly when its verdict is the
+// one installed in the memo cache: concurrent goroutines racing on the same
+// pair agree on a single winner, and the losers are tallied as cache hits —
+// so Queries == CacheHits + Computed always holds, and over a sweep that
+// visits each pair once (the experiments driver) the counters are exact and
+// deterministic regardless of how the sweep is scheduled. A pair recomputed
+// after LRU eviction counts again (it is a genuine recomputation). With
+// caching disabled (CacheLimit < 0) every computation is counted.
 type ManagerStats struct {
 	Queries   int64 // Evaluate/Alias calls, cache hits included
 	CacheHits int64
-	Computed  int64 // queries answered by running the members
-	NoAlias   int64 // computed queries with a no-alias verdict
+	Computed  int64 // counted computations (see above)
+	NoAlias   int64 // counted computations with a no-alias verdict
+	// Cached and Evictions describe the memo cache: live entries (bounded
+	// by CacheLimit at every instant) and entries displaced under churn.
+	Cached    int64
+	Evictions int64
 	Members   []MemberStats
 }
 
 // DefaultCacheLimit bounds the number of memoized verdicts per Manager so
 // that whole-suite sweeps (millions of unique pairs) cannot exhaust memory.
-// Queries beyond the limit are still answered and counted, just not cached.
+// The memo is a bounded LRU: once full, cold entries are evicted to admit
+// new ones, so a hot working set stays cached under churn.
 const DefaultCacheLimit = 1 << 20
+
+// DefaultCacheShards is the memo cache's shard count when ManagerOptions
+// leaves it zero: enough mutexes that parallel sweep workers rarely collide,
+// few enough that per-shard LRU lists stay meaningful at small limits.
+const DefaultCacheShards = 16
 
 // ManagerOptions configures a Manager.
 type ManagerOptions struct {
@@ -84,6 +101,9 @@ type ManagerOptions struct {
 	Label string
 	// CacheLimit overrides DefaultCacheLimit; negative disables caching.
 	CacheLimit int
+	// CacheShards overrides DefaultCacheShards (clamped so every shard can
+	// hold at least one entry).
+	CacheShards int
 }
 
 // Manager chains an ordered list of alias analyses the way LLVM's AAResults
@@ -101,10 +121,12 @@ type ManagerOptions struct {
 type Manager struct {
 	members []Analysis
 	label   string
-	limit   int
 
-	cache  sync.Map // pairKey → *Verdict
-	cached atomic.Int64
+	// cache memoizes verdicts under the canonicalized pair. It is a
+	// sharded bounded LRU, so the limit is enforced atomically (insert and
+	// evict under one shard lock) and hot pairs survive churn past the
+	// limit. nil when caching is disabled.
+	cache *cache.Cache[pairKey, *Verdict]
 
 	queries   atomic.Int64
 	cacheHits atomic.Int64
@@ -158,6 +180,15 @@ func funcName(v *ir.Value) string {
 	return ""
 }
 
+// hashPair spreads canonicalized pairs across the memo cache's shards.
+// Value IDs repeat across functions, so collisions only skew shard load,
+// never correctness; Fibonacci mixing keeps sequential IDs apart.
+func hashPair(k pairKey) uint64 {
+	h := uint64(uint32(k.p.ID))*0x9E3779B97F4A7C15 ^ uint64(uint32(k.q.ID))
+	h ^= h >> 29
+	return h * 0xBF58476D1CE4E5B9
+}
+
 // NewManager builds a manager over the given member order. Queries ask the
 // members in that order; Verdict.Resolved and the FirstWins counters refer
 // to it. At most 64 members are supported.
@@ -181,7 +212,14 @@ func NewManager(opts ManagerOptions, members ...Analysis) *Manager {
 	if limit == 0 {
 		limit = DefaultCacheLimit
 	}
-	mg := &Manager{members: members, label: label, limit: limit}
+	mg := &Manager{members: members, label: label}
+	if limit > 0 {
+		shards := opts.CacheShards
+		if shards == 0 {
+			shards = DefaultCacheShards
+		}
+		mg.cache = cache.New[pairKey, *Verdict](limit, shards, hashPair)
+	}
 	for s := range mg.stats {
 		mg.stats[s].members = make([]memberCounters, len(members))
 		for i := range mg.stats[s].members {
@@ -207,23 +245,32 @@ func (mg *Manager) Alias(p, q *ir.Value) Result {
 }
 
 // Evaluate answers one query with the full per-member verdict, serving it
-// from the cache when the canonicalized pair was seen before.
+// from the cache when the canonicalized pair is memoized.
+//
+// Counting is winner-only: when goroutines race on an uncached pair each
+// computes, but only the verdict installed in the cache is folded into the
+// counters — the losers adopt the winner's verdict and tally as cache hits.
+// This keeps Computed at "distinct computed queries" under concurrency
+// (pre-LRU, every racer past the cache limit counted, inflating Computed,
+// NoAlias and the per-member counters). With caching disabled there is no
+// winner to elect and every computation counts.
 func (mg *Manager) Evaluate(p, q *ir.Value) Verdict {
 	mg.queries.Add(1)
 	key := canonical(p, q)
-	if v, ok := mg.cache.Load(key); ok {
-		mg.cacheHits.Add(1)
-		return *v.(*Verdict)
+	if mg.cache != nil {
+		if v, ok := mg.cache.Get(key); ok {
+			mg.cacheHits.Add(1)
+			return *v
+		}
 	}
 	v := mg.compute(key)
-	if mg.limit > 0 && mg.cached.Load() < int64(mg.limit) {
-		if prev, loaded := mg.cache.LoadOrStore(key, v); loaded {
-			// A racing goroutine computed the same pair first; its entry
+	if mg.cache != nil {
+		if prev, added := mg.cache.GetOrAdd(key, v); !added {
+			// A racing goroutine installed the same pair first; its entry
 			// is the one whose attribution was counted.
 			mg.cacheHits.Add(1)
-			return *prev.(*Verdict)
+			return *prev
 		}
-		mg.cached.Add(1)
 	}
 	mg.count(key, v)
 	return *v
@@ -286,6 +333,11 @@ func (mg *Manager) Stats() ManagerStats {
 	st := ManagerStats{
 		Queries:   mg.queries.Load(),
 		CacheHits: mg.cacheHits.Load(),
+	}
+	if mg.cache != nil {
+		cs := mg.cache.Stats()
+		st.Cached = int64(cs.Len)
+		st.Evictions = cs.Evictions
 	}
 	st.Members = make([]MemberStats, len(mg.members))
 	for i, m := range mg.members {

@@ -145,6 +145,125 @@ func TestManagerComposes(t *testing.T) {
 	}
 }
 
+// TestManagerOnePairHammerNoCache is the regression test for the
+// double-counting bug: with caching disabled there is no LoadOrStore winner
+// to elect, so the documented semantics are one count per computation —
+// exactly workers×rounds, never more (the old code could also inflate past
+// a full cache, where racing goroutines each counted). Run under -race this
+// also guards the counter stripes themselves.
+func TestManagerOnePairHammerNoCache(t *testing.T) {
+	m := progs.MessageBuffer()
+	qs := alias.Queries(m)
+	if len(qs) == 0 {
+		t.Fatal("no queries")
+	}
+	q := qs[0]
+	want := newTestManager(m, alias.ManagerOptions{}).Evaluate(q.P, q.Q)
+
+	mgr := newTestManager(m, alias.ManagerOptions{CacheLimit: -1})
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				mgr.Evaluate(q.P, q.Q)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := mgr.Stats()
+	const total = workers * rounds
+	if st.Queries != total {
+		t.Errorf("queries = %d, want %d", st.Queries, total)
+	}
+	if st.CacheHits != 0 {
+		t.Errorf("cache hits = %d with caching disabled", st.CacheHits)
+	}
+	if st.Computed != total {
+		t.Errorf("computed = %d, want exactly %d (one per computation)", st.Computed, total)
+	}
+	wantNoAlias := int64(0)
+	if want.Result == alias.NoAlias {
+		wantNoAlias = total
+	}
+	if st.NoAlias != wantNoAlias {
+		t.Errorf("noalias = %d, want %d", st.NoAlias, wantNoAlias)
+	}
+	for i, ms := range st.Members {
+		wantMember := int64(0)
+		if want.MemberNoAlias(i) {
+			wantMember = total
+		}
+		if ms.NoAlias != wantMember {
+			t.Errorf("member %d noalias = %d, want %d (counters inflated or lost)",
+				i, ms.NoAlias, wantMember)
+		}
+	}
+}
+
+// TestManagerWinnerOnlyCountPastLimit pins the other half of the fix: with
+// a small LRU the cache no longer freezes at its limit, so a pair hammered
+// concurrently after a cold flood is computed and counted exactly once —
+// under the old frozen cache every racing recomputation was counted.
+func TestManagerWinnerOnlyCountPastLimit(t *testing.T) {
+	m := progs.MessageBuffer()
+	qs := alias.Queries(m)
+	const limit = 4
+	if len(qs) < limit+4 {
+		t.Fatalf("need more than %d distinct pairs, have %d", limit+4, len(qs))
+	}
+	mgr := newTestManager(m, alias.ManagerOptions{CacheLimit: limit, CacheShards: 1})
+
+	// Cold flood: more distinct pairs than the cache holds. Under the old
+	// policy this froze the cache on the first `limit` pairs.
+	for _, q := range qs[1:] {
+		mgr.Evaluate(q.P, q.Q)
+	}
+	before := mgr.Stats()
+	if before.Cached > limit {
+		t.Fatalf("cached = %d beyond the %d-entry limit", before.Cached, limit)
+	}
+	if before.Evictions == 0 {
+		t.Fatal("flood past the limit recorded no evictions")
+	}
+
+	// Hot phase: many goroutines race on one fresh pair. Exactly one
+	// computation may be counted; everyone else must resolve as a hit.
+	hot := qs[0]
+	const workers = 8
+	const rounds = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				mgr.Evaluate(hot.P, hot.Q)
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := mgr.Stats()
+	if d := after.Computed - before.Computed; d != 1 {
+		t.Errorf("hot pair counted %d times, want exactly 1 (winner only)", d)
+	}
+	if d := after.Queries - before.Queries; d != workers*rounds {
+		t.Errorf("queries grew by %d, want %d", d, workers*rounds)
+	}
+	if after.CacheHits+after.Computed != after.Queries {
+		t.Errorf("cache_hits %d + computed %d != queries %d",
+			after.CacheHits, after.Computed, after.Queries)
+	}
+	if after.Cached > limit {
+		t.Errorf("cached = %d beyond the %d-entry limit", after.Cached, limit)
+	}
+}
+
 // TestManagerConcurrentHammer locks in the concurrent-query contract: many
 // goroutines fire the full query set (in both orientations and shifted
 // orders) at one Manager while others snapshot Stats. Run under -race this

@@ -1,0 +1,218 @@
+// Package cache provides the sharded, bounded LRU map behind the alias
+// Manager's verdict memo and any other hot, size-capped lookup structure the
+// service grows. It exists because the service's original memo — an
+// append-only sync.Map with a check-then-add size gate — had two pathologies
+// under sustained multi-tenant traffic: the gate raced (the map could
+// overshoot its limit by up to GOMAXPROCS entries), and once full it froze,
+// pinning the first-seen cold entries forever while every later hot key
+// recomputed on each query.
+//
+// A Cache fixes both. Capacity is enforced atomically: insertion and
+// eviction happen under one shard lock, so the total entry count never
+// exceeds the configured capacity at any observable moment. Recency is
+// tracked with an intrusive doubly-linked list per shard, so a hot working
+// set keeps displacing cold entries no matter how many distinct keys stream
+// past. Sharding (each shard owns a mutex, a map slice of the key space, and
+// its own LRU list) keeps concurrent readers from serializing on one lock;
+// the caller supplies the hash that spreads keys across shards.
+//
+// Hit, miss and eviction counters are maintained with atomics and exposed
+// via Stats for the service's /v1/stats payload.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a sharded, bounded LRU map. The zero value is not usable; call
+// New. A Cache is safe for concurrent use by multiple goroutines.
+type Cache[K comparable, V any] struct {
+	shards []shard[K, V]
+	hash   func(K) uint64
+	cap    int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a Cache's counters.
+type Stats struct {
+	Len       int   // live entries, ≤ Cap
+	Cap       int   // configured capacity
+	Hits      int64 // Get/GetOrAdd calls answered by an existing entry
+	Misses    int64 // Get calls that found nothing
+	Evictions int64 // entries displaced to admit newer ones
+}
+
+// entry is one cached key/value pair, threaded on its shard's intrusive
+// recency list (prev is toward the MRU end, next toward the LRU end).
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// shard owns a slice of the key space: a mutex, the entry map, and the
+// recency list bounded by max. head is most-recently used, tail least.
+type shard[K comparable, V any] struct {
+	mu   sync.Mutex
+	max  int
+	m    map[K]*entry[K, V]
+	head *entry[K, V]
+	tail *entry[K, V]
+}
+
+// New builds a cache holding at most capacity entries across shards shards,
+// using hash to assign keys to shards. capacity must be ≥ 1. shards is
+// clamped to [1, capacity] so that every shard can hold at least one entry;
+// per-shard bounds sum exactly to capacity, making the total an invariant
+// rather than an approximation.
+func New[K comparable, V any](capacity, shards int, hash func(K) uint64) *Cache[K, V] {
+	if capacity < 1 {
+		panic("cache.New: capacity must be ≥ 1")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &Cache[K, V]{shards: make([]shard[K, V], shards), hash: hash, cap: capacity}
+	base, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		max := base
+		if i < extra {
+			max++
+		}
+		c.shards[i].max = max
+		c.shards[i].m = make(map[K]*entry[K, V], max)
+	}
+	return c
+}
+
+func (c *Cache[K, V]) shardOf(k K) *shard[K, V] {
+	return &c.shards[c.hash(k)%uint64(len(c.shards))]
+}
+
+// Get returns the value cached under k, marking the entry most-recently
+// used. The second result reports whether the key was present.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if ok {
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		var zero V
+		return zero, false
+	}
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// GetOrAdd stores v under k if the key is absent and returns (v, true);
+// when another value is already cached it is refreshed to most-recently
+// used and returned with added == false — the sync.Map LoadOrStore shape,
+// which lets racing writers agree on a single winner. Insertion evicts the
+// shard's least-recently-used entry first when the shard is at its bound,
+// so the capacity invariant holds at every instant, including mid-call.
+func (c *Cache[K, V]) GetOrAdd(k K, v V) (V, bool) {
+	s := c.shardOf(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, false
+	}
+	var evicted bool
+	if len(s.m) >= s.max {
+		s.evictTail()
+		evicted = true
+	}
+	e := &entry[K, V]{key: k, val: v}
+	s.m[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+	return v, true
+}
+
+// Len returns the live entry count. It takes each shard lock in turn, so
+// the sum never observes a shard mid-mutation and is always ≤ the capacity.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Cap returns the configured capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Stats snapshots the counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Len:       c.Len(),
+		Cap:       c.cap,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// pushFront links e at the MRU end. Caller holds s.mu.
+func (s *shard[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlink removes e from the recency list. Caller holds s.mu.
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront refreshes e to most-recently used. Caller holds s.mu.
+func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// evictTail drops the least-recently-used entry. Caller holds s.mu and has
+// checked the shard is non-empty.
+func (s *shard[K, V]) evictTail() {
+	t := s.tail
+	s.unlink(t)
+	delete(s.m, t.key)
+}

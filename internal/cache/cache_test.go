@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func ihash(k int) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+
+// TestLRUOrder pins the recency semantics on a single shard: the
+// least-recently-used key is the one displaced, and Get refreshes recency.
+func TestLRUOrder(t *testing.T) {
+	c := New[int, string](3, 1, ihash)
+	c.GetOrAdd(1, "a")
+	c.GetOrAdd(2, "b")
+	c.GetOrAdd(3, "c")
+	if _, ok := c.Get(1); !ok { // 1 is now MRU; 2 is LRU
+		t.Fatal("key 1 missing before any eviction")
+	}
+	c.GetOrAdd(4, "d") // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Error("key 2 survived eviction; LRU order not respected")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("key %d evicted out of LRU order", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Len != 3 || st.Cap != 3 {
+		t.Errorf("len/cap = %d/%d, want 3/3", st.Len, st.Cap)
+	}
+}
+
+// TestGetOrAddAgreesOnWinner: a second GetOrAdd under the same key returns
+// the first value with added == false — the property the alias Manager's
+// winner-only counting is built on.
+func TestGetOrAddAgreesOnWinner(t *testing.T) {
+	c := New[int, string](8, 4, ihash)
+	if v, added := c.GetOrAdd(7, "first"); !added || v != "first" {
+		t.Fatalf("first GetOrAdd = (%q, %v), want (first, true)", v, added)
+	}
+	if v, added := c.GetOrAdd(7, "second"); added || v != "first" {
+		t.Fatalf("second GetOrAdd = (%q, %v), want (first, false)", v, added)
+	}
+}
+
+// TestCapacitySplitsExactly: per-shard bounds must sum to the configured
+// capacity (no rounding slack), and shards are clamped so every shard can
+// hold an entry.
+func TestCapacitySplitsExactly(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{1, 16}, {2, 16}, {5, 4}, {16, 16}, {17, 16}, {1000, 7},
+	} {
+		c := New[int, int](tc.capacity, tc.shards, ihash)
+		total := 0
+		for i := range c.shards {
+			if c.shards[i].max < 1 {
+				t.Errorf("cap %d shards %d: shard %d bound %d < 1",
+					tc.capacity, tc.shards, i, c.shards[i].max)
+			}
+			total += c.shards[i].max
+		}
+		if total != tc.capacity {
+			t.Errorf("cap %d shards %d: shard bounds sum to %d", tc.capacity, tc.shards, total)
+		}
+	}
+}
+
+// TestConcurrentBoundInvariant is the regression test for the old
+// check-then-add overshoot: hammer GetOrAdd from many goroutines while
+// observers sample Len, and require the bound to hold at every observation
+// and exactly at the end. The old sync.Map gate overshot by up to
+// GOMAXPROCS entries under this load.
+func TestConcurrentBoundInvariant(t *testing.T) {
+	const capacity = 64
+	c := New[int, int](capacity, 8, ihash)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var violations atomic.Int64
+	for o := 0; o < 2; o++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if n := c.Len(); n > capacity {
+						violations.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	const writers = 8
+	const perWriter = 5000
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				k := w*perWriter + i
+				c.GetOrAdd(k, k)
+				c.Get(k)
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Errorf("capacity bound violated %d times during concurrent inserts", n)
+	}
+	if n := c.Len(); n != capacity {
+		t.Errorf("final len = %d, want exactly %d after %d distinct inserts",
+			n, capacity, writers*perWriter)
+	}
+	st := c.Stats()
+	if want := int64(writers*perWriter - capacity); st.Evictions != want {
+		t.Errorf("evictions = %d, want %d (every insert beyond capacity displaces one)",
+			st.Evictions, want)
+	}
+}
+
+// frozenCache mimics the Manager's pre-LRU memo policy: admit entries until
+// the capacity gate closes, then never again — the "fills and freezes"
+// behavior this package replaces. Used as the baseline in the hot-set test.
+type frozenCache struct {
+	max int
+	m   map[int]int
+}
+
+func (f *frozenCache) get(k int) bool {
+	_, ok := f.m[k]
+	return ok
+}
+
+func (f *frozenCache) add(k, v int) {
+	if len(f.m) < f.max {
+		f.m[k] = v
+	}
+}
+
+// TestHotSetSurvivesChurn demonstrates the acceptance property at the cache
+// level: on a workload whose distinct-key count exceeds the capacity, a hot
+// working set that keeps being re-touched stays cached under LRU, while the
+// frozen policy — filled by the initial cold flood — never caches it at all.
+func TestHotSetSurvivesChurn(t *testing.T) {
+	const (
+		capacity = 128
+		coldKeys = 4096 // distinct cold keys, far beyond capacity
+		hotKeys  = 16
+		rounds   = 50
+	)
+	lru := New[int, int](capacity, 8, ihash)
+	frozen := &frozenCache{max: capacity, m: map[int]int{}}
+
+	// Cold flood first: fills the frozen cache with keys the workload never
+	// revisits, and streams straight through the LRU.
+	for k := 0; k < coldKeys; k++ {
+		lru.GetOrAdd(k, k)
+		frozen.add(k, k)
+	}
+
+	// Then a hot phase with cold drizzle: each round touches every hot key
+	// and a few fresh cold keys (the churn that would displace a FIFO).
+	// Hot keys live in a range disjoint from both floods.
+	hot := func(i int) int { return 10_000_000 + i }
+	var lruHot, frozenHot, hotLookups int
+	coldDrip := coldKeys
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < hotKeys; i++ {
+			k := hot(i)
+			hotLookups++
+			if _, ok := lru.Get(k); ok {
+				lruHot++
+			} else {
+				lru.GetOrAdd(k, k)
+			}
+			if frozen.get(k) {
+				frozenHot++
+			} else {
+				frozen.add(k, k)
+			}
+		}
+		for d := 0; d < 8; d++ {
+			coldDrip++
+			lru.GetOrAdd(coldDrip, coldDrip)
+			frozen.add(coldDrip, coldDrip)
+		}
+	}
+
+	lruRate := float64(lruHot) / float64(hotLookups)
+	frozenRate := float64(frozenHot) / float64(hotLookups)
+	t.Logf("hot-set hit rate: lru %.3f, frozen %.3f (capacity %d, %d distinct keys)",
+		lruRate, frozenRate, capacity, coldDrip+hotKeys)
+	// LRU misses the hot set only on the very first round.
+	if want := float64(rounds-1) / float64(rounds); lruRate < want {
+		t.Errorf("lru hot-set hit rate %.3f, want ≥ %.3f", lruRate, want)
+	}
+	if frozenRate != 0 {
+		t.Errorf("frozen hot-set hit rate %.3f, want 0 (cache filled by cold flood)", frozenRate)
+	}
+	if lru.Stats().Evictions == 0 {
+		t.Error("no evictions recorded despite churn past capacity")
+	}
+}

@@ -67,6 +67,71 @@ func (p *Pool) ForEach(n int, f func(i int)) {
 	wg.Wait()
 }
 
+// Queue is a fixed-worker task queue for fire-and-forget jobs whose
+// lifetime outlives one request — the service's async module builds
+// foremost. Unlike Pool.ForEach (which scatters a known index range and
+// joins), a Queue accepts work items over time and runs them on a bounded
+// set of long-lived workers, with a bounded backlog so producers get
+// backpressure instead of unbounded queue growth.
+type Queue struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue starts a queue with the given worker count (min 1) and backlog
+// capacity (min 1 beyond the in-flight work).
+func NewQueue(workers, backlog int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	q := &Queue{tasks: make(chan func(), backlog)}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for f := range q.tasks {
+				f()
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues f without blocking. It reports false when the backlog is
+// full or the queue is closed — the caller decides whether that is "try
+// again later" (HTTP 503) or a hard error.
+func (q *Queue) Submit(f func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.tasks <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close stops accepting work, drains the backlog, and waits for in-flight
+// tasks to finish. Safe to call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.tasks)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
 // minChunk is the floor ChunkSize returns: chunks below ~1k items pay more
 // in scheduling than they gain in balance for alias-query workloads.
 const minChunk = 1024

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -82,6 +83,44 @@ func TestChunksCoverRange(t *testing.T) {
 			t.Fatalf("n=%d: chunks stop at %d", n, next)
 		}
 	}
+}
+
+func TestQueueRunsEverySubmittedTask(t *testing.T) {
+	q := NewQueue(3, 64)
+	var done atomic.Int64
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !q.Submit(func() { done.Add(1) }) {
+			t.Fatalf("submit %d refused below backlog", i)
+		}
+	}
+	q.Close()
+	if got := done.Load(); got != n {
+		t.Errorf("ran %d of %d tasks", got, n)
+	}
+	if q.Submit(func() {}) {
+		t.Error("submit accepted after Close")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(1, 1)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	if !q.Submit(func() { started.Done(); <-release }) {
+		t.Fatal("first submit refused")
+	}
+	started.Wait() // worker is now blocked; backlog is empty
+	if !q.Submit(func() {}) {
+		t.Fatal("backlog slot refused")
+	}
+	if q.Submit(func() {}) {
+		t.Error("submit accepted past a full backlog")
+	}
+	close(release)
+	q.Close()
+	q.Close() // idempotent
 }
 
 func TestChunkedForEachCoversRange(t *testing.T) {

@@ -1,0 +1,372 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinyModule returns a distinct valid IR module source for registry tests.
+func tinyModule(name string) string {
+	return fmt.Sprintf("module %s\nfunc f() void {\nentry:\n  ret\n}\n", name)
+}
+
+func mustHandle(t *testing.T, name string) *Handle {
+	t.Helper()
+	h, err := BuildHandle(name, "ir", tinyModule(name), 0)
+	if err != nil {
+		t.Fatalf("building %s: %v", name, err)
+	}
+	return h
+}
+
+// TestRegistryEvictsIdleLRU: a full registry with eviction enabled displaces
+// the least-recently-queried module, preferring unpinned victims; a pinned
+// victim survives (usable) until its last Release; only a registry full of
+// still-building modules refuses the Add.
+func TestRegistryEvictsIdleLRU(t *testing.T) {
+	reg := NewRegistry(2, true)
+	if err := reg.Add(mustHandle(t, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add(mustHandle(t, "b")); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a on the query path so b is the LRU.
+	ha, ok := reg.Acquire("a")
+	if !ok {
+		t.Fatal("acquire a")
+	}
+	ha.Release()
+
+	if err := reg.Add(mustHandle(t, "c")); err != nil {
+		t.Fatalf("add into full registry with idle LRU: %v", err)
+	}
+	if _, ok := reg.Get("b"); ok {
+		t.Fatal("b (LRU idle) survived; eviction picked the wrong victim")
+	}
+	if reg.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", reg.Evictions())
+	}
+
+	// Pin c, leave a idle: a (unpinned) must be preferred as victim even
+	// though c is the least recently used.
+	hc, _ := reg.Acquire("c")
+	if err := reg.Add(mustHandle(t, "d")); err != nil {
+		t.Fatalf("add with one idle module: %v", err)
+	}
+	if _, ok := reg.Get("a"); ok {
+		t.Fatal("a (idle) survived while c (pinned) was preferred as victim")
+	}
+
+	// Pin d too: nothing unpinned remains, so the LRU pinned module (c)
+	// is evicted — and stays fully usable until its pin is released.
+	hd, _ := reg.Acquire("d")
+	if err := reg.Add(mustHandle(t, "e")); err != nil {
+		t.Fatalf("add with everything pinned: %v", err)
+	}
+	if _, ok := reg.Get("c"); ok {
+		t.Fatal("c should have been evicted as the LRU pinned module")
+	}
+	if hc.Closed() {
+		t.Fatal("pinned victim torn down before its Release")
+	}
+	hc.Release()
+	if !hc.Closed() {
+		t.Fatal("evicted victim not torn down after its last Release")
+	}
+	hd.Release()
+	if reg.Len() != 2 {
+		t.Errorf("len = %d, want 2", reg.Len())
+	}
+
+	// Staged builds never consume module slots — a reservation cannot evict
+	// a healthy module — but they are bounded on their own: garbage async
+	// uploads cannot pile up placeholders without limit.
+	breg := NewRegistry(1, true)
+	if err := breg.Add(mustHandle(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := breg.Reserve(NewPending("p1", "ir")); err != nil {
+		t.Fatalf("reserve alongside a full module table: %v", err)
+	}
+	if _, ok := breg.Get("x"); !ok {
+		t.Fatal("reservation evicted a healthy module")
+	}
+	if err := breg.Reserve(NewPending("p2", "ir")); err == nil {
+		t.Fatal("staging accepted reservations past its bound")
+	}
+}
+
+// TestBadUploadCannotEvict is the regression test for the pre-parse
+// eviction hazard: a sync upload of garbage source into a full registry
+// with eviction enabled must fail without displacing any healthy module.
+func TestBadUploadCannotEvict(t *testing.T) {
+	s, ts := startServer(t, Config{MaxModules: 1, EvictModules: true})
+	t.Cleanup(s.Close)
+	if resp := postModule(t, ts, "good", "ir", tinyModule("good")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	for i := 0; i < 3; i++ {
+		resp := postModule(t, ts, fmt.Sprintf("bad%d", i), "ir", "module m\nfunc f() void {\n")
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("garbage upload: %d, want 400", resp.StatusCode)
+		}
+		body(t, resp)
+	}
+	if _, ok := s.reg.Get("good"); !ok {
+		t.Fatal("healthy module evicted by unparseable uploads")
+	}
+	if s.reg.Evictions() != 0 {
+		t.Fatalf("evictions = %d, want 0", s.reg.Evictions())
+	}
+	// A viable upload, by contrast, does evict.
+	if resp := postModule(t, ts, "good2", "ir", tinyModule("good2")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("viable upload into full registry: %d", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	if _, ok := s.reg.Get("good"); ok {
+		t.Fatal("LRU module survived a viable upload into a full registry")
+	}
+}
+
+// TestEvictedHandleAliveViaRefcount is the lifecycle tentpole's core
+// promise: an in-flight batch pins its handle, so removing (or evicting)
+// the module retires it without tearing it down until the batch completes.
+func TestEvictedHandleAliveViaRefcount(t *testing.T) {
+	src := fig1Source(t)
+	s := New(Config{})
+	defer s.Close()
+	h, err := BuildHandle("fig1", "minic", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reg.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	pairs := namedPairs(h.Mod)
+
+	// The "batch" acquires its pin, then the module is deleted under it.
+	pinned, ok := s.reg.Acquire("fig1")
+	if !ok {
+		t.Fatal("acquire")
+	}
+	if !s.reg.Remove("fig1") {
+		t.Fatal("remove")
+	}
+	if _, ok := s.reg.Get("fig1"); ok {
+		t.Fatal("removed module still visible in the registry")
+	}
+	if pinned.Closed() {
+		t.Fatal("handle torn down while a batch pin is held")
+	}
+	// The in-flight batch still runs to completion against the retired
+	// handle.
+	results, err := s.RunBatch(pinned, pairs)
+	if err != nil {
+		t.Fatalf("batch against retired handle: %v", err)
+	}
+	if len(results) != len(pairs) {
+		t.Fatalf("batch returned %d of %d results", len(results), len(pairs))
+	}
+	pinned.Release()
+	if !pinned.Closed() {
+		t.Fatal("handle not torn down after the last pin released")
+	}
+	if pinned.Mod != nil {
+		t.Fatal("teardown left the module referenced")
+	}
+}
+
+// TestRegistryConcurrentLifecycle races Add/Acquire/Get/Remove/List (with
+// eviction pressure: capacity far below the name space) and checks the
+// bound and refcount invariants hold. Run under -race this also guards the
+// registry's internal synchronization.
+func TestRegistryConcurrentLifecycle(t *testing.T) {
+	const capacity = 4
+	reg := NewRegistry(capacity, true)
+	// Pre-built handles are reused across adds; a handle re-added after
+	// retirement would be wrong, so each add builds fresh.
+	const names = 16
+	const workers = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				name := fmt.Sprintf("m%d", (w*rounds+r)%names)
+				switch r % 4 {
+				case 0:
+					h, err := BuildHandle(name, "ir", tinyModule(name), 0)
+					if err != nil {
+						t.Errorf("build %s: %v", name, err)
+						return
+					}
+					reg.Add(h) // duplicate/full errors are expected traffic
+				case 1:
+					if h, ok := reg.Acquire(name); ok {
+						if h.State() == StateReady && h.Closed() {
+							t.Errorf("acquired a torn-down handle %s", name)
+						}
+						h.Release()
+					}
+				case 2:
+					if h, ok := reg.Get(name); ok {
+						h.Release()
+					}
+					reg.Remove(name)
+				case 3:
+					hs := reg.List()
+					if len(hs) > capacity {
+						t.Errorf("registry holds %d modules past its %d bound", len(hs), capacity)
+					}
+					releaseAll(hs)
+				}
+				if n := reg.Len(); n > capacity {
+					t.Errorf("len = %d past the %d bound", n, capacity)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAsyncBuildLifecycle drives the async upload end to end over HTTP:
+// 202 on submit, status building→ready on poll, queries answered after;
+// a failed async build reports status failed with the parse error, refuses
+// queries with 409, and can be deleted.
+func TestAsyncBuildLifecycle(t *testing.T) {
+	src := fig1Source(t)
+	s, ts := startServer(t, Config{Parallel: 2, BuildWorkers: 2})
+	t.Cleanup(s.Close)
+
+	resp := postModuleAsync(t, ts.URL, "fig1", "minic", src)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async upload: %d, want 202 — %s", resp.StatusCode, body(t, resp))
+	}
+	var info ModuleInfo
+	if err := json.Unmarshal(body(t, resp), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "building" && info.Status != "ready" {
+		t.Fatalf("status right after 202 = %q", info.Status)
+	}
+
+	info = pollStatus(t, ts.URL, "fig1", "ready")
+	if info.PairQueries == 0 || info.Chain == "" || info.MemBytes == 0 {
+		t.Fatalf("ready module info incomplete: %+v", info)
+	}
+
+	// Queries now succeed.
+	h, ok := s.reg.Get("fig1")
+	if !ok {
+		t.Fatal("ready module missing from registry")
+	}
+	pairs := namedPairs(h.Mod)
+	h.Release()
+	qbody, _ := json.Marshal(QueryRequest{Module: "fig1", Pairs: pairs[:1]})
+	qresp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(string(qbody)))
+	if err != nil || qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query after async build: %v %d", err, qresp.StatusCode)
+	}
+	body(t, qresp)
+
+	// Failed build: bad IR, still 202, then status failed + 409 on query.
+	resp = postModuleAsync(t, ts.URL, "broken", "ir", "module m\nfunc f() void {\n")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async upload of broken source: %d, want 202", resp.StatusCode)
+	}
+	body(t, resp)
+	info = pollStatus(t, ts.URL, "broken", "failed")
+	if info.Error == "" {
+		t.Fatal("failed build reports no error")
+	}
+	qbody, _ = json.Marshal(QueryRequest{Module: "broken", Pairs: []Pair{{Func: "f", A: "a", B: "b"}}})
+	qresp, err = http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(string(qbody)))
+	if err != nil || qresp.StatusCode != http.StatusConflict {
+		t.Fatalf("query against failed module: %v %d, want 409", err, qresp.StatusCode)
+	}
+	body(t, qresp)
+
+	// Failed modules occupy their slot until deleted…
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/modules/broken", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil || dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete failed module: %v %d", err, dresp.StatusCode)
+	}
+	// …or replaced by a fresh upload of the same name.
+	resp = postModule(t, ts, "fig1b", "minic", src)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("sync upload alongside async modules: %d", resp.StatusCode)
+	}
+	body(t, resp)
+}
+
+// TestFailedModuleReplaceable: re-POSTing a name whose build failed
+// replaces the failed placeholder instead of demanding a DELETE first.
+func TestFailedModuleReplaceable(t *testing.T) {
+	src := fig1Source(t)
+	s, ts := startServer(t, Config{})
+	t.Cleanup(s.Close)
+	resp := postModuleAsync(t, ts.URL, "mod", "ir", "module m\nfunc f() void {\n")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async: %d", resp.StatusCode)
+	}
+	body(t, resp)
+	pollStatus(t, ts.URL, "mod", "failed")
+	if resp := postModule(t, ts, "mod", "minic", src); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("re-upload over failed build: %d, want 201", resp.StatusCode)
+	} else {
+		body(t, resp)
+	}
+	pollStatus(t, ts.URL, "mod", "ready")
+}
+
+func postModuleAsync(t *testing.T, base, name, format, src string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(
+		fmt.Sprintf("%s/v1/modules?name=%s&format=%s&async=1", base, name, format),
+		"text/plain", strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("POST async module: %v", err)
+	}
+	return resp
+}
+
+// pollStatus polls GET /v1/modules/{name} until the module reaches want
+// (or the deadline trips).
+func pollStatus(t *testing.T, base, name, want string) ModuleInfo {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/modules/" + name)
+		if err != nil {
+			t.Fatalf("polling %s: %v", name, err)
+		}
+		var info ModuleInfo
+		if err := json.Unmarshal(body(t, resp), &info); err != nil {
+			t.Fatalf("polling %s: %v", name, err)
+		}
+		if info.Status == want {
+			return info
+		}
+		if info.Status != "building" {
+			t.Fatalf("module %s reached %q, want %q", name, info.Status, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("module %s stuck in %q", name, info.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -142,6 +142,9 @@ func encodeVerdict(snap alias.Snapshot, v alias.Verdict) Result {
 // workers and returns the request-ordered results. It is the programmatic
 // core of POST /v1/query, exported for golden tests and embedders.
 func (s *Service) RunBatch(h *Handle, pairs []Pair) ([]Result, error) {
+	if h.State() != StateReady {
+		return nil, fmt.Errorf("module %q is %s", h.Name, h.State())
+	}
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("empty batch")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alias"
@@ -16,14 +17,50 @@ import (
 	"repro/internal/pointer"
 )
 
+// BuildState is the lifecycle phase of a registered module. An async upload
+// is registered Building (reserving its name before the parse/verify/
+// analyze chain runs on a build worker), transitions once to Ready or
+// Failed, and never changes again; synchronous uploads enter the registry
+// already Ready.
+type BuildState int32
+
+const (
+	StateBuilding BuildState = iota
+	StateReady
+	StateFailed
+)
+
+// String renders the state the way /v1/modules reports it.
+func (s BuildState) String() string {
+	switch s {
+	case StateBuilding:
+		return "building"
+	case StateReady:
+		return "ready"
+	case StateFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("BuildState(%d)", int32(s))
+}
+
 // Handle is one registered module: the verified IR, the analysis chain
 // behind its read-only snapshot, and the value index the validate stage
-// resolves query names against. Handles are immutable after construction;
-// the snapshot's counters are the only mutable state, and they are
-// internally synchronized.
+// resolves query names against. The built fields (Mod, Snap, IRStats,
+// PairQueries, values) are written exactly once — before the state turns
+// Ready — and are immutable afterwards; readers must observe State() ==
+// StateReady before touching them.
+//
+// Handles are refcounted. Every registry lookup (Acquire, Get, List) pins
+// the handle; callers release the pin with Release when done. A handle
+// evicted or deleted from the registry is retired: it tears down — drops
+// the module, snapshot and value index so their memory can be reclaimed —
+// only when the last pin is released, so an in-flight batch keeps its
+// evicted handle fully usable until completion.
 type Handle struct {
-	Name    string
-	Format  string // "ir" or "minic"
+	Name      string
+	Format    string // "ir" or "minic"
+	CreatedAt time.Time
+
 	Mod     *ir.Module
 	Snap    alias.Snapshot
 	IRStats ir.Stats
@@ -31,10 +68,80 @@ type Handle struct {
 	// same-function pointer pairs) — the natural unit load generators
 	// replay.
 	PairQueries int
-	CreatedAt   time.Time
 
 	// values indexes func name → value name → value for the validate stage.
 	values map[string]map[string]*ir.Value
+
+	// memBytes approximates the handle's resident cost (see estimateMem);
+	// the live memo-cache size is added on top at stats time.
+	memBytes int64
+
+	// buildErr is set before the state turns Failed.
+	buildErr string
+
+	state   atomic.Int32
+	refs    atomic.Int64
+	retired atomic.Bool
+	closed  atomic.Bool
+	lastUse atomic.Int64 // unix nanos of the last query-path acquire
+}
+
+// NewPending creates a handle in the Building state, ready to be reserved
+// in the registry before its build runs.
+func NewPending(name, format string) *Handle {
+	h := &Handle{Name: name, Format: format, CreatedAt: time.Now()}
+	h.lastUse.Store(h.CreatedAt.UnixNano())
+	return h
+}
+
+// State returns the lifecycle phase. Observing StateReady also guarantees
+// the built fields are visible (the atomic store publishes them).
+func (h *Handle) State() BuildState { return BuildState(h.state.Load()) }
+
+// Err returns the build failure message ("" unless State is StateFailed).
+func (h *Handle) Err() string {
+	if h.State() != StateFailed {
+		return ""
+	}
+	return h.buildErr
+}
+
+// Closed reports whether the handle has been torn down (retired with no
+// pins left). A closed handle must not be queried.
+func (h *Handle) Closed() bool { return h.closed.Load() }
+
+// MemBytes approximates the handle's resident memory.
+func (h *Handle) MemBytes() int64 { return h.memBytes }
+
+// Release drops one pin. When a retired handle loses its last pin it is
+// torn down; until then every pinned reader — an in-flight batch foremost —
+// sees it fully intact.
+func (h *Handle) Release() {
+	if h.refs.Add(-1) == 0 && h.retired.Load() {
+		h.teardown()
+	}
+}
+
+// retire marks the handle as removed from the registry and tears it down
+// immediately when nothing pins it.
+func (h *Handle) retire() {
+	h.retired.Store(true)
+	if h.refs.Load() == 0 {
+		h.teardown()
+	}
+}
+
+// teardown drops the built artifacts so the GC can reclaim them. Guarded by
+// a CAS: retire and a racing final Release may both observe refs == 0.
+// Reached only when the handle is out of the registry and unpinned, so no
+// reader can be touching the fields it clears.
+func (h *Handle) teardown() {
+	if !h.closed.CompareAndSwap(false, true) {
+		return
+	}
+	h.Mod = nil
+	h.Snap = alias.Snapshot{}
+	h.values = nil
 }
 
 // Lookup resolves a "func", "name" reference against the handle's module.
@@ -57,43 +164,63 @@ func (h *Handle) Lookup(fn, name string) (*ir.Value, error) {
 // with the default memo cache (service clients re-query pairs, unlike the
 // one-shot experiment sweeps).
 func NewChain(m *ir.Module) *alias.Manager {
-	return alias.NewManager(alias.ManagerOptions{},
+	return NewChainOpts(m, alias.ManagerOptions{})
+}
+
+// NewChainOpts is NewChain with explicit manager options (the service
+// threads its configured memo-cache limit through here).
+func NewChainOpts(m *ir.Module, opts alias.ManagerOptions) *alias.Manager {
+	return alias.NewManager(opts,
 		scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{}), andersen.Analyze(m))
 }
 
-// BuildHandle parses (enforcing maxSourceBytes), verifies, and analyzes one
-// module source. format is "ir" or "minic". The returned error is safe to
-// echo to clients.
-func BuildHandle(name, format, src string, maxSourceBytes int) (*Handle, error) {
+// estimateMem approximates a built handle's resident cost from the module
+// shape: source text, IR values/instructions with their use lists, the
+// per-function analysis rows, and the value index. Deliberately coarse —
+// the number feeds capacity dashboards, not an allocator.
+func estimateMem(srcLen int, st ir.Stats) int64 {
+	const (
+		perInstr   = 160 // ir.Value + operand/use slices
+		perPointer = 96  // analysis rows (ranges, points-to sets)
+		perBlock   = 120
+		perFunc    = 512
+	)
+	return int64(srcLen) +
+		int64(st.Instrs)*perInstr +
+		int64(st.Pointers)*perPointer +
+		int64(st.Blocks)*perBlock +
+		int64(st.Funcs)*perFunc
+}
+
+// runBuild runs the parse/verify/analyze chain and fills the built fields
+// on success. It does NOT publish a state transition — the caller decides
+// (Build for standalone handles, Registry.Finish for async builds, where
+// promotion into the module table and the Ready transition must agree).
+func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOptions) error {
 	if maxSourceBytes > 0 && len(src) > maxSourceBytes {
-		return nil, fmt.Errorf("source is %d bytes, exceeding the %d-byte limit", len(src), maxSourceBytes)
+		return fmt.Errorf("source is %d bytes, exceeding the %d-byte limit", len(src), maxSourceBytes)
 	}
 	var m *ir.Module
 	var err error
-	switch format {
+	switch h.Format {
 	case "ir":
 		m, err = ir.Parse(src)
 	case "minic":
-		m, err = minic.Compile(name, src)
+		m, err = minic.Compile(h.Name, src)
 	default:
-		return nil, fmt.Errorf("unknown format %q (want \"ir\" or \"minic\")", format)
+		return fmt.Errorf("unknown format %q (want \"ir\" or \"minic\")", h.Format)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("parse: %v", err)
+		return fmt.Errorf("parse: %v", err)
 	}
 	if err := ir.Verify(m); err != nil {
-		return nil, fmt.Errorf("verify: %v", err)
+		return fmt.Errorf("verify: %v", err)
 	}
-	h := &Handle{
-		Name:        name,
-		Format:      format,
-		Mod:         m,
-		Snap:        NewChain(m).Snapshot(),
-		IRStats:     m.Stats(),
-		PairQueries: alias.NumQueries(m),
-		CreatedAt:   time.Now(),
-		values:      map[string]map[string]*ir.Value{},
-	}
+	h.Mod = m
+	h.Snap = NewChainOpts(m, opts).Snapshot()
+	h.IRStats = m.Stats()
+	h.PairQueries = alias.NumQueries(m)
+	h.values = map[string]map[string]*ir.Value{}
 	for _, f := range m.Funcs {
 		vals := make(map[string]*ir.Value, len(f.Params))
 		for _, v := range f.Values() {
@@ -101,70 +228,288 @@ func BuildHandle(name, format, src string, maxSourceBytes int) (*Handle, error) 
 		}
 		h.values[f.Name] = vals
 	}
+	h.memBytes = estimateMem(len(src), h.IRStats)
+	return nil
+}
+
+// finishReady publishes the built fields (atomic release store).
+func (h *Handle) finishReady() { h.state.Store(int32(StateReady)) }
+
+// fail records the build error and publishes the Failed state.
+func (h *Handle) fail(err error) {
+	h.buildErr = err.Error()
+	h.state.Store(int32(StateFailed))
+}
+
+// Build runs the parse/verify/analyze chain synchronously and transitions
+// the handle to Ready or Failed. The returned error (also recorded on the
+// handle) is safe to echo to clients.
+func (h *Handle) Build(src string, maxSourceBytes int, opts alias.ManagerOptions) error {
+	if err := h.runBuild(src, maxSourceBytes, opts); err != nil {
+		h.fail(err)
+		return err
+	}
+	h.finishReady()
+	return nil
+}
+
+// BuildHandle parses (enforcing maxSourceBytes), verifies, and analyzes one
+// module source synchronously. format is "ir" or "minic". The returned
+// error is safe to echo to clients.
+func BuildHandle(name, format, src string, maxSourceBytes int) (*Handle, error) {
+	h := NewPending(name, format)
+	if err := h.Build(src, maxSourceBytes, alias.ManagerOptions{}); err != nil {
+		return nil, err
+	}
 	return h, nil
 }
 
-// Registry is the bounded, concurrency-safe map of registered modules.
+// Registry is the bounded, concurrency-safe map of registered modules with
+// lifecycle management. It keeps two tables:
+//
+//   - mods: Ready modules. Counted against the max bound; with eviction
+//     enabled, registering into a full table displaces the
+//     least-recently-queried module (preferring unpinned victims).
+//   - staging: async builds in flight or failed. Name reservations only —
+//     a build that has not proven viable can never evict a healthy module;
+//     it is promoted into mods by Finish only once it succeeds.
+//
+// Every lookup pins the returned handle; see Handle.
 type Registry struct {
-	mu   sync.RWMutex
-	max  int
-	mods map[string]*Handle
+	mu        sync.RWMutex
+	max       int
+	evictIdle bool
+	mods      map[string]*Handle
+	staging   map[string]*Handle
+	evictions atomic.Int64
 }
 
-// NewRegistry builds a registry holding at most max modules (≤ 0 means
-// unbounded).
-func NewRegistry(max int) *Registry {
-	return &Registry{max: max, mods: map[string]*Handle{}}
+// NewRegistry builds a registry holding at most max Ready modules (≤ 0
+// means unbounded; the same bound caps staged builds). With evictIdle, a
+// registration into a full table evicts the least-recently-used module,
+// preferring unpinned ones; evicting a pinned module is safe — its pins
+// keep the retired handle usable until released — it just vanishes from
+// the registry. Without the policy the registration fails.
+func NewRegistry(max int, evictIdle bool) *Registry {
+	return &Registry{max: max, evictIdle: evictIdle,
+		mods: map[string]*Handle{}, staging: map[string]*Handle{}}
 }
 
-// Add registers a handle. It refuses duplicates (delete first — replacing a
-// live module under concurrent queries would silently reset its counters)
-// and enforces the registry bound.
+// takenLocked reports whether name is held by a module that cannot be
+// replaced (anything but a failed staged build), and clears a replaceable
+// failed entry as a side effect. Caller holds r.mu for writing.
+func (r *Registry) takenLocked(name string) bool {
+	if _, ok := r.mods[name]; ok {
+		return true
+	}
+	if prev, ok := r.staging[name]; ok {
+		if prev.State() != StateFailed {
+			return true
+		}
+		delete(r.staging, name)
+		prev.retire()
+	}
+	return false
+}
+
+// Add registers a Ready handle (the synchronous-upload path; async builds
+// go through Reserve/Finish). It refuses duplicates — delete first;
+// replacing a live module under concurrent queries would silently reset
+// its counters — except that a failed staged build may be replaced, and
+// enforces the bound, evicting when the policy allows.
 func (r *Registry) Add(h *Handle) error {
+	if h.State() != StateReady {
+		return fmt.Errorf("module %q is %s, not ready (async builds use Reserve)", h.Name, h.State())
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.mods[h.Name]; ok {
+	if r.takenLocked(h.Name) {
 		return fmt.Errorf("module %q already registered", h.Name)
 	}
-	if r.max > 0 && len(r.mods) >= r.max {
-		return fmt.Errorf("registry full (%d modules)", r.max)
+	if err := r.makeRoomLocked(); err != nil {
+		return err
 	}
 	r.mods[h.Name] = h
 	return nil
 }
 
-// Get looks a module up by name.
-func (r *Registry) Get(name string) (*Handle, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	h, ok := r.mods[name]
+// Reserve stakes an async build's name claim: the Building handle becomes
+// visible to Get/List (so clients can poll its status) without consuming a
+// module slot — only Finish, with a viable build in hand, competes for
+// those. Staged builds are bounded by the same max so unparseable garbage
+// cannot pile up placeholders without bound.
+func (r *Registry) Reserve(h *Handle) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.takenLocked(h.Name) {
+		return fmt.Errorf("module %q already registered", h.Name)
+	}
+	if r.max > 0 && len(r.staging) >= r.max {
+		return fmt.Errorf("too many builds in flight (%d)", r.max)
+	}
+	r.staging[h.Name] = h
+	return nil
+}
+
+// Finish completes an async build: a failure is recorded on the staged
+// handle (it stays visible as "failed" until deleted or replaced); a
+// success promotes the handle into the module table, evicting per policy —
+// the module is viable now, so displacing the LRU is justified. A handle
+// deleted while building is finished quietly and left to its pins.
+func (r *Registry) Finish(h *Handle, buildErr error) {
+	if buildErr != nil {
+		h.fail(buildErr)
+		return
+	}
+	r.mu.Lock()
+	if r.staging[h.Name] != h {
+		r.mu.Unlock()
+		// Deleted (or replaced) mid-build: nobody can reach this handle
+		// through the registry; publish Ready for the builder's pin and
+		// let the pending retire reclaim it.
+		h.finishReady()
+		return
+	}
+	if err := r.makeRoomLocked(); err != nil {
+		r.mu.Unlock()
+		h.fail(err)
+		return
+	}
+	delete(r.staging, h.Name)
+	h.finishReady()
+	r.mods[h.Name] = h
+	r.mu.Unlock()
+}
+
+// makeRoomLocked enforces the module-table bound, evicting when allowed.
+// Caller holds r.mu for writing.
+func (r *Registry) makeRoomLocked() error {
+	if r.max <= 0 || len(r.mods) < r.max {
+		return nil
+	}
+	if !r.evictIdle {
+		return fmt.Errorf("registry full (%d modules)", r.max)
+	}
+	var victim *Handle
+	victimPinned := true
+	for _, h := range r.mods {
+		pinned := h.refs.Load() != 0
+		switch {
+		case victim == nil,
+			victimPinned && !pinned,
+			victimPinned == pinned && h.lastUse.Load() < victim.lastUse.Load():
+			victim, victimPinned = h, pinned
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("registry full (%d modules)", r.max)
+	}
+	delete(r.mods, victim.Name)
+	victim.retire()
+	r.evictions.Add(1)
+	return nil
+}
+
+// lookupLocked finds name in either table. Caller holds r.mu (read).
+func (r *Registry) lookupLocked(name string) (*Handle, bool) {
+	if h, ok := r.mods[name]; ok {
+		return h, true
+	}
+	h, ok := r.staging[name]
 	return h, ok
 }
 
-// Remove drops a module, reporting whether it was present.
+// Acquire looks a module up on the query path: the handle is pinned and its
+// recency refreshed (Acquire order is what the LRU eviction policy sees).
+// The caller must Release the handle when the batch completes.
+func (r *Registry) Acquire(name string) (*Handle, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.lookupLocked(name)
+	if !ok {
+		return nil, false
+	}
+	h.refs.Add(1)
+	h.lastUse.Store(time.Now().UnixNano())
+	return h, true
+}
+
+// Get looks a module up without refreshing recency — the status/info path,
+// so polling a build's progress does not keep a module artificially hot.
+// The handle is still pinned; the caller must Release it.
+func (r *Registry) Get(name string) (*Handle, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.lookupLocked(name)
+	if !ok {
+		return nil, false
+	}
+	h.refs.Add(1)
+	return h, true
+}
+
+// Remove drops a module or staged build, reporting whether it was present.
+// The handle is retired: in-flight pins keep it alive until their Release.
 func (r *Registry) Remove(name string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	_, ok := r.mods[name]
-	delete(r.mods, name)
+	h, ok := r.lookupLocked(name)
+	if ok {
+		delete(r.mods, name)
+		delete(r.staging, name)
+	}
+	r.mu.Unlock()
+	if ok {
+		h.retire()
+	}
 	return ok
 }
 
-// Len returns the module count.
+// unreserve drops exactly h from staging — a no-op when the name has since
+// been rebound. Cleanup paths use this so they never delete another
+// client's reservation by name.
+func (r *Registry) unreserve(h *Handle) {
+	r.mu.Lock()
+	ok := r.staging[h.Name] == h
+	if ok {
+		delete(r.staging, h.Name)
+	}
+	r.mu.Unlock()
+	if ok {
+		h.retire()
+	}
+}
+
+// Len returns the visible module count (ready plus staged).
 func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.mods)
+	return len(r.mods) + len(r.staging)
 }
 
-// List returns the handles sorted by name.
+// Evictions returns how many modules the bound has displaced.
+func (r *Registry) Evictions() int64 { return r.evictions.Load() }
+
+// List returns every visible handle sorted by name, each pinned; the
+// caller must Release every one. Like Get it does not refresh recency.
 func (r *Registry) List() []*Handle {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*Handle, 0, len(r.mods))
+	out := make([]*Handle, 0, len(r.mods)+len(r.staging))
 	for _, h := range r.mods {
+		h.refs.Add(1)
 		out = append(out, h)
 	}
+	for _, h := range r.staging {
+		h.refs.Add(1)
+		out = append(out, h)
+	}
+	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// releaseAll is the List counterpart: release every pinned handle.
+func releaseAll(hs []*Handle) {
+	for _, h := range hs {
+		h.Release()
+	}
 }

@@ -8,31 +8,48 @@ import (
 	"time"
 )
 
-// ModuleInfo is the public summary of a registered module.
+// ModuleInfo is the public summary of a registered module. The IR and
+// analysis fields are meaningful only when Status is "ready"; a module
+// still building (async upload) or failed reports its lifecycle fields.
 type ModuleInfo struct {
 	Name        string    `json:"name"`
 	Format      string    `json:"format"`
-	Chain       string    `json:"chain"`
-	Funcs       int       `json:"funcs"`
-	Blocks      int       `json:"blocks"`
-	Instrs      int       `json:"instrs"`
-	Pointers    int       `json:"pointers"`
-	PairQueries int       `json:"pair_queries"`
+	Status      string    `json:"status"` // building | ready | failed
+	Error       string    `json:"error,omitempty"`
+	Chain       string    `json:"chain,omitempty"`
+	Funcs       int       `json:"funcs,omitempty"`
+	Blocks      int       `json:"blocks,omitempty"`
+	Instrs      int       `json:"instrs,omitempty"`
+	Pointers    int       `json:"pointers,omitempty"`
+	PairQueries int       `json:"pair_queries,omitempty"`
+	MemBytes    int64     `json:"approx_mem_bytes,omitempty"`
 	CreatedAt   time.Time `json:"created_at"`
 }
 
 func moduleInfo(h *Handle) ModuleInfo {
-	return ModuleInfo{
-		Name:        h.Name,
-		Format:      h.Format,
-		Chain:       h.Snap.Name(),
-		Funcs:       h.IRStats.Funcs,
-		Blocks:      h.IRStats.Blocks,
-		Instrs:      h.IRStats.Instrs,
-		Pointers:    h.IRStats.Pointers,
-		PairQueries: h.PairQueries,
-		CreatedAt:   h.CreatedAt,
+	// One state load for both the status string and the field selection: a
+	// concurrent building→ready transition must not produce a torn payload
+	// claiming "building" while carrying ready-only fields.
+	state := h.State()
+	info := ModuleInfo{
+		Name:      h.Name,
+		Format:    h.Format,
+		Status:    state.String(),
+		CreatedAt: h.CreatedAt,
 	}
+	switch state {
+	case StateReady:
+		info.Chain = h.Snap.Name()
+		info.Funcs = h.IRStats.Funcs
+		info.Blocks = h.IRStats.Blocks
+		info.Instrs = h.IRStats.Instrs
+		info.Pointers = h.IRStats.Pointers
+		info.PairQueries = h.PairQueries
+		info.MemBytes = h.MemBytes()
+	case StateFailed:
+		info.Error = h.Err()
+	}
+	return info
 }
 
 // QueryRequest is the body of POST /v1/query.
@@ -57,22 +74,36 @@ type MemberStats struct {
 	Details   map[string]int64 `json:"details,omitempty"`
 }
 
-// ModuleStats is one module's live counters in /v1/stats.
+// ModuleStats is one module's live counters in /v1/stats. Counter fields
+// are present only for ready modules; building/failed rows carry the
+// lifecycle fields.
 type ModuleStats struct {
 	Name         string        `json:"name"`
-	Chain        string        `json:"chain"`
+	Status       string        `json:"status"`
+	Error        string        `json:"error,omitempty"`
+	Chain        string        `json:"chain,omitempty"`
 	Queries      int64         `json:"queries"`
 	CacheHits    int64         `json:"cache_hits"`
 	CacheHitRate float64       `json:"cache_hit_rate"`
 	Computed     int64         `json:"computed"`
 	NoAlias      int64         `json:"noalias"`
-	Members      []MemberStats `json:"members"`
+	// Cached and Evictions describe the module's verdict memo cache: live
+	// entries and entries displaced under churn past the cache limit.
+	Cached    int64 `json:"cached"`
+	Evictions int64 `json:"evictions"`
+	// MemBytes approximates the module's resident memory: the built IR and
+	// analysis structures plus the live memo-cache entries.
+	MemBytes int64         `json:"approx_mem_bytes,omitempty"`
+	Members  []MemberStats `json:"members,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	UptimeMS int64         `json:"uptime_ms"`
-	Modules  []ModuleStats `json:"modules"`
+	UptimeMS int64 `json:"uptime_ms"`
+	// ModulesEvicted counts modules displaced from the full registry to
+	// admit newer uploads (0 unless eviction is enabled).
+	ModulesEvicted int64         `json:"modules_evicted"`
+	Modules        []ModuleStats `json:"modules"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -108,6 +139,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleListModules(w http.ResponseWriter, r *http.Request) {
 	handles := s.reg.List()
+	defer releaseAll(handles)
 	infos := make([]ModuleInfo, len(handles))
 	for i, h := range handles {
 		infos[i] = moduleInfo(h)
@@ -125,21 +157,63 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 	if format == "" {
 		format = "ir"
 	}
+	async := r.URL.Query().Get("async") == "1"
 	src, err := io.ReadAll(http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+1))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
 		return
 	}
-	h, err := BuildHandle(name, format, string(src), s.cfg.MaxSourceBytes)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+
+	if !async {
+		// Build before touching the registry: a malformed upload must never
+		// consume a slot — or worse, evict a healthy module — for source
+		// that does not even parse. Two clients racing the same name both
+		// pay the build and Add arbitrates (one gets 409), matching the
+		// duplicate semantics of a serial upload sequence.
+		h := NewPending(name, format)
+		if err := h.Build(string(src), s.cfg.MaxSourceBytes, s.managerOptions()); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Pin across publish + encode so a DELETE racing in right after Add
+		// cannot tear the handle down under moduleInfo.
+		h.refs.Add(1)
+		if err := s.reg.Add(h); err != nil {
+			h.Release()
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		info := moduleInfo(h)
+		h.Release()
+		writeJSON(w, http.StatusCreated, info)
 		return
 	}
-	if err := s.reg.Add(h); err != nil {
+
+	// Async: reserve the name (visible to status polls from the moment the
+	// 202 returns) without consuming a module slot — only a successful
+	// build competes for those, inside Finish. Failed builds stay visible
+	// as "failed" until deleted or replaced, so the client that got the
+	// 202 can always learn the outcome. The pin taken before Submit keeps
+	// a DELETE racing the build from tearing the handle down mid-build;
+	// the info snapshot is taken before Submit because afterwards the pin
+	// belongs to the build worker and may already be released.
+	h := NewPending(name, format)
+	if err := s.reg.Reserve(h); err != nil {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, moduleInfo(h))
+	h.refs.Add(1)
+	info := moduleInfo(h)
+	if !s.builds.Submit(func() {
+		defer h.Release()
+		s.reg.Finish(h, h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions()))
+	}) {
+		h.Release()
+		s.reg.unreserve(h)
+		writeError(w, http.StatusServiceUnavailable, "build queue full, retry later")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
 }
 
 func (s *Service) handleGetModule(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +222,7 @@ func (s *Service) handleGetModule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "module %q not registered", r.PathValue("name"))
 		return
 	}
+	defer h.Release()
 	writeJSON(w, http.StatusOK, moduleInfo(h))
 }
 
@@ -166,9 +241,20 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	h, ok := s.reg.Get(req.Module)
+	// Acquire pins the handle for the whole batch: a concurrent DELETE or
+	// eviction retires the module but teardown waits for our Release.
+	h, ok := s.reg.Acquire(req.Module)
 	if !ok {
 		writeError(w, http.StatusNotFound, "module %q not registered", req.Module)
+		return
+	}
+	defer h.Release()
+	switch h.State() {
+	case StateBuilding:
+		writeError(w, http.StatusConflict, "module %q is still building", req.Module)
+		return
+	case StateFailed:
+		writeError(w, http.StatusConflict, "module %q failed to build: %s", req.Module, h.Err())
 		return
 	}
 	results, err := s.RunBatch(h, req.Pairs)
@@ -185,25 +271,41 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// memoEntryCost approximates one live memo-cache entry (key, verdict,
+// intrusive-list links, map bucket share) for the stats memory accounting.
+const memoEntryCost = 112
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{UptimeMS: time.Since(s.start).Milliseconds()}
-	for _, h := range s.reg.List() {
-		st := h.Snap.Stats()
-		ms := ModuleStats{
-			Name:         h.Name,
-			Chain:        h.Snap.Name(),
-			Queries:      st.Queries,
-			CacheHits:    st.CacheHits,
-			CacheHitRate: st.CacheHitRate(),
-			Computed:     st.Computed,
-			NoAlias:      st.NoAlias,
-		}
-		for _, m := range st.Members {
-			mem := MemberStats{Name: m.Name, NoAlias: m.NoAlias, FirstWins: m.FirstWins}
-			if len(m.Details) > 0 {
-				mem.Details = m.Details
+	resp := StatsResponse{
+		UptimeMS:       time.Since(s.start).Milliseconds(),
+		ModulesEvicted: s.reg.Evictions(),
+	}
+	handles := s.reg.List()
+	defer releaseAll(handles)
+	for _, h := range handles {
+		state := h.State() // one load: no torn status-vs-fields rows
+		ms := ModuleStats{Name: h.Name, Status: state.String()}
+		switch state {
+		case StateFailed:
+			ms.Error = h.Err()
+		case StateReady:
+			st := h.Snap.Stats()
+			ms.Chain = h.Snap.Name()
+			ms.Queries = st.Queries
+			ms.CacheHits = st.CacheHits
+			ms.CacheHitRate = st.CacheHitRate()
+			ms.Computed = st.Computed
+			ms.NoAlias = st.NoAlias
+			ms.Cached = st.Cached
+			ms.Evictions = st.Evictions
+			ms.MemBytes = h.MemBytes() + st.Cached*memoEntryCost
+			for _, m := range st.Members {
+				mem := MemberStats{Name: m.Name, NoAlias: m.NoAlias, FirstWins: m.FirstWins}
+				if len(m.Details) > 0 {
+					mem.Details = m.Details
+				}
+				ms.Members = append(ms.Members, mem)
 			}
-			ms.Members = append(ms.Members, mem)
 		}
 		resp.Modules = append(resp.Modules, ms)
 	}

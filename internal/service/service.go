@@ -32,21 +32,38 @@
 // cache hit rates of every registered module (the live, service-side view
 // of the paper's Fig. 13/14 numbers); /healthz is a cheap liveness probe.
 //
+// # Module lifecycle
+//
+// Modules are refcounted: every batch pins its handle for the duration of
+// the request, so DELETE /v1/modules/{name} (or an eviction) retires a
+// module without yanking it from under in-flight queries — teardown waits
+// for the last pin. With eviction enabled, registering into a full registry
+// displaces the least-recently-queried module (preferring ones with no
+// pins) instead of failing; only builds that actually succeeded compete
+// for module slots, so malformed uploads can never displace anything.
+//
+// Builds can run asynchronously: POST /v1/modules?async=1 reserves the name
+// and returns 202 immediately; the parse/verify/analyze chain runs on a
+// bounded build-worker queue, and GET /v1/modules/{name} reports the status
+// (building → ready | failed), so a large upload never stalls the HTTP
+// handler.
+//
 // # Endpoints
 //
 //	GET    /healthz              liveness + module count
 //	GET    /v1/modules           list registered modules
-//	POST   /v1/modules?name=N[&format=ir|minic]   register a module (body = source)
-//	GET    /v1/modules/{name}    one module's summary
-//	DELETE /v1/modules/{name}    drop a module
+//	POST   /v1/modules?name=N[&format=ir|minic][&async=1]   register a module (body = source)
+//	GET    /v1/modules/{name}    one module's summary + build status
+//	DELETE /v1/modules/{name}    drop a module (in-flight batches finish first)
 //	POST   /v1/query             batched alias queries
-//	GET    /v1/stats             per-module counters and cache hit rates
+//	GET    /v1/stats             per-module counters, cache hit/eviction rates, memory
 package service
 
 import (
 	"net/http"
 	"time"
 
+	"repro/internal/alias"
 	"repro/internal/pool"
 )
 
@@ -55,6 +72,8 @@ const (
 	DefaultMaxBatch       = 4096
 	DefaultMaxSourceBytes = 8 << 20
 	DefaultMaxModules     = 64
+	DefaultBuildWorkers   = 2
+	DefaultBuildBacklog   = 16
 )
 
 // Config bounds the service. The zero value means "use defaults".
@@ -68,6 +87,14 @@ type Config struct {
 	// Parallel sizes the query-stage worker pool: 0 or 1 sequential,
 	// negative GOMAXPROCS.
 	Parallel int
+	// CacheLimit bounds each module's verdict memo cache (entries): 0 uses
+	// the alias-package default, negative disables caching.
+	CacheLimit int
+	// EvictModules makes a full registry evict its least-recently-queried
+	// module (preferring unpinned ones) instead of refusing the upload.
+	EvictModules bool
+	// BuildWorkers sizes the async-build queue (0 = DefaultBuildWorkers).
+	BuildWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,26 +107,42 @@ func (c Config) withDefaults() Config {
 	if c.MaxModules == 0 {
 		c.MaxModules = DefaultMaxModules
 	}
+	if c.BuildWorkers == 0 {
+		c.BuildWorkers = DefaultBuildWorkers
+	}
 	return c
 }
 
-// Service is the daemon state: a module registry plus the shared query pool.
+// Service is the daemon state: a module registry, the shared query pool,
+// and the async build queue.
 type Service struct {
-	cfg   Config
-	reg   *Registry
-	pool  *pool.Pool
-	start time.Time
+	cfg    Config
+	reg    *Registry
+	pool   *pool.Pool
+	builds *pool.Queue
+	start  time.Time
 }
 
 // New builds a service from the config (zero fields filled with defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:   cfg,
-		reg:   NewRegistry(cfg.MaxModules),
-		pool:  &pool.Pool{Parallel: cfg.Parallel},
-		start: time.Now(),
+		cfg:    cfg,
+		reg:    NewRegistry(cfg.MaxModules, cfg.EvictModules),
+		pool:   &pool.Pool{Parallel: cfg.Parallel},
+		builds: pool.NewQueue(cfg.BuildWorkers, DefaultBuildBacklog),
+		start:  time.Now(),
 	}
+}
+
+// Close drains the async build queue. Queries already in flight are
+// unaffected; the registry needs no teardown of its own.
+func (s *Service) Close() { s.builds.Close() }
+
+// managerOptions threads the configured memo-cache bound into each
+// module's analysis chain.
+func (s *Service) managerOptions() alias.ManagerOptions {
+	return alias.ManagerOptions{CacheLimit: s.cfg.CacheLimit}
 }
 
 // Registry returns the service's module registry (used by tests and by

@@ -180,6 +180,7 @@ func TestStatsCountersAfterConcurrentBatches(t *testing.T) {
 	body(t, resp)
 
 	h, _ := s.Registry().Get("fig1")
+	defer h.Release()
 	pairs := namedPairs(h.Mod)
 	const clients = 8
 	const rounds = 3
@@ -349,9 +350,9 @@ func TestSourceSizeLimit(t *testing.T) {
 	body(t, resp)
 }
 
-// TestRegistryBound checks MaxModules is enforced.
+// TestRegistryBound checks MaxModules is enforced when eviction is off.
 func TestRegistryBound(t *testing.T) {
-	reg := NewRegistry(1)
+	reg := NewRegistry(1, false)
 	h1, err := BuildHandle("a", "ir", "module a\nfunc f() void {\nentry:\n  ret\n}\n", 0)
 	if err != nil {
 		t.Fatal(err)

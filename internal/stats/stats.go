@@ -1,15 +1,61 @@
 // Package stats provides the small statistics and table-rendering helpers
 // used by the evaluation harness: the Pearson linear correlation coefficient
 // with which the paper argues linearity (Fig. 15: R(time, instructions) =
-// 0.982), and fixed-width text tables for the figure reproductions.
+// 0.982), latency percentiles for the service load reports, and fixed-width
+// text tables for the figure reproductions.
 package stats
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 )
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted series using
+// linear interpolation between closest ranks: the rank p·(n−1) is split
+// into its floor and ceil neighbors and the value interpolated between
+// them. Floor-truncated nearest-rank — the policy this replaces — clamps to
+// the lower neighbor and systematically under-reports upper-tail
+// percentiles (100 samples: p99 returned element 98 exactly, discarding the
+// tail's contribution). Degenerate inputs: an empty series yields 0, a
+// single sample itself.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	rank := p * float64(n-1)
+	lo := int(rank)
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// Percentiles sorts a copy of xs once and returns the requested quantiles
+// in order — the one-call shape latency reports want.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = Percentile(sorted, p)
+	}
+	return out
+}
 
 // Pearson computes the linear correlation coefficient of two equal-length
 // series. It reports 0 for degenerate inputs (length < 2 or zero variance).

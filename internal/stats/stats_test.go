@@ -7,6 +7,76 @@ import (
 	"testing/quick"
 )
 
+func TestPercentileInterpolation(t *testing.T) {
+	// 1..100: the floor-truncated nearest-rank this replaces returned
+	// element 98 (= 99.0) for p99; interpolation lands between ranks.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.25, 25.75},
+		{0.50, 50.5},
+		{0.90, 90.1},
+		{0.99, 99.01},
+		{1, 100},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(1..100, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Even n: the median interpolates between the two middle elements.
+	if got := Percentile([]float64{1, 2, 3, 4}, 0.5); got != 2.5 {
+		t.Errorf("median of 1..4 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileDegenerate(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty series: %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single sample: %v, want 7", got)
+	}
+	if got := Percentile([]float64{1, 2}, -0.5); got != 1 {
+		t.Errorf("p<0 clamps to min: %v", got)
+	}
+	if got := Percentile([]float64{1, 2}, 1.5); got != 2 {
+		t.Errorf("p>1 clamps to max: %v", got)
+	}
+}
+
+func TestPercentilesSortsACopy(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := Percentiles(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Percentiles = %v, want [1 2 3]", got)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 3, 8, 2, 7, 7, 4}
+	f := func(a, b float64) bool {
+		pa, pb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		got := Percentiles(xs, pa, pb)
+		return got[0] <= got[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestPearsonPerfectCorrelation(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	ys := []float64{10, 20, 30, 40, 50}
