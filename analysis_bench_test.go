@@ -1,0 +1,49 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/alias/basicaa"
+	"repro/internal/alias/rbaa"
+	"repro/internal/alias/scevaa"
+	"repro/internal/benchgen"
+	"repro/internal/pointer"
+)
+
+// Analysis-core benchmarks backing BENCH_analysis.json: end-to-end Manager
+// query cost (the service's per-query hot path) and module-build cost (the
+// service's upload/eviction-rebuild path), both with allocation accounting.
+
+// managerBench builds the scev→basic→rbaa chain over the espresso module
+// with memoization off, so every Evaluate measures member analysis work.
+func managerBench(b *testing.B) (*alias.Manager, []alias.Pair) {
+	b.Helper()
+	m := benchgen.Generate(benchgen.Fig13Configs()[1])
+	mgr := alias.NewManager(
+		alias.ManagerOptions{Label: "scev+basic+rbaa", CacheLimit: -1},
+		scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{}))
+	return mgr, alias.Queries(m)
+}
+
+func BenchmarkManagerQuery(b *testing.B) {
+	mgr, qs := managerBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		mgr.Evaluate(q.P, q.Q)
+	}
+}
+
+func BenchmarkModuleBuild(b *testing.B) {
+	m := benchgen.Generate(benchgen.Fig13Configs()[1])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := rbaa.New(m, pointer.Options{})
+		if a == nil {
+			b.Fatal("nil analysis")
+		}
+	}
+}

@@ -18,6 +18,16 @@
 //
 // Soundness: anything that reaches an extern call, or is loaded from
 // memory an extern may have written, degrades to the universal set.
+//
+// Representation: points-to sets are dense bitsets over allocation-site
+// indices (plus one ⊤ bit), and the solver is a worklist with difference
+// propagation — every node remembers the portion of its set already pushed
+// to its successors ("done") and only the delta flows on re-visits. Nodes
+// are the module's pointer values, one content node per abstract object,
+// and one escape sink whose set accumulates the objects reachable from
+// extern calls. Load/store constraints add copy edges lazily as the address
+// sets grow, unioning the source's full current set at edge-creation time,
+// which keeps difference propagation exact.
 package andersen
 
 import (
@@ -25,17 +35,14 @@ import (
 	"repro/internal/ir"
 )
 
-// unknownObj is the universal abstract object: a pointer that may address
-// anything (extern results, loads from unanalyzable memory).
-const unknownObj = -1
-
-// Result holds the points-to solution.
+// Result holds the points-to solution: one bitset row per node, queried by
+// pointer value. It is immutable after Analyze and safe for concurrent use.
 type Result struct {
-	sites []ir.Site
-	// pts maps pointer values to site-id sets; unknownObj marks ⊤.
-	pts map[*ir.Value]map[int]bool
-	// objPts maps abstract objects to the site-id sets their cells may hold.
-	objPts map[int]map[int]bool
+	sites  []ir.Site
+	n      int // site count; bit n is the ⊤ marker
+	words  int
+	nodeOf map[*ir.Value]int32
+	pts    []uint64 // flat rows, words per node
 }
 
 var _ alias.Analysis = (*Result)(nil)
@@ -43,70 +50,170 @@ var _ alias.Analysis = (*Result)(nil)
 // Name identifies the analysis.
 func (r *Result) Name() string { return "andersen" }
 
-// PointsTo returns the site-id set of v; unknown=true means ⊤ (the set is
-// then meaningless). Constants (null) have empty sets.
-func (r *Result) PointsTo(v *ir.Value) (set map[int]bool, unknown bool) {
-	s := r.pts[v]
-	if s == nil {
+func (r *Result) row(id int32) bitset {
+	return bitset(r.pts[int(id)*r.words : (int(id)+1)*r.words])
+}
+
+// PointsTo returns the sorted site indices v may address; unknown=true
+// means ⊤ (the slice is then meaningless). Constants (null) have empty
+// known sets; untracked pointers are conservatively ⊤.
+func (r *Result) PointsTo(v *ir.Value) (sites []int, unknown bool) {
+	id, ok := r.nodeOf[v]
+	if !ok {
 		if v.Kind == ir.VConst {
 			return nil, false
 		}
 		return nil, true // untracked pointer: be conservative
 	}
-	return s, s[unknownObj]
+	row := r.row(id)
+	if row.has(r.n) {
+		return nil, true
+	}
+	out := make([]int, 0, row.count())
+	row.forEach(func(i int) { out = append(out, i) })
+	return out, false
 }
 
 // Alias reports no-alias when both points-to sets are known and disjoint.
+// With bitset rows this is a word-wise intersection test, allocation-free.
 func (r *Result) Alias(p, q *ir.Value) alias.Result {
-	sp, up := r.PointsTo(p)
-	sq, uq := r.PointsTo(q)
+	rp, up := r.aliasRow(p)
+	rq, uq := r.aliasRow(q)
 	if up || uq {
 		return alias.MayAlias
 	}
-	for o := range sp {
-		if sq[o] {
-			return alias.MayAlias
-		}
+	if rp != nil && rq != nil && rp.intersects(rq) {
+		return alias.MayAlias
 	}
 	return alias.NoAlias
 }
 
+// aliasRow resolves a value to its solution row; a nil row with unknown
+// false is the empty set (constants).
+func (r *Result) aliasRow(v *ir.Value) (bitset, bool) {
+	id, ok := r.nodeOf[v]
+	if !ok {
+		return nil, v.Kind != ir.VConst
+	}
+	row := r.row(id)
+	return row, row.has(r.n)
+}
+
+// ---------------------------------------------------------------------------
+// Constraint collection and the worklist solver.
+
+// Node-id layout: 0 is the escape sink, 1..n are the object content nodes
+// (objNode(site) = 1 + site), and pointer values follow.
+const escapeNode int32 = 0
+
+type solver struct {
+	n     int // sites
+	words int
+	nodes int32
+
+	nodeOf map[*ir.Value]int32
+
+	// Static constraints, indexed by node id.
+	succ   [][]int32 // copy edges src → dsts
+	loads  [][]int32 // addr → load destinations
+	stores [][]int32 // addr → stored values
+
+	// edgeSeen dedupes copy edges (static and the ones load/store
+	// constraints add during solving).
+	edgeSeen map[uint64]struct{}
+
+	pts  []uint64 // current sets, flat rows
+	done []uint64 // already-propagated portion of pts
+
+	queue []int32
+	inQ   []bool
+}
+
+func (s *solver) objNode(site int) int32 { return 1 + int32(site) }
+
+func (s *solver) valNode(v *ir.Value) int32 {
+	if id, ok := s.nodeOf[v]; ok {
+		return id
+	}
+	id := s.newNode()
+	s.nodeOf[v] = id
+	return id
+}
+
+func (s *solver) newNode() int32 {
+	id := s.nodes
+	s.nodes++
+	s.succ = append(s.succ, nil)
+	s.loads = append(s.loads, nil)
+	s.stores = append(s.stores, nil)
+	return id
+}
+
+func (s *solver) rowOf(arr []uint64, id int32) bitset {
+	return bitset(arr[int(id)*s.words : (int(id)+1)*s.words])
+}
+
+func (s *solver) push(id int32) {
+	if !s.inQ[id] {
+		s.inQ[id] = true
+		s.queue = append(s.queue, id)
+	}
+}
+
+// addEdge installs the copy edge a → b (deduped) and, when the edge is new,
+// floods a's full current set into b — required for exactness because a's
+// earlier deltas predate the edge.
+func (s *solver) addEdge(a, b int32) {
+	if a == b {
+		return
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if _, ok := s.edgeSeen[key]; ok {
+		return
+	}
+	s.edgeSeen[key] = struct{}{}
+	s.succ[a] = append(s.succ[a], b)
+	if s.pts != nil && unionInto(s.rowOf(s.pts, b), s.rowOf(s.pts, a)) {
+		s.push(b)
+	}
+}
+
 // Analyze runs the constraint solver over the module.
 func Analyze(m *ir.Module) *Result {
-	r := &Result{
-		sites:  m.AllocSites(),
-		pts:    map[*ir.Value]map[int]bool{},
-		objPts: map[int]map[int]bool{},
+	s := &solver{
+		nodeOf:   map[*ir.Value]int32{},
+		edgeSeen: map[uint64]struct{}{},
 	}
+	sites := m.AllocSites()
+	s.n = len(sites)
+	s.words = bitsetWords(s.n + 1)
+
 	siteOf := map[*ir.Instr]int{}
 	gsite := map[*ir.Global]int{}
-	for _, s := range r.sites {
-		if s.Instr != nil {
-			siteOf[s.Instr] = s.ID
+	for _, st := range sites {
+		if st.Instr != nil {
+			siteOf[st.Instr] = st.ID
 		} else {
-			gsite[s.Global] = s.ID
+			gsite[st.Global] = st.ID
 		}
 	}
 
-	// Subset constraints dst ⊇ src between pointer values; complex
-	// (load/store) constraints are re-evaluated as sets grow.
-	type edge struct{ src, dst *ir.Value }
-	var copies []edge
-	type loadC struct{ addr, dst *ir.Value }
-	type storeC struct{ addr, val *ir.Value }
-	var loads []loadC
-	var stores []storeC
-	var escapes []*ir.Value // pointer values handed to extern calls
-
-	addCopy := func(dst, src *ir.Value) { copies = append(copies, edge{src, dst}) }
-	seed := func(v *ir.Value, obj int) {
-		s := r.pts[v]
-		if s == nil {
-			s = map[int]bool{}
-			r.pts[v] = s
-		}
-		s[obj] = true
+	// Escape sink and object content nodes.
+	s.newNode()
+	for i := 0; i < s.n; i++ {
+		s.newNode()
 	}
+
+	// Seeds are recorded during collection and applied once rows exist.
+	type seedC struct {
+		node int32
+		bit  int
+	}
+	var seeds []seedC
+	seed := func(v *ir.Value, bit int) {
+		seeds = append(seeds, seedC{s.valNode(v), bit})
+	}
+	unknownBit := s.n
 
 	calledParams := map[*ir.Value]bool{}
 	for _, f := range m.Funcs {
@@ -117,29 +224,31 @@ func Analyze(m *ir.Module) *Result {
 					seed(in.Res, siteOf[in])
 				case ir.OpCopy, ir.OpPi, ir.OpFree:
 					if in.Res.Typ == ir.TPtr {
-						addCopy(in.Res, in.Args[0])
+						s.addEdge(s.valNode(in.Args[0]), s.valNode(in.Res))
 					}
 				case ir.OpPtrAdd:
-					addCopy(in.Res, in.Args[0])
+					s.addEdge(s.valNode(in.Args[0]), s.valNode(in.Res))
 				case ir.OpPhi:
 					if in.Res.Typ == ir.TPtr {
 						for _, a := range in.Args {
-							addCopy(in.Res, a)
+							s.addEdge(s.valNode(a), s.valNode(in.Res))
 						}
 					}
 				case ir.OpLoad:
 					if in.Res.Typ == ir.TPtr {
-						loads = append(loads, loadC{in.Args[0], in.Res})
+						addr := s.valNode(in.Args[0])
+						s.loads[addr] = append(s.loads[addr], s.valNode(in.Res))
 					}
 				case ir.OpStore:
 					if in.Args[1].Typ == ir.TPtr {
-						stores = append(stores, storeC{in.Args[0], in.Args[1]})
+						addr := s.valNode(in.Args[0])
+						s.stores[addr] = append(s.stores[addr], s.valNode(in.Args[1]))
 					}
 				case ir.OpCall:
 					for i, a := range in.Args {
 						p := in.Callee.Params[i]
 						if p.Typ == ir.TPtr {
-							addCopy(p, a)
+							s.addEdge(s.valNode(a), s.valNode(p))
 							calledParams[p] = true
 						}
 					}
@@ -147,15 +256,11 @@ func Analyze(m *ir.Module) *Result {
 					// Arguments escape to unknown memory; results are ⊤.
 					for _, a := range in.Args {
 						if a.Typ == ir.TPtr {
-							escapes = append(escapes, a)
+							s.addEdge(s.valNode(a), escapeNode)
 						}
 					}
 					if in.Res != nil && in.Res.Typ == ir.TPtr {
-						seed(in.Res, unknownObj)
-					}
-				case ir.OpRet:
-					if len(in.Args) == 1 && in.Args[0].Typ == ir.TPtr {
-						// Connected to call results below.
+						seed(in.Res, unknownBit)
 					}
 				}
 			}
@@ -177,10 +282,10 @@ func Analyze(m *ir.Module) *Result {
 			for _, in := range b.Instrs {
 				if in.Op == ir.OpCall && in.Res != nil && in.Res.Typ == ir.TPtr {
 					if len(rets[in.Callee]) == 0 {
-						seed(in.Res, unknownObj)
+						seed(in.Res, unknownBit)
 					}
 					for _, rv := range rets[in.Callee] {
-						addCopy(in.Res, rv)
+						s.addEdge(s.valNode(rv), s.valNode(in.Res))
 					}
 				}
 			}
@@ -191,7 +296,7 @@ func Analyze(m *ir.Module) *Result {
 	for _, f := range m.Funcs {
 		for _, p := range f.Params {
 			if p.Typ == ir.TPtr && !calledParams[p] {
-				seed(p, unknownObj)
+				seed(p, unknownBit)
 			}
 		}
 	}
@@ -199,110 +304,101 @@ func Analyze(m *ir.Module) *Result {
 		seed(g.Addr, gsite[g])
 	}
 
-	// Fixpoint: propagate copies and evaluate load/store constraints until
-	// stable. Cubic worst case; modules here are small enough.
-	union := func(dst map[int]bool, src map[int]bool) bool {
+	// Rows exist now: apply seeds and run the worklist.
+	s.pts = make([]uint64, int(s.nodes)*s.words)
+	s.done = make([]uint64, int(s.nodes)*s.words)
+	s.inQ = make([]bool, s.nodes)
+	for _, sd := range seeds {
+		if s.rowOf(s.pts, sd.node).set(sd.bit) {
+			s.push(sd.node)
+		}
+	}
+	s.solve()
+
+	return &Result{
+		sites:  sites,
+		n:      s.n,
+		words:  s.words,
+		nodeOf: s.nodeOf,
+		pts:    s.pts,
+	}
+}
+
+// solve drains the worklist with difference propagation: each visit
+// processes only the bits that arrived since the node was last propagated.
+func (s *solver) solve() {
+	var delta bitset = make([]uint64, s.words)
+	for len(s.queue) > 0 {
+		v := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inQ[v] = false
+
+		cur := s.rowOf(s.pts, v)
+		done := s.rowOf(s.done, v)
 		changed := false
-		for o := range src {
-			if !dst[o] {
-				dst[o] = true
+		for w := range cur {
+			delta[w] = cur[w] &^ done[w]
+			if delta[w] != 0 {
 				changed = true
 			}
+			done[w] = cur[w]
 		}
-		return changed
-	}
-	getSet := func(v *ir.Value) map[int]bool {
-		s := r.pts[v]
-		if s == nil {
-			s = map[int]bool{}
-			r.pts[v] = s
+		if !changed {
+			continue
 		}
-		return s
-	}
-	objSet := func(o int) map[int]bool {
-		s := r.objPts[o]
-		if s == nil {
-			s = map[int]bool{}
-			r.objPts[o] = s
-		}
-		return s
-	}
-	// escaped objects: reachable by an extern call, which may overwrite
-	// their cells with anything and may store their addresses anywhere.
-	escaped := map[int]bool{}
-	markEscaped := func(o int) bool {
-		if o == unknownObj || escaped[o] {
-			return false
-		}
-		escaped[o] = true
-		return true
-	}
-	unknownSet := map[int]bool{unknownObj: true}
-	for changed := true; changed; {
-		changed = false
-		for _, e := range copies {
-			if union(getSet(e.dst), getSet(e.src)) {
-				changed = true
-			}
-		}
-		for _, st := range stores {
-			av := getSet(st.addr)
-			vv := getSet(st.val)
-			if av[unknownObj] {
-				// Storing through ⊤: the stored values escape entirely.
-				for o := range vv {
-					if markEscaped(o) {
-						changed = true
+
+		// Complex constraints: the delta's objects materialize copy edges.
+		if len(s.loads[v]) > 0 || len(s.stores[v]) > 0 {
+			hasUnknown := delta.has(s.n)
+			delta.forEach(func(bit int) {
+				if bit >= s.n {
+					return
+				}
+				o := s.objNode(bit)
+				for _, dst := range s.loads[v] {
+					s.addEdge(o, dst)
+				}
+				for _, val := range s.stores[v] {
+					s.addEdge(val, o)
+				}
+			})
+			if hasUnknown {
+				// Loading through ⊤ yields ⊤; storing through ⊤ makes the
+				// stored values' objects escape entirely.
+				for _, dst := range s.loads[v] {
+					if s.rowOf(s.pts, dst).set(s.n) {
+						s.push(dst)
 					}
 				}
-				continue
-			}
-			for o := range av {
-				if o == unknownObj {
-					continue
-				}
-				if union(objSet(o), vv) {
-					changed = true
+				for _, val := range s.stores[v] {
+					s.addEdge(val, escapeNode)
 				}
 			}
 		}
-		for _, ld := range loads {
-			av := getSet(ld.addr)
-			if av[unknownObj] {
-				if union(getSet(ld.dst), unknownSet) {
-					changed = true
-				}
-				continue
-			}
-			for o := range av {
-				if o == unknownObj {
-					continue
-				}
-				if union(getSet(ld.dst), objSet(o)) {
-					changed = true
-				}
+
+		// Copy-edge propagation of the delta.
+		for _, d := range s.succ[v] {
+			if unionInto(s.rowOf(s.pts, d), delta) {
+				s.push(d)
 			}
 		}
-		// Escape closure: everything an extern argument points to escapes;
-		// escaped objects hold ⊤-contaminated cells whose contents escape
-		// transitively.
-		for _, v := range escapes {
-			for o := range getSet(v) {
-				if markEscaped(o) {
-					changed = true
+
+		// Escape closure: objects reaching the sink hold ⊤-contaminated
+		// cells whose contents escape transitively.
+		if v == escapeNode {
+			delta.forEach(func(bit int) {
+				if bit >= s.n {
+					return
 				}
-			}
-		}
-		for o := range escaped {
-			if union(objSet(o), unknownSet) {
-				changed = true
-			}
-			for o2 := range objSet(o) {
-				if markEscaped(o2) {
-					changed = true
+				o := s.objNode(bit)
+				if s.rowOf(s.pts, o).set(s.n) {
+					s.push(o)
 				}
-			}
+				s.addEdge(o, escapeNode)
+			})
 		}
 	}
-	return r
 }
+
+// Sites exposes the allocation-site table the solution is indexed by.
+func (r *Result) Sites() []ir.Site { return r.sites }

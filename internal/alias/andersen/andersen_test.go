@@ -180,3 +180,49 @@ func TestPointsToRefinesGRLoads(t *testing.T) {
 		t.Errorf("attribution = %s, want disjoint-support", why)
 	}
 }
+
+// TestBitsetSolverProperties: representation-level invariants of the bitset
+// solver on a corpus module — symmetric Alias answers, sorted PointsTo
+// output, self-queries never no-alias, and deterministic re-analysis.
+func TestBitsetSolverProperties(t *testing.T) {
+	m := progs.MessageBuffer()
+	a1 := Analyze(m)
+	a2 := Analyze(m)
+	for _, f := range m.Funcs {
+		vals := f.Values()
+		for _, v := range vals {
+			if v.Typ != ir.TPtr {
+				continue
+			}
+			s1, u1 := a1.PointsTo(v)
+			s2, u2 := a2.PointsTo(v)
+			if u1 != u2 || len(s1) != len(s2) {
+				t.Fatalf("re-analysis diverged for %s", v.Name)
+			}
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					t.Fatalf("re-analysis diverged for %s", v.Name)
+				}
+				if i > 0 && s1[i-1] >= s1[i] {
+					t.Fatalf("PointsTo(%s) not sorted ascending: %v", v.Name, s1)
+				}
+			}
+			if !u1 && len(s1) > 0 && a1.Alias(v, v) != alias.MayAlias {
+				t.Fatalf("%s must may-alias itself", v.Name)
+			}
+		}
+		for i, p := range vals {
+			if p.Typ != ir.TPtr {
+				continue
+			}
+			for _, q := range vals[i+1:] {
+				if q.Typ != ir.TPtr {
+					continue
+				}
+				if a1.Alias(p, q) != a1.Alias(q, p) {
+					t.Fatalf("Alias(%s,%s) not symmetric", p.Name, q.Name)
+				}
+			}
+		}
+	}
+}

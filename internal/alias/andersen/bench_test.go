@@ -1,0 +1,39 @@
+package andersen
+
+import (
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/benchgen"
+)
+
+// Solver benchmarks over the synthetic corpus: the constraint solve runs on
+// every module build, so its allocation profile feeds straight into service
+// build latency and async-build throughput.
+
+func BenchmarkAnalyze(b *testing.B) {
+	m := benchgen.Generate(benchgen.Fig13Configs()[1]) // espresso, the largest
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := Analyze(m)
+		if r == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+func BenchmarkAlias(b *testing.B) {
+	m := benchgen.Generate(benchgen.Fig13Configs()[1])
+	r := Analyze(m)
+	qs := alias.Queries(m)
+	if len(qs) == 0 {
+		b.Skip("no pointer pairs")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		_ = r.Alias(q.P, q.Q)
+	}
+}

@@ -1,0 +1,75 @@
+package andersen
+
+import "math/bits"
+
+// bitset is a fixed-width dense bit vector over abstract-object indices
+// (allocation sites plus the ⊤ marker bit). Points-to sets, their processed
+// ("done") shadows and the escaped-object set are all bitsets, so set union
+// — the solver's innermost operation — is a handful of word ORs with no
+// allocation or hashing.
+type bitset []uint64
+
+func bitsetWords(nbits int) int { return (nbits + 63) / 64 }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// set sets bit i, reporting whether it was previously clear.
+func (b bitset) set(i int) bool {
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}
+
+// unionInto ORs src into dst, reporting whether dst grew.
+func unionInto(dst, src bitset) bool {
+	changed := false
+	for w, s := range src {
+		if old := dst[w]; old|s != old {
+			dst[w] = old | s
+			changed = true
+		}
+	}
+	return changed
+}
+
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach calls f for every set bit in ascending order.
+func (b bitset) forEach(f func(i int)) {
+	for w, word := range b {
+		for word != 0 {
+			f(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// intersects reports whether a and b share any set bit.
+func (a bitset) intersects(b bitset) bool {
+	for w := range a {
+		if a[w]&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The embedded baseline is the contract the CI analysis-bench step checks
+// current runs against; make sure it parses and the report serializer
+// preserves the keys that step asserts on.
+
+func TestAnalysisBaselineEmbedded(t *testing.T) {
+	base := loadAnalysisBaseline()
+	if base == nil {
+		t.Fatal("embedded analysis baseline missing or unparseable")
+	}
+	if base.Schema != "bench_analysis/v1" {
+		t.Fatalf("baseline schema = %q", base.Schema)
+	}
+	if base.Query.AllocsPerOp <= 0 || base.BuildTotalMS <= 0 || len(base.Builds) == 0 {
+		t.Fatalf("baseline lacks the recorded pre-refactor numbers: %+v", base)
+	}
+	if base.Baseline != nil {
+		t.Fatal("baseline must not nest a baseline")
+	}
+}
+
+func TestWriteAnalysisJSONSchema(t *testing.T) {
+	rep := AnalysisReport{
+		Schema:        "bench_analysis/v1",
+		Corpus:        "fig13",
+		Builds:        []AnalysisBuildRow{{Name: "x", Instrs: 1, Pointers: 1, BuildMS: 0.5}},
+		BuildTotalMS:  0.5,
+		ExprsInterned: 42,
+		InternHits:    99,
+		Query: AnalysisQueryBench{
+			NsPerOp: 100, AllocsPerOp: 10, BytesPerOp: 512, QueriesPerSec: 1e7,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteAnalysisJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "builds", "build_total_ms", "exprs_interned", "manager_query"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report JSON missing %q (the CI assertion reads it)", key)
+		}
+	}
+	q := m["manager_query"].(map[string]any)
+	for _, key := range []string{"ns_per_op", "allocs_per_op", "queries_per_sec"} {
+		if _, ok := q[key]; !ok {
+			t.Errorf("manager_query missing %q", key)
+		}
+	}
+}

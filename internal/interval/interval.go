@@ -92,7 +92,9 @@ func (r Interval) String() string {
 	return fmt.Sprintf("[%s, %s]", r.lo, r.hi)
 }
 
-// Equal reports structural equality after canonicalization.
+// Equal reports structural equality after canonicalization. Bounds are
+// hash-consed (see internal/symbolic), so this is two pointer comparisons —
+// the widening test of the fixpoint loops costs no traversal.
 func Equal(a, b Interval) bool {
 	if a.IsEmpty() || b.IsEmpty() {
 		return a.IsEmpty() == b.IsEmpty()

@@ -87,17 +87,9 @@ func (a *Analysis) QueryGR(p, q *ir.Value) (AliasAnswer, Reason) {
 	if gp.IsTop() || gq.IsTop() {
 		return MayAlias, ReasonNone
 	}
-	common := false
-	for _, s := range gp.Support() {
-		rq, ok := gq.Get(s)
-		if !ok {
-			continue
-		}
-		common = true
-		rp, _ := gp.Get(s)
-		if !interval.ProvablyDisjoint(rp, rq) {
-			return MayAlias, ReasonNone
-		}
+	common, disjoint := disjointRanges(gp, gq)
+	if !disjoint {
+		return MayAlias, ReasonNone
 	}
 	if !common {
 		return NoAlias, ReasonDisjointSupport

@@ -32,9 +32,10 @@ type Options struct {
 }
 
 // PointsToOracle abstracts a points-to analysis (e.g. andersen.Result):
-// sites the value may address, or unknown=true for ⊤.
+// the sites the value may address, sorted ascending, or unknown=true for ⊤
+// (the slice is then meaningless).
 type PointsToOracle interface {
-	PointsTo(v *ir.Value) (sites map[int]bool, unknown bool)
+	PointsTo(v *ir.Value) (sites []int, unknown bool)
 }
 
 func (o Options) withDefaults() Options {

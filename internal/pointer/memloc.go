@@ -13,14 +13,27 @@ import (
 	"repro/internal/rangeanal"
 )
 
+// siteRange is one non-⊥ component of a MemLoc: the symbolic offset range at
+// an allocation site.
+type siteRange struct {
+	site int
+	r    interval.Interval
+}
+
 // MemLoc is an element of the MemLocs lattice (§3.4): conceptually a tuple
 // (SymbRanges ∪ ⊥)^n with one component per allocation site. Components that
-// are ⊥ are not stored — the map holds exactly the *support* (Definition 2).
-// Top (every component [−∞,+∞]) has a dedicated representation so that the
-// common "pointer loaded from memory" case costs O(1).
+// are ⊥ are not stored — the slice holds exactly the *support*
+// (Definition 2), sorted by site index, so the lattice operations are
+// allocation-lean O(n+m) merges instead of map rebuilds. Top (every
+// component [−∞,+∞]) has a dedicated representation so that the common
+// "pointer loaded from memory" case costs O(1).
+//
+// MemLoc values are immutable: operations either return an operand unchanged
+// (sharing its component slice) or build a fresh slice. Nothing may mutate a
+// ranges slice after construction.
 type MemLoc struct {
 	top    bool
-	ranges map[int]interval.Interval
+	ranges []siteRange
 }
 
 // Bottom returns (⊥,…,⊥), the least element: a pointer to no location
@@ -33,22 +46,23 @@ func Top() MemLoc { return MemLoc{top: true} }
 // SingleLoc abstracts "points exactly at the base of site": loc + [0,0]
 // (the malloc rule of Fig. 9).
 func SingleLoc(site int) MemLoc {
-	return MemLoc{ranges: map[int]interval.Interval{site: interval.ConstPoint(0)}}
+	return MemLoc{ranges: []siteRange{{site: site, r: interval.ConstPoint(0)}}}
 }
 
 // OfRanges builds a MemLoc from explicit components (test helper and Fig. 12
 // golden values). Empty components are dropped.
 func OfRanges(rs map[int]interval.Interval) MemLoc {
-	m := map[int]interval.Interval{}
+	out := make([]siteRange, 0, len(rs))
 	for site, r := range rs {
 		if !r.IsEmpty() {
-			m[site] = r
+			out = append(out, siteRange{site: site, r: r})
 		}
 	}
-	if len(m) == 0 {
+	if len(out) == 0 {
 		return Bottom()
 	}
-	return MemLoc{ranges: m}
+	sort.Slice(out, func(i, j int) bool { return out[i].site < out[j].site })
+	return MemLoc{ranges: out}
 }
 
 // IsTop reports whether v is the greatest element.
@@ -60,11 +74,13 @@ func (v MemLoc) IsBottom() bool { return !v.top && len(v.ranges) == 0 }
 // Support returns the sorted site indices with non-⊥ components
 // (Definition 2). Top's support is reported as nil along with IsTop.
 func (v MemLoc) Support() []int {
-	out := make([]int, 0, len(v.ranges))
-	for s := range v.ranges {
-		out = append(out, s)
+	if len(v.ranges) == 0 {
+		return nil
 	}
-	sort.Ints(out)
+	out := make([]int, len(v.ranges))
+	for i, sr := range v.ranges {
+		out[i] = sr.site
+	}
 	return out
 }
 
@@ -74,8 +90,11 @@ func (v MemLoc) Get(site int) (interval.Interval, bool) {
 	if v.top {
 		return interval.Full(), true
 	}
-	r, ok := v.ranges[site]
-	return r, ok
+	i := sort.Search(len(v.ranges), func(i int) bool { return v.ranges[i].site >= site })
+	if i < len(v.ranges) && v.ranges[i].site == site {
+		return v.ranges[i].r, true
+	}
+	return interval.Interval{}, false
 }
 
 // String renders the abstract value in the paper's set notation,
@@ -89,11 +108,11 @@ func (v MemLoc) String() string {
 	}
 	var b strings.Builder
 	b.WriteString("{")
-	for i, s := range v.Support() {
+	for i, sr := range v.ranges {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "loc%d + %s", s, v.ranges[s])
+		fmt.Fprintf(&b, "loc%d + %s", sr.site, sr.r)
 	}
 	b.WriteString("}")
 	return b.String()
@@ -107,16 +126,17 @@ func Equal(a, b MemLoc) bool {
 	if len(a.ranges) != len(b.ranges) {
 		return false
 	}
-	for s, r := range a.ranges {
-		o, ok := b.ranges[s]
-		if !ok || !interval.Equal(r, o) {
+	for i, sr := range a.ranges {
+		o := b.ranges[i]
+		if sr.site != o.site || !interval.Equal(sr.r, o.r) {
 			return false
 		}
 	}
 	return true
 }
 
-// Join is the componentwise ⊔ of §3.4 (⊥ neutral per component).
+// Join is the componentwise ⊔ of §3.4 (⊥ neutral per component), a sorted
+// merge over the two supports.
 func Join(a, b MemLoc) MemLoc {
 	if a.top || b.top {
 		return Top()
@@ -127,22 +147,33 @@ func Join(a, b MemLoc) MemLoc {
 	if b.IsBottom() {
 		return a
 	}
-	out := make(map[int]interval.Interval, len(a.ranges)+len(b.ranges))
-	for s, r := range a.ranges {
-		out[s] = r
-	}
-	for s, r := range b.ranges {
-		if cur, ok := out[s]; ok {
-			out[s] = interval.Join(cur, r)
-		} else {
-			out[s] = r
+	out := make([]siteRange, 0, len(a.ranges)+len(b.ranges))
+	i, j := 0, 0
+	for i < len(a.ranges) && j < len(b.ranges) {
+		switch {
+		case a.ranges[i].site < b.ranges[j].site:
+			out = append(out, a.ranges[i])
+			i++
+		case a.ranges[i].site > b.ranges[j].site:
+			out = append(out, b.ranges[j])
+			j++
+		default:
+			out = append(out, siteRange{
+				site: a.ranges[i].site,
+				r:    interval.Join(a.ranges[i].r, b.ranges[j].r),
+			})
+			i++
+			j++
 		}
 	}
+	out = append(out, a.ranges[i:]...)
+	out = append(out, b.ranges[j:]...)
 	return MemLoc{ranges: out}
 }
 
 // Leq reports whether a ⊑ b is provable: every component of a is included
-// in b's (⊥ ⊑ R for all R).
+// in b's (⊥ ⊑ R for all R). Both supports are sorted, so one merge walk
+// decides it.
 func Leq(a, b MemLoc) bool {
 	if b.top {
 		return true
@@ -150,9 +181,12 @@ func Leq(a, b MemLoc) bool {
 	if a.top {
 		return false
 	}
-	for s, r := range a.ranges {
-		o, ok := b.ranges[s]
-		if !ok || !interval.Leq(r, o) {
+	j := 0
+	for _, sr := range a.ranges {
+		for j < len(b.ranges) && b.ranges[j].site < sr.site {
+			j++
+		}
+		if j >= len(b.ranges) || b.ranges[j].site != sr.site || !interval.Leq(sr.r, b.ranges[j].r) {
 			return false
 		}
 	}
@@ -167,23 +201,32 @@ func Widen(old, next MemLoc) MemLoc {
 	if old.IsBottom() {
 		return next
 	}
-	out := make(map[int]interval.Interval, len(old.ranges)+len(next.ranges))
-	for s, r := range old.ranges {
-		if n, ok := next.ranges[s]; ok {
-			out[s] = interval.Widen(r, n)
-		} else {
-			out[s] = r
+	out := make([]siteRange, 0, len(old.ranges)+len(next.ranges))
+	i, j := 0, 0
+	for i < len(old.ranges) && j < len(next.ranges) {
+		switch {
+		case old.ranges[i].site < next.ranges[j].site:
+			out = append(out, old.ranges[i])
+			i++
+		case old.ranges[i].site > next.ranges[j].site:
+			out = append(out, next.ranges[j])
+			j++
+		default:
+			out = append(out, siteRange{
+				site: old.ranges[i].site,
+				r:    interval.Widen(old.ranges[i].r, next.ranges[j].r),
+			})
+			i++
+			j++
 		}
 	}
-	for s, r := range next.ranges {
-		if _, ok := old.ranges[s]; !ok {
-			out[s] = r
-		}
-	}
+	out = append(out, old.ranges[i:]...)
+	out = append(out, next.ranges[j:]...)
 	return MemLoc{ranges: out}
 }
 
-// Narrow is the componentwise descending step.
+// Narrow is the componentwise descending step: components of cur may be
+// refined by next's, components outside next's support are kept.
 func Narrow(cur, next MemLoc) MemLoc {
 	if cur.top {
 		return next
@@ -191,13 +234,16 @@ func Narrow(cur, next MemLoc) MemLoc {
 	if next.top || cur.IsBottom() || next.IsBottom() {
 		return cur
 	}
-	out := make(map[int]interval.Interval, len(cur.ranges))
-	for s, r := range cur.ranges {
-		if n, ok := next.ranges[s]; ok {
-			out[s] = interval.Narrow(r, n)
-		} else {
-			out[s] = r
+	out := make([]siteRange, 0, len(cur.ranges))
+	j := 0
+	for _, sr := range cur.ranges {
+		for j < len(next.ranges) && next.ranges[j].site < sr.site {
+			j++
 		}
+		if j < len(next.ranges) && next.ranges[j].site == sr.site {
+			sr.r = interval.Narrow(sr.r, next.ranges[j].r)
+		}
+		out = append(out, sr)
 	}
 	return MemLoc{ranges: out}
 }
@@ -211,23 +257,31 @@ func (v MemLoc) Shift(by interval.Interval) MemLoc {
 	if by.IsEmpty() {
 		return Bottom()
 	}
-	out := make(map[int]interval.Interval, len(v.ranges))
-	for s, r := range v.ranges {
-		out[s] = interval.Add(r, by)
+	out := make([]siteRange, len(v.ranges))
+	for i, sr := range v.ranges {
+		out[i] = siteRange{site: sr.site, r: interval.Add(sr.r, by)}
 	}
 	return MemLoc{ranges: out}
 }
 
-// Clamp applies the expression-size budget componentwise.
+// Clamp applies the expression-size budget componentwise, copying only when
+// some component actually degrades.
 func (v MemLoc) Clamp(budget int) MemLoc {
 	if v.top || v.IsBottom() {
 		return v
 	}
-	out := make(map[int]interval.Interval, len(v.ranges))
-	for s, r := range v.ranges {
-		out[s] = r.Clamp(budget)
+	for i, sr := range v.ranges {
+		if c := sr.r.Clamp(budget); !interval.Equal(c, sr.r) {
+			out := make([]siteRange, len(v.ranges))
+			copy(out, v.ranges[:i])
+			out[i] = siteRange{site: sr.site, r: c}
+			for j := i + 1; j < len(v.ranges); j++ {
+				out[j] = siteRange{site: v.ranges[j].site, r: v.ranges[j].r.Clamp(budget)}
+			}
+			return MemLoc{ranges: out}
+		}
 	}
-	return MemLoc{ranges: out}
+	return v
 }
 
 // PiMeet is the bound-intersection rule of Fig. 9 for pointers:
@@ -242,26 +296,35 @@ func PiMeet(p MemLoc, pred ir.Pred, bound MemLoc) MemLoc {
 	if p.IsBottom() || bound.IsBottom() {
 		return Bottom()
 	}
-	var sites []int
-	switch {
-	case p.top:
-		sites = bound.Support()
-	case bound.top:
-		sites = p.Support()
-	default:
-		for _, s := range p.Support() {
-			if _, ok := bound.ranges[s]; ok {
-				sites = append(sites, s)
-			}
-		}
-	}
-	out := make(map[int]interval.Interval, len(sites))
-	for _, s := range sites {
-		pr, _ := p.Get(s)
-		br, _ := bound.Get(s)
+	var out []siteRange
+	meet := func(site int, pr, br interval.Interval) {
 		r := interval.Meet(pr, rangeanal.PiBound(pred, br))
 		if !r.IsEmpty() {
-			out[s] = r
+			out = append(out, siteRange{site: site, r: r})
+		}
+	}
+	switch {
+	case p.top:
+		for _, sr := range bound.ranges {
+			meet(sr.site, interval.Full(), sr.r)
+		}
+	case bound.top:
+		for _, sr := range p.ranges {
+			meet(sr.site, sr.r, interval.Full())
+		}
+	default:
+		i, j := 0, 0
+		for i < len(p.ranges) && j < len(bound.ranges) {
+			switch {
+			case p.ranges[i].site < bound.ranges[j].site:
+				i++
+			case p.ranges[i].site > bound.ranges[j].site:
+				j++
+			default:
+				meet(p.ranges[i].site, p.ranges[i].r, bound.ranges[j].r)
+				i++
+				j++
+			}
 		}
 	}
 	if len(out) == 0 {
@@ -271,16 +334,41 @@ func PiMeet(p MemLoc, pred ir.Pred, bound MemLoc) MemLoc {
 }
 
 // fromPointsTo builds the MemLoc a points-to oracle justifies: the given
-// sites with unknown offsets.
-func fromPointsTo(sites map[int]bool) MemLoc {
+// sites (sorted ascending) with unknown offsets.
+func fromPointsTo(sites []int) MemLoc {
 	if len(sites) == 0 {
 		return Bottom()
 	}
-	out := make(map[int]interval.Interval, len(sites))
-	for s := range sites {
-		out[s] = interval.Full()
+	out := make([]siteRange, len(sites))
+	for i, s := range sites {
+		out[i] = siteRange{site: s, r: interval.Full()}
 	}
 	return MemLoc{ranges: out}
+}
+
+// disjointRanges reports the QueryGR classification for a pair of non-Top
+// MemLocs in one merge walk: common is true when the supports intersect, and
+// disjoint is true when every commonly supported component pair is provably
+// disjoint (Proposition 2). disjoint is meaningless unless common.
+func disjointRanges(a, b MemLoc) (common, disjoint bool) {
+	disjoint = true
+	i, j := 0, 0
+	for i < len(a.ranges) && j < len(b.ranges) {
+		switch {
+		case a.ranges[i].site < b.ranges[j].site:
+			i++
+		case a.ranges[i].site > b.ranges[j].site:
+			j++
+		default:
+			common = true
+			if !interval.ProvablyDisjoint(a.ranges[i].r, b.ranges[j].r) {
+				return true, false
+			}
+			i++
+			j++
+		}
+	}
+	return common, disjoint
 }
 
 // SymbolicOnly reports whether the pointer's offsets are expressible *only*
@@ -293,7 +381,8 @@ func (v MemLoc) SymbolicOnly() bool {
 		return false
 	}
 	sawSymbolic := false
-	for _, r := range v.ranges {
+	for _, sr := range v.ranges {
+		r := sr.r
 		symbolic := (!r.Lo().IsInf() && r.Lo().HasSym()) ||
 			(!r.Hi().IsInf() && r.Hi().HasSym())
 		if symbolic {

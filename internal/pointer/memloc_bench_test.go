@@ -1,0 +1,95 @@
+package pointer
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/symbolic"
+)
+
+// MemLoc lattice-operation benchmarks: Join dominates the GR fixpoint and
+// the disjointness walk dominates QueryGR, so their per-op allocation is the
+// module-build and query-latency budget.
+
+func benchLoc(sites ...int) MemLoc {
+	rs := map[int]interval.Interval{}
+	n := symbolic.Sym("f.n")
+	for i, s := range sites {
+		rs[s] = interval.Of(symbolic.Const(int64(i)), symbolic.AddConst(n, int64(i)))
+	}
+	return OfRanges(rs)
+}
+
+func BenchmarkMemLocJoin(b *testing.B) {
+	a := benchLoc(0, 2, 4, 6)
+	c := benchLoc(2, 3, 4, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := Join(a, c)
+		if j.IsTop() {
+			b.Fatal("unexpected top")
+		}
+	}
+}
+
+func BenchmarkMemLocJoinDisjointSupport(b *testing.B) {
+	a := benchLoc(0, 2, 4)
+	c := benchLoc(1, 3, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := Join(a, c)
+		if j.IsBottom() {
+			b.Fatal("unexpected bottom")
+		}
+	}
+}
+
+func BenchmarkMemLocDisjoint(b *testing.B) {
+	// The QueryGR inner loop: one merge walk classifying the pair as
+	// disjoint-support vs range-disjoint vs may-alias.
+	a := benchLoc(0, 2, 4)
+	c := benchLoc(1, 3, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if common, _ := disjointRanges(a, c); common {
+			b.Fatal("supports should be disjoint")
+		}
+	}
+}
+
+func BenchmarkMemLocDisjointCommon(b *testing.B) {
+	// Same walk with overlapping supports, forcing the range disjointness
+	// proofs on common sites.
+	lo := map[int]interval.Interval{}
+	hi := map[int]interval.Interval{}
+	for _, s := range []int{0, 2, 4} {
+		lo[s] = interval.Consts(0, 5)
+		hi[s] = interval.Consts(100, 105)
+	}
+	a := OfRanges(hi)
+	c := OfRanges(lo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		common, disjoint := disjointRanges(a, c)
+		if !common || !disjoint {
+			b.Fatal("want common, provably disjoint ranges")
+		}
+	}
+}
+
+func BenchmarkMemLocWiden(b *testing.B) {
+	a := benchLoc(0, 1, 2)
+	c := benchLoc(0, 1, 2, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := Widen(a, c)
+		if w.IsTop() {
+			b.Fatal("unexpected top")
+		}
+	}
+}

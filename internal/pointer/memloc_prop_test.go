@@ -1,0 +1,207 @@
+package pointer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/ir"
+	"repro/internal/symbolic"
+)
+
+// Differential tests for the flat sorted-slice MemLoc: every lattice
+// operation must agree with a straightforward map-based reference model
+// (the representation the slice version replaced).
+
+type refLoc struct {
+	top    bool
+	ranges map[int]interval.Interval
+}
+
+func toRef(v MemLoc) refLoc {
+	r := refLoc{top: v.IsTop(), ranges: map[int]interval.Interval{}}
+	for _, s := range v.Support() {
+		iv, _ := v.Get(s)
+		r.ranges[s] = iv
+	}
+	return r
+}
+
+func refEqual(a refLoc, b MemLoc) bool {
+	if a.top != b.IsTop() {
+		return false
+	}
+	if len(a.ranges) != len(b.Support()) {
+		return false
+	}
+	for s, r := range a.ranges {
+		o, ok := b.Get(s)
+		if !ok || !interval.Equal(r, o) {
+			return false
+		}
+	}
+	return true
+}
+
+func refJoin(a, b refLoc) refLoc {
+	if a.top || b.top {
+		return refLoc{top: true, ranges: map[int]interval.Interval{}}
+	}
+	out := refLoc{ranges: map[int]interval.Interval{}}
+	for s, r := range a.ranges {
+		out.ranges[s] = r
+	}
+	for s, r := range b.ranges {
+		if cur, ok := out.ranges[s]; ok {
+			out.ranges[s] = interval.Join(cur, r)
+		} else {
+			out.ranges[s] = r
+		}
+	}
+	return out
+}
+
+func refWiden(old, next refLoc) refLoc {
+	if old.top || next.top {
+		return refLoc{top: true, ranges: map[int]interval.Interval{}}
+	}
+	if len(old.ranges) == 0 {
+		return next
+	}
+	out := refLoc{ranges: map[int]interval.Interval{}}
+	for s, r := range old.ranges {
+		if n, ok := next.ranges[s]; ok {
+			out.ranges[s] = interval.Widen(r, n)
+		} else {
+			out.ranges[s] = r
+		}
+	}
+	for s, r := range next.ranges {
+		if _, ok := old.ranges[s]; !ok {
+			out.ranges[s] = r
+		}
+	}
+	return out
+}
+
+func refNarrow(cur, next refLoc) refLoc {
+	if cur.top {
+		return next
+	}
+	if next.top || len(cur.ranges) == 0 || len(next.ranges) == 0 {
+		return cur
+	}
+	out := refLoc{ranges: map[int]interval.Interval{}}
+	for s, r := range cur.ranges {
+		if n, ok := next.ranges[s]; ok {
+			out.ranges[s] = interval.Narrow(r, n)
+		} else {
+			out.ranges[s] = r
+		}
+	}
+	return out
+}
+
+func refLeq(a, b refLoc) bool {
+	if b.top {
+		return true
+	}
+	if a.top {
+		return false
+	}
+	for s, r := range a.ranges {
+		o, ok := b.ranges[s]
+		if !ok || !interval.Leq(r, o) {
+			return false
+		}
+	}
+	return true
+}
+
+// randMemLoc builds a random MemLoc over a small site universe with
+// constant and symbolic bounds.
+func randMemLoc(r *rand.Rand) MemLoc {
+	switch r.Intn(10) {
+	case 0:
+		return Top()
+	case 1:
+		return Bottom()
+	}
+	rs := map[int]interval.Interval{}
+	for _, site := range r.Perm(8)[:r.Intn(5)] {
+		lo := int64(r.Intn(9) - 4)
+		hi := lo + int64(r.Intn(5))
+		switch r.Intn(4) {
+		case 0:
+			rs[site] = interval.Of(
+				symbolic.AddConst(symbolic.Sym("n"), lo),
+				symbolic.AddConst(symbolic.Sym("n"), hi))
+		case 1:
+			rs[site] = interval.Of(symbolic.NegInf(), symbolic.Const(hi))
+		case 2:
+			rs[site] = interval.Full()
+		default:
+			rs[site] = interval.Consts(lo, hi)
+		}
+	}
+	return OfRanges(rs)
+}
+
+func TestMemLocMatchesReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		a := randMemLoc(r)
+		b := randMemLoc(r)
+		ra, rb := toRef(a), toRef(b)
+
+		if got, want := Join(a, b), refJoin(ra, rb); !refEqual(want, got) {
+			t.Fatalf("Join(%s, %s) = %s, reference disagrees", a, b, got)
+		}
+		if got, want := Widen(a, b), refWiden(ra, rb); !refEqual(want, got) {
+			t.Fatalf("Widen(%s, %s) = %s, reference disagrees", a, b, got)
+		}
+		if got, want := Narrow(a, b), refNarrow(ra, rb); !refEqual(want, got) {
+			t.Fatalf("Narrow(%s, %s) = %s, reference disagrees", a, b, got)
+		}
+		if got, want := Leq(a, b), refLeq(ra, rb); got != want {
+			t.Fatalf("Leq(%s, %s) = %v, reference says %v", a, b, got, want)
+		}
+		if !Equal(a, a) || !Leq(a, Join(a, b)) {
+			t.Fatalf("lattice law broken for %s ⊔ %s", a, b)
+		}
+
+		// disjointRanges agrees with the Support/Get walk it replaced.
+		if !a.IsTop() && !b.IsTop() {
+			wantCommon, wantDisjoint := false, true
+			for _, s := range a.Support() {
+				rq, ok := b.Get(s)
+				if !ok {
+					continue
+				}
+				wantCommon = true
+				rp, _ := a.Get(s)
+				if !interval.ProvablyDisjoint(rp, rq) {
+					wantDisjoint = false
+					break
+				}
+			}
+			gotCommon, gotDisjoint := disjointRanges(a, b)
+			if gotCommon != wantCommon || (wantCommon && gotDisjoint != wantDisjoint) {
+				t.Fatalf("disjointRanges(%s, %s) = (%v, %v), want (%v, %v)",
+					a, b, gotCommon, gotDisjoint, wantCommon, wantDisjoint)
+			}
+		}
+
+		// Shift and PiMeet stay inside the reference support discipline.
+		sh := a.Shift(interval.Consts(1, 2))
+		if !a.IsTop() && !a.IsBottom() && len(sh.Support()) != len(a.Support()) {
+			t.Fatalf("Shift changed the support of %s: %s", a, sh)
+		}
+		pm := PiMeet(a, ir.PLe, b)
+		for _, s := range pm.Support() {
+			if _, ok := a.Get(s); !ok && !a.IsTop() {
+				t.Fatalf("PiMeet introduced site %d absent from %s", s, a)
+			}
+		}
+	}
+}

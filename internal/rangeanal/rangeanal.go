@@ -56,6 +56,23 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	opts   Options
 	ranges map[*ir.Value]interval.Interval
+	// kern memoizes the degenerate kernel-symbol intervals minted for
+	// extern/call results (and symbolic loads): transfer re-evaluates those
+	// instructions on every fixpoint revisit, and rebuilding the qualified
+	// symbol name each time would allocate a string per visit just to hit
+	// the interner. Written only during analyzeFunc (single goroutine);
+	// queries after Analyze are pure reads.
+	kern map[*ir.Value]interval.Interval
+}
+
+// kernel returns the memoized [s, s] interval naming v's own value.
+func (r *Result) kernel(v *ir.Value) interval.Interval {
+	if iv, ok := r.kern[v]; ok {
+		return iv
+	}
+	iv := interval.Point(symbolic.Sym(SymbolFor(v)))
+	r.kern[v] = iv
+	return iv
 }
 
 // Range returns R(v). Constants map to point intervals; untracked values
@@ -82,7 +99,7 @@ func SymbolFor(v *ir.Value) string {
 // Analyze runs the range analysis over every function of m.
 func Analyze(m *ir.Module, opts Options) *Result {
 	opts = opts.withDefaults()
-	res := &Result{opts: opts, ranges: map[*ir.Value]interval.Interval{}}
+	res := &Result{opts: opts, ranges: map[*ir.Value]interval.Interval{}, kern: map[*ir.Value]interval.Interval{}}
 	for _, f := range m.Funcs {
 		res.analyzeFunc(f)
 	}
@@ -92,7 +109,7 @@ func Analyze(m *ir.Module, opts Options) *Result {
 // AnalyzeFunc runs the analysis on a single function (used by tests).
 func AnalyzeFunc(f *ir.Func, opts Options) *Result {
 	opts = opts.withDefaults()
-	res := &Result{opts: opts, ranges: map[*ir.Value]interval.Interval{}}
+	res := &Result{opts: opts, ranges: map[*ir.Value]interval.Interval{}, kern: map[*ir.Value]interval.Interval{}}
 	res.analyzeFunc(f)
 	return res
 }
@@ -204,10 +221,10 @@ func (r *Result) transfer(in *ir.Instr) interval.Interval {
 	case ir.OpExtern, ir.OpCall:
 		// Kernel symbol: the value is opaque but nameable (§3.3: "variables
 		// assigned with values returned from library functions").
-		return interval.Point(symbolic.Sym(SymbolFor(in.Res)))
+		return r.kernel(in.Res)
 	case ir.OpLoad:
 		if r.opts.SymbolicLoads {
-			return interval.Point(symbolic.Sym(SymbolFor(in.Res)))
+			return r.kernel(in.Res)
 		}
 		return interval.Full()
 	}

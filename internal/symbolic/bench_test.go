@@ -1,0 +1,106 @@
+package symbolic
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the hot constructors of the symbolic kernel. The range and
+// pointer analyses are dominated by Add/Sub (offset propagation), Min/Max
+// (joins) and Compare (disjointness proofs), so these are the allocation
+// budgets that decide module-build latency. Run with -benchmem; the PR
+// recording a representation change must quote before/after allocs/op.
+
+// benchSyms returns a fixed set of kernel symbols shaped like the ones
+// rangeanal mints (function-qualified value names).
+func benchSyms(n int) []*Expr {
+	out := make([]*Expr, n)
+	for i := range out {
+		out[i] = Sym(fmt.Sprintf("f.v%d", i))
+	}
+	return out
+}
+
+func BenchmarkAdd(b *testing.B) {
+	syms := benchSyms(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A chain of adds over a few symbols with constants folded in —
+		// the shape PtrAdd offset propagation produces.
+		e := Const(int64(i & 7))
+		for _, s := range syms {
+			e = Add(e, s)
+		}
+		e = Sub(e, syms[0])
+		if e == nil {
+			b.Fatal("nil expr")
+		}
+	}
+}
+
+func BenchmarkAddConstSmall(b *testing.B) {
+	s := Sym("f.n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := AddConst(s, int64(i&15)+1)
+		if e == nil {
+			b.Fatal("nil expr")
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	syms := benchSyms(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Mul(syms[i&3], syms[(i+1)&3])
+		e = Mul(e, Const(int64(i&7)+2))
+		if e == nil {
+			b.Fatal("nil expr")
+		}
+	}
+}
+
+func BenchmarkMinMax(b *testing.B) {
+	syms := benchSyms(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := Min(syms[i&3], AddConst(syms[(i+1)&3], 4))
+		e = Max(e, Const(int64(i&7)))
+		if e == nil {
+			b.Fatal("nil expr")
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	s := Sym("f.n")
+	a1 := AddConst(s, 1)
+	a2 := AddConst(s, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Compare(a1, a2) != OLt {
+			b.Fatal("wrong order")
+		}
+	}
+}
+
+func BenchmarkSyms(b *testing.B) {
+	syms := benchSyms(6)
+	e := Const(3)
+	for _, s := range syms {
+		e = Add(e, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(e.Syms()) != 6 {
+			b.Fatal("wrong sym count")
+		}
+	}
+}

@@ -78,20 +78,8 @@ func Compare(a, b *Expr) Order {
 		return OGt
 	}
 	// d = b − a: if d reduces to a constant, its sign decides.
-	la, _ := linearize(a)
-	lb, _ := linearize(b)
-	d := newLin(0)
-	d.addLin(1, lb)
-	d.addLin(-1, la)
-	if len(d.terms) == 0 {
-		switch {
-		case d.k > 0:
-			return OLt
-		case d.k < 0:
-			return OGt
-		default:
-			return OEq
-		}
+	if o := diffSign(a, b); o != OUnknown {
+		return o
 	}
 	// One-sided min/max reasoning: min(xs) ≤ each x; max(xs) ≥ each x.
 	if o := minMaxBound(a, b); o != OUnknown {
@@ -101,6 +89,28 @@ func Compare(a, b *Expr) Order {
 		return o
 	}
 	return OUnknown
+}
+
+// diffSign canonicalizes d = b − a on pooled scratch and decides the order
+// by the sign of d when d is a constant — the main decision procedure, now
+// allocation-free.
+func diffSign(a, b *Expr) Order {
+	d := getLin()
+	d.absorb(1, b)
+	d.absorb(-1, a)
+	o := OUnknown
+	if len(d.terms) == 0 {
+		switch {
+		case d.k > 0:
+			o = OLt
+		case d.k < 0:
+			o = OGt
+		default:
+			o = OEq
+		}
+	}
+	putLin(d)
+	return o
 }
 
 // minMaxBound proves an order between a and b using the min/max structure
@@ -182,22 +192,7 @@ func compareShallow(a, b *Expr) Order {
 	case a.IsPosInf() || b.IsNegInf():
 		return OGt
 	}
-	la, _ := linearize(a)
-	lb, _ := linearize(b)
-	d := newLin(0)
-	d.addLin(1, lb)
-	d.addLin(-1, la)
-	if len(d.terms) == 0 {
-		switch {
-		case d.k > 0:
-			return OLt
-		case d.k < 0:
-			return OGt
-		default:
-			return OEq
-		}
-	}
-	return OUnknown
+	return diffSign(a, b)
 }
 
 // Eval evaluates e under a valuation of kernel symbols. It reports ok=false

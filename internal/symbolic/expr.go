@@ -4,11 +4,14 @@
 //	E ::= n | s | min(E,E) | max(E,E) | E−E | E+E | E/E | E mod E | E×E
 //
 // augmented with the two infinities −∞ and +∞ that close the SymbRanges
-// lattice. Expressions are immutable. Constructors simplify eagerly and keep
-// sums in a canonical linear form (a constant plus a sorted sum of
-// coefficient×atom terms, where an atom is either a kernel symbol or an
-// opaque non-linear subexpression), which makes structural equality and the
-// partial-order comparison of §3.3 cheap and deterministic.
+// lattice. Expressions are immutable and hash-consed: constructors simplify
+// eagerly, keep sums in a canonical linear form (a constant plus a sorted sum
+// of coefficient×atom terms, where an atom is either a kernel symbol or an
+// opaque non-linear subexpression), and intern every node, so structurally
+// equal expressions built in one interner are pointer-equal. Structural
+// equality and the partial-order comparison of §3.3 are therefore cheap —
+// Equal is a pointer comparison and Compare runs on pooled scratch with no
+// per-call string keys.
 //
 // The symbolic kernel of a program — names that cannot be expressed as a
 // function of other names, e.g. function parameters and results of library
@@ -18,7 +21,10 @@ package symbolic
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Kind discriminates the expression node forms.
@@ -38,17 +44,25 @@ const (
 	KPosInf             // +∞
 )
 
-// Expr is an immutable symbolic expression. The zero value is not valid; use
-// the package constructors.
+// Expr is an immutable, interned symbolic expression. The zero value is not
+// valid; use the package constructors (Default interner) or an Interner's
+// methods. Within one interner, structural equality is pointer equality.
 type Expr struct {
-	kind Kind
-	k    int64   // KConst value; KSum constant part
-	sym  string  // KSym name
-	args []*Expr // KMin/KMax operands; KMul/KDiv/KMod operands (2)
-	// terms holds the linear part of a KSum, sorted by atom key.
+	kind   Kind
+	hasSym bool
+	size   int32   // node count, computed at intern time
+	k      int64   // KConst value; KSum constant part
+	sym    string  // KSym name
+	args   []*Expr // KMin/KMax operands; KMul/KDiv/KMod operands (2)
+	// terms holds the linear part of a KSum, sorted by cmpExpr on the atom.
 	terms []Term
-	// key caches the canonical string, used for ordering and equality.
-	key string
+	hash  uint64    // structural hash, fixed at intern time
+	in    *Interner // owning interner; nil only for the infinity singletons
+	// key caches the canonical debug string; computed lazily by Key/String,
+	// never consulted on the analysis hot path.
+	key atomic.Pointer[string]
+	// syms caches the sorted distinct kernel symbols (lazily, once).
+	syms atomic.Pointer[[]string]
 }
 
 // Term is one coeff·atom component of a canonical sum. Atom is either a
@@ -59,11 +73,16 @@ type Term struct {
 }
 
 var (
-	negInf = &Expr{kind: KNegInf, key: "-inf"}
-	posInf = &Expr{kind: KPosInf, key: "+inf"}
-	zero   = &Expr{kind: KConst, k: 0, key: "0"}
-	one    = &Expr{kind: KConst, k: 1, key: "1"}
+	negInf = &Expr{kind: KNegInf, size: 1}
+	posInf = &Expr{kind: KPosInf, size: 1}
 )
+
+func init() {
+	// Distinct fixed hashes so the infinities can appear as children of
+	// opaque nodes (Div involving ±∞ degrades to an opaque node).
+	negInf.hash = hashNode(KNegInf, 0, "", nil, nil)
+	posInf.hash = hashNode(KPosInf, 0, "", nil, nil)
+}
 
 // NegInf returns the −∞ expression.
 func NegInf() *Expr { return negInf }
@@ -71,27 +90,17 @@ func NegInf() *Expr { return negInf }
 // PosInf returns the +∞ expression.
 func PosInf() *Expr { return posInf }
 
-// Zero returns the constant 0.
-func Zero() *Expr { return zero }
+// Zero returns the constant 0 (Default interner).
+func Zero() *Expr { return defaultInterner.Zero() }
 
-// One returns the constant 1.
-func One() *Expr { return one }
+// One returns the constant 1 (Default interner).
+func One() *Expr { return defaultInterner.One() }
 
-// Const returns the integer constant c.
-func Const(c int64) *Expr {
-	switch c {
-	case 0:
-		return zero
-	case 1:
-		return one
-	}
-	return &Expr{kind: KConst, k: c, key: fmt.Sprint(c)}
-}
+// Const returns the integer constant c (Default interner).
+func Const(c int64) *Expr { return defaultInterner.Const(c) }
 
-// Sym returns the kernel symbol named s.
-func Sym(s string) *Expr {
-	return &Expr{kind: KSym, sym: s, key: s}
-}
+// Sym returns the kernel symbol named s (Default interner).
+func Sym(s string) *Expr { return defaultInterner.Sym(s) }
 
 // Kind reports the node kind of e.
 func (e *Expr) Kind() Kind { return e.kind }
@@ -125,20 +134,20 @@ func (e *Expr) IsInf() bool { return e.kind == KNegInf || e.kind == KPosInf }
 func (e *Expr) IsConst() bool { return e.kind == KConst }
 
 // Size counts the nodes of e; the analyses use it to bound expression growth
-// (§3.8 argues information per variable is O(1)).
-func (e *Expr) Size() int {
-	n := 1
-	for _, a := range e.args {
-		n += a.Size()
-	}
-	for _, t := range e.terms {
-		n += t.Atom.Size()
-	}
-	return n
-}
+// (§3.8 argues information per variable is O(1)). Sizes are computed once at
+// intern time, so this is a field read.
+func (e *Expr) Size() int { return int(e.size) }
 
-// Syms appends the distinct kernel symbols of e, in canonical order.
+// Syms returns the distinct kernel symbols of e in canonical order. The
+// slice is computed once per interned node and shared by every caller: treat
+// it as read-only.
 func (e *Expr) Syms() []string {
+	if !e.hasSym {
+		return nil
+	}
+	if p := e.syms.Load(); p != nil {
+		return *p
+	}
 	set := map[string]bool{}
 	e.collectSyms(set)
 	out := make([]string, 0, len(set))
@@ -146,6 +155,7 @@ func (e *Expr) Syms() []string {
 		out = append(out, s)
 	}
 	sort.Strings(out)
+	e.syms.Store(&out)
 	return out
 }
 
@@ -165,51 +175,85 @@ func (e *Expr) collectSyms(set map[string]bool) {
 }
 
 // HasSym reports whether e mentions any kernel symbol (i.e. is not a pure
-// numeric expression). Infinities count as numeric.
-func (e *Expr) HasSym() bool {
-	switch e.kind {
-	case KSym:
-		return true
-	case KConst, KNegInf, KPosInf:
-		return false
-	case KSum:
-		for _, t := range e.terms {
-			if t.Atom.HasSym() {
-				return true
-			}
-		}
-		return false
-	default:
-		for _, a := range e.args {
-			if a.HasSym() {
-				return true
-			}
-		}
-		return false
-	}
-}
+// numeric expression). Infinities count as numeric. Computed at intern time.
+func (e *Expr) HasSym() bool { return e.hasSym }
 
 // Key returns a canonical string identity for e: two expressions with equal
 // keys are structurally (and therefore semantically) equal after the
-// constructor normalization.
-func (e *Expr) Key() string { return e.key }
-
-// Equal reports whether a and b are equal after canonicalization.
-func Equal(a, b *Expr) bool {
-	if a == b {
-		return true
+// constructor normalization, even across interners. The string is computed
+// lazily and cached — it exists for debugging and serialization; equality
+// within one interner is the pointer comparison Equal.
+func (e *Expr) Key() string {
+	if p := e.key.Load(); p != nil {
+		return *p
 	}
-	if a == nil || b == nil {
-		return false
-	}
-	return a.key == b.key
+	s := e.computeKey()
+	e.key.Store(&s)
+	return s
 }
+
+func (e *Expr) computeKey() string {
+	switch e.kind {
+	case KConst:
+		return strconv.FormatInt(e.k, 10)
+	case KSym:
+		return e.sym
+	case KNegInf:
+		return "-inf"
+	case KPosInf:
+		return "+inf"
+	case KSum:
+		var b strings.Builder
+		b.WriteString("sum{")
+		b.WriteString(strconv.FormatInt(e.k, 10))
+		for _, t := range e.terms {
+			b.WriteByte(';')
+			b.WriteString(strconv.FormatInt(t.Coeff, 10))
+			b.WriteByte('*')
+			b.WriteString(t.Atom.Key())
+		}
+		b.WriteString("}")
+		return b.String()
+	}
+	var tag string
+	switch e.kind {
+	case KMin:
+		tag = "min"
+	case KMax:
+		tag = "max"
+	case KMul:
+		tag = "mul"
+	case KDiv:
+		tag = "div"
+	case KMod:
+		tag = "mod"
+	default:
+		tag = "?"
+	}
+	var b strings.Builder
+	b.WriteString(tag)
+	b.WriteByte('{')
+	for i, a := range e.args {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(a.Key())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports whether a and b are equal after canonicalization. Interned
+// expressions are canonical, so this is pointer equality; expressions from
+// *different* interners never compare equal (the analyses share the Default
+// interner, so they never mix).
+func Equal(a, b *Expr) bool { return a == b }
 
 // String renders e in a stable human-readable form.
 func (e *Expr) String() string {
 	switch e.kind {
 	case KConst:
-		return fmt.Sprint(e.k)
+		return strconv.FormatInt(e.k, 10)
 	case KSym:
 		return e.sym
 	case KNegInf:
@@ -274,114 +318,92 @@ func (e *Expr) String() string {
 // ---------------------------------------------------------------------------
 // Linear canonical form.
 
-// linform is the canonical linear view of an expression: k + Σ coeff·atom.
+// linform is scratch space for the canonical linear view of an expression:
+// k + Σ coeff·atom with terms sorted by cmpExpr on the atom. Instances come
+// from a sync.Pool and never escape a constructor call; the interner copies
+// the term slice only when a new node is actually created.
 type linform struct {
 	k     int64
-	terms map[string]Term // keyed by atom canonical key
+	terms []Term
 }
 
-func newLin(k int64) *linform { return &linform{k: k, terms: map[string]Term{}} }
+var linPool = sync.Pool{New: func() any { return new(linform) }}
 
+func getLin() *linform {
+	l := linPool.Get().(*linform)
+	l.k = 0
+	l.terms = l.terms[:0]
+	return l
+}
+
+func putLin(l *linform) {
+	if cap(l.terms) > 256 {
+		l.terms = nil // don't let one huge expression pin scratch forever
+	}
+	linPool.Put(l)
+}
+
+// add folds coeff·atom into the sorted term list.
 func (l *linform) add(coeff int64, atom *Expr) {
 	if coeff == 0 {
 		return
 	}
-	key := atom.key
-	t, ok := l.terms[key]
-	if !ok {
-		l.terms[key] = Term{Coeff: coeff, Atom: atom}
+	i := sort.Search(len(l.terms), func(i int) bool { return cmpExpr(l.terms[i].Atom, atom) >= 0 })
+	if i < len(l.terms) && l.terms[i].Atom == atom {
+		l.terms[i].Coeff += coeff
+		if l.terms[i].Coeff == 0 {
+			l.terms = append(l.terms[:i], l.terms[i+1:]...)
+		}
 		return
 	}
-	t.Coeff += coeff
-	if t.Coeff == 0 {
-		delete(l.terms, key)
-	} else {
-		l.terms[key] = t
-	}
+	l.terms = append(l.terms, Term{})
+	copy(l.terms[i+1:], l.terms[i:])
+	l.terms[i] = Term{Coeff: coeff, Atom: atom}
 }
 
-func (l *linform) addLin(scale int64, m *linform) {
-	l.k += scale * m.k
-	for _, t := range m.terms {
-		l.add(scale*t.Coeff, t.Atom)
-	}
-}
-
-// linearize decomposes e into its canonical linear form. Every finite
-// expression linearizes: non-linear subtrees become single atoms.
-// Infinite expressions do not linearize.
-func linearize(e *Expr) (*linform, bool) {
+// absorb folds scale·e into the form. e must be finite; non-linear subtrees
+// become single atoms, and a KSum's terms merge pairwise (both sides sorted).
+func (l *linform) absorb(scale int64, e *Expr) {
 	switch e.kind {
-	case KNegInf, KPosInf:
-		return nil, false
 	case KConst:
-		return newLin(e.k), true
-	case KSym, KMin, KMax, KMul, KDiv, KMod:
-		l := newLin(0)
-		l.add(1, e)
-		return l, true
+		l.k += scale * e.k
 	case KSum:
-		l := newLin(e.k)
+		l.k += scale * e.k
 		for _, t := range e.terms {
-			l.add(t.Coeff, t.Atom)
+			l.add(scale*t.Coeff, t.Atom)
 		}
-		return l, true
+	default:
+		l.add(scale, e)
 	}
-	return nil, false
 }
 
-// build converts a linear form back to a canonical expression.
-func (l *linform) build() *Expr {
+// build interns the canonical expression for the form.
+func (l *linform) build(in *Interner) *Expr {
 	if len(l.terms) == 0 {
-		return Const(l.k)
-	}
-	keys := make([]string, 0, len(l.terms))
-	for k := range l.terms {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	terms := make([]Term, len(keys))
-	for i, k := range keys {
-		terms[i] = l.terms[k]
+		return in.Const(l.k)
 	}
 	// A sum of exactly one unit-coefficient atom with no constant is the
 	// atom itself.
-	if l.k == 0 && len(terms) == 1 && terms[0].Coeff == 1 {
-		return terms[0].Atom
+	if l.k == 0 && len(l.terms) == 1 && l.terms[0].Coeff == 1 {
+		return l.terms[0].Atom
 	}
-	e := &Expr{kind: KSum, k: l.k, terms: terms}
-	e.key = e.computeKey()
-	return e
+	return in.intern(KSum, l.k, "", nil, l.terms)
 }
 
-func (e *Expr) computeKey() string {
-	var b strings.Builder
-	b.WriteString("sum{")
-	fmt.Fprint(&b, e.k)
-	for _, t := range e.terms {
-		fmt.Fprintf(&b, ";%d*%s", t.Coeff, t.Atom.key)
-	}
-	b.WriteString("}")
-	return b.String()
-}
-
-// Terms exposes the canonical decomposition of e as constant + terms. Every
-// finite expression decomposes; infinities report ok=false.
+// Terms exposes the canonical decomposition of e as constant + terms, in
+// canonical order. Every finite expression decomposes; infinities report
+// ok=false. The returned slice is fresh and the caller may keep it.
 func (e *Expr) Terms() (k int64, terms []Term, ok bool) {
-	l, ok := linearize(e)
-	if !ok {
+	switch e.kind {
+	case KNegInf, KPosInf:
 		return 0, nil, false
+	case KConst:
+		return e.k, nil, true
+	case KSum:
+		return e.k, append([]Term(nil), e.terms...), true
+	default:
+		return 0, []Term{{Coeff: 1, Atom: e}}, true
 	}
-	keys := make([]string, 0, len(l.terms))
-	for key := range l.terms {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	out := make([]Term, len(keys))
-	for i, key := range keys {
-		out[i] = l.terms[key]
-	}
-	return l.k, out, true
 }
 
 // ---------------------------------------------------------------------------
@@ -390,14 +412,25 @@ func (e *Expr) Terms() (k int64, terms []Term, ok bool) {
 // Add returns a+b. Mixing opposite infinities is a caller bug: the interval
 // layer guards bound arithmetic so that −∞ and +∞ never meet; Add panics if
 // they do.
-func Add(a, b *Expr) *Expr {
+func Add(a, b *Expr) *Expr { return addScaled(a, b, 1) }
+
+// Sub returns a−b, with the same infinity discipline as Add.
+func Sub(a, b *Expr) *Expr { return addScaled(a, b, -1) }
+
+func addScaled(a, b *Expr, sb int64) *Expr {
 	if a.IsInf() || b.IsInf() {
+		if sb < 0 {
+			return addInf(a, Neg(b))
+		}
 		return addInf(a, b)
 	}
-	la, _ := linearize(a)
-	lb, _ := linearize(b)
-	la.addLin(1, lb)
-	return la.build()
+	in := owner2(a, b)
+	l := getLin()
+	l.absorb(1, a)
+	l.absorb(sb, b)
+	e := l.build(in)
+	putLin(l)
+	return e
 }
 
 func addInf(a, b *Expr) *Expr {
@@ -411,17 +444,6 @@ func addInf(a, b *Expr) *Expr {
 	}
 }
 
-// Sub returns a−b, with the same infinity discipline as Add.
-func Sub(a, b *Expr) *Expr {
-	if a.IsInf() || b.IsInf() {
-		return addInf(a, Neg(b))
-	}
-	la, _ := linearize(a)
-	lb, _ := linearize(b)
-	la.addLin(-1, lb)
-	return la.build()
-}
-
 // Neg returns −a.
 func Neg(a *Expr) *Expr {
 	switch a.kind {
@@ -430,18 +452,24 @@ func Neg(a *Expr) *Expr {
 	case KPosInf:
 		return negInf
 	}
-	l, _ := linearize(a)
-	m := newLin(0)
-	m.addLin(-1, l)
-	return m.build()
+	return scale(a, -1)
 }
 
 // AddConst returns a+c.
 func AddConst(a *Expr, c int64) *Expr {
-	if c == 0 {
+	if c == 0 || a.IsInf() {
 		return a
 	}
-	return Add(a, Const(c))
+	in := owner1(a)
+	if a.kind == KConst {
+		return in.Const(a.k + c)
+	}
+	l := getLin()
+	l.absorb(1, a)
+	l.k += c
+	e := l.build(in)
+	putLin(l)
+	return e
 }
 
 // Mul returns a×b. Products simplify when either side is constant; a
@@ -456,13 +484,12 @@ func Mul(a, b *Expr) *Expr {
 	if c, ok := b.ConstValue(); ok {
 		return scale(a, c)
 	}
+	in := owner2(a, b)
 	// Canonical operand order for the opaque product.
-	if a.key > b.key {
+	if cmpExpr(a, b) > 0 {
 		a, b = b, a
 	}
-	e := &Expr{kind: KMul, args: []*Expr{a, b}}
-	e.key = "mul{" + a.key + ";" + b.key + "}"
-	return e
+	return in.intern2(KMul, a, b)
 }
 
 // mulInf multiplies with at least one infinite operand. The sign of the
@@ -485,7 +512,7 @@ func mulInf(a, b *Expr) *Expr {
 	}
 	switch {
 	case c == 0:
-		return zero
+		return owner1(b).Zero()
 	case c > 0:
 		return a
 	case a.IsNegInf():
@@ -496,16 +523,18 @@ func mulInf(a, b *Expr) *Expr {
 }
 
 func scale(a *Expr, c int64) *Expr {
+	in := owner1(a)
 	switch c {
 	case 0:
-		return zero
+		return in.Zero()
 	case 1:
 		return a
 	}
-	l, _ := linearize(a)
-	m := newLin(0)
-	m.addLin(c, l)
-	return m.build()
+	l := getLin()
+	l.absorb(c, a)
+	e := l.build(in)
+	putLin(l)
+	return e
 }
 
 // Div returns a/b (C-style truncated quotient in the concrete semantics).
@@ -514,17 +543,14 @@ func Div(a, b *Expr) *Expr {
 	ca, aok := a.ConstValue()
 	cb, bok := b.ConstValue()
 	if aok && bok && cb != 0 {
-		return Const(ca / cb)
+		return owner2(a, b).Const(ca / cb)
 	}
 	if bok && cb == 1 {
 		return a
 	}
-	if a.IsInf() || b.IsInf() {
-		// Division involving infinities is never produced by the analyses;
-		// degrade to an opaque node that compares as unknown.
-		return opaque2(KDiv, "div", a, b)
-	}
-	return opaque2(KDiv, "div", a, b)
+	// Division involving infinities is never produced by the analyses;
+	// degrade to an opaque node that compares as unknown.
+	return owner2(a, b).intern2(KDiv, a, b)
 }
 
 // Mod returns a mod b, folding constants (b≠0).
@@ -532,15 +558,9 @@ func Mod(a, b *Expr) *Expr {
 	ca, aok := a.ConstValue()
 	cb, bok := b.ConstValue()
 	if aok && bok && cb != 0 {
-		return Const(ca % cb)
+		return owner2(a, b).Const(ca % cb)
 	}
-	return opaque2(KMod, "mod", a, b)
-}
-
-func opaque2(kind Kind, tag string, a, b *Expr) *Expr {
-	e := &Expr{kind: kind, args: []*Expr{a, b}}
-	e.key = tag + "{" + a.key + ";" + b.key + "}"
-	return e
+	return owner2(a, b).intern2(KMod, a, b)
 }
 
 // maxMinMaxArity caps min/max operand lists: join chains produced by the
@@ -579,18 +599,21 @@ func minMax(kind Kind, a, b *Expr) *Expr {
 			return a
 		}
 	}
+	in := owner2(a, b)
 	// Gather operands, flattening same-kind children.
-	var ops []*Expr
-	for _, x := range []*Expr{a, b} {
+	var ops [2 * maxMinMaxArity]*Expr
+	n := 0
+	for _, x := range [2]*Expr{a, b} {
 		if x.kind == kind {
-			ops = append(ops, x.args...)
+			n += copy(ops[n:], x.args)
 		} else {
-			ops = append(ops, x)
+			ops[n] = x
+			n++
 		}
 	}
 	// Deduplicate and drop dominated operands.
-	kept := make([]*Expr, 0, len(ops))
-	for _, x := range ops {
+	kept := ops[:0]
+	for _, x := range ops[:n] {
 		drop := false
 		for i := 0; i < len(kept); i++ {
 			switch Compare(kept[i], x) {
@@ -622,7 +645,13 @@ func minMax(kind Kind, a, b *Expr) *Expr {
 	if len(kept) == 1 {
 		return kept[0]
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].key < kept[j].key })
+	// Insertion sort: operand lists are ≤ 2·maxMinMaxArity and a closure-free
+	// sort keeps the scratch array off the heap.
+	for i := 1; i < len(kept); i++ {
+		for j := i; j > 0 && cmpExpr(kept[j-1], kept[j]) > 0; j-- {
+			kept[j-1], kept[j] = kept[j], kept[j-1]
+		}
+	}
 	if len(kept) > maxMinMaxArity {
 		// Dropping operands from a min could raise its value (and dually for
 		// max), so an over-wide list degrades to the conservative infinity.
@@ -631,17 +660,7 @@ func minMax(kind Kind, a, b *Expr) *Expr {
 		}
 		return posInf
 	}
-	tag := "min"
-	if kind == KMax {
-		tag = "max"
-	}
-	e := &Expr{kind: kind, args: kept}
-	keys := make([]string, len(kept))
-	for i, x := range kept {
-		keys[i] = x.key
-	}
-	e.key = tag + "{" + strings.Join(keys, ";") + "}"
-	return e
+	return in.intern(kind, 0, "", kept, nil)
 }
 
 // MinN folds Min over a non-empty operand list.

@@ -1,0 +1,285 @@
+package symbolic
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Hash-consing interner. Every finite expression node is constructed through
+// an Interner, which guarantees that structurally equal expressions built in
+// the same interner are the *same pointer*: Equal is a pointer comparison,
+// map keys are pointers, and the canonical string key exists only for
+// debugging (computed lazily by Key/String). Nodes are immutable and the
+// intern tables are sharded behind per-shard mutexes, so construction and
+// querying are safe from any number of goroutines.
+//
+// The package-level constructors (Const, Sym, Add, …) all operate on the
+// process-wide Default interner, which is what the analyses use: every
+// module analysed in this process shares one node pool, so expressions
+// dedupe across modules and queries never compare across interner
+// boundaries. The tradeoff is retention: the Default pool is append-only,
+// so nodes minted for a module outlive its analyses (module eviction in the
+// service frees the analyses but not their interned expressions). That is
+// bounded by *distinct* expressions ever built — re-uploading or rebuilding
+// a module re-hits the same nodes — but a workload with unboundedly many
+// structurally distinct modules grows the pool without bound. NewInterner
+// is the isolation hatch for such lifecycles (each Expr carries its owner,
+// and all arithmetic resolves the interner from its operands); wiring a
+// per-module interner through the analyses' leaf constructors is follow-up
+// work. Expressions from different interners must never meet in one
+// operation — the constructors panic on a detected mix (infinities are
+// interner-less singletons and mix freely).
+
+// internShardCount spreads the intern table over independently locked
+// shards; construction from parallel module builds rarely collides.
+const internShardCount = 64
+
+// Pre-interned small-constant range: Const(c) for c in [SmallConstMin,
+// SmallConstMax] is a table lookup with no locking. The range covers the
+// constants pointer arithmetic actually produces (field offsets, small
+// strides, loop steps).
+const (
+	SmallConstMin = -16
+	SmallConstMax = 64
+)
+
+// Interner hash-conses expression nodes. The zero value is not usable; call
+// NewInterner, or use the package-level constructors (Default interner).
+type Interner struct {
+	shards   [internShardCount]internShard
+	small    [SmallConstMax - SmallConstMin + 1]*Expr
+	interned atomic.Int64
+	hits     atomic.Int64
+}
+
+type internShard struct {
+	mu    sync.Mutex
+	table map[uint64][]*Expr
+}
+
+// InternStats snapshots an interner's counters.
+type InternStats struct {
+	// Interned counts distinct hash-consed nodes (live forever within the
+	// interner's lifetime).
+	Interned int64
+	// Hits counts constructor calls served by an existing node.
+	Hits int64
+}
+
+// NewInterner returns a fresh, empty interner with the small-constant table
+// pre-populated.
+func NewInterner() *Interner {
+	it := &Interner{}
+	for i := range it.shards {
+		it.shards[i].table = make(map[uint64][]*Expr)
+	}
+	for c := int64(SmallConstMin); c <= SmallConstMax; c++ {
+		it.small[c-SmallConstMin] = it.intern(KConst, c, "", nil, nil)
+	}
+	return it
+}
+
+var defaultInterner = NewInterner()
+
+// Default returns the process-wide interner behind the package-level
+// constructors.
+func Default() *Interner { return defaultInterner }
+
+// Stats snapshots the interner's counters.
+func (it *Interner) Stats() InternStats {
+	return InternStats{Interned: it.interned.Load(), Hits: it.hits.Load()}
+}
+
+// Const returns the interned integer constant c.
+func (it *Interner) Const(c int64) *Expr {
+	if c >= SmallConstMin && c <= SmallConstMax {
+		return it.small[c-SmallConstMin]
+	}
+	return it.intern(KConst, c, "", nil, nil)
+}
+
+// Sym returns the interned kernel symbol named s.
+func (it *Interner) Sym(s string) *Expr {
+	return it.intern(KSym, 0, s, nil, nil)
+}
+
+// Zero returns the interned constant 0.
+func (it *Interner) Zero() *Expr { return it.small[0-SmallConstMin] }
+
+// One returns the interned constant 1.
+func (it *Interner) One() *Expr { return it.small[1-SmallConstMin] }
+
+// FNV-1a parameters for the structural hash.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashNode computes the structural hash of a prospective node from its
+// shallow fields; children contribute their own (already computed) hashes,
+// so hashing is O(shallow size).
+func hashNode(kind Kind, k int64, sym string, args []*Expr, terms []Term) uint64 {
+	h := fnvOffset
+	h = (h ^ uint64(kind)) * fnvPrime
+	h = (h ^ uint64(k)) * fnvPrime
+	for i := 0; i < len(sym); i++ {
+		h = (h ^ uint64(sym[i])) * fnvPrime
+	}
+	h = (h ^ uint64(len(sym))) * fnvPrime
+	for _, a := range args {
+		h = (h ^ a.hash) * fnvPrime
+	}
+	for _, t := range terms {
+		h = (h ^ uint64(t.Coeff)) * fnvPrime
+		h = (h ^ t.Atom.hash) * fnvPrime
+	}
+	return h
+}
+
+// shallowEq reports whether an interned node matches the prospective node
+// field-for-field. Children compare by pointer: they are interned, so
+// structural equality below this node is already pointer equality.
+func shallowEq(e *Expr, kind Kind, k int64, sym string, args []*Expr, terms []Term) bool {
+	if e.kind != kind || e.k != k || e.sym != sym ||
+		len(e.args) != len(args) || len(e.terms) != len(terms) {
+		return false
+	}
+	for i, a := range args {
+		if e.args[i] != a {
+			return false
+		}
+	}
+	for i, t := range terms {
+		if e.terms[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// intern returns the canonical node for the given shape, creating it on
+// first sight. args/terms may be caller scratch: they are copied only when a
+// new node is created.
+func (it *Interner) intern(kind Kind, k int64, sym string, args []*Expr, terms []Term) *Expr {
+	h := hashNode(kind, k, sym, args, terms)
+	sh := &it.shards[(h*0x9E3779B97F4A7C15)>>(64-6)]
+	sh.mu.Lock()
+	bucket := sh.table[h]
+	for _, e := range bucket {
+		if shallowEq(e, kind, k, sym, args, terms) {
+			sh.mu.Unlock()
+			it.hits.Add(1)
+			return e
+		}
+	}
+	e := &Expr{kind: kind, k: k, sym: sym, hash: h, in: it}
+	if len(args) > 0 {
+		e.args = append(make([]*Expr, 0, len(args)), args...)
+	}
+	if len(terms) > 0 {
+		e.terms = append(make([]Term, 0, len(terms)), terms...)
+	}
+	size := int32(1)
+	hasSym := kind == KSym
+	for _, a := range e.args {
+		size += a.size
+		hasSym = hasSym || a.hasSym
+	}
+	for _, t := range e.terms {
+		size += t.Atom.size
+		hasSym = hasSym || t.Atom.hasSym
+	}
+	e.size = size
+	e.hasSym = hasSym
+	sh.table[h] = append(bucket, e)
+	sh.mu.Unlock()
+	it.interned.Add(1)
+	return e
+}
+
+// intern2 interns a binary opaque node without forcing the operand pair
+// onto the heap on the hit path.
+func (it *Interner) intern2(kind Kind, a, b *Expr) *Expr {
+	args := [2]*Expr{a, b}
+	return it.intern(kind, 0, "", args[:], nil)
+}
+
+// owner1 resolves the interner an operation over a should build into:
+// a's interner, or the default for the interner-less infinities.
+func owner1(a *Expr) *Interner {
+	if a.in != nil {
+		return a.in
+	}
+	return defaultInterner
+}
+
+// owner2 resolves the interner for a binary operation and enforces the
+// no-mixing contract.
+func owner2(a, b *Expr) *Interner {
+	switch {
+	case a.in == nil:
+		return owner1(b)
+	case b.in != nil && b.in != a.in:
+		panic("symbolic: operands from different interners")
+	default:
+		return a.in
+	}
+}
+
+// cmpExpr is the deterministic total order used for canonical forms: sum
+// terms are sorted by atom, min/max operand lists and opaque products by
+// operand. Within one interner cmpExpr(a, b) == 0 iff a == b. The order is
+// structural (kind, then shallow fields, then children), so it is stable
+// across processes and independent of interning history.
+func cmpExpr(a, b *Expr) int {
+	if a == b {
+		return 0
+	}
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	switch a.kind {
+	case KConst:
+		return cmp64(a.k, b.k)
+	case KSym:
+		return strings.Compare(a.sym, b.sym)
+	case KSum:
+		if c := cmp64(a.k, b.k); c != 0 {
+			return c
+		}
+		if c := len(a.terms) - len(b.terms); c != 0 {
+			return c
+		}
+		for i := range a.terms {
+			if c := cmp64(a.terms[i].Coeff, b.terms[i].Coeff); c != 0 {
+				return c
+			}
+			if c := cmpExpr(a.terms[i].Atom, b.terms[i].Atom); c != 0 {
+				return c
+			}
+		}
+		return 0
+	default:
+		if c := len(a.args) - len(b.args); c != 0 {
+			return c
+		}
+		for i := range a.args {
+			if c := cmpExpr(a.args[i], b.args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+func cmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
