@@ -38,6 +38,7 @@ func main() {
 	cacheLimit := flag.Int("cache-limit", 0, "per-module verdict memo cache entries (0 = default 1M, negative disables caching)")
 	evictModules := flag.Bool("evict-modules", false, "evict the least-recently-queried module when the registry is full instead of refusing the upload")
 	buildWorkers := flag.Int("build-workers", service.DefaultBuildWorkers, "async module-build workers (POST /v1/modules?async=1)")
+	planner := flag.Bool("planner", true, "compile per-module alias indexes and answer batches through the sweep-line planner (false = legacy per-pair chain walks)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -48,6 +49,7 @@ func main() {
 		CacheLimit:     *cacheLimit,
 		EvictModules:   *evictModules,
 		BuildWorkers:   *buildWorkers,
+		DisablePlanner: !*planner,
 	})
 	defer svc.Close()
 

@@ -36,9 +36,10 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON report instead of text tables")
 	analysisBench := flag.Bool("analysis-bench", false, "run the analysis-core benchmark mode and emit the BENCH_analysis.json report (ignores -fig)")
 	out := flag.String("out", "", "write the -analysis-bench report to this file instead of stdout")
+	indexed := flag.Bool("indexed", true, "answer the precision sweeps through each module's compiled alias index (verdict-identical; false walks the chain per pair)")
 	flag.Parse()
 
-	d := &experiments.Driver{Parallel: *parallel}
+	d := &experiments.Driver{Parallel: *parallel, Indexed: *indexed}
 
 	if *analysisBench {
 		rep := d.RunAnalysisBench()

@@ -99,6 +99,35 @@ func (r *Result) aliasRow(v *ir.Value) (bitset, bool) {
 	return row, row.has(r.n)
 }
 
+var _ alias.SetDigester = (*Result)(nil)
+
+// SetDigests implements alias.SetDigester: the solution rows of one
+// function's pointer values copied into a flat per-function column, with the
+// ⊤ marker lifted into a flag so the index pair check is a pure word-wise
+// AND. Untracked values compile as unknown, exactly like aliasRow.
+func (r *Result) SetDigests(f *ir.Func, universe []*ir.Value) *alias.SetColumn {
+	n := len(universe)
+	c := &alias.SetColumn{
+		Words:   r.words,
+		Rows:    make([]uint64, n*r.words),
+		Unknown: make([]bool, n),
+	}
+	for i, v := range universe {
+		id, ok := r.nodeOf[v]
+		if !ok {
+			c.Unknown[i] = v.Kind != ir.VConst
+			continue
+		}
+		row := r.row(id)
+		if row.has(r.n) {
+			c.Unknown[i] = true
+			continue
+		}
+		copy(c.Rows[i*r.words:(i+1)*r.words], row)
+	}
+	return c
+}
+
 // ---------------------------------------------------------------------------
 // Constraint collection and the worklist solver.
 

@@ -131,6 +131,48 @@ func (a *Analysis) Alias(p, q *ir.Value) alias.Result {
 	return alias.MayAlias
 }
 
+var _ alias.ClassDigester = (*Analysis)(nil)
+
+// ClassDigests implements alias.ClassDigester: one underlying-object
+// resolution per universe value, compiled into the flat class column the
+// alias.Index replays the decision rules over. The root value, offset and
+// flags carry exactly what Alias consults, so the index verdict is
+// identical to a live query.
+func (a *Analysis) ClassDigests(f *ir.Func, universe []*ir.Value) *alias.ClassColumn {
+	n := len(universe)
+	c := &alias.ClassColumn{
+		Root:  make([]*ir.Value, n),
+		Off:   make([]int64, n),
+		Flags: make([]alias.ClassFlags, n),
+	}
+	for i, v := range universe {
+		o := resolve(v)
+		c.Root[i] = o.root
+		c.Off[i] = o.offset
+		var fl alias.ClassFlags
+		if o.exact {
+			fl |= alias.ClassExact
+		}
+		if o.sawPhi {
+			fl |= alias.ClassSawPhi
+		}
+		if isNull(o.root) {
+			fl |= alias.ClassRootNull
+		}
+		if identified(o.root) {
+			fl |= alias.ClassRootIdent
+			if a.hasEscaped(o.root) {
+				fl |= alias.ClassRootEscaped
+			}
+		}
+		if unknownProvenance(o.root) {
+			fl |= alias.ClassRootUnknown
+		}
+		c.Flags[i] = fl
+	}
+	return c
+}
+
 // unknownProvenance reports whether a root's value comes from outside the
 // function's visible dataflow (so it can only point to escaped storage).
 func unknownProvenance(root *ir.Value) bool {

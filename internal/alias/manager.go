@@ -128,6 +128,11 @@ type Manager struct {
 	// limit. nil when caching is disabled.
 	cache *cache.Cache[pairKey, *Verdict]
 
+	// index, when attached, short-circuits compute on cache misses with the
+	// compiled per-function columns (identical verdicts, a fraction of the
+	// cost). Set once before the manager is shared; nil means chain-only.
+	index *Index
+
 	queries   atomic.Int64
 	cacheHits atomic.Int64
 
@@ -239,6 +244,13 @@ func (mg *Manager) NumMembers() int { return len(mg.members) }
 // MemberName returns the Name() of member i.
 func (mg *Manager) MemberName(i int) string { return mg.members[i].Name() }
 
+// AttachIndex installs a compiled index (BuildIndex over this manager's
+// chain) as the compute fast path: cache misses whose pair the index covers
+// skip the member walk entirely. The verdicts are identical by construction
+// (see Index), so counters, caching and attribution are unaffected. Must be
+// called before the manager is shared between goroutines.
+func (mg *Manager) AttachIndex(ix *Index) { mg.index = ix }
+
 // Alias implements Analysis: the memoized disjunction of the members.
 func (mg *Manager) Alias(p, q *ir.Value) Result {
 	return mg.Evaluate(p, q).Result
@@ -276,9 +288,15 @@ func (mg *Manager) Evaluate(p, q *ir.Value) Verdict {
 	return *v
 }
 
-// compute runs every member on the canonical pair. No Manager lock is held,
-// so slow members never serialize unrelated queries.
+// compute runs every member on the canonical pair — through the compiled
+// index when one is attached and conclusive for the pair. No Manager lock is
+// held, so slow members never serialize unrelated queries.
 func (mg *Manager) compute(key pairKey) *Verdict {
+	if mg.index != nil {
+		if iv, ok := mg.index.Evaluate(key.p, key.q); ok {
+			return &iv
+		}
+	}
 	v := &Verdict{Resolved: -1}
 	for i, m := range mg.members {
 		var res Result

@@ -7,6 +7,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/ir"
 	"repro/internal/pointer"
+	"repro/internal/symbolic"
 )
 
 // Analysis wraps pointer.Analysis as an alias.Analysis.
@@ -38,6 +39,53 @@ func (a *Analysis) Explain(p, q *ir.Value) (alias.Result, string) {
 		return alias.NoAlias, why.String()
 	}
 	return alias.MayAlias, ""
+}
+
+var _ alias.RangeDigester = (*Analysis)(nil)
+
+// RangeDigests implements alias.RangeDigester: the GR MemLocs and LR
+// locations of one function's pointer values, flattened into the compiled
+// column the alias.Index pair check reads. Constant interval bounds are
+// broken out so the common numeric case never touches the symbolic prover.
+func (a *Analysis) RangeDigests(f *ir.Func, universe []*ir.Value) *alias.RangeColumn {
+	n := len(universe)
+	c := &alias.RangeColumn{
+		Top:       make([]bool, n),
+		Start:     make([]int32, n+1),
+		LRLoc:     make([]int32, n),
+		LROff:     make([]*symbolic.Expr, n),
+		LRConst:   make([]int64, n),
+		LRIsConst: make([]bool, n),
+	}
+	for i, v := range universe {
+		g := a.GR.Value(v)
+		if g.IsTop() {
+			c.Top[i] = true
+		} else {
+			for k := 0; k < g.NumRanges(); k++ {
+				site, r := g.Range(k)
+				gr := alias.GRRange{Site: int32(site), R: r}
+				if lo, hi := r.Lo(), r.Hi(); !lo.IsInf() && !hi.IsInf() {
+					loShape, loK := lo.SplitConst()
+					hiShape, hiK := hi.SplitConst()
+					if loShape == hiShape {
+						gr.Sweepable, gr.Shape, gr.Lo, gr.Hi = true, loShape, loK, hiK
+					}
+				}
+				c.Ranges = append(c.Ranges, gr)
+			}
+		}
+		c.Start[i+1] = int32(len(c.Ranges))
+
+		loc, _ := a.LR.Loc(v)
+		off := a.LR.Offset(v)
+		c.LRLoc[i] = int32(loc)
+		c.LROff[i] = off
+		if k, ok := off.ConstValue(); ok {
+			c.LRConst[i], c.LRIsConst[i] = k, true
+		}
+	}
+	return c
 }
 
 // Attribution tallies no-alias answers per reason over all module queries —

@@ -1,6 +1,10 @@
 package scevaa
 
 import (
+	"fmt"
+	"sort"
+	"strings"
+
 	"repro/internal/alias"
 	"repro/internal/ir"
 )
@@ -75,4 +79,61 @@ func funcOf(v *ir.Value) *ir.Func {
 		return v.Func
 	}
 	return nil
+}
+
+var _ alias.SCEVDigester = (*Analysis)(nil)
+
+// SCEVDigests implements alias.SCEVDigester: per universe value the base
+// object and the offset closed form split into its constant part and an
+// interned *shape id* covering the entire symbolic remainder (opaque values
+// and iteration-counter terms with their coefficients). Two affine offsets
+// subtract to a constant exactly when their shapes are equal, so the index
+// pair check reduces constDiff to two integer compares.
+func (a *Analysis) SCEVDigests(f *ir.Func, universe []*ir.Value) *alias.SCEVColumn {
+	n := len(universe)
+	c := &alias.SCEVColumn{
+		Base:    make([]*ir.Value, n),
+		Shape:   make([]int32, n),
+		Konst:   make([]int64, n),
+		HasIter: make([]bool, n),
+	}
+	fs := a.byFunc[f]
+	shapes := map[string]int32{}
+	for i, v := range universe {
+		c.Shape[i] = -1
+		if fs == nil {
+			continue // no entry block: Alias always answers may-alias
+		}
+		base, off := fs.ptrSCEV(v)
+		c.Base[i] = base
+		if !off.ok {
+			continue
+		}
+		c.Konst[i] = off.konst
+		c.HasIter[i] = len(off.iters) > 0
+		key := shapeKey(off)
+		id, ok := shapes[key]
+		if !ok {
+			id = int32(len(shapes))
+			shapes[key] = id
+		}
+		c.Shape[i] = id
+	}
+	return c
+}
+
+// shapeKey renders the symbolic part of a closed form canonically: the
+// sorted coeff·term components, with SSA values keyed by their function-
+// unique ID and loops by their header block. Built once per value at index
+// compile time, never on the query path.
+func shapeKey(s scev) string {
+	terms := make([]string, 0, len(s.vals)+len(s.iters))
+	for v, k := range s.vals {
+		terms = append(terms, fmt.Sprintf("v%d*%d", v.ID, k))
+	}
+	for l, k := range s.iters {
+		terms = append(terms, fmt.Sprintf("L%s*%d", l.Header.Name, k))
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, "+")
 }

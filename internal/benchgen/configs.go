@@ -1,6 +1,47 @@
 package benchgen
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// WideBatch builds the batch-planner workload shared by cmd/aliasload's
+// bigbatch scenario and the analysis bench: one straight-line function over
+// four allocations, each fanned into distinct field pointers — constant
+// offsets interleaved with symbolic n+k offsets (the second phase of
+// Fig. 1's message buffer, whose disambiguation needs symbolic range
+// subtraction) and a sprinkle of ⊤ loads that keep the planner's
+// residue/index paths honest. ptrs is the pointer-value count; the
+// same-function pair enumeration grows as ptrs²/2.
+func WideBatch(name string, ptrs int) *ir.Module {
+	m := ir.NewModule(name)
+	f := m.NewFunc("wide", ir.TVoid, ir.Param("n", ir.TInt))
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.Block("entry"))
+	n := f.Params[0]
+	const objs = 4
+	var bases []*ir.Value
+	for o := 0; o < objs; o++ {
+		size := b.Add(n, b.Int(int64(ptrs)), fmt.Sprintf("sz%d", o))
+		bases = append(bases, b.Malloc(size, fmt.Sprintf("obj%d", o)))
+	}
+	for k := 0; k < ptrs-objs; k++ {
+		base := bases[k%objs]
+		switch {
+		case k%16 == 15:
+			// A pointer loaded from memory: GR = ⊤, the sweep's residue.
+			b.Load(ir.TPtr, base, fmt.Sprintf("ld%d", k))
+		case k%2 == 1:
+			off := b.Add(n, b.Int(int64(1+k/objs)), fmt.Sprintf("o%d", k))
+			b.Store(b.PtrAdd(base, off, fmt.Sprintf("q%d", k)), b.Int(int64(k)))
+		default:
+			b.Store(b.PtrAddConst(base, int64(1+k/objs), fmt.Sprintf("p%d", k)), b.Int(int64(k)))
+		}
+	}
+	b.Ret(nil)
+	return m
+}
 
 // Fig13Configs are the 22 benchmark programs of Fig. 13 (Prolangs, PtrDist
 // and MallocBench), modeled as synthetic idiom mixes. The mixes encode what

@@ -13,6 +13,7 @@ import (
 	"repro/internal/alias/rbaa"
 	"repro/internal/alias/scevaa"
 	"repro/internal/benchgen"
+	"repro/internal/ir"
 	"repro/internal/pointer"
 	"repro/internal/symbolic"
 )
@@ -47,6 +48,26 @@ type AnalysisQueryBench struct {
 	QueriesPerSec float64 `json:"queries_per_sec"`
 }
 
+// PlannerBench is the batch-planner section of the analysis report: one
+// full pair sweep of the largest corpus module answered by the sweep-line
+// planner versus the legacy chain, with the partition counters of a single
+// sweep (groups formed, pairs short-circuited, fallback rate).
+type PlannerBench struct {
+	Module        string  `json:"module"`
+	PairsPerSweep int     `json:"pairs_per_sweep"`
+	Groups        int64   `json:"groups"`
+	SweepNoAlias  int64   `json:"sweep_noalias"`
+	IndexPairs    int64   `json:"index_pairs"`
+	FallbackPairs int64   `json:"fallback_pairs"`
+	FallbackRate  float64 `json:"fallback_rate"`
+	// Per-pair costs of a whole-module sweep: the legacy chain with its
+	// default memo cache (so iterations past the first measure the cache-hit
+	// path — the planner's real competitor) versus plan + evaluate.
+	ManagerNsPerPair float64 `json:"manager_ns_per_pair"`
+	PlannerNsPerPair float64 `json:"planner_ns_per_pair"`
+	SpeedupX         float64 `json:"speedup_x"`
+}
+
 // AnalysisReport is the BENCH_analysis.json schema.
 type AnalysisReport struct {
 	Schema       string             `json:"schema"`
@@ -61,6 +82,9 @@ type AnalysisReport struct {
 	ExprsInterned int64              `json:"exprs_interned"`
 	InternHits    int64              `json:"intern_hits"`
 	Query         AnalysisQueryBench `json:"manager_query"`
+	// Planner benchmarks the compiled-index batch path (absent in reports
+	// from before the sweep-line planner existed, including the baseline).
+	Planner *PlannerBench `json:"batch_planner,omitempty"`
 	// Baseline is the report recorded before the representation change
 	// (hash-consing + flat MemLocs + bitset Andersen), embedded at build
 	// time; the *X fields are current-vs-baseline ratios (>1 is better).
@@ -125,9 +149,14 @@ func (d *Driver) RunAnalysisBench() AnalysisReport {
 		rep.Query.QueriesPerSec = 1e9 / float64(res.NsPerOp())
 	}
 
+	// Close the interner measurement window before the planner bench: its
+	// own WideBatch chain builds would otherwise contaminate the
+	// analysis-core trajectory the PR 4 baseline established.
 	internedAfter, hitsAfter := internerCounters()
 	rep.ExprsInterned = internedAfter - internedBefore
 	rep.InternHits = hitsAfter - hitsBefore
+
+	rep.Planner = benchPlanner()
 
 	if base := loadAnalysisBaseline(); base != nil {
 		rep.Baseline = base
@@ -142,6 +171,92 @@ func (d *Driver) RunAnalysisBench() AnalysisReport {
 		}
 	}
 	return rep
+}
+
+// benchPlanner measures the batch planner on the service chain over the
+// wide-function module benchgen.WideBatch (the aliasload bigbatch workload
+// in miniature: ~512 pointers, ~130k same-function pairs — small enough
+// that the legacy Manager's memo holds every pair, so the comparison is
+// against a *warm* cache, the legacy path's best case): a full all-pairs
+// sweep per iteration, planner (plan + sweep/index/fallback) versus the
+// cached chain.
+func benchPlanner() *PlannerBench {
+	m := benchgen.WideBatch("widebatch", 512)
+	newChain := func() *alias.Manager {
+		return alias.NewManager(
+			alias.ManagerOptions{Label: "scev+basic+rbaa+andersen"},
+			scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{}), andersen.Analyze(m))
+	}
+	qs := alias.Queries(m)
+	if len(qs) == 0 {
+		return nil
+	}
+	// Shard the enumeration by function, as the service pipeline does.
+	type funcShard struct {
+		pairs []alias.Pair
+		vals  []*ir.Value
+	}
+	var shards []funcShard
+	shardOf := map[*ir.Func]int{}
+	for _, q := range qs {
+		si, ok := shardOf[q.P.Func]
+		if !ok {
+			si = len(shards)
+			shardOf[q.P.Func] = si
+			shards = append(shards, funcShard{})
+		}
+		shards[si].pairs = append(shards[si].pairs, q)
+		shards[si].vals = append(shards[si].vals, q.P, q.Q)
+	}
+
+	legacy := newChain()
+	mgrRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				legacy.Evaluate(q.P, q.Q)
+			}
+		}
+	})
+
+	indexed := newChain()
+	ix := alias.BuildIndex(indexed, m)
+	if ix == nil {
+		return nil
+	}
+	pl := alias.NewPlanner(indexed.Snapshot(), ix)
+	sweep := func() {
+		var tally alias.PlanTally
+		for _, sh := range shards {
+			plan := pl.Plan(sh.vals)
+			for _, q := range sh.pairs {
+				plan.Evaluate(q.P, q.Q, &tally)
+			}
+		}
+		pl.Fold(tally)
+	}
+	sweep() // one counted sweep for the partition counters
+	st := pl.Stats()
+	plRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep()
+		}
+	})
+
+	pb := &PlannerBench{
+		Module:           m.Name,
+		PairsPerSweep:    len(qs),
+		Groups:           st.Groups,
+		SweepNoAlias:     st.SweepNoAlias,
+		IndexPairs:       st.IndexPairs,
+		FallbackPairs:    st.FallbackPairs,
+		FallbackRate:     st.FallbackRate(),
+		ManagerNsPerPair: float64(mgrRes.NsPerOp()) / float64(len(qs)),
+		PlannerNsPerPair: float64(plRes.NsPerOp()) / float64(len(qs)),
+	}
+	if pb.PlannerNsPerPair > 0 {
+		pb.SpeedupX = pb.ManagerNsPerPair / pb.PlannerNsPerPair
+	}
+	return pb
 }
 
 // loadAnalysisBaseline parses the embedded pre-refactor numbers; nil when

@@ -69,6 +69,24 @@ func TestDriverConcurrentReuse(t *testing.T) {
 	}
 }
 
+// TestIndexedSweepMatchesChainSweep: routing the precision sweep through
+// the compiled alias index must leave every Fig. 13/14 number — per-member
+// no-alias counts, attribution splits, the §5 ratio — exactly as the
+// per-pair chain walk produces, sequentially and chunked alike.
+func TestIndexedSweepMatchesChainSweep(t *testing.T) {
+	for _, cfg := range benchgen.Fig13Configs()[:5] {
+		m := benchgen.Generate(cfg)
+		plain := (&Driver{}).RunPrecision(cfg.Name, m)
+		for _, p := range []int{1, 4} {
+			indexed := (&Driver{Parallel: p, Indexed: true}).RunPrecision(cfg.Name, m)
+			if indexed != plain {
+				t.Errorf("%s Parallel=%d: indexed row differs:\n  indexed: %+v\n    chain: %+v",
+					cfg.Name, p, indexed, plain)
+			}
+		}
+	}
+}
+
 // TestRunScaleDriverIndependence: RunScale deliberately ignores the
 // driver's parallelism (timing fidelity) — same programs, sizes and
 // ordering for every setting.

@@ -37,6 +37,12 @@ type Driver struct {
 	// per-benchmark query chunks. 0 or 1 means sequential; negative means
 	// GOMAXPROCS.
 	Parallel int
+	// Indexed compiles each module's alias index and answers the precision
+	// sweep through it in full-verdict mode (alias.Planner.EvaluateFull):
+	// index-conclusive pairs skip the chain walk, inconclusive pairs fall
+	// back to the Manager. Verdicts are identical by construction, so every
+	// Fig. 13/14 number is unchanged — only the sweep gets cheaper.
+	Indexed bool
 }
 
 func (d *Driver) pool() *pool.Pool {
@@ -105,7 +111,12 @@ func NewPrecisionManager(m *ir.Module) (*alias.Manager, *rbaa.Analysis) {
 // order, so the result is independent of goroutine scheduling.
 func (d *Driver) RunPrecision(name string, m *ir.Module) PrecisionRow {
 	mgr, r := NewPrecisionManager(m)
-	row := d.Sweep(mgr, alias.Queries(m))
+	var row PrecisionRow
+	if d != nil && d.Indexed {
+		row = d.SweepIndexed(mgr, alias.BuildIndex(mgr, m), alias.Queries(m))
+	} else {
+		row = d.Sweep(mgr, alias.Queries(m))
+	}
 	row.Name = name
 	row.SymOnly, row.SymTotal = r.SymbolicOnlyRatio()
 	return row
@@ -137,11 +148,56 @@ func (d *Driver) Sweep(mgr *alias.Manager, qs []alias.Pair) PrecisionRow {
 	return row
 }
 
+// SweepIndexed is Sweep routed through a compiled index: each chunk answers
+// its pairs with alias.Planner.EvaluateFull — the index when conclusive,
+// the manager otherwise — and folds its tally once. The manager must be the
+// NewPrecisionManager chain and ix must have been built over it; a nil ix
+// degrades to the plain sweep.
+func (d *Driver) SweepIndexed(mgr *alias.Manager, ix *alias.Index, qs []alias.Pair) PrecisionRow {
+	if ix == nil {
+		return d.Sweep(mgr, qs)
+	}
+	for i, want := range []string{"scev", "basic", "rbaa"} {
+		if mgr.NumMembers() <= i || mgr.MemberName(i) != want {
+			panic(fmt.Sprintf("experiments.SweepIndexed: manager member %d is not %q; build the chain like NewPrecisionManager", i, want))
+		}
+	}
+	pl := alias.NewPlanner(mgr.Snapshot(), ix)
+	eval := func(qs []alias.Pair) PrecisionRow {
+		var tally alias.PlanTally
+		row := evalChunkWith(qs, func(p, q *ir.Value) alias.Verdict {
+			return pl.EvaluateFull(p, q, &tally)
+		})
+		pl.Fold(tally)
+		return row
+	}
+	p := d.workers()
+	if p <= 1 || len(qs) == 0 {
+		return eval(qs)
+	}
+	chunks := pool.Chunks(len(qs), pool.ChunkSize(len(qs), p))
+	partials := make([]PrecisionRow, len(chunks))
+	d.pool().ForEach(len(chunks), func(c int) {
+		partials[c] = eval(qs[chunks[c][0]:chunks[c][1]])
+	})
+	var row PrecisionRow
+	for _, pr := range partials {
+		row.add(pr)
+	}
+	return row
+}
+
 // evalChunk sweeps one slice of queries through the manager.
 func evalChunk(mgr *alias.Manager, qs []alias.Pair) PrecisionRow {
+	return evalChunkWith(qs, mgr.Evaluate)
+}
+
+// evalChunkWith reduces one slice of queries through any evaluator that
+// produces chain verdicts in NewPrecisionManager member order.
+func evalChunkWith(qs []alias.Pair, eval func(p, q *ir.Value) alias.Verdict) PrecisionRow {
 	var row PrecisionRow
 	for _, q := range qs {
-		v := mgr.Evaluate(q.P, q.Q)
+		v := eval(q.P, q.Q)
 		row.Queries++
 		sNo := v.MemberNoAlias(MemberScev)
 		bNo := v.MemberNoAlias(MemberBasic)
@@ -181,7 +237,7 @@ func (d *Driver) RunSuite(configs []benchgen.Config) []PrecisionRow {
 	if outer > len(configs) {
 		outer = len(configs)
 	}
-	inner := &Driver{Parallel: 1}
+	inner := &Driver{Parallel: 1, Indexed: d != nil && d.Indexed}
 	if outer > 0 && p/outer > 1 {
 		inner.Parallel = p / outer
 	}

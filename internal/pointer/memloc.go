@@ -84,6 +84,17 @@ func (v MemLoc) Support() []int {
 	return out
 }
 
+// NumRanges returns the support size — the number of stored components.
+// ⊤ reports 0; check IsTop first (its conceptual support is every site).
+func (v MemLoc) NumRanges() int { return len(v.ranges) }
+
+// Range returns the i-th stored component (sites ascending); the index
+// digester flattens MemLocs through it without rebuilding maps.
+func (v MemLoc) Range(i int) (site int, r interval.Interval) {
+	sr := v.ranges[i]
+	return sr.site, sr.r
+}
+
 // Get returns the component for a site; ok=false means ⊥ at that site.
 // For Top every component is [−∞,+∞].
 func (v MemLoc) Get(site int) (interval.Interval, bool) {

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/alias"
 	"repro/internal/ir"
@@ -45,26 +46,75 @@ type shard struct {
 	pairs []resolvedPair
 }
 
+// Hot-path buffer pools. A steady client re-sends equally sized batches, so
+// the response slice and the resolved-pair scratch — the two per-request
+// allocations proportional to MaxBatch — are recycled instead of re-made.
+// Buffers are returned only by request handlers that finished encoding;
+// RunBatch callers that keep the results simply never return them.
+var (
+	resultBufPool   = sync.Pool{New: func() any { return new([]Result) }}
+	resolvedBufPool = sync.Pool{New: func() any { return new([]resolvedPair) }}
+)
+
+func getResultBuf(n int) []Result {
+	bp := resultBufPool.Get().(*[]Result)
+	if cap(*bp) < n {
+		*bp = make([]Result, n)
+	}
+	return (*bp)[:n]
+}
+
+// putResultBuf recycles a buffer obtained from getResultBuf. The caller
+// must be done reading it: the next request will overwrite every slot.
+func putResultBuf(res []Result) { resultBufPool.Put(&res) }
+
+func getResolvedBuf(n int) []resolvedPair {
+	bp := resolvedBufPool.Get().(*[]resolvedPair)
+	if cap(*bp) < n {
+		*bp = make([]resolvedPair, n)
+	}
+	return (*bp)[:n]
+}
+
+func putResolvedBuf(rs []resolvedPair) { resolvedBufPool.Put(&rs) }
+
 // resolveBatch is the validate stage: every name must resolve against the
 // handle's value index and both values must be pointer-typed. The first
 // offending pair aborts the batch (the client sent a malformed request;
-// partial evaluation would make responses order-dependent).
+// partial evaluation would make responses order-dependent). The returned
+// slice is pooled scratch; RunBatch recycles it after the query stage.
 func resolveBatch(h *Handle, pairs []Pair) ([]resolvedPair, error) {
-	out := make([]resolvedPair, len(pairs))
+	out := getResolvedBuf(len(pairs))
+	fail := func(format string, args ...any) ([]resolvedPair, error) {
+		putResolvedBuf(out)
+		return nil, fmt.Errorf(format, args...)
+	}
+	// Batches overwhelmingly query one function repeatedly (the shard stage
+	// depends on it), so the per-function value map is looked up once per
+	// run of equal names, not twice per pair.
+	var curFn string
+	var vals map[string]*ir.Value
 	for i, pr := range pairs {
-		p, err := h.Lookup(pr.Func, pr.A)
-		if err != nil {
-			return nil, fmt.Errorf("pair %d: %v", i, err)
+		if vals == nil || pr.Func != curFn {
+			vals = h.values[pr.Func]
+			if vals == nil {
+				return fail("pair %d: unknown function %q", i, pr.Func)
+			}
+			curFn = pr.Func
 		}
-		q, err := h.Lookup(pr.Func, pr.B)
-		if err != nil {
-			return nil, fmt.Errorf("pair %d: %v", i, err)
+		p, ok := vals[pr.A]
+		if !ok {
+			return fail("pair %d: no value %q in function %q", i, pr.A, pr.Func)
+		}
+		q, ok := vals[pr.B]
+		if !ok {
+			return fail("pair %d: no value %q in function %q", i, pr.B, pr.Func)
 		}
 		if p.Typ != ir.TPtr {
-			return nil, fmt.Errorf("pair %d: value %q is not pointer-typed", i, pr.A)
+			return fail("pair %d: value %q is not pointer-typed", i, pr.A)
 		}
 		if q.Typ != ir.TPtr {
-			return nil, fmt.Errorf("pair %d: value %q is not pointer-typed", i, pr.B)
+			return fail("pair %d: value %q is not pointer-typed", i, pr.B)
 		}
 		out[i] = resolvedPair{idx: i, p: p, q: q}
 	}
@@ -99,20 +149,52 @@ const batchChunk = 256
 // service pool, and each worker writes results into the request-indexed
 // slots of the output slice. The result is byte-identical to a sequential
 // evaluation because slot i depends only on pair i.
+//
+// With a planner on the handle, each shard is first swept into a plan (the
+// O(N log N) partition over the shard's distinct values — a shard is one
+// function, the planner's unit), and the workers answer pairs through the
+// plan: cross-group pairs short-circuit, intra-group pairs hit the compiled
+// index, inconclusive pairs walk the legacy chain. Tallies are kept per
+// chunk and folded once, so workers never contend on the counters.
 func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
-	out := make([]Result, n)
+	out := getResultBuf(n)
 	type task struct {
 		sh     int
 		lo, hi int
 	}
-	var tasks []task
+	ntasks := 0
+	for si := range shards {
+		ntasks += (len(shards[si].pairs) + batchChunk - 1) / batchChunk
+	}
+	tasks := make([]task, 0, ntasks)
 	for si := range shards {
 		for _, c := range pool.Chunks(len(shards[si].pairs), batchChunk) {
 			tasks = append(tasks, task{sh: si, lo: c[0], hi: c[1]})
 		}
 	}
+	var plans []*alias.Plan
+	if h.Planner != nil {
+		plans = make([]*alias.Plan, len(shards))
+		vals := make([]*ir.Value, 0, 2*batchChunk)
+		for si := range shards {
+			vals = vals[:0]
+			for _, rp := range shards[si].pairs {
+				vals = append(vals, rp.p, rp.q)
+			}
+			plans[si] = h.Planner.Plan(vals)
+		}
+	}
 	s.pool.ForEach(len(tasks), func(ti int) {
 		t := tasks[ti]
+		if plans != nil {
+			var tally alias.PlanTally
+			plan := plans[t.sh]
+			for _, rp := range shards[t.sh].pairs[t.lo:t.hi] {
+				out[rp.idx] = encodeVerdict(h.Snap, plan.Evaluate(rp.p, rp.q, &tally))
+			}
+			h.Planner.Fold(tally)
+			return
+		}
 		for _, rp := range shards[t.sh].pairs[t.lo:t.hi] {
 			out[rp.idx] = encodeVerdict(h.Snap, h.Snap.Evaluate(rp.p, rp.q))
 		}
@@ -121,11 +203,15 @@ func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
 }
 
 // encodeVerdict renders one verdict with member names resolved against the
-// snapshot's chain.
+// snapshot's chain. The prover list is sized exactly from the verdict's
+// mask, so encoding never grows a slice.
 func encodeVerdict(snap alias.Snapshot, v alias.Verdict) Result {
 	r := Result{Result: v.Result.String()}
 	if v.Result == alias.NoAlias && v.Resolved >= 0 {
 		r.Resolved = snap.MemberName(v.Resolved)
+	}
+	if n := v.NumProvers(); n > 0 {
+		r.Provers = make([]string, 0, n)
 	}
 	for i := 0; i < snap.NumMembers(); i++ {
 		if v.MemberNoAlias(i) {
@@ -138,9 +224,11 @@ func encodeVerdict(snap alias.Snapshot, v alias.Verdict) Result {
 	return r
 }
 
-// RunBatch pushes one decoded batch through validate → shard → query
+// RunBatch pushes one decoded batch through validate → shard → plan → query
 // workers and returns the request-ordered results. It is the programmatic
-// core of POST /v1/query, exported for golden tests and embedders.
+// core of POST /v1/query, exported for golden tests and embedders. The
+// returned slice comes from a pool; internal callers that finished encoding
+// recycle it with putResultBuf, external callers may keep it indefinitely.
 func (s *Service) RunBatch(h *Handle, pairs []Pair) ([]Result, error) {
 	if h.State() != StateReady {
 		return nil, fmt.Errorf("module %q is %s", h.Name, h.State())
@@ -155,5 +243,7 @@ func (s *Service) RunBatch(h *Handle, pairs []Pair) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.evaluate(h, shardByFunc(pairs, rs), len(pairs)), nil
+	shards := shardByFunc(pairs, rs)
+	putResolvedBuf(rs)
+	return s.evaluate(h, shards, len(pairs)), nil
 }

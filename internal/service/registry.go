@@ -15,6 +15,7 @@ import (
 	"repro/internal/frontend/minic"
 	"repro/internal/ir"
 	"repro/internal/pointer"
+	"repro/internal/symbolic"
 )
 
 // BuildState is the lifecycle phase of a registered module. An async upload
@@ -61,8 +62,13 @@ type Handle struct {
 	Format    string // "ir" or "minic"
 	CreatedAt time.Time
 
-	Mod     *ir.Module
-	Snap    alias.Snapshot
+	Mod  *ir.Module
+	Snap alias.Snapshot
+	// Planner routes batches through the compiled alias index and the
+	// sweep-line partitioner, falling back to Snap for inconclusive pairs.
+	// nil when the service disables planning (Config.DisablePlanner) or the
+	// chain did not compile; the pipeline then walks the chain per pair.
+	Planner *alias.Planner
 	IRStats ir.Stats
 	// PairQueries is the module's paper-style query count (all unordered
 	// same-function pointer pairs) — the natural unit load generators
@@ -141,6 +147,7 @@ func (h *Handle) teardown() {
 	}
 	h.Mod = nil
 	h.Snap = alias.Snapshot{}
+	h.Planner = nil
 	h.values = nil
 }
 
@@ -192,11 +199,39 @@ func estimateMem(srcLen int, st ir.Stats) int64 {
 		int64(st.Funcs)*perFunc
 }
 
+// exprNodeCost approximates one hash-consed symbolic expression node (the
+// Expr struct, its term/arg slices and the intern-table bucket share).
+const exprNodeCost = 128
+
+// internAccounted is the portion of the process-wide interner's node count
+// already attributed to some module. Each finishing build claims exactly
+// the unclaimed growth (CAS loop), so concurrent builds may skew the
+// per-module split but the sum across modules never exceeds the interner's
+// real growth — the accounting feeds eviction dashboards, not an allocator.
+var internAccounted atomic.Int64
+
+// claimInternGrowth attributes the interner nodes minted since the last
+// claim to the calling build.
+func claimInternGrowth() int64 {
+	cur := symbolic.Default().Stats().Interned
+	for {
+		prev := internAccounted.Load()
+		if cur <= prev {
+			return 0
+		}
+		if internAccounted.CompareAndSwap(prev, cur) {
+			return cur - prev
+		}
+	}
+}
+
 // runBuild runs the parse/verify/analyze chain and fills the built fields
-// on success. It does NOT publish a state transition — the caller decides
-// (Build for standalone handles, Registry.Finish for async builds, where
-// promotion into the module table and the Ready transition must agree).
-func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOptions) error {
+// on success — including, unless withIndex is false, the compiled alias
+// index and its batch planner. It does NOT publish a state transition — the
+// caller decides (Build for standalone handles, Registry.Finish for async
+// builds, where promotion into the module table and the Ready transition
+// must agree).
+func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOptions, withIndex bool) error {
 	if maxSourceBytes > 0 && len(src) > maxSourceBytes {
 		return fmt.Errorf("source is %d bytes, exceeding the %d-byte limit", len(src), maxSourceBytes)
 	}
@@ -216,8 +251,20 @@ func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOpti
 	if err := ir.Verify(m); err != nil {
 		return fmt.Errorf("verify: %v", err)
 	}
+	mgr := NewChainOpts(m, opts)
+	var indexBytes int64
+	var ix *alias.Index
+	if withIndex {
+		if ix = alias.BuildIndex(mgr, m); ix != nil {
+			mgr.AttachIndex(ix)
+			indexBytes = ix.MemBytes()
+		}
+	}
 	h.Mod = m
-	h.Snap = NewChainOpts(m, opts).Snapshot()
+	h.Snap = mgr.Snapshot()
+	if ix != nil {
+		h.Planner = alias.NewPlanner(h.Snap, ix)
+	}
 	h.IRStats = m.Stats()
 	h.PairQueries = alias.NumQueries(m)
 	h.values = map[string]map[string]*ir.Value{}
@@ -228,7 +275,7 @@ func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOpti
 		}
 		h.values[f.Name] = vals
 	}
-	h.memBytes = estimateMem(len(src), h.IRStats)
+	h.memBytes = estimateMem(len(src), h.IRStats) + indexBytes + claimInternGrowth()*exprNodeCost
 	return nil
 }
 
@@ -241,11 +288,18 @@ func (h *Handle) fail(err error) {
 	h.state.Store(int32(StateFailed))
 }
 
-// Build runs the parse/verify/analyze chain synchronously and transitions
-// the handle to Ready or Failed. The returned error (also recorded on the
-// handle) is safe to echo to clients.
+// Build runs the parse/verify/analyze chain synchronously — compiling the
+// alias index and planner — and transitions the handle to Ready or Failed.
+// The returned error (also recorded on the handle) is safe to echo to
+// clients.
 func (h *Handle) Build(src string, maxSourceBytes int, opts alias.ManagerOptions) error {
-	if err := h.runBuild(src, maxSourceBytes, opts); err != nil {
+	return h.build(src, maxSourceBytes, opts, true)
+}
+
+// build is Build with the index compile switchable (the service threads
+// Config.DisablePlanner through here).
+func (h *Handle) build(src string, maxSourceBytes int, opts alias.ManagerOptions, withIndex bool) error {
+	if err := h.runBuild(src, maxSourceBytes, opts, withIndex); err != nil {
 		h.fail(err)
 		return err
 	}

@@ -74,27 +74,50 @@ type MemberStats struct {
 	Details   map[string]int64 `json:"details,omitempty"`
 }
 
+// PlannerCounters is one module's batch-planner section in /v1/stats: how
+// many batches were swept, how the answered pairs split between the three
+// paths (sweep short-circuit, compiled index, legacy fallback), and the
+// no-alias counts per path. Pairs always equals SweepNoAlias + IndexPairs +
+// FallbackPairs, and FallbackPairs is exactly the share that reached the
+// Manager's Queries counter — the reconciliation CI asserts.
+type PlannerCounters struct {
+	Batches         int64   `json:"batches"`
+	PlannedValues   int64   `json:"planned_values"`
+	Groups          int64   `json:"groups"`
+	Pairs           int64   `json:"pairs"`
+	SweepNoAlias    int64   `json:"sweep_noalias"`
+	IndexPairs      int64   `json:"index_pairs"`
+	IndexNoAlias    int64   `json:"index_noalias"`
+	FallbackPairs   int64   `json:"fallback_pairs"`
+	FallbackNoAlias int64   `json:"fallback_noalias"`
+	FallbackRate    float64 `json:"fallback_rate"`
+}
+
 // ModuleStats is one module's live counters in /v1/stats. Counter fields
 // are present only for ready modules; building/failed rows carry the
 // lifecycle fields.
 type ModuleStats struct {
-	Name         string        `json:"name"`
-	Status       string        `json:"status"`
-	Error        string        `json:"error,omitempty"`
-	Chain        string        `json:"chain,omitempty"`
-	Queries      int64         `json:"queries"`
-	CacheHits    int64         `json:"cache_hits"`
-	CacheHitRate float64       `json:"cache_hit_rate"`
-	Computed     int64         `json:"computed"`
-	NoAlias      int64         `json:"noalias"`
+	Name         string  `json:"name"`
+	Status       string  `json:"status"`
+	Error        string  `json:"error,omitempty"`
+	Chain        string  `json:"chain,omitempty"`
+	Queries      int64   `json:"queries"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Computed     int64   `json:"computed"`
+	NoAlias      int64   `json:"noalias"`
 	// Cached and Evictions describe the module's verdict memo cache: live
 	// entries and entries displaced under churn past the cache limit.
 	Cached    int64 `json:"cached"`
 	Evictions int64 `json:"evictions"`
 	// MemBytes approximates the module's resident memory: the built IR and
-	// analysis structures plus the live memo-cache entries.
+	// analysis structures, the compiled alias index, the symbolic
+	// expressions the build interned, plus the live memo-cache entries.
 	MemBytes int64         `json:"approx_mem_bytes,omitempty"`
 	Members  []MemberStats `json:"members,omitempty"`
+	// Planner carries the batch-planner counters; absent when planning is
+	// disabled. Manager counters above cover only the fallback share then.
+	Planner *PlannerCounters `json:"planner,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats.
@@ -171,7 +194,7 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 		// pay the build and Add arbitrates (one gets 409), matching the
 		// duplicate semantics of a serial upload sequence.
 		h := NewPending(name, format)
-		if err := h.Build(string(src), s.cfg.MaxSourceBytes, s.managerOptions()); err != nil {
+		if err := h.build(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner); err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -206,7 +229,7 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 	info := moduleInfo(h)
 	if !s.builds.Submit(func() {
 		defer h.Release()
-		s.reg.Finish(h, h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions()))
+		s.reg.Finish(h, h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner))
 	}) {
 		h.Release()
 		s.reg.unreserve(h)
@@ -269,6 +292,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+	putResultBuf(results) // encoded: the buffer may serve the next batch
 }
 
 // memoEntryCost approximates one live memo-cache entry (key, verdict,
@@ -305,6 +329,21 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 					mem.Details = m.Details
 				}
 				ms.Members = append(ms.Members, mem)
+			}
+			if h.Planner != nil {
+				ps := h.Planner.Stats()
+				ms.Planner = &PlannerCounters{
+					Batches:         ps.Batches,
+					PlannedValues:   ps.PlannedValues,
+					Groups:          ps.Groups,
+					Pairs:           ps.Pairs,
+					SweepNoAlias:    ps.SweepNoAlias,
+					IndexPairs:      ps.IndexPairs,
+					IndexNoAlias:    ps.IndexNoAlias,
+					FallbackPairs:   ps.FallbackPairs,
+					FallbackNoAlias: ps.FallbackNoAlias,
+					FallbackRate:    ps.FallbackRate(),
+				}
 			}
 		}
 		resp.Modules = append(resp.Modules, ms)

@@ -18,15 +18,18 @@
 // flows through a pipeline of stages modeled on staged stream processors
 // such as bgpipe:
 //
-//	decode → validate/resolve → shard-by-function → query workers → aggregate
+//	decode → validate/resolve → shard-by-function → plan → query workers → aggregate
 //
 // Decoding and validation happen on the request goroutine; resolved pairs
 // are sharded by function (queries of one function touch the same analysis
-// rows, so a shard is a locality unit), shards are cut into chunks by the
-// same internal/pool machinery that drives the experiment sweeps, chunks
-// fan out across a bounded worker pool, and the aggregate stage reassembles
-// results in request order — responses are therefore byte-identical to a
-// sequential evaluation of the same batch.
+// rows, so a shard is a locality unit), each shard is swept into an
+// alias.Plan over the module's compiled index (unless the planner is
+// disabled — see alias.Planner for the sweep-line partition and its
+// fallback contract), shards are cut into chunks by the same internal/pool
+// machinery that drives the experiment sweeps, chunks fan out across a
+// bounded worker pool, and the aggregate stage reassembles results in
+// request order — responses are therefore byte-identical to a sequential
+// evaluation of the same batch.
 //
 // /v1/stats reports the per-analysis no-alias and attribution counters plus
 // cache hit rates of every registered module (the live, service-side view
@@ -93,6 +96,12 @@ type Config struct {
 	// EvictModules makes a full registry evict its least-recently-queried
 	// module (preferring unpinned ones) instead of refusing the upload.
 	EvictModules bool
+	// DisablePlanner skips compiling the per-module alias index and routes
+	// every batch through the legacy Manager chain. The planner is on by
+	// default; this is the differential/bench escape hatch (aliasd
+	// -planner=false) and the way to keep full per-member attribution on
+	// sweep-separable pairs.
+	DisablePlanner bool
 	// BuildWorkers sizes the async-build queue (0 = DefaultBuildWorkers).
 	BuildWorkers int
 }

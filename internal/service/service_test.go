@@ -11,6 +11,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/alias"
@@ -67,10 +68,10 @@ func namedPairs(m *ir.Module) []Pair {
 	return out
 }
 
-// TestBatchedResponseByteIdenticalToDirectManager is the tentpole's golden
-// test: for every pair of the Fig. 1 module, the /v1/query response body
-// must be byte-for-byte what encoding the verdicts of a directly constructed
-// alias.Manager produces.
+// TestBatchedResponseByteIdenticalToDirectManager is the legacy path's
+// golden test: with the planner disabled, for every pair of the Fig. 1
+// module the /v1/query response body must be byte-for-byte what encoding
+// the verdicts of a directly constructed alias.Manager produces.
 func TestBatchedResponseByteIdenticalToDirectManager(t *testing.T) {
 	src := fig1Source(t)
 
@@ -108,8 +109,10 @@ func TestBatchedResponseByteIdenticalToDirectManager(t *testing.T) {
 	}
 	wantBytes = append(wantBytes, '\n')
 
-	// Service path: upload the same source, query the same pairs.
-	_, ts := startServer(t, Config{Parallel: 4})
+	// Service path: upload the same source, query the same pairs. The
+	// planner is disabled so every pair walks the chain — the byte-golden
+	// contract covers the fallback path the planner defers to.
+	_, ts := startServer(t, Config{Parallel: 4, DisablePlanner: true})
 	resp := postModule(t, ts, "fig1", "minic", src)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("module upload: %d %s", resp.StatusCode, body(t, resp))
@@ -130,6 +133,89 @@ func TestBatchedResponseByteIdenticalToDirectManager(t *testing.T) {
 	}
 	if want.NoAlias == 0 {
 		t.Fatal("fig1 produced no no-alias answers; golden test is vacuous")
+	}
+}
+
+// TestPlannerResponseMatchesManagerResults is the planner path's
+// differential golden: with the planner on (the default), every pair's
+// Result and the aggregate no-alias count must equal the legacy chain's.
+// Attribution on sweep-answered pairs is credited to rbaa (whose range
+// digests justify the partition) with a genuine Fig. 14 reason — the
+// documented contract — so Resolved/Provers are checked for coherence, not
+// byte equality.
+func TestPlannerResponseMatchesManagerResults(t *testing.T) {
+	src := fig1Source(t)
+	direct, err := minic.Compile("fig1", src)
+	if err != nil {
+		t.Fatalf("compiling fig1: %v", err)
+	}
+	snap := NewChain(direct).Snapshot()
+	pairs := namedPairs(direct)
+
+	s, ts := startServer(t, Config{Parallel: 4})
+	resp := postModule(t, ts, "fig1", "minic", src)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("module upload: %d %s", resp.StatusCode, body(t, resp))
+	}
+	body(t, resp)
+	reqBody, _ := json.Marshal(QueryRequest{Module: "fig1", Pairs: pairs})
+	qresp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body(t, qresp), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Results) != len(pairs) {
+		t.Fatalf("%d results for %d pairs", len(qr.Results), len(pairs))
+	}
+	wantNoAlias := 0
+	for i, pr := range pairs {
+		f := direct.Func(pr.Func)
+		var p, q *ir.Value
+		for _, v := range f.Values() {
+			if v.Name == pr.A {
+				p = v
+			}
+			if v.Name == pr.B {
+				q = v
+			}
+		}
+		want := snap.Evaluate(p, q)
+		if qr.Results[i].Result != want.Result.String() {
+			t.Fatalf("pair %d (%s,%s): planner result %q, manager %q",
+				i, pr.A, pr.B, qr.Results[i].Result, want.Result)
+		}
+		if want.Result == alias.NoAlias {
+			wantNoAlias++
+			if qr.Results[i].Resolved == "" || len(qr.Results[i].Provers) == 0 {
+				t.Fatalf("pair %d: no-alias answer lacks attribution: %+v", i, qr.Results[i])
+			}
+		}
+	}
+	if qr.NoAlias != wantNoAlias || wantNoAlias == 0 {
+		t.Fatalf("noalias = %d, want %d (> 0)", qr.NoAlias, wantNoAlias)
+	}
+
+	// The planner actually planned: counters are visible and reconcile.
+	h, ok := s.Registry().Get("fig1")
+	if !ok {
+		t.Fatal("module vanished")
+	}
+	defer h.Release()
+	if h.Planner == nil {
+		t.Fatal("default config built no planner")
+	}
+	st := h.Planner.Stats()
+	if st.Pairs != int64(len(pairs)) {
+		t.Errorf("planner pairs = %d, want %d", st.Pairs, len(pairs))
+	}
+	if st.SweepNoAlias+st.IndexPairs+st.FallbackPairs != st.Pairs {
+		t.Errorf("planner tally does not reconcile: %+v", st)
+	}
+	if st.Groups == 0 {
+		t.Error("sweep formed no groups on fig1")
 	}
 }
 
@@ -170,9 +256,12 @@ func TestBatchOrderIndependence(t *testing.T) {
 // TestStatsCountersAfterConcurrentBatches hammers one module from many
 // client goroutines and checks the /v1/stats totals reconcile: every issued
 // query is counted, computed+hits = queries, computed = distinct pairs.
+// Planner disabled: this test pins the Manager counter plumbing the planner
+// falls back to (the planner-on accounting is covered by
+// TestStatsPlannerCountersReconcile).
 func TestStatsCountersAfterConcurrentBatches(t *testing.T) {
 	src := fig1Source(t)
-	s, ts := startServer(t, Config{Parallel: 2})
+	s, ts := startServer(t, Config{Parallel: 2, DisablePlanner: true})
 	resp := postModule(t, ts, "fig1", "minic", src)
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("upload: %d %s", resp.StatusCode, body(t, resp))
@@ -236,6 +325,87 @@ func TestStatsCountersAfterConcurrentBatches(t *testing.T) {
 	}
 	if ms.Members[2].Name != "rbaa" || len(ms.Members[2].Details) == 0 {
 		t.Errorf("rbaa member stats missing attribution details: %+v", ms.Members[2])
+	}
+}
+
+// TestStatsPlannerCountersReconcile drives concurrent batches through the
+// planner and checks the /v1/stats planner section: every issued pair is
+// tallied exactly once across the three paths, the fallback share equals
+// the Manager's query counter, and the per-path no-alias counts sum to the
+// responses' aggregate.
+func TestStatsPlannerCountersReconcile(t *testing.T) {
+	src := fig1Source(t)
+	_, ts := startServer(t, Config{Parallel: 2})
+	resp := postModule(t, ts, "fig1", "minic", src)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body(t, resp))
+	}
+	body(t, resp)
+
+	m, err := minic.Compile("fig1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := namedPairs(m)
+	const clients, rounds = 6, 3
+	var wg sync.WaitGroup
+	var noAlias atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				reqBody, _ := json.Marshal(QueryRequest{Module: "fig1", Pairs: pairs})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(reqBody))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				var qr QueryResponse
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					t.Errorf("decode: %v", err)
+				}
+				resp.Body.Close()
+				noAlias.Add(int64(qr.NoAlias))
+			}
+		}()
+	}
+	wg.Wait()
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(body(t, sresp), &stats); err != nil {
+		t.Fatal(err)
+	}
+	ms := stats.Modules[0]
+	if ms.Planner == nil {
+		t.Fatal("stats carry no planner section despite the default config")
+	}
+	pc := ms.Planner
+	wantPairs := int64(clients * rounds * len(pairs))
+	if pc.Pairs != wantPairs {
+		t.Errorf("planner pairs = %d, want %d", pc.Pairs, wantPairs)
+	}
+	if pc.SweepNoAlias+pc.IndexPairs+pc.FallbackPairs != pc.Pairs {
+		t.Errorf("planner paths do not sum to pairs: %+v", pc)
+	}
+	if pc.FallbackPairs != ms.Queries {
+		t.Errorf("fallback pairs %d != manager queries %d", pc.FallbackPairs, ms.Queries)
+	}
+	if got := pc.SweepNoAlias + pc.IndexNoAlias + pc.FallbackNoAlias; got != noAlias.Load() {
+		t.Errorf("stats no-alias %d != responses' aggregate %d", got, noAlias.Load())
+	}
+	if pc.Groups == 0 || pc.PlannedValues == 0 || pc.Batches == 0 {
+		t.Errorf("sweep counters empty: %+v", pc)
+	}
+	if pc.SweepNoAlias == 0 {
+		t.Error("no pairs were sweep-short-circuited on fig1")
+	}
+	if ms.MemBytes == 0 {
+		t.Error("memory accounting lost the index/interner contribution")
 	}
 }
 

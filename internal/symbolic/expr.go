@@ -138,6 +138,28 @@ func (e *Expr) IsConst() bool { return e.kind == KConst }
 // intern time, so this is a field read.
 func (e *Expr) Size() int { return int(e.size) }
 
+// SplitConst decomposes a finite expression into e = shape + k, where shape
+// carries no additive constant: a literal splits to (nil, value), a sum
+// splits off its constant part (the remainder is interned, so equal shapes
+// are pointer-equal), and every other node is its own shape with k = 0.
+// Two expressions with the same shape differ by exactly k₁ − k₂ under every
+// valuation — the decomposition behind the compiled index's constant-only
+// disjointness fast path and the planner's symbolic sweep keys.
+// Infinities split to themselves (they have no shape arithmetic).
+func (e *Expr) SplitConst() (shape *Expr, k int64) {
+	switch e.kind {
+	case KConst:
+		return nil, e.k
+	case KSum:
+		if e.k != 0 {
+			return AddConst(e, -e.k), e.k
+		}
+		return e, 0
+	default:
+		return e, 0
+	}
+}
+
 // Syms returns the distinct kernel symbols of e in canonical order. The
 // slice is computed once per interned node and shared by every caller: treat
 // it as read-only.
