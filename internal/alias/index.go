@@ -271,6 +271,8 @@ type column struct {
 // function in a fixed order, a dense value-ID → universe-number table, and
 // one column per chain member. It is immutable after BuildIndex and safe
 // for concurrent readers.
+//
+// aliaslint:frozen
 type FuncIndex struct {
 	universe []*ir.Value
 	vnum     []int32 // by ir.Value.ID; -1 = not in the universe
@@ -333,6 +335,8 @@ func (fi *FuncIndex) evaluate(i, j int32) Verdict {
 // Index is a module's compiled alias index: one FuncIndex per function,
 // keyed by the function pointer. Frozen after BuildIndex; all methods are
 // safe for concurrent use.
+//
+// aliaslint:frozen
 type Index struct {
 	funcs    map[*ir.Func]*FuncIndex
 	members  int

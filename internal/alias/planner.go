@@ -195,6 +195,8 @@ type planned struct {
 // O(1) position compares plus (for intra-cluster and residue pairs) the
 // index check. A Plan is immutable after Plan() returns and safe for
 // concurrent Evaluate calls.
+//
+// aliaslint:frozen
 type Plan struct {
 	pl *Planner
 	fi *FuncIndex
@@ -208,6 +210,9 @@ type Plan struct {
 // sweep position. All values must belong to one function; duplicates are
 // fine. A nil index, an unindexed function, or a chain with no range member
 // yields a plan whose pairs all fall back (still counted).
+//
+// aliaslint:mutator — the Plan's builder: it fills pos/fi before the Plan
+// is returned (and frozen).
 func (pl *Planner) Plan(vals []*ir.Value) *Plan {
 	pl.batches.Add(1)
 	p := &Plan{pl: pl}

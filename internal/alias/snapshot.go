@@ -12,6 +12,8 @@ import "repro/internal/ir"
 //
 // Snapshots share the underlying Manager: queries issued through any
 // Snapshot of a Manager populate the same cache and the same counters.
+//
+// aliaslint:frozen
 type Snapshot struct {
 	mg *Manager
 }

@@ -14,6 +14,12 @@
 // ProvablyDisjoint answers true only when the emptiness of the intersection
 // holds for every valuation of the kernel symbols; incomparable bounds always
 // degrade to "not proven", which client analyses translate to may-alias.
+//
+// aliaslint:interner-scoped — this package runs on per-module analysis
+// paths: internal arithmetic derives its interner from operand bounds
+// (Interval.owner), never from the process-wide Default; only the exported
+// constant constructors Consts/ConstPoint pin the Default interner, for
+// callers that have no expression in hand yet.
 package interval
 
 import (
@@ -54,13 +60,53 @@ func Of(lo, hi *symbolic.Expr) Interval {
 // Point returns [e, e].
 func Point(e *symbolic.Expr) Interval { return Of(e, e) }
 
-// Consts returns [lo, hi] with constant bounds.
+// Consts returns [lo, hi] with constant bounds in the Default interner.
+// Callers holding a module-scoped expression should prefer ConstsIn (or
+// derive bounds via an operand's Owner) so the interval stays inside that
+// module's interner.
 func Consts(lo, hi int64) Interval {
-	return Of(symbolic.Const(lo), symbolic.Const(hi))
+	return Of(symbolic.Const(lo), symbolic.Const(hi)) //nolint:internermix // entry-point constructor: callers without an Expr in hand have only the Default interner
 }
 
-// ConstPoint returns [c, c].
+// ConstsIn returns [lo, hi] with constant bounds interned in in.
+func ConstsIn(in *symbolic.Interner, lo, hi int64) Interval {
+	return Of(in.Const(lo), in.Const(hi))
+}
+
+// ConstPoint returns [c, c] in the Default interner (see Consts).
 func ConstPoint(c int64) Interval { return Consts(c, c) }
+
+// ownerOrNil derives the interner r's bounds live in: the first finite
+// bound's owner, or nil when r is empty or fully infinite (infinities are
+// interner-less singletons).
+func (r Interval) ownerOrNil() *symbolic.Interner {
+	if !r.IsEmpty() {
+		if !r.lo.IsInf() {
+			return r.lo.Owner()
+		}
+		if !r.hi.IsInf() {
+			return r.hi.Owner()
+		}
+	}
+	return nil
+}
+
+// owner is ownerOrNil defaulting to the Default interner — safe for fully
+// infinite intervals, whose bounds combine with any interner's expressions.
+func (r Interval) owner() *symbolic.Interner {
+	if in := r.ownerOrNil(); in != nil {
+		return in
+	}
+	return symbolic.Default()
+}
+
+// ownerOf2 derives the interner for a binary operation over a and b.
+func ownerOf2(a, b Interval) *symbolic.Interner {
+	if in := a.ownerOrNil(); in != nil {
+		return in
+	}
+	return b.owner()
+}
 
 // IsEmpty reports whether r is ∅.
 func (r Interval) IsEmpty() bool { return r.lo == nil }
@@ -168,7 +214,7 @@ func (r Interval) Contains(c int64) bool {
 	if r.IsEmpty() {
 		return false
 	}
-	e := symbolic.Const(c)
+	e := r.owner().Const(c)
 	return symbolic.Compare(r.lo, e).ProvesLE() &&
 		symbolic.Compare(r.hi, e).ProvesGE()
 }
@@ -279,13 +325,13 @@ func (r Interval) MulConst(c int64) Interval {
 		return r
 	}
 	if c == 0 {
-		return ConstPoint(0)
+		return Point(r.owner().Zero())
 	}
 	lo, hi := r.lo, r.hi
 	if c < 0 {
 		lo, hi = hi, lo
 	}
-	k := symbolic.Const(c)
+	k := r.owner().Const(c)
 	return Of(symbolic.Mul(lo, k), symbolic.Mul(hi, k))
 }
 
@@ -323,7 +369,7 @@ func Div(a, b Interval) Interval {
 	}
 	if x, ok := constPoint(a); ok {
 		if y, ok := constPoint(b); ok && y != 0 {
-			return ConstPoint(x / y)
+			return Point(ownerOf2(a, b).Const(x / y))
 		}
 	}
 	c, ok := constPoint(b)
@@ -335,10 +381,10 @@ func Div(a, b Interval) Interval {
 	lo := symbolic.NegInf()
 	hi := symbolic.PosInf()
 	if lok {
-		lo = symbolic.Const(alo / c)
+		lo = a.owner().Const(alo / c)
 	}
 	if hok {
-		hi = symbolic.Const(ahi / c)
+		hi = a.owner().Const(ahi / c)
 	}
 	return Of(lo, hi)
 }
@@ -352,7 +398,7 @@ func Rem(a, b Interval) Interval {
 	}
 	if x, ok := constPoint(a); ok {
 		if y, ok := constPoint(b); ok && y != 0 {
-			return ConstPoint(x % y)
+			return Point(ownerOf2(a, b).Const(x % y))
 		}
 	}
 	n, ok := constPoint(b)
@@ -360,9 +406,9 @@ func Rem(a, b Interval) Interval {
 		return Full()
 	}
 	if a.provablyNonNeg() {
-		return Consts(0, n-1)
+		return ConstsIn(ownerOf2(a, b), 0, n-1)
 	}
-	return Consts(-(n - 1), n-1)
+	return ConstsIn(ownerOf2(a, b), -(n-1), n-1)
 }
 
 func constPoint(r Interval) (int64, bool) {
@@ -385,7 +431,7 @@ func constOf(e *symbolic.Expr) (int64, bool) {
 }
 
 func (r Interval) provablyNonNeg() bool {
-	return symbolic.Compare(r.lo, symbolic.Zero()).ProvesGE()
+	return symbolic.Compare(r.lo, r.owner().Zero()).ProvesGE()
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixture loads the fixture package at testdata/src/<path> (relative to
+// dir), runs the analyzers over it, and matches the diagnostics against
+// `// want "regexp"` comments in the fixture sources — the x/tools
+// analysistest convention, reimplemented on the stdlib loader.
+//
+// A want comment expects one diagnostic on its own line whose message
+// matches the quoted regular expression; several quoted patterns on one
+// comment expect several diagnostics on that line. Diagnostics without a
+// matching expectation, and expectations without a matching diagnostic,
+// both fail the test.
+func RunFixture(t *testing.T, dir, path string, analyzers ...*Analyzer) {
+	t.Helper()
+	loader := NewLoader(dir, "")
+	prog, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", path, err)
+	}
+
+	type expectation struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		raw  string
+		hit  bool
+	}
+	var wants []*expectation
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pats, ok := parseWant(c.Text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, p := range pats {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+						}
+						wants = append(wants, &expectation{
+							file: pos.Filename, line: pos.Line, re: re, raw: p,
+						})
+					}
+				}
+			}
+			// A want comment may sit on its own line immediately after a
+			// multi-line statement; the analysistest convention keeps them on
+			// the flagged line, which is what the matcher below assumes.
+			_ = file
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic (%s): %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWant extracts the quoted patterns of a `// want "p1" "p2"` comment.
+func parseWant(text string) ([]string, bool) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false
+	}
+	body = strings.TrimSpace(body)
+	body, ok = strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil, false
+	}
+	var pats []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, false
+			}
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, false
+			}
+			pats = append(pats, u)
+			rest = strings.TrimSpace(rest[len(q):])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			pats = append(pats, rest[1:1+end])
+			rest = strings.TrimSpace(rest[2+end:])
+		default:
+			return nil, false
+		}
+	}
+	return pats, len(pats) > 0
+}
+
+// posOf is a small helper for analyzers that report on nodes.
+func posOf(fset *token.FileSet, n ast.Node) string {
+	return fmt.Sprint(fset.Position(n.Pos()))
+}

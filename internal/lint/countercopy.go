@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CounterCopy flags by-value copies of structs that embed synchronization
+// state — sync.Mutex, sync/atomic counters — in the positions vet's
+// copylocks does not reach.
+//
+// The Manager's shards and the verdict cache's stripe counters hold
+// sync.Mutex and atomic.Int64 fields by value; copying one forks the
+// counter and silently drops updates. copylocks catches assignments and
+// argument passing of sync.Locker values, but misses atomics entirely and
+// misses the range-over-values form (`for _, s := range shards`) when the
+// element carries only atomic counters. This analyzer flags:
+//
+//   - `for _, s := range xs` where the element type transitively contains a
+//     value field from sync or sync/atomic;
+//   - plain assignments `a = b` (and `a := b`) whose type does;
+//   - call arguments and returns passing such a value.
+//
+// Index-form iteration (`for i := range xs { xs[i]... }`), pointers, and
+// composite literals constructing a fresh value are all fine and not
+// flagged.
+var CounterCopy = &Analyzer{
+	Name: "countercopy",
+	Doc: "flags by-value copies of structs holding sync.Mutex or sync/atomic " +
+		"counters (range-over-values, assignments, call arguments) beyond vet's copylocks",
+	Run: runCounterCopy,
+}
+
+func runCounterCopy(pass *Pass) error {
+	info := pass.TypesInfo()
+
+	noCopy := func(t types.Type) bool {
+		if t == nil {
+			return false
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return false
+		}
+		return containsNoCopyType(t, nil)
+	}
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok {
+			return tv.Type
+		}
+		// Range-statement key/value variables are definitions, not typed
+		// expressions: resolve the ident through Defs/Uses.
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				return obj.Type()
+			}
+			if obj := info.Uses[id]; obj != nil {
+				return obj.Type()
+			}
+		}
+		return nil
+	}
+	// freshValue reports expressions that construct a new value rather than
+	// copy an existing one: composite literals, conversions of literals,
+	// and calls (the callee owns the copy decision at its own return).
+	freshValue := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			return true
+		case *ast.UnaryExpr, *ast.StarExpr:
+			return false
+		}
+		return false
+	}
+
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				// Only the value variable copies the element; key-only and
+				// index forms are safe.
+				if n.Value == nil {
+					return true
+				}
+				t := typeOf(n.Value)
+				if noCopy(t) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies %s by value, forking its sync/atomic state; "+
+							"iterate by index (for i := range …) or over pointers",
+						typeString(t))
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) != len(n.Rhs) {
+						break // multi-value call form; covered by call returns
+					}
+					if freshValue(rhs) {
+						continue
+					}
+					// Skip dereference-free moves into blank.
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					t := typeOf(rhs)
+					if noCopy(t) {
+						pass.Reportf(rhs.Pos(),
+							"assignment copies %s by value, forking its sync/atomic state; "+
+								"use a pointer",
+							typeString(t))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if freshValue(arg) {
+						continue
+					}
+					t := typeOf(arg)
+					if noCopy(t) {
+						pass.Reportf(arg.Pos(),
+							"call passes %s by value, forking its sync/atomic state; "+
+								"pass a pointer",
+							typeString(t))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if freshValue(r) {
+						continue
+					}
+					t := typeOf(r)
+					if noCopy(t) {
+						pass.Reportf(r.Pos(),
+							"return copies %s by value, forking its sync/atomic state; "+
+								"return a pointer",
+							typeString(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// InternerMix flags call sites that construct or combine symbolic
+// expressions without a single identifiable interner source.
+//
+// Two checks:
+//
+//  1. Default-interner leaves in per-module code. In a package whose
+//     package comment carries "aliaslint:interner-scoped", any call to a
+//     function annotated "aliaslint:default-interner" (the package-level
+//     symbolic leaf constructors Const, Sym, Zero, One) is flagged:
+//     per-module analysis paths must derive their interner from context —
+//     an Interner carried by the analysis, or Expr.Owner() of an operand —
+//     so that switching a module to an isolated interner is a one-line
+//     change rather than a hunt for hidden Default uses.
+//
+//  2. Cross-parameter mixing. A function that receives two or more distinct
+//     *symbolic.Interner parameters and feeds expressions derived from
+//     different ones into a combining operation (symbolic.Add, Compare,
+//     Equal, an Expr==Expr comparison, …) is flagged: expressions from
+//     different interners must never meet in one operation — the
+//     constructors panic at runtime; this reports the mix at compile time.
+var InternerMix = &Analyzer{
+	Name: "internermix",
+	Doc: "flags symbolic-expression construction without an identifiable interner source: " +
+		"Default-interner leaf constructors in interner-scoped packages, and operations " +
+		"combining expressions derived from two different interner parameters",
+	Run: runInternerMix,
+}
+
+func runInternerMix(pass *Pass) error {
+	info := pass.TypesInfo()
+	scoped := pass.PkgAnnotated(pass.Pkg.Types, "interner-scoped")
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && scoped {
+				if fn := calleeObj(info, call); fn != nil && pass.Annotated(fn, "default-interner") {
+					pass.Reportf(call.Pos(),
+						"call to %s.%s constructs a symbolic expression in the process-wide Default interner "+
+							"from interner-scoped code; derive the interner from context "+
+							"(an operand's Owner() or the analysis' Interner)",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkInternerParams(pass, fd)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkInternerParams runs the cross-parameter taint check over one
+// function declaration.
+func checkInternerParams(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo()
+
+	// Collect the *symbolic.Interner parameters (including the receiver).
+	var interners []*types.Var
+	addParam := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok && isInterner(v.Type()) {
+					interners = append(interners, v)
+				}
+			}
+		}
+	}
+	addParam(fd.Recv)
+	addParam(fd.Type.Params)
+	if len(interners) < 2 {
+		return
+	}
+	paramBit := map[*types.Var]uint{}
+	for i, v := range interners {
+		paramBit[v] = uint(1) << uint(i)
+	}
+
+	// taint[obj] is the bitset of interner parameters the variable's value
+	// derives from. The walk is a single forward pass in source order —
+	// enough for straight-line construction code, which is where this
+	// pattern occurs.
+	taint := map[types.Object]uint{}
+
+	// exprTaint computes the union of interner-parameter taints reachable
+	// from e. Any identifier that is an interner parameter or a tainted
+	// variable contributes.
+	var exprTaint func(e ast.Expr) uint
+	exprTaint = func(e ast.Expr) uint {
+		var mask uint
+		ast.Inspect(e, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok {
+				if bit, ok := paramBit[v]; ok {
+					mask |= bit
+				} else {
+					mask |= taint[v]
+				}
+			}
+			return true
+		})
+		return mask
+	}
+
+	report := func(pos ast.Node, what string, a, b uint) {
+		names := func(mask uint) string {
+			for i, v := range interners {
+				if mask&(1<<uint(i)) != 0 {
+					return v.Name()
+				}
+			}
+			return "?"
+		}
+		pass.Reportf(pos.Pos(),
+			"%s combines expressions derived from different interner parameters (%s vs %s); "+
+				"expressions from two interners must never meet in one operation",
+			what, names(a), names(b))
+	}
+
+	// disjoint reports whether two non-empty taints share no source.
+	disjoint := func(a, b uint) bool { return a != 0 && b != 0 && a&b == 0 }
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs != nil {
+					taint[obj] |= exprTaint(rhs)
+				}
+			}
+		case *ast.CallExpr:
+			// A symbolic-package call with two or more Expr arguments from
+			// disjoint taints is a mix.
+			fn := calleeObj(info, n)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "symbolic" {
+				return true
+			}
+			var exprArgs []ast.Expr
+			for _, arg := range n.Args {
+				if tv, ok := info.Types[arg]; ok && isExpr(tv.Type) {
+					exprArgs = append(exprArgs, arg)
+				}
+			}
+			// A method on an Expr receiver contributes the receiver too.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && isExpr(tv.Type) {
+					exprArgs = append(exprArgs, sel.X)
+				}
+			}
+			for i := 0; i < len(exprArgs); i++ {
+				for j := i + 1; j < len(exprArgs); j++ {
+					ta, tb := exprTaint(exprArgs[i]), exprTaint(exprArgs[j])
+					if disjoint(ta, tb) {
+						report(n, "call to symbolic."+fn.Name(), ta, tb)
+						return true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			// Expr == Expr across interners is always false (pointer
+			// identity) — a comparison that cannot mean what it says.
+			if n.Op.String() != "==" && n.Op.String() != "!=" {
+				return true
+			}
+			tx, okx := info.Types[n.X]
+			ty, oky := info.Types[n.Y]
+			if okx && oky && isExpr(tx.Type) && isExpr(ty.Type) {
+				ta, tb := exprTaint(n.X), exprTaint(n.Y)
+				if disjoint(ta, tb) {
+					report(n, "pointer comparison of *symbolic.Expr", ta, tb)
+				}
+			}
+		}
+		return true
+	})
+}

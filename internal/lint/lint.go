@@ -1,0 +1,298 @@
+// Package lint implements aliaslint: a suite of static analyzers that
+// mechanically enforce this repository's cross-cutting contracts — the
+// interner-isolation rule of internal/symbolic (expressions from different
+// interners must never meet in one operation), the read-only-after-build
+// contract of the compiled alias structures, the registry Handle
+// acquire/release lifecycle, and the no-copy discipline of sharded counter
+// structs.
+//
+// The suite is deliberately self-contained: it is built on go/ast and
+// go/types only (no golang.org/x/tools dependency), with a module-aware
+// source loader (see load.go) standing in for go/packages and a fixture
+// runner (see analysistest.go) standing in for analysistest. The analyzer
+// surface mirrors golang.org/x/tools/go/analysis closely enough that the
+// analyzers could be ported to a multichecker built on x/tools without
+// touching their Run functions.
+//
+// # Annotations
+//
+// The analyzers are configured declaratively by marker comments in the code
+// they check, so the contracts live next to the declarations they protect:
+//
+//   - "aliaslint:frozen" on a type declaration: fields of the type are
+//     read-only outside constructor/build functions (frozenwrite).
+//   - "aliaslint:mutator" on a function declaration: the function is an
+//     approved writer of frozen types (frozenwrite).
+//   - "aliaslint:interner-scoped" in a package comment: the package runs on
+//     per-module analysis paths and must not mint expressions through the
+//     process-wide Default interner (internermix).
+//   - "aliaslint:default-interner" on a function declaration: the function
+//     constructs expressions in the Default interner; calling it from an
+//     interner-scoped package is a finding (internermix).
+//   - "aliaslint:handle" on a type declaration: values returned by Acquire-
+//     like calls must be released on every path (handleleak).
+//   - "aliaslint:nopin" on a function declaration: the function returns a
+//     handle without pinning it; its callers owe no Release (handleleak).
+//     Constructor-named functions (New…/Build…/make…) are exempt implicitly:
+//     they mint fresh, unpinned handles.
+//
+// A finding is suppressed by a "//nolint:aliaslint" (or
+// "//nolint:<analyzer>") comment on the flagged line; deliberate exceptions
+// should carry a justification in the same comment.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static analysis and its entry point. The shape
+// mirrors golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint directives.
+	Name string
+	// Doc is the one-paragraph description the multichecker prints.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass provides one analyzer run over one package: its syntax, type
+// information, and the program-wide annotation index.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the program-wide file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// TypesInfo returns the package's type information.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Files returns the package's parsed (non-test) files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Prog.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Annotated reports whether obj's declaration carries the given aliaslint
+// marker (e.g. "frozen" for "aliaslint:frozen"). Objects from any package
+// the program loaded from source are visible; objects from export data
+// (standard library) are never annotated.
+func (p *Pass) Annotated(obj types.Object, marker string) bool {
+	if obj == nil {
+		return false
+	}
+	return p.Prog.ann.objs[obj][marker]
+}
+
+// PkgAnnotated reports whether the package declaring pkg carries the given
+// marker in a package comment.
+func (p *Pass) PkgAnnotated(pkg *types.Package, marker string) bool {
+	if pkg == nil {
+		return false
+	}
+	return p.Prog.ann.pkgs[pkg][marker]
+}
+
+// annotations indexes aliaslint markers by declared object and by package.
+type annotations struct {
+	objs map[types.Object]map[string]bool
+	pkgs map[*types.Package]map[string]bool
+}
+
+const annPrefix = "aliaslint:"
+
+// markersIn extracts aliaslint markers from a comment group.
+func markersIn(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		text := c.Text
+		for {
+			i := strings.Index(text, annPrefix)
+			if i < 0 {
+				break
+			}
+			rest := text[i+len(annPrefix):]
+			end := strings.IndexFunc(rest, func(r rune) bool {
+				return !(r == '-' || r == '_' ||
+					('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z') || ('0' <= r && r <= '9'))
+			})
+			if end < 0 {
+				end = len(rest)
+			}
+			if end > 0 {
+				out = append(out, rest[:end])
+			}
+			text = rest[end:]
+		}
+	}
+	return out
+}
+
+// scan indexes the markers of one loaded package.
+func (a *annotations) scan(pkg *Package) {
+	addObj := func(obj types.Object, markers []string) {
+		if obj == nil || len(markers) == 0 {
+			return
+		}
+		m := a.objs[obj]
+		if m == nil {
+			m = map[string]bool{}
+			a.objs[obj] = m
+		}
+		for _, mk := range markers {
+			m[mk] = true
+		}
+	}
+	for _, f := range pkg.Files {
+		if mk := markersIn(f.Doc); len(mk) > 0 {
+			m := a.pkgs[pkg.Types]
+			if m == nil {
+				m = map[string]bool{}
+				a.pkgs[pkg.Types] = m
+			}
+			for _, s := range mk {
+				m[s] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				addObj(pkg.Info.Defs[d.Name], markersIn(d.Doc))
+			case *ast.GenDecl:
+				declMarkers := markersIn(d.Doc)
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					mk := markersIn(ts.Doc)
+					mk = append(mk, markersIn(ts.Comment)...)
+					if len(d.Specs) == 1 {
+						mk = append(mk, declMarkers...)
+					}
+					addObj(pkg.Info.Defs[ts.Name], mk)
+				}
+			}
+		}
+	}
+}
+
+// nolintFilter drops diagnostics suppressed by a //nolint comment on the
+// same line. Accepted forms: //nolint:aliaslint, //nolint:<analyzer>, and
+// comma-separated lists; a bare //nolint suppresses everything.
+func nolintFilter(prog *Program, diags []Diagnostic) []Diagnostic {
+	// line key → set of suppressed analyzer names ("" = all).
+	type key struct {
+		file string
+		line int
+	}
+	suppress := map[key]map[string]bool{}
+	addLine := func(pos token.Position, names map[string]bool) {
+		k := key{pos.Filename, pos.Line}
+		m := suppress[k]
+		if m == nil {
+			suppress[k] = names
+			return
+		}
+		for n := range names {
+			m[n] = true
+		}
+	}
+	for _, pkg := range prog.allLoaded() {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "nolint") {
+						continue
+					}
+					rest := strings.TrimPrefix(text, "nolint")
+					names := map[string]bool{}
+					if strings.HasPrefix(rest, ":") {
+						spec := rest[1:]
+						if i := strings.IndexAny(spec, " \t"); i >= 0 {
+							spec = spec[:i]
+						}
+						for _, n := range strings.Split(spec, ",") {
+							if n = strings.TrimSpace(n); n != "" {
+								names[n] = true
+							}
+						}
+					} else {
+						names[""] = true
+					}
+					addLine(prog.Fset.Position(c.Pos()), names)
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		names := suppress[key{d.Pos.Filename, d.Pos.Line}]
+		if names[""] || names["aliaslint"] || names[d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Run applies the analyzers to the program's target packages and returns
+// the surviving (non-suppressed) diagnostics sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	diags = nolintFilter(prog, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

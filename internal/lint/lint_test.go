@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(root); err != nil {
+		t.Fatalf("fixture root missing: %v", err)
+	}
+	return root
+}
+
+func TestInternerMixScoped(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "internermix_scoped", InternerMix)
+}
+
+func TestInternerMixParams(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "internermix_params", InternerMix)
+}
+
+func TestFrozenWrite(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "frozenwrite", FrozenWrite)
+}
+
+func TestFrozenWriteCrossPackage(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "frozenwrite_ext", FrozenWrite)
+}
+
+func TestHandleLeak(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "handleleak", HandleLeak)
+}
+
+func TestCounterCopy(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "countercopy", CounterCopy)
+}
+
+// TestAnnotationsScan covers the marker extraction helpers directly.
+func TestParseWant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{`// want "abc"`, 1, true},
+		{"// want `ab c`", 1, true},
+		{`// want "a" "b"`, 2, true},
+		{`// plain comment`, 0, false},
+		{`// want`, 0, false},
+	}
+	for _, c := range cases {
+		pats, ok := parseWant(c.in)
+		if ok != c.ok || len(pats) != c.want {
+			t.Errorf("parseWant(%q) = %v, %v; want %d pats, ok=%v", c.in, pats, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one package loaded from source and type-checked.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Program is a load result: the target packages plus every module-local
+// dependency (loaded from source, so annotations are visible program-wide).
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs are the packages the analyzers run over, in load order.
+	Pkgs []*Package
+
+	local map[string]*Package // every source-loaded package by import path
+	ann   *annotations
+}
+
+func (p *Program) allLoaded() []*Package {
+	out := make([]*Package, 0, len(p.local))
+	for _, pkg := range p.local {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out
+}
+
+// Loader type-checks packages of one source tree without the go tool: import
+// paths under Module resolve to directories below Root and are parsed and
+// checked from source; everything else (the standard library) is delegated
+// to go/importer, preferring compiled export data and falling back to the
+// source importer.
+type Loader struct {
+	// Root is the directory of the source tree.
+	Root string
+	// Module is the import-path prefix the tree provides. "repro" maps
+	// "repro/internal/ir" to Root/internal/ir. An empty Module maps any
+	// relative-looking path below Root directly ("symbolic" → Root/symbolic)
+	// — the fixture layout.
+	Module string
+
+	fset     *token.FileSet
+	local    map[string]*Package
+	loading  map[string]bool
+	std      types.ImporterFrom
+	stdFallb types.ImporterFrom
+}
+
+// NewLoader returns a loader over the tree rooted at root.
+func NewLoader(root, module string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Root:   root,
+		Module: module,
+		fset:   fset,
+		local:  map[string]*Package{},
+	}
+	if imp, ok := importer.Default().(types.ImporterFrom); ok {
+		l.std = imp
+	}
+	l.stdFallb = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// dirFor maps a local import path to its directory, or "" when the path is
+// not provided by this tree.
+func (l *Loader) dirFor(path string) string {
+	if l.Module == "" {
+		if strings.Contains(path, ".") || path == "unsafe" {
+			return "" // standard library or external
+		}
+		// Fixture layout: a path is local only if the directory exists
+		// below Root — "sync" or "errors" fall through to the standard
+		// importer.
+		dir := filepath.Join(l.Root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			return ""
+		}
+		return dir
+	}
+	if path == l.Module {
+		return l.Root
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if dirLocal := l.dirFor(path); dirLocal != "" {
+		pkg, err := l.load(path, dirLocal)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if l.std != nil {
+		if p, err := l.std.ImportFrom(path, dir, mode); err == nil {
+			return p, nil
+		}
+	}
+	return l.stdFallb.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks the package in dirLocal (memoized).
+func (l *Loader) load(path, dirLocal string) (*Package, error) {
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	if l.loading == nil {
+		l.loading = map[string]bool{}
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dirLocal)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var firstName string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dirLocal, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if firstName == "" {
+			firstName = f.Name.Name
+		}
+		if f.Name.Name != firstName {
+			// A main package next to a library one (or vice versa) —
+			// keep the majority package name; skip strays.
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dirLocal)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{PkgPath: path, Dir: dirLocal, Files: files, Types: tpkg, Info: info}
+	l.local[path] = pkg
+	return pkg, nil
+}
+
+// Load type-checks the named import paths (which must be local to the tree)
+// and returns a Program targeting them. Dependencies below the tree are
+// loaded from source as well and contribute annotations.
+func (l *Loader) Load(paths ...string) (*Program, error) {
+	prog := &Program{Fset: l.fset}
+	for _, path := range paths {
+		dir := l.dirFor(path)
+		if dir == "" {
+			return nil, fmt.Errorf("package %q is not below the source root", path)
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	prog.local = l.local
+	prog.ann = &annotations{objs: map[types.Object]map[string]bool{}, pkgs: map[*types.Package]map[string]bool{}}
+	for _, pkg := range prog.allLoaded() {
+		prog.ann.scan(pkg)
+	}
+	return prog, nil
+}
+
+// FindPackages walks the tree below root and returns the import paths of
+// every buildable package, module-prefixed. testdata, vendor, hidden and
+// underscore-prefixed directories are skipped — the go tool's convention.
+func FindPackages(root, module string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		imp := module
+		if rel != "." {
+			imp = module + "/" + filepath.ToSlash(rel)
+		}
+		if len(out) == 0 || out[len(out)-1] != imp {
+			out = append(out, imp)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	// WalkDir visits files of one directory contiguously, but be safe about
+	// duplicates after sorting.
+	dedup := out[:0]
+	for i, p := range out {
+		if i == 0 || out[i-1] != p {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup, nil
+}

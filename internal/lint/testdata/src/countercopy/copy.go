@@ -1,0 +1,117 @@
+// Package countercopy exercises the countercopy analyzer: by-value copies
+// of structs holding sync.Mutex or sync/atomic counters.
+package countercopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shard carries an atomic counter by value — copylocks does not flag it,
+// countercopy does.
+type shard struct {
+	hits atomic.Int64
+}
+
+// lockedShard carries a mutex.
+type lockedShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// nested embeds a shard by value: transitively no-copy.
+type nested struct {
+	s shard
+}
+
+// byPtr holds only a pointer to the mutex: copying is fine.
+type byPtr struct {
+	mu *sync.Mutex
+	n  int
+}
+
+func sink(s shard)      { _ = s }
+func sinkPtr(s *shard)  { _ = s }
+
+// rangeValues iterates shards by value, forking every counter.
+func rangeValues(shards []shard) int64 {
+	var total int64
+	for _, s := range shards { // want `range copies .*shard by value, forking its sync/atomic state`
+		total += s.hits.Load()
+	}
+	return total
+}
+
+// rangeNested catches the transitive embed.
+func rangeNested(ns []nested) {
+	for _, n := range ns { // want `range copies .*nested by value`
+		_ = n
+	}
+}
+
+// rangeLocked catches the mutex case too.
+func rangeLocked(ls []lockedShard) {
+	for _, l := range ls { // want `range copies .*lockedShard by value`
+		_ = l.n
+	}
+}
+
+// assign copies a shard into a new variable.
+func assign(s *shard) {
+	dup := *s // want `assignment copies .*shard by value`
+	_ = dup
+}
+
+// pass copies a shard into a call.
+func pass(s *shard) {
+	sink(*s) // want `call passes .*shard by value`
+}
+
+// ret copies a shard out of a function.
+func ret(s *shard) shard {
+	return *s // want `return copies .*shard by value`
+}
+
+// ---------------------------------------------------------------------------
+// Negative cases.
+
+// rangeIndex iterates by index: no copy.
+func rangeIndex(shards []shard) int64 {
+	var total int64
+	for i := range shards {
+		total += shards[i].hits.Load()
+	}
+	return total
+}
+
+// rangePointers iterates over pointers: no copy.
+func rangePointers(shards []*shard) int64 {
+	var total int64
+	for _, s := range shards {
+		total += s.hits.Load()
+	}
+	return total
+}
+
+// rangeByPtr's element holds the mutex by pointer: copying is fine.
+func rangeByPtr(xs []byPtr) int {
+	total := 0
+	for _, x := range xs {
+		total += x.n
+	}
+	return total
+}
+
+// fresh constructs new values: composite literals and calls are not copies.
+func fresh() {
+	s := shard{}
+	_ = s
+	sinkPtr(&shard{})
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(shards []shard) {
+	for _, s := range shards { //nolint:countercopy // fixture: read-only stats snapshot, divergence accepted
+		_ = s
+	}
+}

@@ -1,0 +1,60 @@
+// Package frozenwrite exercises the frozenwrite analyzer: writes to fields
+// of aliaslint:frozen types outside constructor/build/mutator functions.
+package frozenwrite
+
+// Index is a compiled, read-only-after-build structure.
+//
+// aliaslint:frozen
+type Index struct {
+	n    int
+	cols []int
+}
+
+// Plain is not frozen; writes to it are always fine.
+type Plain struct{ n int }
+
+// NewIndex may initialize the frozen fields: constructor prefix.
+func NewIndex(n int) *Index {
+	ix := &Index{}
+	ix.n = n
+	ix.cols = make([]int, n)
+	for i := range ix.cols {
+		ix.cols[i] = i
+	}
+	return ix
+}
+
+// buildIndex is a builder too.
+func buildIndex() *Index {
+	ix := &Index{}
+	ix.n = 1
+	return ix
+}
+
+// reset is an approved writer.
+//
+// aliaslint:mutator
+func reset(ix *Index) {
+	ix.n = 0
+}
+
+// corrupt writes frozen state from an ordinary function.
+func corrupt(ix *Index) {
+	ix.n = 7        // want `assignment to field of frozen type Index`
+	ix.cols[0] = 9  // want `assignment to field of frozen type Index`
+	ix.n++          // want `increment/decrement of field of frozen type Index`
+	ix.n += 2       // want `assignment to field of frozen type Index`
+	p := Plain{}
+	p.n = 3 // not frozen: fine
+	_ = p
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(ix *Index) {
+	ix.n = 1 //nolint:frozenwrite // fixture: deliberate exception
+}
+
+// reads never trigger the analyzer.
+func reads(ix *Index) int {
+	return ix.n + ix.cols[0]
+}

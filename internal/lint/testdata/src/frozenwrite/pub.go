@@ -1,0 +1,10 @@
+package frozenwrite
+
+// Pub is a frozen type with exported fields, writable cross-package only in
+// the negative sense — foreign packages may never write it.
+//
+// aliaslint:frozen
+type Pub struct{ N int }
+
+// NewPub builds a Pub.
+func NewPub(n int) *Pub { return &Pub{N: n} }

@@ -1,0 +1,15 @@
+// Package frozenwrite_ext verifies the cross-package rule: a foreign
+// package may never write a frozen type's fields, even from a
+// constructor-named function.
+package frozenwrite_ext
+
+import "frozenwrite"
+
+// NewWrapped is constructor-named, but Pub belongs to another package.
+func NewWrapped() *frozenwrite.Pub {
+	p := frozenwrite.NewPub(1)
+	p.N = 2 // want `assignment to field of frozen type Pub`
+	return p
+}
+
+func read(p *frozenwrite.Pub) int { return p.N }

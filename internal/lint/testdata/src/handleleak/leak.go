@@ -1,0 +1,190 @@
+// Package handleleak exercises the handleleak analyzer: refcounted handle
+// acquisitions whose Release is not called on every path.
+package handleleak
+
+import "errors"
+
+// Handle is a refcounted module handle.
+//
+// aliaslint:handle
+type Handle struct{ refs int }
+
+// Release drops one pin.
+func (h *Handle) Release() { h.refs-- }
+
+// State is a read on the receiver — not an ownership transfer.
+func (h *Handle) State() int { return h.refs }
+
+// Registry hands out pinned handles.
+type Registry struct{ h *Handle }
+
+// Acquire pins and returns the handle.
+func (r *Registry) Acquire(name string) (*Handle, bool) {
+	if r.h == nil {
+		return nil, false
+	}
+	r.h.refs++
+	return r.h, true
+}
+
+// AcquireOne pins and returns the handle without an ok result.
+func (r *Registry) AcquireOne() *Handle {
+	r.h.refs++
+	return r.h
+}
+
+// NewHandle mints an unpinned handle — constructor-named calls carry no
+// release obligation.
+func NewHandle() *Handle { return &Handle{} }
+
+// lookup returns the handle without pinning it.
+//
+// aliaslint:nopin
+func (r *Registry) lookup() (*Handle, bool) { return r.h, r.h != nil }
+
+func work(h *Handle) error { _ = h.State(); return nil }
+
+// ---------------------------------------------------------------------------
+// Positive cases.
+
+// leakEarlyReturn forgets the release on the error path.
+func leakEarlyReturn(r *Registry) error {
+	h, ok := r.Acquire("m") // want `handle acquired from Acquire is not released on every path`
+	if !ok {
+		return errors.New("no module")
+	}
+	if err := work(h); err != nil {
+		return err // error path returns with the pin still held
+	}
+	h.Release()
+	return nil
+}
+
+// leakFallOff never releases at all.
+func leakFallOff(r *Registry) {
+	h := r.AcquireOne() // want `handle acquired from AcquireOne is not released on every path`
+	_ = h.State()
+}
+
+// leakOneBranch releases on one branch only.
+func leakOneBranch(r *Registry, cond bool) {
+	h := r.AcquireOne() // want `handle acquired from AcquireOne is not released on every path`
+	if cond {
+		h.Release()
+	}
+}
+
+// leakLoopOnly releases inside a loop that may run zero times.
+func leakLoopOnly(r *Registry, n int) {
+	h := r.AcquireOne() // want `handle acquired from AcquireOne is not released on every path`
+	for i := 0; i < n; i++ {
+		h.Release()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Negative cases.
+
+// okDefer releases via defer, covering every path at once.
+func okDefer(r *Registry) error {
+	h, ok := r.Acquire("m")
+	if !ok {
+		return errors.New("no module")
+	}
+	defer h.Release()
+	return work(h)
+}
+
+// okEveryPath releases explicitly before each return.
+func okEveryPath(r *Registry) error {
+	h, ok := r.Acquire("m")
+	if !ok {
+		return errors.New("no module")
+	}
+	if err := work(h); err != nil {
+		h.Release()
+		return err
+	}
+	h.Release()
+	return nil
+}
+
+// okGuardInIf uses the if-init acquire idiom.
+func okGuardInIf(r *Registry) {
+	if h, ok := r.Acquire("m"); ok {
+		defer h.Release()
+		_ = h.State()
+	}
+}
+
+// okEscapeReturn transfers ownership to the caller.
+func okEscapeReturn(r *Registry) (*Handle, bool) {
+	h, ok := r.Acquire("m")
+	if !ok {
+		return nil, false
+	}
+	return h, true
+}
+
+// keeper owns handles stored into it.
+type keeper struct{ h *Handle }
+
+// okEscapeStore aliases the handle into a longer-lived structure —
+// ownership transfers with the alias.
+func okEscapeStore(r *Registry, k *keeper) {
+	h := r.AcquireOne()
+	k.h = h
+}
+
+// okEscapeDefer hands the handle to a deferred adopter.
+func okEscapeDefer(r *Registry) {
+	h := r.AcquireOne()
+	defer adopt(h)
+	_ = h.State()
+}
+
+// okEscapeGo hands the handle to a goroutine.
+func okEscapeGo(r *Registry) {
+	h := r.AcquireOne()
+	go adopt(h)
+}
+
+func adopt(h *Handle) { defer h.Release() }
+
+// leakBorrowedCall passes the handle to a callee and forgets the release:
+// a plain call argument borrows the pin, it does not transfer it.
+func leakBorrowedCall(r *Registry) error {
+	h := r.AcquireOne() // want `handle acquired from AcquireOne is not released on every path`
+	if err := work(h); err != nil {
+		return err
+	}
+	h.Release()
+	return nil
+}
+
+// okConstructor: constructor-named calls mint unpinned handles (regression:
+// service.NewPending + failed build drops the handle to the GC, no leak).
+func okConstructor() error {
+	h := NewHandle()
+	if err := work(h); err != nil {
+		return err
+	}
+	return nil
+}
+
+// okNopin: annotated lookups return unpinned handles (regression:
+// Registry.lookupLocked in internal/service).
+func okNopin(r *Registry) bool {
+	h, ok := r.lookup()
+	if !ok {
+		return false
+	}
+	_ = h.State()
+	return true
+}
+
+// okSuppressed documents a deliberate exception.
+func okSuppressed(r *Registry) {
+	h := r.AcquireOne() //nolint:handleleak // fixture: released by a path the analyzer cannot see
+	_ = h
+}

@@ -1,0 +1,45 @@
+// Package internermix_params exercises the internermix analyzer's check B:
+// combining expressions derived from two different interner parameters.
+// The package is deliberately NOT interner-scoped — check B applies
+// everywhere.
+package internermix_params
+
+import "symbolic"
+
+// mix feeds expressions from two distinct interner parameters into one
+// combining operation.
+func mix(a, b *symbolic.Interner) *symbolic.Expr {
+	x := a.Const(1)
+	y := b.Const(2)
+	return symbolic.Add(x, y) // want `call to symbolic.Add combines expressions derived from different interner parameters`
+}
+
+// mixCompare mixes through a pointer comparison, which can never hold
+// across interners.
+func mixCompare(a, b *symbolic.Interner) bool {
+	x := a.Sym("n")
+	y := b.Sym("n")
+	return x == y // want `pointer comparison of \*symbolic.Expr combines expressions derived from different interner parameters`
+}
+
+// mixIndirect propagates taint through intermediate variables.
+func mixIndirect(a, b *symbolic.Interner) *symbolic.Expr {
+	x := a.Const(1)
+	x2 := symbolic.Add(x, x)
+	y := b.Const(2)
+	y2 := symbolic.Sub(y, y)
+	return symbolic.Add(x2, y2) // want `call to symbolic.Add combines expressions derived from different interner parameters`
+}
+
+// sameSource is fine: both operands derive from the same parameter.
+func sameSource(a, b *symbolic.Interner) *symbolic.Expr {
+	x := a.Const(1)
+	y := a.Const(2)
+	_ = b
+	return symbolic.Add(x, y)
+}
+
+// oneParam is never checked: a single interner parameter cannot mix.
+func oneParam(in *symbolic.Interner) *symbolic.Expr {
+	return symbolic.Add(in.Const(1), in.Const(2))
+}

@@ -1,0 +1,28 @@
+// Package internermix_scoped exercises the internermix analyzer's check A:
+// Default-interner leaf constructors in an interner-scoped package.
+//
+// aliaslint:interner-scoped
+package internermix_scoped
+
+import "symbolic"
+
+// bad constructs leaves through the process-wide Default interner.
+func bad() *symbolic.Expr {
+	a := symbolic.Const(3) // want `call to symbolic.Const constructs a symbolic expression in the process-wide Default interner`
+	b := symbolic.Sym("n") // want `call to symbolic.Sym constructs a symbolic expression`
+	_ = symbolic.Zero()    // want `call to symbolic.Zero constructs a symbolic expression`
+	return symbolic.Add(a, b)
+}
+
+// good derives every leaf from an explicit interner.
+func good(in *symbolic.Interner) *symbolic.Expr {
+	a := in.Const(3)
+	b := in.Sym("n")
+	_ = in.Zero()
+	return symbolic.Add(a, b)
+}
+
+// suppressed documents a deliberate exception.
+func suppressed() *symbolic.Expr {
+	return symbolic.Const(7) //nolint:internermix // fixture: entry point with no interner in scope
+}

@@ -1,0 +1,60 @@
+// Package symbolic is a fixture stand-in for repro/internal/symbolic: the
+// analyzers match the Interner/Expr types by package *name*, so this
+// miniature copy lets the testdata packages type-check without importing
+// the real module.
+package symbolic
+
+// Interner hash-conses expressions.
+type Interner struct{ _ int }
+
+// Expr is an interned expression.
+type Expr struct{ _ int }
+
+// NewInterner returns a fresh interner.
+func NewInterner() *Interner { return &Interner{} }
+
+// Default returns the process-wide interner.
+func Default() *Interner { return defaultInterner }
+
+var defaultInterner = NewInterner()
+
+// Const returns the constant c (Default interner).
+//
+// aliaslint:default-interner
+func Const(c int64) *Expr { return defaultInterner.Const(c) }
+
+// Sym returns the symbol s (Default interner).
+//
+// aliaslint:default-interner
+func Sym(s string) *Expr { return defaultInterner.Sym(s) }
+
+// Zero returns the constant 0 (Default interner).
+//
+// aliaslint:default-interner
+func Zero() *Expr { return defaultInterner.Zero() }
+
+// Const returns the interned constant c.
+func (it *Interner) Const(c int64) *Expr { return &Expr{} }
+
+// Sym returns the interned symbol s.
+func (it *Interner) Sym(s string) *Expr { return &Expr{} }
+
+// Zero returns the interned constant 0.
+func (it *Interner) Zero() *Expr { return it.Const(0) }
+
+// Add returns a+b.
+func Add(a, b *Expr) *Expr { return a }
+
+// Sub returns a-b.
+func Sub(a, b *Expr) *Expr { return a }
+
+// Equal reports a == b.
+func Equal(a, b *Expr) bool { return a == b }
+
+// Compare orders a against b.
+func Compare(a, b *Expr) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(u)
+		default:
+			return nil
+		}
+	}
+}
+
+// isSymbolicPkgNamed reports whether t is (a pointer to) the named type
+// `name` declared in a package called "symbolic". Matching by package *name*
+// rather than full path keeps the analyzers testable against fixture
+// packages while matching repro/internal/symbolic in the real tree.
+func isSymbolicPkgNamed(t types.Type, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && n.Obj().Pkg().Name() == "symbolic"
+}
+
+// isInterner reports whether t is *symbolic.Interner (or symbolic.Interner).
+func isInterner(t types.Type) bool { return isSymbolicPkgNamed(t, "Interner") }
+
+// isExpr reports whether t is *symbolic.Expr (or symbolic.Expr).
+func isExpr(t types.Type) bool { return isSymbolicPkgNamed(t, "Expr") }
+
+// calleeObj resolves the function or method a call expression invokes,
+// looking through parenthesization. Returns nil for calls through function
+// values, conversions, and built-ins.
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// enclosingFuncs returns the stack of function declarations and literals
+// enclosing pos within file, outermost first.
+func enclosingFuncDecl(file *ast.File, pos ast.Node) *ast.FuncDecl {
+	var found *ast.FuncDecl
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || found != nil {
+			return false
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			if fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+				found = fd
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// constructorPrefixes are function-name prefixes treated as builders: a
+// function named like a constructor may initialize frozen types without an
+// explicit aliaslint:mutator marker.
+var constructorPrefixes = []string{"new", "New", "build", "Build", "make", "Make"}
+
+func isConstructorName(name string) bool {
+	if name == "init" {
+		return true
+	}
+	for _, p := range constructorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsNoCopyType reports whether t, copied by value, would copy a
+// synchronization primitive: a named struct from sync or sync/atomic, or a
+// struct/array transitively containing one.
+func containsNoCopyType(t types.Type, seen map[types.Type]bool) bool {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n := namedOfValue(t); n != nil {
+		if pkg := n.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsNoCopyType(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsNoCopyType(u.Elem(), seen)
+	}
+	return false
+}
+
+// namedOfValue is namedOf without pointer unwrapping: a *sync.Mutex field is
+// a reference, copying the struct does not copy the mutex.
+func namedOfValue(t types.Type) *types.Named {
+	switch u := t.(type) {
+	case *types.Named:
+		return u
+	case *types.Alias:
+		return namedOfValue(types.Unalias(u))
+	}
+	return nil
+}
+
+// typeString renders t compactly for diagnostics.
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/ir"
 	"repro/internal/rangeanal"
+	"repro/internal/symbolic"
 )
 
 // Options configure the pointer analysis; the zero value is the paper's
@@ -29,6 +30,11 @@ type Options struct {
 	PointsTo PointsToOracle
 	// Range configures the bootstrap integer range analysis.
 	Range rangeanal.Options
+	// Interner receives every expression the analysis mints. nil means the
+	// process-wide Default interner; a per-module interner isolates the
+	// module's node pool so eviction can reclaim it. It also defaults the
+	// Range options' interner, keeping both analyses in one pool.
+	Interner *symbolic.Interner
 }
 
 // PointsToOracle abstracts a points-to analysis (e.g. andersen.Result):
@@ -44,6 +50,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Budget == 0 {
 		o.Budget = interval.DefaultBudget
+	}
+	if o.Interner == nil {
+		o.Interner = symbolic.Default()
+	}
+	if o.Range.Interner == nil {
+		o.Range.Interner = o.Interner
 	}
 	return o
 }

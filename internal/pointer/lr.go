@@ -35,6 +35,7 @@ type LRResult struct {
 	intMemo map[*ir.Value]*symbolic.Expr
 	nextLoc int
 	budget  int
+	in      *symbolic.Interner
 }
 
 // Loc returns the abstract location and offset range of v, assigning a
@@ -57,7 +58,7 @@ func (l *LRResult) addr(v *ir.Value) (int, *symbolic.Expr) {
 	// Roots seen for the first time (params, globals, constants).
 	loc := l.fresh()
 	l.loc[v] = loc
-	l.off[v] = symbolic.Zero()
+	l.off[v] = l.in.Zero()
 	return loc, l.off[v]
 }
 
@@ -83,14 +84,14 @@ func (l *LRResult) String(v *ir.Value) string {
 // e ↦ loc0 + [N, N]).
 func (l *LRResult) intExpr(v *ir.Value) *symbolic.Expr {
 	if c, ok := v.IsConst(); ok {
-		return symbolic.Const(c)
+		return l.in.Const(c)
 	}
 	if e, ok := l.intMemo[v]; ok {
 		return e
 	}
 	// Pre-bind the opaque symbol to cut (impossible in SSA, but cheap)
 	// cycles and to serve as the fallback.
-	sym := symbolic.Sym(rangeanal.SymbolFor(v))
+	sym := l.in.Sym(rangeanal.SymbolFor(v))
 	l.intMemo[v] = sym
 	var e *symbolic.Expr
 	if v.Kind == ir.VInstr {
@@ -136,6 +137,7 @@ func AnalyzeLR(m *ir.Module, _ *rangeanal.Result, opts Options) *LRResult {
 		off:     map[*ir.Value]*symbolic.Expr{},
 		intMemo: map[*ir.Value]*symbolic.Expr{},
 		budget:  opts.Budget,
+		in:      opts.Interner,
 	}
 	for _, f := range m.Funcs {
 		l.analyzeFunc(f)
@@ -182,7 +184,7 @@ func (l *LRResult) analyzeFunc(f *ir.Func) {
 			case ir.OpAlloc, ir.OpPhi, ir.OpLoad, ir.OpExtern, ir.OpCall, ir.OpFree:
 				// Fig. 11: NewLocs() + [0,0].
 				l.loc[in.Res] = l.fresh()
-				l.off[in.Res] = symbolic.Zero()
+				l.off[in.Res] = l.in.Zero()
 			case ir.OpCopy, ir.OpPi:
 				// Fig. 11: copies and intersections keep LR(p1).
 				loc, e := l.addr(in.Args[0])
@@ -195,7 +197,7 @@ func (l *LRResult) analyzeFunc(f *ir.Func) {
 					// Oversized offsets restart from a fresh base — sound,
 					// merely incomparable to everything else.
 					loc = l.fresh()
-					off = symbolic.Zero()
+					off = l.in.Zero()
 				}
 				l.loc[in.Res] = loc
 				l.off[in.Res] = off

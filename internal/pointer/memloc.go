@@ -1,6 +1,10 @@
 // Package pointer implements the paper's contribution: the GR (global) and
 // LR (local) symbolic range analyses of pointers and the alias queries built
 // on them (§3.4–§3.7 of "Symbolic Range Analysis of Pointers", CGO'16).
+//
+// aliaslint:interner-scoped — expressions are minted through
+// Options.Interner (Default unless the caller isolates the module), never
+// through the package-level symbolic constructors.
 package pointer
 
 import (

@@ -16,6 +16,10 @@
 // The result maps every integer-typed ir.Value to an interval R(v); values
 // loaded from memory are ⊤ by default (the analysis does not track memory,
 // mirroring Fig. 9's treatment of loads).
+//
+// aliaslint:interner-scoped — every kernel symbol and constant this package
+// mints goes through Options.Interner (Default unless the caller isolates
+// the module), never through the package-level symbolic constructors.
 package rangeanal
 
 import (
@@ -40,6 +44,11 @@ type Options struct {
 	// ⊤. Unsound for memory mutated in loops — available only for the
 	// ablation study.
 	SymbolicLoads bool
+	// Interner receives every expression the analysis mints. nil means the
+	// process-wide Default interner (expressions shared across modules); a
+	// per-module interner isolates the module's node pool so eviction can
+	// reclaim it.
+	Interner *symbolic.Interner
 }
 
 func (o Options) withDefaults() Options {
@@ -48,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Budget == 0 {
 		o.Budget = interval.DefaultBudget
+	}
+	if o.Interner == nil {
+		o.Interner = symbolic.Default()
 	}
 	return o
 }
@@ -70,7 +82,7 @@ func (r *Result) kernel(v *ir.Value) interval.Interval {
 	if iv, ok := r.kern[v]; ok {
 		return iv
 	}
-	iv := interval.Point(symbolic.Sym(SymbolFor(v)))
+	iv := interval.Point(r.opts.Interner.Sym(SymbolFor(v)))
 	r.kern[v] = iv
 	return iv
 }
@@ -79,7 +91,7 @@ func (r *Result) kernel(v *ir.Value) interval.Interval {
 // (bools, pointers, anything unseen) map to ⊤.
 func (r *Result) Range(v *ir.Value) interval.Interval {
 	if c, ok := v.IsConst(); ok && v.Typ == ir.TInt {
-		return interval.ConstPoint(c)
+		return interval.Point(r.opts.Interner.Const(c))
 	}
 	if iv, ok := r.ranges[v]; ok {
 		return iv
@@ -118,7 +130,7 @@ func (r *Result) analyzeFunc(f *ir.Func) {
 	// Seed the symbolic kernel.
 	for _, p := range f.Params {
 		if p.Typ == ir.TInt {
-			r.ranges[p] = interval.Point(symbolic.Sym(SymbolFor(p)))
+			r.ranges[p] = interval.Point(r.opts.Interner.Sym(SymbolFor(p)))
 		}
 	}
 	// Instruction evaluation order: reverse postorder of blocks.

@@ -57,6 +57,9 @@ func (s BuildState) String() string {
 // the module, snapshot and value index so their memory can be reclaimed —
 // only when the last pin is released, so an in-flight batch keeps its
 // evicted handle fully usable until completion.
+//
+// aliaslint:handle — acquisitions must Release on every path (enforced by
+// the handleleak analyzer).
 type Handle struct {
 	Name      string
 	Format    string // "ir" or "minic"
@@ -465,6 +468,9 @@ func (r *Registry) makeRoomLocked() error {
 }
 
 // lookupLocked finds name in either table. Caller holds r.mu (read).
+//
+// aliaslint:nopin — the handle is returned unpinned; callers that publish
+// it (Get, Acquire) take the pin themselves.
 func (r *Registry) lookupLocked(name string) (*Handle, bool) {
 	if h, ok := r.mods[name]; ok {
 		return h, true

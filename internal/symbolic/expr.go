@@ -47,6 +47,9 @@ const (
 // Expr is an immutable, interned symbolic expression. The zero value is not
 // valid; use the package constructors (Default interner) or an Interner's
 // methods. Within one interner, structural equality is pointer equality.
+//
+// aliaslint:frozen — nodes are immutable once interned; only the interner
+// (Interner.intern, at construction) writes fields.
 type Expr struct {
 	kind   Kind
 	hasSym bool
@@ -91,16 +94,37 @@ func NegInf() *Expr { return negInf }
 func PosInf() *Expr { return posInf }
 
 // Zero returns the constant 0 (Default interner).
+//
+// aliaslint:default-interner
 func Zero() *Expr { return defaultInterner.Zero() }
 
 // One returns the constant 1 (Default interner).
+//
+// aliaslint:default-interner
 func One() *Expr { return defaultInterner.One() }
 
 // Const returns the integer constant c (Default interner).
+//
+// aliaslint:default-interner
 func Const(c int64) *Expr { return defaultInterner.Const(c) }
 
 // Sym returns the kernel symbol named s (Default interner).
+//
+// aliaslint:default-interner
 func Sym(s string) *Expr { return defaultInterner.Sym(s) }
+
+// Owner returns the interner that owns e. The infinity singletons belong to
+// no interner and report the Default interner, which any interner's
+// expressions may combine with. Owner is how interner-scoped code derives
+// the right interner from an operand instead of reaching for the
+// process-wide Default: `e.Owner().Const(c)` stays inside whatever interner
+// produced e.
+func (e *Expr) Owner() *Interner {
+	if e.in == nil {
+		return defaultInterner
+	}
+	return e.in
+}
 
 // Kind reports the node kind of e.
 func (e *Expr) Kind() Kind { return e.kind }

@@ -161,6 +161,9 @@ func shallowEq(e *Expr, kind Kind, k int64, sym string, args []*Expr, terms []Te
 // intern returns the canonical node for the given shape, creating it on
 // first sight. args/terms may be caller scratch: they are copied only when a
 // new node is created.
+//
+// aliaslint:mutator — the one place Expr fields are written, before the
+// fresh node is published under the shard lock.
 func (it *Interner) intern(kind Kind, k int64, sym string, args []*Expr, terms []Term) *Expr {
 	h := hashNode(kind, k, sym, args, terms)
 	sh := &it.shards[(h*0x9E3779B97F4A7C15)>>(64-6)]

@@ -1,0 +1,154 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the interner-isolation contract that aliaslint's
+// internermix analyzer enforces statically: expressions from different
+// interners never meet in one operation, every finite expression knows its
+// owner, and the interner-less infinities mix freely.
+
+func TestNewInternerIsolation(t *testing.T) {
+	a := NewInterner()
+	b := NewInterner()
+
+	// Structurally equal expressions from one interner are the same pointer;
+	// from two interners they are distinct pointers with the same key.
+	ea := Add(a.Sym("x"), a.Const(3))
+	ea2 := Add(a.Sym("x"), a.Const(3))
+	eb := Add(b.Sym("x"), b.Const(3))
+	if ea != ea2 {
+		t.Fatalf("same interner, same structure: want identical pointers")
+	}
+	if ea == eb {
+		t.Fatalf("different interners returned the same node")
+	}
+	if ea.Key() != eb.Key() {
+		t.Fatalf("keys diverge across interners: %q vs %q", ea.Key(), eb.Key())
+	}
+
+	// A fresh interner's pool is independent of Default: minting into it
+	// must not grow the Default interner.
+	before := Default().Stats().Interned
+	for i := 0; i < 100; i++ {
+		Add(a.Sym("iso"), a.Const(int64(1000+i)))
+	}
+	if after := Default().Stats().Interned; after != before {
+		t.Fatalf("building in a private interner grew Default by %d nodes", after-before)
+	}
+}
+
+func TestExprOwnerRoundTrip(t *testing.T) {
+	in := NewInterner()
+	cases := []*Expr{
+		in.Sym("p"),
+		in.Const(999), // outside the small-constant table
+		in.Const(1),   // inside it
+		Add(in.Sym("p"), in.One()),
+		Mul(in.Sym("p"), in.Sym("q")),
+		Min(in.Sym("p"), in.Const(7)),
+	}
+	for _, e := range cases {
+		if e.Owner() != in {
+			t.Errorf("%s: Owner() = %p, want the minting interner %p", e, e.Owner(), in)
+		}
+	}
+	// Default-built expressions report the Default interner.
+	if e := Add(Sym("d"), One()); e.Owner() != Default() {
+		t.Errorf("default-built expr owner = %p, want Default()", e.Owner())
+	}
+	// Infinities are interner-less singletons; Owner falls back to Default.
+	if NegInf().Owner() != Default() || PosInf().Owner() != Default() {
+		t.Errorf("infinity Owner() should fall back to Default()")
+	}
+}
+
+func TestCrossInternerMixPanics(t *testing.T) {
+	a := NewInterner()
+	b := NewInterner()
+	ops := map[string]func(){
+		"Add": func() { Add(a.Sym("x"), b.Sym("y")) },
+		"Sub": func() { Sub(a.Sym("x"), b.Const(200)) },
+		"Mul": func() { Mul(a.Sym("x"), b.Sym("y")) },
+		"Min": func() { Min(a.Sym("x"), b.Sym("y")) },
+		"Max": func() { Max(a.Const(300), b.Sym("y")) },
+	}
+	for name, op := range ops {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s across interners: want panic, got none", name)
+				}
+			}()
+			op()
+		}()
+	}
+}
+
+func TestInfinitiesMixAcrossInterners(t *testing.T) {
+	in := NewInterner()
+	x := in.Sym("x")
+	if e := Add(x, PosInf()); !e.IsPosInf() {
+		t.Errorf("x + +inf = %s, want +inf", e)
+	}
+	if e := Min(NegInf(), x); !e.IsNegInf() {
+		t.Errorf("min(-inf, x) = %s, want -inf", e)
+	}
+	// max(-inf, x) resolves to x itself — owned by the private interner.
+	if e := Max(NegInf(), x); e != x {
+		t.Errorf("max(-inf, x) = %s, want x", e)
+	}
+}
+
+// TestInternerIsolationProperty builds the same pseudo-random expression
+// stream into two interners and checks the pools stay mirror images:
+// identical keys, identical stats, disjoint node sets.
+func TestInternerIsolationProperty(t *testing.T) {
+	a := NewInterner()
+	b := NewInterner()
+	rng := rand.New(rand.NewSource(61)) // deterministic
+	syms := []string{"p", "q", "r"}
+
+	build := func(in *Interner, pick func() int) *Expr {
+		e := in.Sym(syms[pick()%len(syms)])
+		for i := 0; i < 6; i++ {
+			o := in.Const(int64(pick()%40 - 20))
+			switch pick() % 4 {
+			case 0:
+				e = Add(e, o)
+			case 1:
+				e = Sub(e, in.Sym(syms[pick()%len(syms)]))
+			case 2:
+				e = Min(e, o)
+			case 3:
+				e = Max(e, o)
+			}
+		}
+		return e
+	}
+
+	for round := 0; round < 200; round++ {
+		var seq []int
+		pickA := func() int { n := rng.Intn(1 << 16); seq = append(seq, n); return n }
+		ea := build(a, pickA)
+		i := 0
+		pickB := func() int { n := seq[i]; i++; return n }
+		eb := build(b, pickB)
+
+		if ea.Key() != eb.Key() {
+			t.Fatalf("round %d: keys diverge: %q vs %q", round, ea.Key(), eb.Key())
+		}
+		if ea == eb {
+			t.Fatalf("round %d: node shared across interners: %s", round, ea)
+		}
+		if ea.Owner() != a || eb.Owner() != b {
+			t.Fatalf("round %d: owner mismatch", round)
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("mirrored builds, divergent stats: %+v vs %+v", sa, sb)
+	}
+}
