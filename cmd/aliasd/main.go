@@ -7,22 +7,32 @@
 //	aliasd -cache-limit 4096 -evict-modules -build-workers 4
 //	                                   # small bounded LRU memo per module,
 //	                                   # idle-LRU registry eviction, async builds
+//	aliasd -debug-addr 127.0.0.1:8418 -log-level debug
+//	                                   # pprof/expvar sidecar + per-request logs
 //
 // A session:
 //
 //	curl -X POST --data-binary @prog.mc "http://localhost:8417/v1/modules?name=prog&format=minic"
 //	curl -X POST -d '{"module":"prog","pairs":[{"func":"main","a":"p","b":"q"}]}' http://localhost:8417/v1/query
+//	curl http://localhost:8417/metrics
 //	curl http://localhost:8417/v1/stats
+//
+// The production listener serves the API plus /healthz, /readyz and
+// /metrics. Profiling endpoints (net/http/pprof, expvar) are deliberately
+// NOT on that mux: they expose internals and can stall the process, so they
+// bind only to the separate -debug-addr listener, which defaults to off.
 //
 // See the package documentation of internal/service for the full API.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro/internal/service"
@@ -31,6 +41,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8417", "listen address (use port 0 for a random port)")
 	portfile := flag.String("portfile", "", "write the bound address to this file once listening (for scripted callers)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for pprof and expvar (empty = disabled; never exposed on -addr)")
+	debugPortfile := flag.String("debug-portfile", "", "write the bound debug address to this file (requires -debug-addr)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (debug includes per-request stage breakdowns)")
 	parallel := flag.Int("parallel", -1, "query-stage worker pool size (-1 = GOMAXPROCS, 0/1 = sequential)")
 	maxBatch := flag.Int("max-batch", service.DefaultMaxBatch, "maximum pairs per /v1/query request")
 	maxSource := flag.Int("max-source-bytes", service.DefaultMaxSourceBytes, "maximum module source size accepted by /v1/modules")
@@ -41,6 +54,13 @@ func main() {
 	planner := flag.Bool("planner", true, "compile per-module alias indexes and answer batches through the sweep-line planner (false = legacy per-pair chain walks)")
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "aliasd: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	svc := service.New(service.Config{
 		MaxBatch:       *maxBatch,
 		MaxSourceBytes: *maxSource,
@@ -50,21 +70,59 @@ func main() {
 		EvictModules:   *evictModules,
 		BuildWorkers:   *buildWorkers,
 		DisablePlanner: !*planner,
+		Logger:         logger,
 	})
 	defer svc.Close()
 
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Error("debug listen failed", "addr", *debugAddr, "error", err)
+			os.Exit(1)
+		}
+		if *debugPortfile != "" {
+			if err := os.WriteFile(*debugPortfile, []byte(dln.Addr().String()+"\n"), 0o644); err != nil {
+				logger.Error("writing debug portfile failed", "error", err)
+				os.Exit(1)
+			}
+		}
+		// A dedicated mux: pprof's init() registers on http.DefaultServeMux,
+		// which we never serve, so the explicit routes below are the only
+		// way in — and only via this listener.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				logger.Error("debug serve failed", "error", err)
+			}
+		}()
+	} else if *debugPortfile != "" {
+		logger.Error("-debug-portfile requires -debug-addr")
+		os.Exit(1)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("aliasd: listen %s: %v", *addr, err)
+		logger.Error("listen failed", "addr", *addr, "error", err)
+		os.Exit(1)
 	}
 	bound := ln.Addr().String()
 	if *portfile != "" {
 		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
-			log.Fatalf("aliasd: writing portfile: %v", err)
+			logger.Error("writing portfile failed", "error", err)
+			os.Exit(1)
 		}
 	}
 	fmt.Printf("aliasd: listening on %s\n", bound)
+	logger.Info("listening", "addr", bound, "parallel", *parallel, "planner", *planner)
 	if err := http.Serve(ln, svc.Handler()); err != nil {
-		log.Fatalf("aliasd: serve: %v", err)
+		logger.Error("serve failed", "error", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,36 @@
+// Command promlint validates a Prometheus text exposition read from stdin,
+// the way `promtool check metrics` does for the subset aliasd emits:
+// name/label grammar, family membership, duplicate samples, counter
+// non-negativity, and histogram coherence (ascending cumulative buckets, a
+// +Inf terminator matching _count, a _sum sample). CI pipes the live
+// /metrics body through it so format drift fails the build without adding a
+// promtool dependency.
+//
+//	curl -s http://localhost:8417/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	b, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if err := telemetry.Lint(string(b)); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	fams, _ := telemetry.Parse(string(b))
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("promlint: ok (%d families, %d samples)\n", len(fams), samples)
+}

@@ -77,9 +77,11 @@ type ManagerStats struct {
 	CacheHits int64
 	Computed  int64 // counted computations (see above)
 	NoAlias   int64 // counted computations with a no-alias verdict
-	// Cached and Evictions describe the memo cache: live entries (bounded
-	// by CacheLimit at every instant) and entries displaced under churn.
+	// Cached, Misses, and Evictions describe the memo cache: live entries
+	// (bounded by CacheLimit at every instant), lookups that had to
+	// compute, and entries displaced under churn.
 	Cached    int64
+	Misses    int64
 	Evictions int64
 	Members   []MemberStats
 }
@@ -355,6 +357,7 @@ func (mg *Manager) Stats() ManagerStats {
 	if mg.cache != nil {
 		cs := mg.cache.Stats()
 		st.Cached = int64(cs.Len)
+		st.Misses = cs.Misses
 		st.Evictions = cs.Evictions
 	}
 	st.Members = make([]MemberStats, len(mg.members))

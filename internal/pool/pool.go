@@ -13,6 +13,8 @@ package pool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool is a bounded worker pool. The zero value runs everything on the
@@ -74,11 +76,23 @@ func (p *Pool) ForEach(n int, f func(i int)) {
 // set of long-lived workers, with a bounded backlog so producers get
 // backpressure instead of unbounded queue growth.
 type Queue struct {
-	tasks chan func()
+	tasks chan queueTask
 	wg    sync.WaitGroup
+	depth atomic.Int64
+
+	// Observer, when set, is called after each task finishes with the time
+	// the task waited in the backlog and the time it spent running. Set it
+	// before the first Submit — the channel send in Submit establishes the
+	// happens-before edge workers rely on to read it without a lock.
+	Observer func(wait, run time.Duration)
 
 	mu     sync.Mutex
 	closed bool
+}
+
+type queueTask struct {
+	f  func()
+	at time.Time
 }
 
 // NewQueue starts a queue with the given worker count (min 1) and backlog
@@ -90,13 +104,18 @@ func NewQueue(workers, backlog int) *Queue {
 	if backlog < 1 {
 		backlog = 1
 	}
-	q := &Queue{tasks: make(chan func(), backlog)}
+	q := &Queue{tasks: make(chan queueTask, backlog)}
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
 		go func() {
 			defer q.wg.Done()
-			for f := range q.tasks {
-				f()
+			for t := range q.tasks {
+				started := time.Now()
+				t.f()
+				q.depth.Add(-1)
+				if q.Observer != nil {
+					q.Observer(started.Sub(t.at), time.Since(started))
+				}
 			}
 		}()
 	}
@@ -112,12 +131,24 @@ func (q *Queue) Submit(f func()) bool {
 	if q.closed {
 		return false
 	}
+	// Count before the send: a worker may pick the task up (and decrement)
+	// the instant it lands in the channel, so incrementing afterwards could
+	// let Len go transiently negative.
+	q.depth.Add(1)
 	select {
-	case q.tasks <- f:
+	case q.tasks <- queueTask{f: f, at: time.Now()}:
 		return true
 	default:
+		q.depth.Add(-1)
 		return false
 	}
+}
+
+// Len reports the submitted-but-unfinished task count: backlog plus
+// in-flight work. It is the build-queue depth the service's readiness probe
+// and metrics export.
+func (q *Queue) Len() int {
+	return int(q.depth.Load())
 }
 
 // Close stops accepting work, drains the backlog, and waits for in-flight

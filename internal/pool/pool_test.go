@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -137,5 +138,34 @@ func TestChunkedForEachCoversRange(t *testing.T) {
 		if hits[i].Load() != 1 {
 			t.Fatalf("index %d visited %d times", i, hits[i].Load())
 		}
+	}
+}
+
+func TestQueueDepthAndObserver(t *testing.T) {
+	q := NewQueue(1, 4)
+	var waits atomic.Int64
+	q.Observer = func(wait, run time.Duration) {
+		if wait < 0 || run < 0 {
+			t.Errorf("negative observation: wait=%v run=%v", wait, run)
+		}
+		waits.Add(1)
+	}
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	q.Submit(func() { started.Done(); <-release })
+	started.Wait() // one task in flight, none queued
+	q.Submit(func() {})
+	q.Submit(func() {})
+	if got := q.Len(); got != 3 {
+		t.Errorf("Len = %d with 1 running + 2 queued, want 3", got)
+	}
+	close(release)
+	q.Close()
+	if got := q.Len(); got != 0 {
+		t.Errorf("Len = %d after drain, want 0", got)
+	}
+	if got := waits.Load(); got != 3 {
+		t.Errorf("observer fired %d times, want 3", got)
 	}
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -169,7 +170,7 @@ func TestEvictedHandleAliveViaRefcount(t *testing.T) {
 	}
 	// The in-flight batch still runs to completion against the retired
 	// handle.
-	results, err := s.RunBatch(pinned, pairs)
+	results, err := s.RunBatch(context.Background(), pinned, pairs)
 	if err != nil {
 		t.Fatalf("batch against retired handle: %v", err)
 	}

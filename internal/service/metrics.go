@@ -1,0 +1,314 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/symbolic"
+	"repro/internal/telemetry"
+)
+
+// metrics is the service's telemetry surface: request/pipeline instruments
+// updated on the hot path, plus scrape-time collectors that read the very
+// same ManagerStats / PlannerStats / cache snapshots GET /v1/stats renders.
+// Sourcing both endpoints from one snapshot function per module is what
+// makes the reconciliation CI check ("/metrics sums == /v1/stats") hold
+// exactly rather than approximately.
+//
+// aliaslint: never copy a metrics value — instruments embed atomics.
+type metrics struct {
+	reg *telemetry.Registry
+
+	httpRequests *telemetry.CounterVec // route, code
+
+	queryDur    *telemetry.Histogram
+	stageDur    *telemetry.HistogramVec // stage
+	queryPairs  *telemetry.Counter
+	batchPairs  *telemetry.Histogram
+	queryErrors *telemetry.CounterVec // reason
+
+	// Per-stage children resolved once: the pipeline observes through these
+	// pointers instead of paying the vec lookup per request.
+	stageDecode, stageValidate, stageShard, stagePlan,
+	stageEvaluate, stageAggregate, stageEncode *telemetry.Histogram
+
+	builds    *telemetry.CounterVec   // mode, result
+	buildDur  *telemetry.HistogramVec // mode
+	queueWait *telemetry.Histogram
+}
+
+// Histogram bounds, in seconds. Query latencies sit in the tens of
+// microseconds to low milliseconds on warm caches; builds run milliseconds
+// to seconds; queue waits are near zero until the backlog saturates.
+var (
+	queryBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+	stageBuckets = []float64{0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.25}
+	buildBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 10}
+	waitBuckets  = []float64{0.0001, 0.001, 0.01, 0.1, 1, 10}
+	pairsBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096}
+)
+
+// Pipeline stage names — shared by the stage histogram, the per-request
+// trace spans, and the ?trace=1 echo.
+const (
+	stgDecode    = "decode"
+	stgValidate  = "validate"
+	stgShard     = "shard"
+	stgPlan      = "plan"
+	stgEvaluate  = "evaluate"
+	stgAggregate = "aggregate"
+	stgEncode    = "encode"
+)
+
+func newMetrics(s *Service) *metrics {
+	reg := telemetry.NewRegistry()
+	m := &metrics{reg: reg}
+
+	m.httpRequests = reg.CounterVec("aliasd_http_requests_total",
+		"HTTP requests by normalized route and status code.", "route", "code")
+
+	m.queryDur = reg.Histogram("aliasd_query_duration_seconds",
+		"End-to-end POST /v1/query latency (decode through encode).", queryBuckets)
+	m.stageDur = reg.HistogramVec("aliasd_query_stage_duration_seconds",
+		"Per-stage query pipeline latency.", stageBuckets, "stage")
+	m.stageDecode = m.stageDur.With(stgDecode)
+	m.stageValidate = m.stageDur.With(stgValidate)
+	m.stageShard = m.stageDur.With(stgShard)
+	m.stagePlan = m.stageDur.With(stgPlan)
+	m.stageEvaluate = m.stageDur.With(stgEvaluate)
+	m.stageAggregate = m.stageDur.With(stgAggregate)
+	m.stageEncode = m.stageDur.With(stgEncode)
+	m.queryPairs = reg.Counter("aliasd_query_pairs_total",
+		"Pairs answered by successful /v1/query batches.")
+	m.batchPairs = reg.Histogram("aliasd_query_batch_pairs",
+		"Batch size distribution of successful /v1/query requests.", pairsBuckets)
+	m.queryErrors = reg.CounterVec("aliasd_query_errors_total",
+		"Rejected /v1/query requests by reason.", "reason")
+
+	m.builds = reg.CounterVec("aliasd_builds_total",
+		"Module builds by mode (sync|async) and result (ok|error).", "mode", "result")
+	m.buildDur = reg.HistogramVec("aliasd_build_duration_seconds",
+		"Module build duration (parse, verify, analyze, index).", buildBuckets, "mode")
+	m.queueWait = reg.Histogram("aliasd_build_queue_wait_seconds",
+		"Time async builds spent queued before a worker picked them up.", waitBuckets)
+	reg.GaugeFunc("aliasd_build_queue_depth",
+		"Async build tasks submitted but not yet finished.",
+		func() float64 { return float64(s.builds.Len()) })
+
+	reg.GaugeFunc("aliasd_uptime_seconds", "Seconds since the service started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	// ---- Scrape-time collectors: the /v1/stats numbers, re-rendered. ----
+
+	perModule := func(name, help, typ string, get func(st alias.ManagerStats, h *Handle) float64) {
+		reg.Collect(name, help, typ, []string{"module"}, func(emit func(float64, ...string)) {
+			s.eachReadyModule(func(h *Handle, st alias.ManagerStats) {
+				emit(get(st, h), h.Name)
+			})
+		})
+	}
+	perModule("aliasd_module_queries_total", "Manager queries per ready module (cache hits included).",
+		"counter", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.Queries) })
+	perModule("aliasd_module_cache_hits_total", "Memo-cache hits per ready module.",
+		"counter", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.CacheHits) })
+	perModule("aliasd_module_cache_misses_total", "Memo-cache misses per ready module.",
+		"counter", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.Misses) })
+	perModule("aliasd_module_computed_total", "Chain-computed queries per ready module.",
+		"counter", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.Computed) })
+	perModule("aliasd_module_noalias_total", "Computed no-alias verdicts per ready module.",
+		"counter", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.NoAlias) })
+	perModule("aliasd_module_cache_evictions_total", "Memo-cache evictions per ready module.",
+		"counter", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.Evictions) })
+	perModule("aliasd_module_cache_entries", "Live memo-cache entries per ready module.",
+		"gauge", func(st alias.ManagerStats, _ *Handle) float64 { return float64(st.Cached) })
+	perModule("aliasd_module_mem_bytes", "Approximate resident bytes per ready module (IR, analyses, index, interned exprs, memo cache).",
+		"gauge", func(st alias.ManagerStats, h *Handle) float64 {
+			return float64(h.MemBytes() + st.Cached*memoEntryCost)
+		})
+
+	reg.Collect("aliasd_member_noalias_total", "No-alias proofs per chain member (computed queries only).",
+		"counter", []string{"module", "member"}, func(emit func(float64, ...string)) {
+			s.eachReadyModule(func(h *Handle, st alias.ManagerStats) {
+				for i := range st.Members {
+					emit(float64(st.Members[i].NoAlias), h.Name, st.Members[i].Name)
+				}
+			})
+		})
+	reg.Collect("aliasd_member_first_wins_total", "LLVM-AAResults-style first-prover attributions per chain member.",
+		"counter", []string{"module", "member"}, func(emit func(float64, ...string)) {
+			s.eachReadyModule(func(h *Handle, st alias.ManagerStats) {
+				for i := range st.Members {
+					emit(float64(st.Members[i].FirstWins), h.Name, st.Members[i].Name)
+				}
+			})
+		})
+
+	perPlanner := func(name, help string, get func(ps alias.PlannerStats) float64) {
+		reg.Collect(name, help, "counter", []string{"module"}, func(emit func(float64, ...string)) {
+			s.eachReadyModule(func(h *Handle, st alias.ManagerStats) {
+				if h.Planner != nil {
+					emit(get(h.Planner.Stats()), h.Name)
+				}
+			})
+		})
+	}
+	perPlanner("aliasd_planner_batches_total", "Shards swept by the batch planner.",
+		func(ps alias.PlannerStats) float64 { return float64(ps.Batches) })
+	perPlanner("aliasd_planner_planned_values_total", "Distinct values fed to the sweep-line partitioner.",
+		func(ps alias.PlannerStats) float64 { return float64(ps.PlannedValues) })
+	perPlanner("aliasd_planner_groups_total", "Overlap groups produced by the sweep partition.",
+		func(ps alias.PlannerStats) float64 { return float64(ps.Groups) })
+	reg.Collect("aliasd_planner_pairs_total",
+		"Planner-answered pairs by path (sweep short-circuit | compiled index | legacy fallback).",
+		"counter", []string{"module", "path"}, func(emit func(float64, ...string)) {
+			s.eachReadyModule(func(h *Handle, _ alias.ManagerStats) {
+				if h.Planner == nil {
+					return
+				}
+				ps := h.Planner.Stats()
+				emit(float64(ps.SweepNoAlias), h.Name, "sweep")
+				emit(float64(ps.IndexPairs), h.Name, "index")
+				emit(float64(ps.FallbackPairs), h.Name, "fallback")
+			})
+		})
+	reg.Collect("aliasd_planner_noalias_total",
+		"Planner no-alias verdicts by path (sweep pairs are no-alias by construction).",
+		"counter", []string{"module", "path"}, func(emit func(float64, ...string)) {
+			s.eachReadyModule(func(h *Handle, _ alias.ManagerStats) {
+				if h.Planner == nil {
+					return
+				}
+				ps := h.Planner.Stats()
+				emit(float64(ps.SweepNoAlias), h.Name, "sweep")
+				emit(float64(ps.IndexNoAlias), h.Name, "index")
+				emit(float64(ps.FallbackNoAlias), h.Name, "fallback")
+			})
+		})
+
+	// ---- Registry lifecycle. ----
+
+	reg.Collect("aliasd_modules", "Registered modules by build state.",
+		"gauge", []string{"state"}, func(emit func(float64, ...string)) {
+			counts := map[BuildState]int{}
+			handles := s.reg.List()
+			for _, h := range handles {
+				counts[h.State()]++
+			}
+			releaseAll(handles)
+			for _, st := range []BuildState{StateBuilding, StateReady, StateFailed} {
+				emit(float64(counts[st]), st.String())
+			}
+		})
+	reg.CounterFunc("aliasd_modules_evicted_total",
+		"Modules displaced from the full registry to admit newer uploads.",
+		func() float64 { return float64(s.reg.Evictions()) })
+	reg.Collect("aliasd_module_pins", "Outstanding handle pins (in-flight batches and lookups) per module.",
+		"gauge", []string{"module"}, func(emit func(float64, ...string)) {
+			handles := s.reg.List()
+			for _, h := range handles {
+				// List itself pins each handle; subtract our own pin.
+				emit(float64(h.refs.Load()-1), h.Name)
+			}
+			releaseAll(handles)
+		})
+
+	// ---- Interner. The claimed gauge is monotone even across module
+	// deletes: the intern table is append-only, so deleting a module frees
+	// its IR and caches but not its interned expressions — the flatness of
+	// this gauge across a delete is exactly the leak the regression test in
+	// metrics_test.go documents. ----
+
+	reg.GaugeFunc("aliasd_interner_exprs", "Hash-consed symbolic expressions resident in the process-wide intern table.",
+		func() float64 { return float64(symbolic.Default().Stats().Interned) })
+	reg.CounterFunc("aliasd_interner_hits_total", "Intern-table lookups answered by an existing expression.",
+		func() float64 { return float64(symbolic.Default().Stats().Hits) })
+	reg.GaugeFunc("aliasd_interner_claimed_exprs",
+		"Interner growth attributed to module builds so far (monotone: the intern table is append-only).",
+		func() float64 { return float64(internAccounted.Load()) })
+
+	return m
+}
+
+// eachReadyModule runs fn over every ready module with one stats snapshot,
+// pinned for the duration of the call (List pins, releaseAll releases).
+func (s *Service) eachReadyModule(fn func(h *Handle, st alias.ManagerStats)) {
+	handles := s.reg.List()
+	defer releaseAll(handles)
+	for _, h := range handles {
+		if h.State() != StateReady {
+			continue
+		}
+		fn(h, h.Snap.Stats())
+	}
+}
+
+// observeStage records one pipeline stage on the histogram child and the
+// request trace, returning the stage's end time so callers chain stages
+// without a second clock read.
+func observeStage(h *telemetry.Histogram, stage string, tr *telemetry.Trace, start time.Time) time.Time {
+	now := time.Now()
+	d := now.Sub(start)
+	h.Observe(d.Seconds())
+	tr.Observe(stage, start, d)
+	return now
+}
+
+// statusWriter captures the response code for the request-level metrics and
+// the structured access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// routeLabel normalizes a request path into a bounded label set — path
+// parameters must not explode the aliasd_http_requests_total cardinality.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz", p == "/readyz", p == "/metrics",
+		p == "/v1/modules", p == "/v1/query", p == "/v1/stats":
+		return p
+	case strings.HasPrefix(p, "/v1/modules/"):
+		return "/v1/modules/{name}"
+	}
+	return "other"
+}
+
+// instrument wraps the API mux with the per-request envelope: X-Request-ID
+// propagation (generated when absent), the context-carried trace the
+// pipeline records stage spans into, the route/code request counter, and a
+// debug-level access log line with the per-stage breakdown.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		tr := telemetry.NewTrace(id)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(telemetry.NewContext(r.Context(), tr)))
+		route := routeLabel(r)
+		s.metrics.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		s.log.Debug("request",
+			"id", id,
+			"method", r.Method,
+			"route", route,
+			"code", sw.code,
+			"duration", time.Since(start),
+			"stages", tr.String(),
+		)
+	})
+}

@@ -1,12 +1,15 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/alias"
 	"repro/internal/ir"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // Pair is one alias query of a batch: two value names within one function,
@@ -156,7 +159,7 @@ const batchChunk = 256
 // plan: cross-group pairs short-circuit, intra-group pairs hit the compiled
 // index, inconclusive pairs walk the legacy chain. Tallies are kept per
 // chunk and folded once, so workers never contend on the counters.
-func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
+func (s *Service) evaluate(tr *telemetry.Trace, h *Handle, shards []shard, n int) []Result {
 	out := getResultBuf(n)
 	type task struct {
 		sh     int
@@ -172,6 +175,7 @@ func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
 			tasks = append(tasks, task{sh: si, lo: c[0], hi: c[1]})
 		}
 	}
+	planStart := time.Now()
 	var plans []*alias.Plan
 	if h.Planner != nil {
 		plans = make([]*alias.Plan, len(shards))
@@ -184,6 +188,7 @@ func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
 			plans[si] = h.Planner.Plan(vals)
 		}
 	}
+	evalStart := observeStage(s.metrics.stagePlan, stgPlan, tr, planStart)
 	s.pool.ForEach(len(tasks), func(ti int) {
 		t := tasks[ti]
 		if plans != nil {
@@ -199,6 +204,7 @@ func (s *Service) evaluate(h *Handle, shards []shard, n int) []Result {
 			out[rp.idx] = encodeVerdict(h.Snap, h.Snap.Evaluate(rp.p, rp.q))
 		}
 	})
+	observeStage(s.metrics.stageEvaluate, stgEvaluate, tr, evalStart)
 	return out
 }
 
@@ -226,10 +232,13 @@ func encodeVerdict(snap alias.Snapshot, v alias.Verdict) Result {
 
 // RunBatch pushes one decoded batch through validate → shard → plan → query
 // workers and returns the request-ordered results. It is the programmatic
-// core of POST /v1/query, exported for golden tests and embedders. The
-// returned slice comes from a pool; internal callers that finished encoding
-// recycle it with putResultBuf, external callers may keep it indefinitely.
-func (s *Service) RunBatch(h *Handle, pairs []Pair) ([]Result, error) {
+// core of POST /v1/query, exported for golden tests and embedders. Stage
+// latencies land in the service's /metrics histograms, and when ctx carries
+// a telemetry.Trace (the HTTP envelope installs one) each stage also
+// records a span on it. The returned slice comes from a pool; internal
+// callers that finished encoding recycle it with putResultBuf, external
+// callers may keep it indefinitely.
+func (s *Service) RunBatch(ctx context.Context, h *Handle, pairs []Pair) ([]Result, error) {
 	if h.State() != StateReady {
 		return nil, fmt.Errorf("module %q is %s", h.Name, h.State())
 	}
@@ -239,11 +248,15 @@ func (s *Service) RunBatch(h *Handle, pairs []Pair) ([]Result, error) {
 	if len(pairs) > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("batch has %d pairs, exceeding the %d-pair limit", len(pairs), s.cfg.MaxBatch)
 	}
+	tr := telemetry.FromContext(ctx)
+	start := time.Now()
 	rs, err := resolveBatch(h, pairs)
 	if err != nil {
 		return nil, err
 	}
+	now := observeStage(s.metrics.stageValidate, stgValidate, tr, start)
 	shards := shardByFunc(pairs, rs)
 	putResolvedBuf(rs)
-	return s.evaluate(h, shards, len(pairs)), nil
+	observeStage(s.metrics.stageShard, stgShard, tr, now)
+	return s.evaluate(tr, h, shards, len(pairs)), nil
 }

@@ -549,6 +549,20 @@ func (r *Registry) Len() int {
 // Evictions returns how many modules the bound has displaced.
 func (r *Registry) Evictions() int64 { return r.evictions.Load() }
 
+// Building counts staged builds still in flight — the readiness probe's
+// "is any module mid-build" signal.
+func (r *Registry) Building() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, h := range r.staging {
+		if h.State() == StateBuilding {
+			n++
+		}
+	}
+	return n
+}
+
 // List returns every visible handle sorted by name, each pinned; the
 // caller must Release every one. Like Get it does not refresh recency.
 func (r *Registry) List() []*Handle {

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ModuleInfo is the public summary of a registered module. The IR and
@@ -59,11 +61,30 @@ type QueryRequest struct {
 }
 
 // QueryResponse is the body of a successful POST /v1/query: results in
-// request order plus the aggregate no-alias count.
+// request order plus the aggregate no-alias count. Trace is present only
+// when the client asked for it (?trace=1) — the field must stay omitempty
+// so default responses remain byte-identical to earlier releases.
 type QueryResponse struct {
-	Module  string   `json:"module"`
-	Results []Result `json:"results"`
-	NoAlias int      `json:"noalias"`
+	Module  string     `json:"module"`
+	Results []Result   `json:"results"`
+	NoAlias int        `json:"noalias"`
+	Trace   *TraceEcho `json:"trace,omitempty"`
+}
+
+// TraceEcho is the ?trace=1 section of QueryResponse: the request ID (also
+// in the X-Request-ID response header) and the pipeline stage spans
+// recorded while the batch ran. It covers decode through aggregate; the
+// encode stage finishes after the body is framed, so it appears only in the
+// stage histogram and the debug access log.
+type TraceEcho struct {
+	RequestID string     `json:"request_id"`
+	Spans     []SpanEcho `json:"spans"`
+}
+
+// SpanEcho is one stage timing in a TraceEcho.
+type SpanEcho struct {
+	Stage      string  `json:"stage"`
+	DurationUS float64 `json:"duration_us"`
 }
 
 // MemberStats is one chain member's counters in /v1/stats.
@@ -103,6 +124,7 @@ type ModuleStats struct {
 	Chain        string  `json:"chain,omitempty"`
 	Queries      int64   `json:"queries"`
 	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	Computed     int64   `json:"computed"`
 	NoAlias      int64   `json:"noalias"`
@@ -135,6 +157,18 @@ type HealthResponse struct {
 	Modules int    `json:"modules"`
 }
 
+// ReadyResponse is the body of GET /readyz: liveness says "the process is
+// up", readiness says "queries will be answered now" — the daemon is not
+// ready while any module build is in flight or the build backlog is deep
+// enough that new async uploads would be refused. Load generators (and
+// orchestrators) gate on this instead of sleeping.
+type ReadyResponse struct {
+	Status     string `json:"status"` // ready | building | backlogged
+	Modules    int    `json:"modules"`
+	Building   int    `json:"building"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
 // writeJSON marshals v as the response body (one JSON document plus a
 // trailing newline — the framing the golden tests pin down).
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -158,6 +192,25 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Modules: s.reg.Len()})
+}
+
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{
+		Modules:    s.reg.Len(),
+		Building:   s.reg.Building(),
+		QueueDepth: s.builds.Len(),
+	}
+	switch {
+	case resp.Building > 0:
+		resp.Status = "building"
+	case resp.QueueDepth >= DefaultBuildBacklog:
+		resp.Status = "backlogged"
+	default:
+		resp.Status = "ready"
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, resp)
 }
 
 func (s *Service) handleListModules(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +247,10 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 		// pay the build and Add arbitrates (one gets 409), matching the
 		// duplicate semantics of a serial upload sequence.
 		h := NewPending(name, format)
-		if err := h.build(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner); err != nil {
+		buildStart := time.Now()
+		err := h.build(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner)
+		s.observeBuild(name, "sync", buildStart, err)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -229,7 +285,10 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 	info := moduleInfo(h)
 	if !s.builds.Submit(func() {
 		defer h.Release()
-		s.reg.Finish(h, h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner))
+		buildStart := time.Now()
+		err := h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner)
+		s.observeBuild(h.Name, "async", buildStart, err)
+		s.reg.Finish(h, err)
 	}) {
 		h.Release()
 		s.reg.unreserve(h)
@@ -258,41 +317,83 @@ func (s *Service) handleDeleteModule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	tr := telemetry.FromContext(r.Context())
+	start := time.Now()
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
+		m.queryErrors.With("decode").Inc()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	observeStage(m.stageDecode, stgDecode, tr, start)
 	// Acquire pins the handle for the whole batch: a concurrent DELETE or
 	// eviction retires the module but teardown waits for our Release.
 	h, ok := s.reg.Acquire(req.Module)
 	if !ok {
+		m.queryErrors.With("unknown_module").Inc()
 		writeError(w, http.StatusNotFound, "module %q not registered", req.Module)
 		return
 	}
 	defer h.Release()
 	switch h.State() {
 	case StateBuilding:
+		m.queryErrors.With("building").Inc()
 		writeError(w, http.StatusConflict, "module %q is still building", req.Module)
 		return
 	case StateFailed:
+		m.queryErrors.With("failed").Inc()
 		writeError(w, http.StatusConflict, "module %q failed to build: %s", req.Module, h.Err())
 		return
 	}
-	results, err := s.RunBatch(h, req.Pairs)
+	results, err := s.RunBatch(r.Context(), h, req.Pairs)
 	if err != nil {
+		m.queryErrors.With("batch").Inc()
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	aggStart := time.Now()
 	resp := QueryResponse{Module: req.Module, Results: results}
 	for _, res := range results {
 		if res.Result == "no-alias" {
 			resp.NoAlias++
 		}
 	}
+	now := observeStage(m.stageAggregate, stgAggregate, tr, aggStart)
+	if r.URL.Query().Get("trace") == "1" && tr != nil {
+		echo := &TraceEcho{RequestID: tr.ID}
+		for _, sp := range tr.Spans() {
+			echo.Spans = append(echo.Spans, SpanEcho{
+				Stage:      sp.Stage,
+				DurationUS: float64(sp.Duration.Nanoseconds()) / 1e3,
+			})
+		}
+		resp.Trace = echo
+	}
 	writeJSON(w, http.StatusOK, resp)
 	putResultBuf(results) // encoded: the buffer may serve the next batch
+	now = observeStage(m.stageEncode, stgEncode, tr, now)
+	m.queryDur.Observe(now.Sub(start).Seconds())
+	m.queryPairs.Add(int64(len(req.Pairs)))
+	m.batchPairs.Observe(float64(len(req.Pairs)))
+}
+
+// observeBuild records one module build's outcome counters, duration
+// histogram, and info-level log line.
+func (s *Service) observeBuild(name, mode string, start time.Time, err error) {
+	d := time.Since(start)
+	result := "ok"
+	if err != nil {
+		result = "error"
+	}
+	s.metrics.builds.With(mode, result).Inc()
+	s.metrics.buildDur.With(mode).Observe(d.Seconds())
+	if err != nil {
+		s.log.Info("module build failed", "module", name, "mode", mode, "duration", d, "error", err)
+	} else {
+		s.log.Info("module build finished", "module", name, "mode", mode, "duration", d)
+	}
 }
 
 // memoEntryCost approximates one live memo-cache entry (key, verdict,
@@ -317,6 +418,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			ms.Chain = h.Snap.Name()
 			ms.Queries = st.Queries
 			ms.CacheHits = st.CacheHits
+			ms.CacheMisses = st.Misses
 			ms.CacheHitRate = st.CacheHitRate()
 			ms.Computed = st.Computed
 			ms.NoAlias = st.NoAlias

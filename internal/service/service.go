@@ -54,6 +54,8 @@
 // # Endpoints
 //
 //	GET    /healthz              liveness + module count
+//	GET    /readyz               readiness (fails while builds are in flight)
+//	GET    /metrics              Prometheus text exposition
 //	GET    /v1/modules           list registered modules
 //	POST   /v1/modules?name=N[&format=ir|minic][&async=1]   register a module (body = source)
 //	GET    /v1/modules/{name}    one module's summary + build status
@@ -63,11 +65,13 @@
 package service
 
 import (
+	"log/slog"
 	"net/http"
 	"time"
 
 	"repro/internal/alias"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // Defaults for Config fields left zero.
@@ -104,6 +108,10 @@ type Config struct {
 	DisablePlanner bool
 	// BuildWorkers sizes the async-build queue (0 = DefaultBuildWorkers).
 	BuildWorkers int
+	// Logger receives the service's structured logs (request access lines at
+	// debug level, build outcomes at info). nil discards everything — tests
+	// and embedders that do not care stay quiet.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -119,29 +127,42 @@ func (c Config) withDefaults() Config {
 	if c.BuildWorkers == 0 {
 		c.BuildWorkers = DefaultBuildWorkers
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
 // Service is the daemon state: a module registry, the shared query pool,
-// and the async build queue.
+// the async build queue, and the telemetry surface they all report into.
 type Service struct {
-	cfg    Config
-	reg    *Registry
-	pool   *pool.Pool
-	builds *pool.Queue
-	start  time.Time
+	cfg     Config
+	reg     *Registry
+	pool    *pool.Pool
+	builds  *pool.Queue
+	start   time.Time
+	log     *slog.Logger
+	metrics *metrics
 }
 
 // New builds a service from the config (zero fields filled with defaults).
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:    cfg,
 		reg:    NewRegistry(cfg.MaxModules, cfg.EvictModules),
 		pool:   &pool.Pool{Parallel: cfg.Parallel},
 		builds: pool.NewQueue(cfg.BuildWorkers, DefaultBuildBacklog),
 		start:  time.Now(),
+		log:    cfg.Logger,
 	}
+	s.metrics = newMetrics(s)
+	// Set before the first Submit: the channel send inside Submit is the
+	// happens-before edge the queue workers read the observer through.
+	s.builds.Observer = func(wait, _ time.Duration) {
+		s.metrics.queueWait.Observe(wait.Seconds())
+	}
+	return s
 }
 
 // Close drains the async build queue. Queries already in flight are
@@ -158,15 +179,23 @@ func (s *Service) managerOptions() alias.ManagerOptions {
 // embedders that preload modules).
 func (s *Service) Registry() *Registry { return s.reg }
 
-// Handler returns the HTTP API of the service.
+// MetricsRegistry returns the telemetry registry behind GET /metrics, for
+// embedders that add their own instruments or render the exposition
+// out-of-band.
+func (s *Service) MetricsRegistry() *telemetry.Registry { return s.metrics.reg }
+
+// Handler returns the HTTP API of the service, wrapped in the request
+// envelope (X-Request-ID, trace context, request metrics, access log).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("GET /v1/modules", s.handleListModules)
 	mux.HandleFunc("POST /v1/modules", s.handleCreateModule)
 	mux.HandleFunc("GET /v1/modules/{name}", s.handleGetModule)
 	mux.HandleFunc("DELETE /v1/modules/{name}", s.handleDeleteModule)
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	return s.instrument(mux)
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -233,7 +234,7 @@ func TestBatchOrderIndependence(t *testing.T) {
 		t.Fatal(err)
 	}
 	pairs := namedPairs(m)
-	base, err := s.RunBatch(h, pairs)
+	base, err := s.RunBatch(context.Background(), h, pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestBatchOrderIndependence(t *testing.T) {
 	for i, j := range perm {
 		shuffled[i] = pairs[j]
 	}
-	got, err := s.RunBatch(h, shuffled)
+	got, err := s.RunBatch(context.Background(), h, shuffled)
 	if err != nil {
 		t.Fatal(err)
 	}

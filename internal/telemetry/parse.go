@@ -1,0 +1,439 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one exposition line: the full sample name (including a
+// histogram's _bucket/_sum/_count suffix), its label set, and the value.
+type ParsedSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily groups the samples that follow one # TYPE declaration.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// Parse decodes a Prometheus text exposition into its families, in input
+// order. It accepts exactly what promtool's parser accepts on the subset
+// this repository emits: HELP/TYPE comment lines, samples with optional
+// label sets and optional timestamps, escaped label values, and other #
+// comments (ignored). Samples with no preceding TYPE line are collected
+// under an implicit "untyped" family.
+func Parse(text string) ([]*ParsedFamily, error) {
+	var fams []*ParsedFamily
+	byName := map[string]*ParsedFamily{}
+	familyOf := func(name string) *ParsedFamily {
+		// A sample belongs to the family whose name it carries, or — for
+		// histograms — whose name plus _bucket/_sum/_count it carries.
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, ok := strings.CutSuffix(name, suffix)
+			if !ok {
+				continue
+			}
+			if f, ok := byName[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+		return nil
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // free-form comment
+			}
+			f := byName[name]
+			if f == nil {
+				f = &ParsedFamily{Name: name, Type: "untyped"}
+				byName[name] = f
+				fams = append(fams, f)
+			}
+			switch kind {
+			case "HELP":
+				f.Help = unescapeHelp(rest)
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					f.Type = rest
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		f := familyOf(s.Name)
+		if f == nil {
+			f = &ParsedFamily{Name: s.Name, Type: "untyped"}
+			byName[s.Name] = f
+			fams = append(fams, f)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	return fams, nil
+}
+
+// FindFamily returns the named family, or nil.
+func FindFamily(fams []*ParsedFamily, name string) *ParsedFamily {
+	for _, f := range fams {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Histogram reassembles a parsed histogram family into a snapshot,
+// summing across any label sets beyond `le` (cumulative counts sum to
+// cumulative counts). All label sets must share one bucket layout.
+func (f *ParsedFamily) Histogram() (HistogramSnapshot, error) {
+	if f.Type != "histogram" {
+		return HistogramSnapshot{}, fmt.Errorf("family %s has type %s, not histogram", f.Name, f.Type)
+	}
+	byBound := map[float64]int64{}
+	var snap HistogramSnapshot
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return HistogramSnapshot{}, fmt.Errorf("%s sample without le label", s.Name)
+			}
+			if le == "+Inf" {
+				snap.Count += int64(s.Value)
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return HistogramSnapshot{}, fmt.Errorf("%s: bad le %q: %v", s.Name, le, err)
+			}
+			byBound[b] += int64(s.Value)
+		case f.Name + "_sum":
+			snap.Sum += s.Value
+		}
+	}
+	snap.Bounds = make([]float64, 0, len(byBound))
+	for b := range byBound {
+		snap.Bounds = append(snap.Bounds, b)
+	}
+	sort.Float64s(snap.Bounds)
+	snap.Counts = make([]int64, len(snap.Bounds))
+	for i, b := range snap.Bounds {
+		snap.Counts[i] = byBound[b]
+	}
+	return snap, nil
+}
+
+// Lint validates a text exposition the way `promtool check metrics` does,
+// restricted to hard errors: syntactic validity of every line, metric and
+// label name grammar, known TYPE values, no duplicate HELP/TYPE, no
+// interleaved families, no duplicate samples, counter values non-negative,
+// and histogram coherence (le-sorted cumulative buckets ending in a +Inf
+// bucket that matches _count). It is the in-repo stand-in CI runs over the
+// live /metrics output instead of depending on promtool.
+func Lint(text string) error {
+	fams, err := Parse(text)
+	if err != nil {
+		return err
+	}
+	seenSample := map[string]bool{}
+	for _, f := range fams {
+		if !metricNameRe.MatchString(f.Name) {
+			return fmt.Errorf("invalid metric name %q", f.Name)
+		}
+		for _, s := range f.Samples {
+			if !validSampleName(f, s.Name) {
+				return fmt.Errorf("sample %q does not belong to family %q (type %s)", s.Name, f.Name, f.Type)
+			}
+			for ln := range s.Labels {
+				if !labelNameRe.MatchString(ln) {
+					return fmt.Errorf("sample %q: invalid label name %q", s.Name, ln)
+				}
+			}
+			key := s.Name + "{" + canonLabels(s.Labels) + "}"
+			if seenSample[key] {
+				return fmt.Errorf("duplicate sample %s", key)
+			}
+			seenSample[key] = true
+			if f.Type == "counter" && (s.Value < 0 || math.IsNaN(s.Value)) {
+				return fmt.Errorf("counter sample %s has invalid value %v", key, s.Value)
+			}
+		}
+		if f.Type == "histogram" {
+			if err := lintHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validSampleName(f *ParsedFamily, name string) bool {
+	if name == f.Name {
+		return f.Type != "histogram" && f.Type != "summary"
+	}
+	switch f.Type {
+	case "histogram":
+		return name == f.Name+"_bucket" || name == f.Name+"_sum" || name == f.Name+"_count"
+	case "summary":
+		return name == f.Name+"_sum" || name == f.Name+"_count"
+	}
+	return false
+}
+
+// lintHistogram checks each label subset (the sample's labels minus le)
+// forms a coherent series: cumulative non-decreasing bucket counts in
+// ascending le order, a +Inf bucket, and _count equal to it.
+func lintHistogram(f *ParsedFamily) error {
+	type series struct {
+		bounds []float64
+		counts []int64
+		inf    *int64
+		count  *int64
+		sum    bool
+	}
+	bySubset := map[string]*series{}
+	get := func(labels map[string]string) *series {
+		sub := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				sub[k] = v
+			}
+		}
+		key := canonLabels(sub)
+		s := bySubset[key]
+		if s == nil {
+			s = &series{}
+			bySubset[key] = s
+		}
+		return s
+	}
+	for _, smp := range f.Samples {
+		s := get(smp.Labels)
+		switch smp.Name {
+		case f.Name + "_bucket":
+			le := smp.Labels["le"]
+			if le == "" {
+				return fmt.Errorf("%s: bucket sample without le", f.Name)
+			}
+			if le == "+Inf" {
+				v := int64(smp.Value)
+				s.inf = &v
+				continue
+			}
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: unparseable le %q", f.Name, le)
+			}
+			s.bounds = append(s.bounds, b)
+			s.counts = append(s.counts, int64(smp.Value))
+		case f.Name + "_sum":
+			s.sum = true
+		case f.Name + "_count":
+			v := int64(smp.Value)
+			s.count = &v
+		}
+	}
+	for key, s := range bySubset {
+		for i := 1; i < len(s.bounds); i++ {
+			if s.bounds[i-1] >= s.bounds[i] {
+				return fmt.Errorf("%s{%s}: bucket bounds not ascending (%v after %v)", f.Name, key, s.bounds[i], s.bounds[i-1])
+			}
+			if s.counts[i-1] > s.counts[i] {
+				return fmt.Errorf("%s{%s}: bucket counts not cumulative (le=%v has %d, le=%v has %d)",
+					f.Name, key, s.bounds[i-1], s.counts[i-1], s.bounds[i], s.counts[i])
+			}
+		}
+		if s.inf == nil {
+			return fmt.Errorf("%s{%s}: histogram lacks a +Inf bucket", f.Name, key)
+		}
+		if n := len(s.counts); n > 0 && s.counts[n-1] > *s.inf {
+			return fmt.Errorf("%s{%s}: +Inf bucket %d below last finite bucket %d", f.Name, key, *s.inf, s.counts[n-1])
+		}
+		if s.count == nil || !s.sum {
+			return fmt.Errorf("%s{%s}: histogram lacks _count or _sum", f.Name, key)
+		}
+		if *s.count != *s.inf {
+			return fmt.Errorf("%s{%s}: _count %d != +Inf bucket %d", f.Name, key, *s.count, *s.inf)
+		}
+	}
+	return nil
+}
+
+func canonLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + `="` + labels[k] + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseComment decodes `# HELP name rest` / `# TYPE name rest` lines.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	body, found := strings.CutPrefix(line, "# ")
+	if !found {
+		return "", "", "", false
+	}
+	kind, body, found = strings.Cut(body, " ")
+	if !found || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	return kind, name, rest, true
+}
+
+// parseSample decodes one `name{labels} value [timestamp]` line.
+func parseSample(line string) (ParsedSample, error) {
+	s := ParsedSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels decodes a `{name="value",...}` block starting at text[0] ==
+// '{'; returns the index just past the closing brace.
+func parseLabels(text string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		for i < len(text) && (text[i] == ' ' || text[i] == ',') {
+			i++
+		}
+		if i < len(text) && text[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("malformed label block %q", text)
+		}
+		name := text[i : i+eq]
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", text)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", text)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", text)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("unknown escape \\%c in %q", text[i+1], text)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q in %q", name, text)
+		}
+		labels[name] = val.String()
+	}
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestLintAcceptsWellFormed is the positive baseline for the negative cases
+// below.
+func TestLintAcceptsWellFormed(t *testing.T) {
+	good := strings.Join([]string{
+		`# HELP app_requests_total Requests.`,
+		`# TYPE app_requests_total counter`,
+		`app_requests_total{route="query"} 4`,
+		`# HELP app_latency_seconds Latency.`,
+		`# TYPE app_latency_seconds histogram`,
+		`app_latency_seconds_bucket{le="0.1"} 1`,
+		`app_latency_seconds_bucket{le="+Inf"} 2`,
+		`app_latency_seconds_sum 1.5`,
+		`app_latency_seconds_count 2`,
+		``,
+	}, "\n")
+	if err := Lint(good); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejectsMalformedExpositions(t *testing.T) {
+	cases := map[string]struct {
+		text string
+		want string // substring of the expected error
+	}{
+		"bad metric name": {
+			text: "# HELP 0bad x\n# TYPE 0bad counter\n0bad 1\n",
+			want: "name",
+		},
+		"unknown type": {
+			text: "# HELP w_total x\n# TYPE w_total wibble\nw_total 1\n",
+			want: "unknown",
+		},
+		"duplicate sample": {
+			text: "# HELP d_total x\n# TYPE d_total counter\nd_total{a=\"1\"} 1\nd_total{a=\"1\"} 2\n",
+			want: "duplicate",
+		},
+		"negative counter": {
+			text: "# HELP n_total x\n# TYPE n_total counter\nn_total -1\n",
+			want: "invalid",
+		},
+		"non-cumulative buckets": {
+			text: "# HELP h_seconds x\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 5\nh_seconds_bucket{le=\"0.5\"} 3\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 5\nh_seconds_sum 1\nh_seconds_count 5\n",
+			want: "cumulative",
+		},
+		"missing +Inf bucket": {
+			text: "# HELP h_seconds x\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_sum 1\nh_seconds_count 1\n",
+			want: "inf",
+		},
+		"count disagrees with +Inf": {
+			text: "# HELP h_seconds x\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 2\nh_seconds_sum 1\nh_seconds_count 3\n",
+			want: "count",
+		},
+		"missing sum": {
+			text: "# HELP h_seconds x\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 1\nh_seconds_count 1\n",
+			want: "sum",
+		},
+		"unsorted bucket bounds": {
+			text: "# HELP h_seconds x\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.5\"} 1\nh_seconds_bucket{le=\"0.1\"} 1\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 1\nh_seconds_sum 1\nh_seconds_count 1\n",
+			want: "bound",
+		},
+	}
+	for name, tc := range cases {
+		err := Lint(tc.text)
+		if err == nil {
+			t.Errorf("%s: lint accepted a malformed exposition", name)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	for name, text := range map[string]string{
+		"no value":         "a_total\n",
+		"bad value":        "a_total notanumber\n",
+		"unclosed labels":  "a_total{x=\"1\" 2\n",
+		"unquoted label":   "a_total{x=1} 2\n",
+		"trailing garbage": "a_total 1 2 3\n",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, text)
+		}
+	}
+}
+
+// TestParseHandlesTimestampsAndEscapes covers optional sample timestamps and
+// label-value unescaping, which scrapers are allowed to emit.
+func TestParseHandlesTimestampsAndEscapes(t *testing.T) {
+	fams, err := Parse("# HELP a_total x\n# TYPE a_total counter\n" +
+		"a_total{p=\"a\\\\b\\\"c\\nd\"} 3 1712000000000\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := FindFamily(fams, "a_total")
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("families = %+v", fams)
+	}
+	if got := f.Samples[0].Labels["p"]; got != "a\\b\"c\nd" {
+		t.Errorf("unescaped label = %q", got)
+	}
+	if f.Samples[0].Value != 3 {
+		t.Errorf("value = %v, want 3 (timestamp must not fold into value)", f.Samples[0].Value)
+	}
+}
+
+// TestHistogramAggregatesLabelSets checks that ParsedFamily.Histogram sums
+// bucket series across non-le label sets — what aliasload relies on when it
+// aggregates the per-stage histogram into one snapshot.
+func TestHistogramAggregatesLabelSets(t *testing.T) {
+	fams, err := Parse(strings.Join([]string{
+		`# HELP s_seconds x`,
+		`# TYPE s_seconds histogram`,
+		`s_seconds_bucket{stage="a",le="0.1"} 1`,
+		`s_seconds_bucket{stage="a",le="+Inf"} 2`,
+		`s_seconds_sum{stage="a"} 0.7`,
+		`s_seconds_count{stage="a"} 2`,
+		`s_seconds_bucket{stage="b",le="0.1"} 3`,
+		`s_seconds_bucket{stage="b",le="+Inf"} 3`,
+		`s_seconds_sum{stage="b"} 0.1`,
+		`s_seconds_count{stage="b"} 3`,
+		``,
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := FindFamily(fams, "s_seconds").Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 5 || snap.Counts[0] != 4 || math.Abs(snap.Sum-0.8) > 1e-9 {
+		t.Errorf("aggregated snapshot = %+v, want count 5, bucket0 4, sum 0.8", snap)
+	}
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// Render produces the registry's Prometheus text exposition (format
+// version 0.0.4): for each family a `# HELP` and `# TYPE` line followed by
+// its samples, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Output is deterministic for a quiescent registry:
+// families render in registration order, vec children and collector
+// emissions in sorted order.
+func (r *Registry) Render() []byte {
+	var b bytes.Buffer
+	for _, f := range r.families() {
+		f.render(&b)
+	}
+	return b.Bytes()
+}
+
+// Handler serves the exposition over HTTP (the GET /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(r.Render())
+	})
+}
+
+func (f *family) render(b *bytes.Buffer) {
+	b.WriteString("# HELP ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(escapeHelp(f.help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(f.name)
+	b.WriteByte(' ')
+	b.WriteString(f.typ)
+	b.WriteByte('\n')
+
+	switch {
+	case f.counter != nil:
+		writeSample(b, f.name, nil, nil, "", "", float64(f.counter.Value()))
+	case f.counterFn != nil:
+		writeSample(b, f.name, nil, nil, "", "", f.counterFn())
+	case f.gauge != nil:
+		writeSample(b, f.name, nil, nil, "", "", f.gauge.Value())
+	case f.gaugeFn != nil:
+		writeSample(b, f.name, nil, nil, "", "", f.gaugeFn())
+	case f.hist != nil:
+		renderHistogram(b, f.name, nil, nil, f.hist)
+	case f.cvec != nil:
+		for _, ch := range sortedCounterChildren(f.cvec) {
+			writeSample(b, f.name, f.labels, ch.vals, "", "", float64(ch.c.Value()))
+		}
+	case f.hvec != nil:
+		for _, ch := range sortedHistChildren(f.hvec) {
+			renderHistogram(b, f.name, f.labels, ch.vals, ch.h)
+		}
+	case f.collect != nil:
+		f.collect(func(v float64, labelValues ...string) {
+			if len(labelValues) != len(f.labels) {
+				panic("telemetry: collector for " + f.name + " emitted a mismatched label count")
+			}
+			writeSample(b, f.name, f.labels, labelValues, "", "", v)
+		})
+	}
+}
+
+func sortedCounterChildren(v *CounterVec) []*counterChild {
+	v.mu.RLock()
+	out := make([]*counterChild, 0, len(v.children))
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, v.children[k])
+	}
+	v.mu.RUnlock()
+	return out
+}
+
+func sortedHistChildren(v *HistogramVec) []*histChild {
+	v.mu.RLock()
+	out := make([]*histChild, 0, len(v.children))
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, v.children[k])
+	}
+	v.mu.RUnlock()
+	return out
+}
+
+// renderHistogram emits the cumulative bucket series. The `_count` sample
+// repeats the +Inf bucket's value (summed from the same per-bucket loads)
+// rather than reading the histogram's count atomic, so a scrape that races
+// concurrent Observes is still internally consistent — the property the
+// exposition linter checks.
+func renderHistogram(b *bytes.Buffer, name string, labelNames, labelVals []string, h *Histogram) {
+	cum := int64(0)
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(b, name+"_bucket", labelNames, labelVals, "le", formatValue(h.bounds[i]), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(b, name+"_bucket", labelNames, labelVals, "le", "+Inf", float64(cum))
+	writeSample(b, name+"_sum", labelNames, labelVals, "", "", h.Sum())
+	writeSample(b, name+"_count", labelNames, labelVals, "", "", float64(cum))
+}
+
+// writeSample emits one `name{labels} value` line; extraName/extraVal is
+// the histogram `le` label appended after the family labels.
+func writeSample(b *bytes.Buffer, name string, labelNames, labelVals []string, extraName, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labelNames) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(ln)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(labelVals[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraVal)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value: integral floats without a decimal
+// point (counter-friendly), everything else in shortest-round-trip form,
+// infinities in the exposition's +Inf/-Inf spelling.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP docstring: backslash and newline.
+func escapeHelp(s string) string {
+	if !needEscape(s, false) {
+		return s
+	}
+	var b bytes.Buffer
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	if !needEscape(s, true) {
+		return s
+	}
+	var b bytes.Buffer
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func needEscape(s string, quote bool) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' || s[i] == '\n' || (quote && s[i] == '"') {
+			return true
+		}
+	}
+	return false
+}

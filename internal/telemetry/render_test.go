@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the rendered text exposition byte-for-byte:
+// HELP/TYPE framing, label and help escaping, cumulative le buckets with a
+// +Inf terminator, _sum/_count, sorted vec children, and collector
+// emission. Any format drift that would break a Prometheus scraper breaks
+// this test first.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("app_requests_total", "Requests served.")
+	c.Add(3)
+	g := reg.Gauge("app_temperature", "Current temp.\nWith a newline and a back\\slash.")
+	g.Set(36.6)
+	reg.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 12 })
+	reg.CounterFunc("app_ticks_total", "Ticks.", func() float64 { return 7 })
+
+	cv := reg.CounterVec("app_errors_total", "Errors by reason.", "reason")
+	cv.With(`quote"back\slash`).Add(2)
+	cv.With("decode").Inc()
+
+	h := reg.Histogram("app_latency_seconds", "Latency.", []float64{0.001, 0.25, 1})
+	h.Observe(0.0005)
+	h.Observe(0.25) // le semantics: lands in the 0.25 bucket
+	h.Observe(3)    // +Inf bucket
+
+	hv := reg.HistogramVec("app_stage_seconds", "Stage latency.", []float64{0.5}, "stage")
+	hv.With("decode").Observe(0.1)
+
+	reg.Collect("app_modules", "Modules by state.", "gauge", []string{"state"},
+		func(emit func(v float64, labelValues ...string)) {
+			emit(2, "building")
+			emit(5, "ready")
+		})
+
+	want := strings.Join([]string{
+		`# HELP app_requests_total Requests served.`,
+		`# TYPE app_requests_total counter`,
+		`app_requests_total 3`,
+		`# HELP app_temperature Current temp.\nWith a newline and a back\\slash.`,
+		`# TYPE app_temperature gauge`,
+		`app_temperature 36.6`,
+		`# HELP app_uptime_seconds Uptime.`,
+		`# TYPE app_uptime_seconds gauge`,
+		`app_uptime_seconds 12`,
+		`# HELP app_ticks_total Ticks.`,
+		`# TYPE app_ticks_total counter`,
+		`app_ticks_total 7`,
+		`# HELP app_errors_total Errors by reason.`,
+		`# TYPE app_errors_total counter`,
+		`app_errors_total{reason="decode"} 1`,
+		`app_errors_total{reason="quote\"back\\slash"} 2`,
+		`# HELP app_latency_seconds Latency.`,
+		`# TYPE app_latency_seconds histogram`,
+		`app_latency_seconds_bucket{le="0.001"} 1`,
+		`app_latency_seconds_bucket{le="0.25"} 2`,
+		`app_latency_seconds_bucket{le="1"} 2`,
+		`app_latency_seconds_bucket{le="+Inf"} 3`,
+		`app_latency_seconds_sum 3.2505`,
+		`app_latency_seconds_count 3`,
+		`# HELP app_stage_seconds Stage latency.`,
+		`# TYPE app_stage_seconds histogram`,
+		`app_stage_seconds_bucket{stage="decode",le="0.5"} 1`,
+		`app_stage_seconds_bucket{stage="decode",le="+Inf"} 1`,
+		`app_stage_seconds_sum{stage="decode"} 0.1`,
+		`app_stage_seconds_count{stage="decode"} 1`,
+		`# HELP app_modules Modules by state.`,
+		`# TYPE app_modules gauge`,
+		`app_modules{state="building"} 2`,
+		`app_modules{state="ready"} 5`,
+		``,
+	}, "\n")
+	got := string(reg.Render())
+	if got != want {
+		t.Errorf("exposition drifted\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The golden output must satisfy our own linter and round-trip the
+	// parser: 8 families, histogram snapshot intact.
+	if err := Lint(got); err != nil {
+		t.Fatalf("golden exposition fails lint: %v", err)
+	}
+	fams, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 8 {
+		t.Fatalf("parsed %d families, want 8", len(fams))
+	}
+	hf := FindFamily(fams, "app_latency_seconds")
+	snap, err := hf.Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 3 || snap.Counts[1] != 2 || snap.Sum != 3.2505 {
+		t.Errorf("histogram round-trip = %+v", snap)
+	}
+	ef := FindFamily(fams, "app_errors_total")
+	found := false
+	for _, s := range ef.Samples {
+		if s.Labels["reason"] == `quote"back\slash` {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped label value did not round-trip: %+v", ef.Samples)
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("handler body = %q", rec.Body.String())
+	}
+}

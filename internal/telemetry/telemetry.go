@@ -1,0 +1,404 @@
+// Package telemetry is the repository's zero-dependency observability core:
+// atomic counters, gauges and fixed-bucket histograms, collected in a
+// Registry that renders the Prometheus text exposition format (version
+// 0.0.4), plus the per-request Trace the service threads through its query
+// pipeline. It exists so aliasd can expose a production `/metrics` endpoint
+// without pulling the Prometheus client library into the module — the same
+// per-stage registration idiom bgpipe's stages/metrics.go uses, rebuilt on
+// the stdlib.
+//
+// Instruments are cheap enough for hot paths: a Counter or Gauge is one
+// atomic word, a Histogram Observe is a binary search over its bounds plus
+// two atomic adds and a CAS loop on the sum. Vec variants add one map
+// lookup under an RLock; callers on hot paths should resolve children once
+// with With and keep the pointer.
+//
+// Scrape-time families: for counters whose source of truth already lives
+// elsewhere (the service's per-module ManagerStats, planner tallies, cache
+// counters), Collect registers a callback that emits samples at render
+// time. Because such families *read* the same structs that back
+// /v1/stats, the two endpoints reconcile exactly — the CI smoke job
+// asserts it.
+//
+// The exposition linter (Lint) and parser (Parse) round-trip the rendered
+// text: Lint is the in-repo promtool stand-in run by tests and CI, Parse
+// feeds aliasload's server-side latency attribution (scraping the query
+// histogram before and after a burst).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+//
+// aliaslint: never copy a Counter by value — share pointers.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative: counters only go up.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: Counter.Add with negative delta")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (negative deltas allowed).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (cumulative `le` upper
+// bounds in the exposition, non-cumulative atomics internally) and tracks
+// their sum. Bounds are set at registration and immutable afterwards.
+type Histogram struct {
+	bounds  []float64 // ascending finite upper bounds; +Inf implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("telemetry: histogram bounds must be finite (+Inf is implicit)")
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound ≥ v is the bucket (le semantics: v == bound belongs in it);
+	// values above every bound land in the implicit +Inf slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot captures the histogram as cumulative bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)),
+		Sum:    h.Sum(),
+	}
+	cum := int64(0)
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Counts[i] = cum
+	}
+	s.Count = cum + h.counts[len(h.bounds)].Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram: cumulative
+// counts per finite bound, with the +Inf bucket implied by Count. It is the
+// unit aliasload diffs around a burst to attribute latency server-side.
+type HistogramSnapshot struct {
+	Bounds []float64 // ascending finite upper bounds
+	Counts []int64   // cumulative observations ≤ the matching bound
+	Count  int64     // all observations (the +Inf bucket)
+	Sum    float64
+}
+
+// Sub returns the delta snapshot s − prev (the observations recorded
+// between the two scrapes). Bounds must match; mismatches return s
+// unchanged so callers against a restarted or reconfigured server degrade
+// to the absolute numbers instead of nonsense.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Bounds) != len(s.Bounds) {
+		return s
+	}
+	for i := range s.Bounds {
+		if prev.Bounds[i] != s.Bounds[i] {
+			return s
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - prev.Count,
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) by linear interpolation
+// within the bucket holding the target rank — the classic Prometheus
+// histogram_quantile estimate. Observations in the +Inf bucket clamp to the
+// largest finite bound (there is nothing to interpolate against). Returns 0
+// for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	for i, cum := range s.Counts {
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		prev := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			prev = s.Counts[i-1]
+		}
+		hi := s.Bounds[i]
+		inBucket := cum - prev
+		if inBucket <= 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(inBucket)
+	}
+	// Target rank is in the +Inf bucket.
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// CounterVec is a family of Counters keyed by label values.
+type CounterVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*counterChild
+}
+
+type counterChild struct {
+	vals []string
+	c    Counter
+}
+
+// With returns the child counter for the given label values (created on
+// first use). Hot paths should call With once and keep the pointer.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: CounterVec.With got %d values for %d labels", len(values), len(v.labels)))
+	}
+	k := strings.Join(values, "\xff")
+	v.mu.RLock()
+	ch := v.children[k]
+	v.mu.RUnlock()
+	if ch != nil {
+		return &ch.c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch = v.children[k]; ch == nil {
+		ch = &counterChild{vals: append([]string(nil), values...)}
+		v.children[k] = ch
+	}
+	return &ch.c
+}
+
+// HistogramVec is a family of Histograms keyed by label values, sharing one
+// bucket layout.
+type HistogramVec struct {
+	labels   []string
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[string]*histChild
+}
+
+type histChild struct {
+	vals []string
+	h    *Histogram
+}
+
+// With returns the child histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: HistogramVec.With got %d values for %d labels", len(values), len(v.labels)))
+	}
+	k := strings.Join(values, "\xff")
+	v.mu.RLock()
+	ch := v.children[k]
+	v.mu.RUnlock()
+	if ch != nil {
+		return ch.h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch = v.children[k]; ch == nil {
+		ch = &histChild{vals: append([]string(nil), values...), h: newHistogram(v.bounds)}
+		v.children[k] = ch
+	}
+	return ch.h
+}
+
+// family is one registered metric family. Exactly one of the source fields
+// is set; render dispatches on it.
+type family struct {
+	name, help, typ string
+	labels          []string
+
+	counter   *Counter
+	counterFn func() float64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+	cvec      *CounterVec
+	hvec      *HistogramVec
+	collect   func(emit func(v float64, labelValues ...string))
+}
+
+// Registry holds metric families in registration order (rendering is
+// deterministic, which the golden tests rely on). Registration panics on
+// invalid or duplicate names — a programming error, caught at startup.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	seen map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: map[string]bool{}}
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (r *Registry) add(f *family) {
+	if !metricNameRe.MatchString(f.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !labelNameRe.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[f.name] {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", f.name))
+	}
+	r.seen[f.name] = true
+	r.fams = append(r.fams, f)
+}
+
+// Counter registers and returns a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for monotonic values whose source of truth lives elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, typ: "counter", counterFn: fn})
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: labels, children: map[string]*counterChild{}}
+	r.add(&family{name: name, help: help, typ: "counter", labels: labels, cvec: v})
+	return v
+}
+
+// Gauge registers and returns a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.add(&family{name: name, help: help, typ: "gauge", gaugeFn: fn})
+}
+
+// Histogram registers and returns a histogram with the given finite,
+// strictly ascending bucket bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.add(&family{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// HistogramVec registers a labeled histogram family sharing one bucket
+// layout.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	newHistogram(bounds) // validate bounds once, up front
+	v := &HistogramVec{labels: labels, bounds: append([]float64(nil), bounds...), children: map[string]*histChild{}}
+	r.add(&family{name: name, help: help, typ: "histogram", labels: labels, hvec: v})
+	return v
+}
+
+// Collect registers a scrape-time family: at every render, collect is
+// called and each emit adds one sample with the family's label values.
+// typ is "counter" or "gauge". The callback must emit deterministically
+// (sorted) if the output feeds golden tests, and must not call back into
+// the registry.
+func (r *Registry) Collect(name, help, typ string, labels []string, collect func(emit func(v float64, labelValues ...string))) {
+	if typ != "counter" && typ != "gauge" {
+		panic(fmt.Sprintf("telemetry: Collect type %q (want counter or gauge)", typ))
+	}
+	r.add(&family{name: name, help: help, typ: typ, labels: labels, collect: collect})
+}
+
+// families snapshots the family list (families are never removed, so the
+// shared backing array is safe to iterate without the lock).
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fams[:len(r.fams):len(r.fams)]
+}

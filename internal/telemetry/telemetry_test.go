@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentInstruments hammers every instrument kind from many
+// goroutines; run under -race this is the data-race regression test, and
+// the final totals check that no increment is lost.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "c")
+	g := reg.Gauge("hammer_gauge", "g")
+	h := reg.Histogram("hammer_seconds", "h", []float64{0.25, 0.5, 0.75})
+	cv := reg.CounterVec("hammer_vec_total", "cv", "worker")
+	hv := reg.HistogramVec("hammer_vec_seconds", "hv", []float64{0.5}, "worker")
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			child := cv.With(name)
+			hchild := hv.With(name)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%4) * 0.25)
+				child.Add(2)
+				hchild.Observe(0.1)
+				if i%64 == 0 {
+					// Concurrent scrapes must not tear: renderings stay
+					// parseable and lint-clean mid-hammer.
+					if err := Lint(string(reg.Render())); err != nil {
+						t.Errorf("mid-hammer lint: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0 after balanced adds", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	snap := h.Snapshot()
+	// Observations cycle 0, 0.25, 0.5, 0.75: every value lands in a finite
+	// bucket (le semantics put v == bound inside the bucket).
+	if snap.Counts[len(snap.Counts)-1] != snap.Count {
+		t.Errorf("finite buckets hold %d of %d observations; +Inf bucket should be empty",
+			snap.Counts[len(snap.Counts)-1], snap.Count)
+	}
+	for w := 0; w < workers; w++ {
+		if got := cv.With(string(rune('a' + w))).Value(); got != 2*perWorker {
+			t.Errorf("vec child %d = %d, want %d", w, got, 2*perWorker)
+		}
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Counter.Add(-1) did not panic")
+		}
+	}()
+	new(Counter).Add(-1)
+}
+
+func TestRegistryRejectsDuplicatesAndBadNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ok_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate":      func() { reg.Counter("ok_total", "again") },
+		"bad name":       func() { reg.Counter("0bad", "x") },
+		"bad label":      func() { reg.CounterVec("lbl_total", "x", "0bad") },
+		"reserved le":    func() { reg.HistogramVec("h_seconds", "x", []float64{1}, "le") },
+		"unsorted bound": func() { reg.Histogram("h2_seconds", "x", []float64{2, 1}) },
+		"inf bound":      func() { reg.Histogram("h3_seconds", "x", []float64{1, math.Inf(1)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.2, 0.4, 0.8})
+	// 100 observations uniform in (0, 0.1]: everything in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.001)
+	}
+	snap := h.Snapshot()
+	if q := snap.Quantile(0.5); q < 0.04 || q > 0.06 {
+		t.Errorf("p50 = %v, want ≈0.05 by interpolation", q)
+	}
+	if q := snap.Quantile(1.0); q != 0.1 {
+		t.Errorf("p100 = %v, want bucket bound 0.1", q)
+	}
+
+	// A +Inf-bucket rank clamps to the largest finite bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(5)
+	if q := h2.Snapshot().Quantile(0.99); q != 1 {
+		t.Errorf("quantile in +Inf bucket = %v, want clamp to 1", q)
+	}
+
+	if q := (HistogramSnapshot{}).Quantile(0.99); q != 0 {
+		t.Errorf("empty snapshot quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	before := h.Snapshot()
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	delta := h.Snapshot().Sub(before)
+	if delta.Count != 3 || delta.Counts[0] != 1 || delta.Counts[1] != 2 {
+		t.Errorf("delta = %+v, want 3 observations (1 ≤1, 2 ≤2)", delta)
+	}
+	if delta.Sum != 0.5+1.5+99 {
+		t.Errorf("delta sum = %v", delta.Sum)
+	}
+	// Mismatched bounds degrade to the absolute snapshot.
+	other := HistogramSnapshot{Bounds: []float64{7}, Counts: []int64{1}, Count: 1}
+	if got := h.Snapshot().Sub(other); got.Count != h.Count() {
+		t.Errorf("mismatched-bounds Sub = %+v, want absolute snapshot", got)
+	}
+}
+
+func TestTraceNilSafetyAndContext(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Observe("decode", time.Now(), time.Millisecond) // must not panic
+	if nilTrace.Spans() != nil || nilTrace.String() != "" {
+		t.Error("nil trace leaked data")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context yielded a trace")
+	}
+
+	tr := NewTrace("req1")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("context round-trip lost the trace")
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Observe("evaluate", start, 2*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if spans := tr.Spans(); len(spans) != 4 || spans[0].Stage != "evaluate" {
+		t.Errorf("spans = %+v, want 4 evaluate spans", tr.Spans())
+	}
+	if s := tr.String(); s == "" {
+		t.Error("String() empty for a populated trace")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Errorf("request ids %q, %q: want 16 hex chars, distinct", a, b)
+	}
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one recorded pipeline stage of a request.
+type Span struct {
+	Stage    string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Trace is the lightweight per-request record the service threads through
+// its pipeline via context: a request ID (client-supplied X-Request-ID or
+// generated) plus the stage spans observed along the way. All methods are
+// nil-safe so instrumented code needs no "is tracing on" branches — an
+// untraced call path simply carries a nil *Trace.
+//
+// aliaslint: never copy a Trace by value — share the pointer.
+type Trace struct {
+	ID string
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(id string) *Trace { return &Trace{ID: id} }
+
+// Observe appends one stage span. No-op on a nil trace.
+func (t *Trace) Observe(stage string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Stage: stage, Start: start, Duration: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans (nil for a nil trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// String renders the spans as "stage=1.234ms ..." for structured logs.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", s.Stage, float64(s.Duration.Microseconds())/1000.0)
+	}
+	return b.String()
+}
+
+type traceKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — safe to use with
+// every Trace method.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// NewRequestID returns a 16-hex-char random request ID for requests that
+// arrive without an X-Request-ID header.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
