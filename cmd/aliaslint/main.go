@@ -5,6 +5,8 @@
 // Usage:
 //
 //	go run ./cmd/aliaslint ./...
+//	go run ./cmd/aliaslint -json ./...
+//	go run ./cmd/aliaslint -nolintaudit ./...
 //	go run ./cmd/aliaslint repro/internal/interval repro/internal/alias
 //
 // The argument "./..." (or no argument) analyzes every package below the
@@ -12,12 +14,22 @@
 //
 //	file:line:col: message (analyzer)
 //
-// and are suppressed by //nolint:aliaslint or //nolint:<analyzer> comments
-// on the flagged line.
+// or, with -json, as one JSON object per line carrying the analyzer,
+// position, message, and suppression state (suppressed findings are included
+// in JSON mode so dashboards can track the suppression debt; they never
+// affect the exit code).
+//
+// Findings are suppressed by //nolint:aliaslint or //nolint:<analyzer>
+// comments on the flagged line; every suppression must carry a
+// justification tail ("//nolint:x // reason") or it is itself a finding.
+// -nolintaudit additionally reports stale directives — suppressions that no
+// longer silence anything — and exits non-zero on those too.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -31,6 +43,10 @@ var analyzers = []*lint.Analyzer{
 	lint.FrozenWrite,
 	lint.HandleLeak,
 	lint.CounterCopy,
+	lint.LockOrder,
+	lint.PinFlow,
+	lint.CtxCancel,
+	lint.MetricReg,
 }
 
 func main() {
@@ -40,7 +56,25 @@ func main() {
 	}
 }
 
+// jsonDiag is the -json wire format: one object per line.
+type jsonDiag struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run(args []string) error {
+	fs := flag.NewFlagSet("aliaslint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic (including suppressed ones)")
+	audit := fs.Bool("nolintaudit", false, "also report stale //nolint directives that suppress nothing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+
 	root, module, err := findModule()
 	if err != nil {
 		return err
@@ -85,22 +119,66 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	diags, err := lint.Run(prog, analyzers)
+	res, err := lint.RunAll(prog, analyzers)
 	if err != nil {
 		return err
 	}
 
-	w := bufio.NewWriter(os.Stdout)
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
+	relPath := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", rel, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		return name
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		emit := func(d lint.Diagnostic, suppressed bool) {
+			enc.Encode(jsonDiag{
+				Analyzer:   d.Analyzer,
+				File:       relPath(d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Message:    d.Message,
+				Suppressed: suppressed,
+			})
+		}
+		for _, d := range res.Diags {
+			emit(d, false)
+		}
+		for _, d := range res.Suppressed {
+			emit(d, true)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
+	}
+
+	failures := len(res.Diags)
+	if *audit {
+		for _, d := range lint.StaleDirectives(res, analyzers) {
+			failures++
+			if *jsonOut {
+				json.NewEncoder(w).Encode(jsonDiag{
+					Analyzer: "nolintaudit",
+					File:     relPath(d.Pos.Filename),
+					Line:     d.Pos.Line,
+					Column:   d.Pos.Column,
+					Message:  fmt.Sprintf("stale directive %s suppresses nothing; delete it", d),
+				})
+			} else {
+				fmt.Fprintf(w, "%s:%d:%d: stale //nolint directive suppresses nothing; delete it (nolintaudit)\n",
+					relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column)
+			}
+		}
 	}
 	w.Flush()
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "aliaslint: %d finding(s)\n", len(diags))
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "aliaslint: %d finding(s)\n", failures)
 		os.Exit(1)
 	}
 	return nil

@@ -148,9 +148,13 @@ type Manager struct {
 const statShards = 16
 
 type statShard struct {
-	mu       sync.Mutex
-	computed int64 // distinct computed queries
-	noAliasN int64 // computed no-alias queries
+	// The stripe lock is held O(1) on the query path (one counter bump)
+	// and O(members) at stats time, never nested — bounded by design, so
+	// scrape-time Stats merging may take it without contending with the
+	// hot path in any meaningful way.
+	mu       sync.Mutex // aliaslint:striped (O(1) critical sections, never nested)
+	computed int64      // distinct computed queries
+	noAliasN int64      // computed no-alias queries
 	members  []memberCounters
 }
 

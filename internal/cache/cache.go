@@ -35,6 +35,10 @@ type Cache[K comparable, V any] struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	// size mirrors the summed shard map sizes so Len never touches a shard
+	// lock — scrape-time readers (the /metrics cache-entries gauge) must
+	// not contend with the query path holding shard locks.
+	size atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a Cache's counters.
@@ -141,21 +145,18 @@ func (c *Cache[K, V]) GetOrAdd(k K, v V) (V, bool) {
 	s.mu.Unlock()
 	if evicted {
 		c.evictions.Add(1)
+	} else {
+		c.size.Add(1) // eviction + insert is net zero
 	}
 	return v, true
 }
 
-// Len returns the live entry count. It takes each shard lock in turn, so
-// the sum never observes a shard mid-mutation and is always ≤ the capacity.
+// Len returns the live entry count from the atomic size mirror — lock-free,
+// so scrapes never contend with query-path shard locks. The count is always
+// ≤ the capacity: insertions bump it after the shard settles, and an
+// eviction-paired insert does not change it.
 func (c *Cache[K, V]) Len() int {
-	n := 0
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		n += len(s.m)
-		s.mu.Unlock()
-	}
-	return n
+	return int(c.size.Load())
 }
 
 // Cap returns the configured capacity.

@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs over go/ast — the
+// skeleton of the lint package's dataflow engine (see dataflow.go for the
+// fixpoint solver that runs over it). The construction mirrors internal/cfg,
+// which computes the same structure over the repository's own IR: blocks of
+// straight-line nodes, explicit edges for every branch, and reverse
+// postorder as the iteration order of choice. Conditional edges carry the
+// branch condition (and whether the edge is the negated arm), so analyses
+// can implement path narrowing — the ok-guard refinement of handleleak — as
+// an edge transfer instead of a hand-rolled recursive walk.
+//
+// Statements are decomposed: a block's node list holds simple statements and
+// bare condition/tag expressions, never a compound statement, so a client
+// walking a node with ast.Inspect sees exactly the code executed in that
+// block and nothing from nested branches.
+
+// A CBlock is one basic block: nodes executed in order, then a transfer of
+// control along one of the successor edges.
+type CBlock struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*CEdge
+	Preds []*CEdge
+}
+
+// A CEdge is one control transfer. For a conditional branch Cond is the
+// branch condition; Negate marks the edge taken when Cond is false. Edges
+// out of switch/select heads carry no condition.
+type CEdge struct {
+	From, To *CBlock
+	Cond     ast.Expr
+	Negate   bool
+}
+
+// A CFG is the control-flow graph of one function body. Exit collects every
+// normal function exit: explicit returns and falling off the end. Paths that
+// end in panic terminate without reaching Exit.
+type CFG struct {
+	Entry  *CBlock
+	Exit   *CBlock
+	Blocks []*CBlock
+}
+
+// ReturnBlocks lists the blocks whose last node is a return statement.
+func (g *CFG) ReturnBlocks() []*CBlock {
+	var out []*CBlock
+	for _, b := range g.Blocks {
+		if n := len(b.Nodes); n > 0 {
+			if _, ok := b.Nodes[n-1].(*ast.ReturnStmt); ok {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// RPO returns the blocks reachable from Entry in reverse postorder.
+func (g *CFG) RPO() []*CBlock {
+	seen := make([]bool, len(g.Blocks))
+	var post []*CBlock
+	var dfs func(b *CBlock)
+	dfs = func(b *CBlock) {
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if !seen[e.To.Index] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// cfgBuilder threads the construction state: the block under construction
+// (nil while the walk is in dead code after a terminator) and the stacks of
+// break/continue targets.
+type cfgBuilder struct {
+	g   *CFG
+	cur *CBlock
+
+	// breakables/continuables are innermost-last target stacks; entries
+	// remember the statement label (if any) for labeled break/continue.
+	breakables   []branchTarget
+	continuables []branchTarget
+
+	labels map[string]*CBlock   // label → block the labeled statement starts
+	gotos  map[string][]*CBlock // unresolved goto sources by label
+}
+
+type branchTarget struct {
+	label string
+	block *CBlock
+}
+
+// BuildCFG constructs the control-flow graph of body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:      &CFG{},
+		labels: map[string]*CBlock{},
+		gotos:  map[string][]*CBlock{},
+	}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmts(body.List)
+	// Falling off the end is a normal exit.
+	b.edge(b.cur, b.g.Exit, nil, false)
+	// Go requires goto labels to be declared in the same function, but be
+	// robust to broken sources: unresolved gotos terminate.
+	for name, srcs := range b.gotos {
+		if tgt := b.labels[name]; tgt != nil {
+			for _, s := range srcs {
+				b.edge(s, tgt, nil, false)
+			}
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *CBlock {
+	blk := &CBlock{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from→to (no-op when from is nil, i.e. dead code).
+func (b *cfgBuilder) edge(from, to *CBlock, cond ast.Expr, negate bool) {
+	if from == nil || to == nil {
+		return
+	}
+	e := &CEdge{From: from, To: to, Cond: cond, Negate: negate}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// append adds a node to the current block (dropped in dead code).
+func (b *cfgBuilder) append(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// isPanicCall reports whether s is a call to the panic builtin.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// stmt builds one statement. label is the pending label when the statement
+// is the body of a LabeledStmt (loops and switches register their targets
+// under it).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.edge(b.cur, b.g.Exit, nil, false)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		blk := b.newBlock()
+		b.edge(b.cur, blk, nil, false)
+		b.cur = blk
+		b.labels[name] = blk
+		b.stmt(s.Stmt, name)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.append(s.Tag)
+		}
+		b.switchBody(s.Body, label)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.append(s.Assign)
+		b.switchBody(s.Body, label)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	default:
+		// Simple statements: assign, expr, defer, go, send, incdec, decl…
+		b.append(s)
+		if isPanicCall(s) {
+			b.cur = nil // panic terminates without reaching Exit
+		}
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	find := func(stack []branchTarget) *CBlock {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if label == "" || stack[i].label == label {
+				return stack[i].block
+			}
+		}
+		return nil
+	}
+	switch s.Tok {
+	case token.BREAK:
+		b.edge(b.cur, find(b.breakables), nil, false)
+		b.cur = nil
+	case token.CONTINUE:
+		b.edge(b.cur, find(b.continuables), nil, false)
+		b.cur = nil
+	case token.GOTO:
+		if tgt := b.labels[label]; tgt != nil {
+			b.edge(b.cur, tgt, nil, false)
+		} else if b.cur != nil {
+			b.gotos[label] = append(b.gotos[label], b.cur)
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by switchBody (the clause's fall edge); nothing here.
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	b.append(s.Cond)
+	head := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(head, then, s.Cond, false)
+	b.cur = then
+	b.stmts(s.Body.List)
+	b.edge(b.cur, after, nil, false)
+
+	switch e := s.Else.(type) {
+	case nil:
+		b.edge(head, after, s.Cond, true)
+	case *ast.BlockStmt:
+		els := b.newBlock()
+		b.edge(head, els, s.Cond, true)
+		b.cur = els
+		b.stmts(e.List)
+		b.edge(b.cur, after, nil, false)
+	default: // else-if chain
+		els := b.newBlock()
+		b.edge(head, els, s.Cond, true)
+		b.cur = els
+		b.stmt(e, "")
+		b.edge(b.cur, after, nil, false)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init, "")
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	post := head
+	if s.Post != nil {
+		post = b.newBlock()
+	}
+	b.edge(b.cur, head, nil, false)
+	b.cur = head
+	if s.Cond != nil {
+		b.append(s.Cond)
+		head = b.cur // appending never splits, but keep the invariant local
+		b.edge(head, body, s.Cond, false)
+		b.edge(head, after, s.Cond, true)
+	} else {
+		b.edge(b.cur, body, nil, false)
+		// No condition: after is reachable only through break.
+	}
+
+	b.breakables = append(b.breakables, branchTarget{label, after})
+	b.continuables = append(b.continuables, branchTarget{label, post})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, post, nil, false)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post, "")
+		b.edge(b.cur, head, nil, false)
+	}
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.continuables = b.continuables[:len(b.continuables)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	// The ranged expression is evaluated once, in the entering block; the
+	// head then decides each iteration.
+	b.append(s.X)
+	head := b.newBlock()
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(b.cur, head, nil, false)
+	b.edge(head, body, nil, false)
+	b.edge(head, after, nil, false) // zero iterations
+
+	b.breakables = append(b.breakables, branchTarget{label, after})
+	b.continuables = append(b.continuables, branchTarget{label, head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.edge(b.cur, head, nil, false)
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.continuables = b.continuables[:len(b.continuables)-1]
+	b.cur = after
+}
+
+// switchBody builds the clauses of a switch/type-switch as parallel branches
+// off the current block. Without a default clause control may skip every
+// clause; fallthrough chains into the next clause's body.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakables = append(b.breakables, branchTarget{label, after})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*CBlock, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, cond := range cc.List {
+			// Record the case expressions in the head: they are evaluated
+			// there (calls in case exprs run before any body).
+			if head != nil {
+				head.Nodes = append(head.Nodes, cond)
+			}
+		}
+		b.edge(head, blocks[i], nil, false)
+		b.cur = blocks[i]
+		b.stmts(cc.Body)
+		// Explicit fallthrough (must be the last statement) chains bodies.
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(blocks) {
+				b.edge(b.cur, blocks[i+1], nil, false)
+				b.cur = nil
+			}
+		}
+		b.edge(b.cur, after, nil, false)
+	}
+	if !hasDefault {
+		b.edge(head, after, nil, false)
+	}
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.cur = after
+}
+
+// selectStmt builds each communication clause as a branch. A select without
+// a default blocks until some clause proceeds, so there is no skip edge.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakables = append(b.breakables, branchTarget{label, after})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk, nil, false)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm, "")
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, after, nil, false)
+	}
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	b.cur = after
+}

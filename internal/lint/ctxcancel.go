@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCancel enforces the context lifecycle in the service and pool layers —
+// the stdlib lostcancel analysis rebuilt on the obligation dataflow, plus a
+// structural rule:
+//
+//   - every cancel function returned by context.WithCancel / WithTimeout /
+//     WithDeadline / WithCancelCause must be called on every path from the
+//     derivation (defer cancel() is the canonical discharge; passing the
+//     cancel function to another function or capturing it in a closure
+//     hands the obligation off);
+//   - discarding the cancel function with `_` is always a finding;
+//   - context.Context must not be stored in a struct field — contexts are
+//     request-scoped and flow through call parameters, never through
+//     long-lived state.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc: "flags context cancel functions not called on every path and " +
+		"context.Context struct fields",
+	Run: runCtxCancel,
+}
+
+// contextDerivations are the context constructors returning a cancel func.
+var contextDerivations = map[string]bool{
+	"WithCancel":      true,
+	"WithTimeout":     true,
+	"WithDeadline":    true,
+	"WithCancelCause": true,
+}
+
+// isContextDerivation reports whether call is context.WithCancel & friends.
+func isContextDerivation(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeObj(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "context" {
+		return "", false
+	}
+	if !contextDerivations[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+func runCtxCancel(pass *Pass) error {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				for _, body := range funcBodies(d.Body) {
+					checkCancelBody(pass, info, body)
+				}
+			case *ast.GenDecl:
+				checkContextFields(pass, info, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkContextFields flags struct fields of type context.Context.
+func checkContextFields(pass *Pass, info *types.Info, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			n := namedOf(tv.Type)
+			if n == nil {
+				continue
+			}
+			if obj := n.Obj(); obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Name() == "context" {
+				pass.Reportf(field.Pos(),
+					"context.Context stored in a struct field of %s; contexts are "+
+						"request-scoped — thread them through call parameters", ts.Name.Name)
+			}
+		}
+	}
+}
+
+// checkCancelBody runs the cancel-obligation dataflow over one function
+// body.
+func checkCancelBody(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	type derivation struct {
+		name   string
+		cancel *types.Var
+		acq    ast.Node
+		pos    ast.Node
+	}
+	var derivs []derivation
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := isContextDerivation(info, call)
+		if !ok {
+			return true
+		}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(call.Pos(),
+				"the cancel function returned by context.%s is discarded; the "+
+					"derived context can never be cancelled", name)
+			return true
+		}
+		cv, _ := lhsVar(info, as, 1)
+		if cv == nil {
+			return true
+		}
+		derivs = append(derivs, derivation{name: name, cancel: cv, acq: as, pos: call})
+		return true
+	})
+	if len(derivs) == 0 {
+		return
+	}
+	g := BuildCFG(body)
+	for _, d := range derivs {
+		cv := d.cancel
+		spec := &obligationSpec{
+			info: info,
+			v:    cv,
+			acq:  d.acq,
+			// Passing the cancel function anywhere hands the obligation off —
+			// unlike a handle pin, a cancel func has no borrow semantics.
+			argTransfers: true,
+			isRelease: func(call *ast.CallExpr) bool {
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				return ok && info.Uses[id] == cv
+			},
+		}
+		if solveObligation(g, spec) {
+			pass.Reportf(d.pos.Pos(),
+				"the cancel function returned by context.%s is not called on every "+
+					"path (context leak); defer cancel() right after the derivation",
+				d.name)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// This file is the dataflow half of the engine: a worklist fixpoint solver
+// over the CFGs of cfg.go with a client-supplied lattice, def-use chains for
+// local value tracking, and a program-level summary store for
+// interprocedural facts. Analyzers describe their lattice through the
+// Problem interface; the solver owns iteration order and termination.
+
+// A Problem is one dataflow lattice plus its transfer functions. Facts are
+// opaque to the solver; nil is reserved as the unreachable bottom (the
+// solver never passes nil to Transfer, FlowEdge or Join). Implementations
+// must be monotone for the fixpoint to terminate within the solver's
+// iteration budget.
+type Problem interface {
+	// Entry is the fact on function entry.
+	Entry() any
+	// Transfer applies one block node to the fact, returning the fact after
+	// the node. Nodes are simple statements or bare condition expressions —
+	// never compound statements (see cfg.go).
+	Transfer(n ast.Node, fact any) any
+	// FlowEdge refines the fact along a CFG edge; most problems return fact
+	// unchanged. Edges out of conditionals carry the branch condition, which
+	// enables ok-guard style narrowing.
+	FlowEdge(e *CEdge, fact any) any
+	// Join merges facts at a control-flow merge point.
+	Join(a, b any) any
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal(a, b any) bool
+}
+
+// A FlowResult holds per-block facts after a Fixpoint run. In and Out are
+// nil for blocks unreachable from entry.
+type FlowResult struct {
+	In, Out map[*CBlock]any
+	// Converged is false when the iteration budget ran out before a
+	// fixpoint — a non-monotone Problem. Facts are then best-effort.
+	Converged bool
+}
+
+// Fixpoint solves p over g with a reverse-postorder worklist. The iteration
+// budget is generous for monotone problems (each block is allowed many
+// revisits) and exists only to bound non-monotone clients.
+func Fixpoint(g *CFG, p Problem) *FlowResult {
+	res := &FlowResult{
+		In:        make(map[*CBlock]any, len(g.Blocks)),
+		Out:       make(map[*CBlock]any, len(g.Blocks)),
+		Converged: true,
+	}
+	order := g.RPO()
+	pos := make(map[*CBlock]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	inList := make([]bool, len(g.Blocks))
+	var work []*CBlock
+	push := func(b *CBlock) {
+		if _, reachable := pos[b]; reachable && !inList[b.Index] {
+			inList[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		push(order[i]) // seed in RPO (LIFO pop order)
+	}
+
+	budget := 64*len(order) + 256
+	for len(work) > 0 {
+		if budget--; budget < 0 {
+			res.Converged = false
+			break
+		}
+		// Pop the earliest block in RPO for near-topological processing.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i]] < pos[work[best]] {
+				best = i
+			}
+		}
+		b := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[b.Index] = false
+
+		var in any
+		if b == g.Entry {
+			in = p.Entry()
+		}
+		for _, e := range b.Preds {
+			f := res.Out[e.From]
+			if f == nil {
+				continue // predecessor not yet reached
+			}
+			f = p.FlowEdge(e, f)
+			if f == nil {
+				continue
+			}
+			if in == nil {
+				in = f
+			} else {
+				in = p.Join(in, f)
+			}
+		}
+		if in == nil {
+			continue // unreachable (or all preds pending)
+		}
+		res.In[b] = in
+		out := in
+		for _, n := range b.Nodes {
+			out = p.Transfer(n, out)
+		}
+		old := res.Out[b]
+		if old != nil && p.Equal(old, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, e := range b.Succs {
+			push(e.To)
+		}
+	}
+	return res
+}
+
+// ---- program-level declaration index ----------------------------------
+
+// FuncDecl resolves a function object to its declaration and owning package,
+// searching every package the program loaded from source. Returns nils for
+// functions without source (export data, builtins) — callers must treat
+// those conservatively. Generic instantiations resolve to their origin.
+func (p *Program) FuncDecl(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if fn == nil {
+		return nil, nil
+	}
+	p.declOnce.Do(p.buildDeclIndex)
+	if d, ok := p.declIndex[fn.Origin()]; ok {
+		return d.pkg, d.decl
+	}
+	return nil, nil
+}
+
+type declEntry struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func (p *Program) buildDeclIndex() {
+	p.declIndex = map[*types.Func]declEntry{}
+	for _, pkg := range p.allLoaded() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.declIndex[fn] = declEntry{pkg, fd}
+				}
+			}
+		}
+	}
+}
+
+// ---- interprocedural summary store ------------------------------------
+
+// Summaries memoizes per-function facts across packages of one program.
+// The store is safe for concurrent use; computation happens outside the
+// lock and the first stored value wins, so racing computations of the same
+// (deterministic) summary are benign. Recursive computations must carry
+// their own visited set: the store deliberately does not block on
+// in-progress keys.
+type Summaries struct {
+	mu sync.Mutex
+	m  map[types.Object]any
+}
+
+// Get returns the summary stored for key.
+func (s *Summaries) Get(key types.Object) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Set stores the summary for key unless one exists, and returns the stored
+// value (first store wins).
+func (s *Summaries) Set(key types.Object, v any) any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		return old
+	}
+	if s.m == nil {
+		s.m = map[types.Object]any{}
+	}
+	s.m[key] = v
+	return v
+}
+
+// Memo returns the summary for key, computing it with f on a miss. f runs
+// outside the store lock; on a race the first completed value wins.
+func (s *Summaries) Memo(key types.Object, f func() any) any {
+	if v, ok := s.Get(key); ok {
+		return v
+	}
+	return s.Set(key, f())
+}
+
+// SummaryStore returns the program-wide summary store for the named
+// analyzer, creating it on first use.
+func (p *Program) SummaryStore(name string) *Summaries {
+	p.sumMu.Lock()
+	defer p.sumMu.Unlock()
+	if p.sums == nil {
+		p.sums = map[string]*Summaries{}
+	}
+	st := p.sums[name]
+	if st == nil {
+		st = &Summaries{}
+		p.sums[name] = st
+	}
+	return st
+}
+
+// ---- def-use chains ----------------------------------------------------
+
+// DefUse records, per local variable of one function, the right-hand-side
+// expressions that may define it. It is a flow-insensitive over-
+// approximation: a variable's value is one of its def expressions, unless
+// Impure marks it (address taken, defined by range/recv/param — anything a
+// syntactic RHS cannot capture).
+type DefUse struct {
+	// Defs maps a variable to every expression assigned to it. For
+	// multi-value assignments the shared RHS (a call, type assertion or
+	// receive) appears once per defined variable.
+	Defs map[*types.Var][]ast.Expr
+	// Impure marks variables whose definitions the chain cannot enumerate:
+	// parameters, range/receive bindings, and variables whose address is
+	// taken (writes may happen through the pointer).
+	Impure map[*types.Var]bool
+	// Params marks the function's own parameters (a subset of Impure) —
+	// clients may resolve those through call sites instead.
+	Params map[*types.Var]bool
+}
+
+// ComputeDefUse builds the def-use chains of fn's body.
+func ComputeDefUse(info *types.Info, fn *ast.FuncDecl) *DefUse {
+	du := &DefUse{
+		Defs:   map[*types.Var][]ast.Expr{},
+		Impure: map[*types.Var]bool{},
+		Params: map[*types.Var]bool{},
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					du.Impure[v] = true
+					du.Params[v] = true
+				}
+			}
+		}
+	}
+	if fn.Body == nil {
+		return du
+	}
+	defIdent := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if v := defIdent(lhs); v != nil {
+						if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+							du.Defs[v] = append(du.Defs[v], n.Rhs[i])
+						} else {
+							du.Impure[v] = true // compound assignment (+= …)
+						}
+					}
+				}
+			} else {
+				// Multi-value: x, y := f() / m[k] / <-ch / v.(T).
+				for _, lhs := range n.Lhs {
+					if v := defIdent(lhs); v != nil {
+						du.Defs[v] = append(du.Defs[v], n.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				v, ok := info.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				switch {
+				case len(n.Values) == len(n.Names):
+					du.Defs[v] = append(du.Defs[v], n.Values[i])
+				case len(n.Values) > 0:
+					du.Defs[v] = append(du.Defs[v], n.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if v := defIdent(e); v != nil {
+					// Remember the ranged expression so clients can reason
+					// about "element of a literal set", but mark impure so
+					// they must opt in to that reasoning.
+					du.Defs[v] = append(du.Defs[v], n.X)
+					du.Impure[v] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if v := defIdent(n.X); v != nil {
+					du.Impure[v] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := defIdent(n.X); v != nil {
+				du.Impure[v] = true
+			}
+		}
+		return true
+	})
+	return du
+}

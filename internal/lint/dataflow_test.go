@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---- fixpoint termination on random CFGs --------------------------------
+
+// genStmts writes a random statement list: nested ifs, loops, switches,
+// selects-free control flow with break/continue/return sprinkled in. The
+// generator is seeded, so failures reproduce.
+func genStmts(r *rand.Rand, sb *strings.Builder, depth, inLoop int) {
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		switch c := r.Intn(10); {
+		case c < 3 && depth > 0:
+			fmt.Fprintf(sb, "if x > %d {\n", r.Intn(100))
+			genStmts(r, sb, depth-1, inLoop)
+			if r.Intn(2) == 0 {
+				sb.WriteString("} else {\n")
+				genStmts(r, sb, depth-1, inLoop)
+			}
+			sb.WriteString("}\n")
+		case c < 5 && depth > 0:
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(sb, "for x < %d {\n", r.Intn(100))
+			case 1:
+				sb.WriteString("for i := 0; i < x; i++ {\n")
+			default:
+				sb.WriteString("for range ys {\n")
+			}
+			genStmts(r, sb, depth-1, inLoop+1)
+			sb.WriteString("}\n")
+		case c < 6 && depth > 0:
+			fmt.Fprintf(sb, "switch x %% %d {\n", 2+r.Intn(3))
+			for k := 0; k < 1+r.Intn(3); k++ {
+				fmt.Fprintf(sb, "case %d:\n", k)
+				genStmts(r, sb, depth-1, inLoop)
+				if r.Intn(3) == 0 {
+					sb.WriteString("fallthrough\n")
+				}
+			}
+			sb.WriteString("default:\n")
+			genStmts(r, sb, depth-1, inLoop)
+			sb.WriteString("}\n")
+		case c == 6 && inLoop > 0:
+			if r.Intn(2) == 0 {
+				sb.WriteString("break\n")
+			} else {
+				sb.WriteString("continue\n")
+			}
+		case c == 7:
+			sb.WriteString("return\n")
+		default:
+			fmt.Fprintf(sb, "x += %d\n", r.Intn(9))
+		}
+	}
+	// Keep blocks non-empty for the parser's sake.
+	sb.WriteString("x++\n")
+}
+
+func genFunc(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString("package p\n\nfunc f(x int, ys []int) {\n")
+	genStmts(r, &sb, 3, 0)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// reachProblem is a simple monotone lattice: the fact is the set of block
+// indices traversed, joined by union. Any monotone problem must converge.
+type reachProblem struct{ g *CFG }
+
+type reachFact map[int]bool
+
+func (p *reachProblem) Entry() any { return reachFact{} }
+
+func (p *reachProblem) Transfer(n ast.Node, fact any) any { return fact }
+
+func (p *reachProblem) FlowEdge(e *CEdge, fact any) any {
+	f := fact.(reachFact)
+	if f[e.From.Index] {
+		return f
+	}
+	out := make(reachFact, len(f)+1)
+	for k := range f {
+		out[k] = true
+	}
+	out[e.From.Index] = true
+	return out
+}
+
+func (p *reachProblem) Join(a, b any) any {
+	fa, fb := a.(reachFact), b.(reachFact)
+	out := make(reachFact, len(fa)+len(fb))
+	for k := range fa {
+		out[k] = true
+	}
+	for k := range fb {
+		out[k] = true
+	}
+	return out
+}
+
+func (p *reachProblem) Equal(a, b any) bool {
+	fa, fb := a.(reachFact), b.(reachFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k := range fa {
+		if !fb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFixpointTerminatesRandom builds CFGs for randomly generated function
+// bodies and checks the solver converges with consistent facts: for every
+// edge out of a reached block, the successor's In includes the predecessor's
+// contribution.
+func TestFixpointTerminatesRandom(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		src := genFunc(seed)
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "gen.go", src, 0)
+		if err != nil {
+			t.Fatalf("seed %d: generated source does not parse: %v\n%s", seed, err, src)
+		}
+		fd := file.Decls[0].(*ast.FuncDecl)
+		g := BuildCFG(fd.Body)
+		p := &reachProblem{g: g}
+		res := Fixpoint(g, p)
+		if !res.Converged {
+			t.Fatalf("seed %d: fixpoint did not converge on a monotone problem\n%s", seed, src)
+		}
+		for _, b := range g.Blocks {
+			out := res.Out[b]
+			if out == nil {
+				continue // unreachable
+			}
+			for _, e := range b.Succs {
+				in := res.In[e.To]
+				if in == nil {
+					t.Fatalf("seed %d: block %d reached but successor %d has no In fact", seed, b.Index, e.To.Index)
+				}
+				f := in.(reachFact)
+				if !f[b.Index] {
+					t.Fatalf("seed %d: In[%d] missing contribution of predecessor %d", seed, e.To.Index, b.Index)
+				}
+				for k := range out.(reachFact) {
+					if !f[k] {
+						t.Fatalf("seed %d: In[%d] lost fact %d flowing from block %d", seed, e.To.Index, k, b.Index)
+					}
+				}
+			}
+		}
+		// Entry is always reached.
+		if res.In[g.Entry] == nil {
+			t.Fatalf("seed %d: entry block has no In fact", seed)
+		}
+	}
+}
+
+// TestCFGDecomposedNodes checks the core CFG invariant analyzers depend on:
+// block nodes are simple statements or bare expressions, never compound
+// statements.
+func TestCFGDecomposedNodes(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		src := genFunc(seed)
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "gen.go", src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := file.Decls[0].(*ast.FuncDecl)
+		g := BuildCFG(fd.Body)
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				switch n.(type) {
+				case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+					*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt:
+					t.Fatalf("seed %d: compound %T leaked into block %d nodes", seed, n, b.Index)
+				}
+			}
+			for _, e := range b.Succs {
+				if e.From != b {
+					t.Fatalf("seed %d: edge bookkeeping broken: succ edge From != block", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestSummariesConcurrent hammers one summary store from many goroutines;
+// run under -race this checks the locking discipline, and first-store-wins
+// means every reader sees one stable value per key.
+func TestSummariesConcurrent(t *testing.T) {
+	s := &Summaries{}
+	keys := make([]types.Object, 8)
+	for i := range keys {
+		keys[i] = types.NewVar(token.NoPos, nil, fmt.Sprintf("k%d", i), types.Typ[types.Int])
+	}
+	var wg sync.WaitGroup
+	got := make([]any, 64)
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := keys[w%len(keys)]
+			got[w] = s.Memo(k, func() any { return fmt.Sprintf("v-%d", w) })
+		}(w)
+	}
+	wg.Wait()
+	byKey := map[types.Object]any{}
+	for w, v := range got {
+		k := keys[w%len(keys)]
+		if prev, ok := byKey[k]; ok && prev != v {
+			t.Fatalf("key %v returned two values: %v and %v", k, prev, v)
+		}
+		byKey[k] = v
+	}
+	// The stored value must be stable afterwards too.
+	for _, k := range keys {
+		v, ok := s.Get(k)
+		if !ok || v != byKey[k] {
+			t.Fatalf("key %v: stored %v, Memo returned %v", k, v, byKey[k])
+		}
+	}
+}

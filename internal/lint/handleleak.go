@@ -13,25 +13,28 @@ import (
 // A handle type is marked "aliaslint:handle". Any call whose first result
 // is a pointer to a handle type pins the handle; the caller must call its
 // Release method (directly or via defer) on every path that follows, or the
-// module the handle pins can never be evicted. The analysis is a forward
-// walk of the enclosing function body:
+// module the handle pins can never be evicted. Since PR 8 the check is an
+// instance of the obligation dataflow (obligation.go) solved over the
+// function's CFG (cfg.go):
 //
 //   - `h.Release()` and `defer h.Release()` discharge the obligation
 //     (a defer discharges every later path at once);
 //   - a path that tests the call's ok-result and returns on failure is
-//     exempt inside the failure branch (the handle was never pinned);
-//   - returning the handle, storing it into a field/slice/map, or passing
-//     it to another function transfers ownership — the obligation escapes
-//     with it;
-//   - any return (or falling off the end of the function) with the
-//     obligation still live is reported at the acquisition site.
+//     exempt inside the failure branch (the handle was never pinned) —
+//     ok-narrowing is an edge transfer on the branch condition;
+//   - returning the handle, storing it into a field/slice/map, or capturing
+//     it in a closure transfers ownership — the obligation escapes with it;
+//     a plain call argument only borrows the pin;
+//   - an uncovered obligation reaching the CFG exit (any return, or falling
+//     off the end) is reported at the acquisition site. Paths ending in
+//     panic never reach the exit.
 //
-// Branches (if/switch) are analyzed per arm; loop bodies may run zero
-// times, so a release inside a loop does not discharge the path after it.
+// Loop bodies may run zero times (the loop head joins the entering state),
+// so a release inside a loop does not discharge the path after it.
 var HandleLeak = &Analyzer{
 	Name: "handleleak",
 	Doc: "flags aliaslint:handle acquisitions whose Release is not called on " +
-		"every path (lostcancel-style CFG walk)",
+		"every path (lostcancel-style obligation dataflow)",
 	Run: runHandleLeak,
 }
 
@@ -42,533 +45,148 @@ func runHandleLeak(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkHandleFunc(pass, fd)
+			// Function literals get their own CFG: an acquisition inside a
+			// closure is checked against the closure's paths.
+			for _, body := range funcBodies(fd.Body) {
+				checkHandleBody(pass, body)
+			}
 		}
 	}
 	return nil
+}
+
+// funcBodies returns body plus the body of every function literal nested
+// inside it, outermost first.
+func funcBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != nil {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks the statements of one function body without
+// descending into nested function literals (those are separate bodies).
+func inspectShallow(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
 }
 
 // acquisition is one tracked handle obligation within a function.
 type acquisition struct {
 	v    *types.Var // the handle variable
 	ok   *types.Var // the bool companion of a (h, ok) acquire; nil otherwise
+	acq  ast.Node   // the assignment statement that activates the pin
 	pos  token.Pos  // acquisition site, where leaks are reported
 	name string     // callee name for the message
 }
 
-// leakState is the walk state for one acquisition.
-type leakState struct {
-	active   bool // acquisition statement has executed
-	released bool
-	deferred bool // defer h.Release() seen: every later exit is covered
-	escaped  bool // ownership transferred; obligation no longer ours
-	okFalse  bool // on this path the acquire's ok-result is known false
+// isHandleAcquire reports whether call's first result is a pinned pointer
+// to an aliaslint:handle type, and the callee's name. Constructor-named
+// callees (New…/Build…/make…) mint fresh handles with no pin — dropping one
+// is plain garbage collection, not a leak — and "aliaslint:nopin" annotates
+// lookups that intentionally return without pinning.
+func isHandleAcquire(pass *Pass, call *ast.CallExpr) (string, bool) {
+	info := pass.TypesInfo()
+	tv, ok := info.Types[call]
+	if !ok {
+		return "", false
+	}
+	first := tv.Type
+	if tup, ok := first.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return "", false
+		}
+		first = tup.At(0).Type()
+	}
+	if _, isPtr := first.(*types.Pointer); !isPtr {
+		return "", false
+	}
+	n := namedOf(first)
+	if n == nil || !pass.Annotated(n.Obj(), "handle") {
+		return "", false
+	}
+	name := "call"
+	if fn := calleeObj(info, call); fn != nil {
+		if isConstructorName(fn.Name()) || pass.Annotated(fn, "nopin") {
+			return "", false
+		}
+		name = fn.Name()
+	}
+	return name, true
 }
 
-func checkHandleFunc(pass *Pass, fd *ast.FuncDecl) {
+// findAcquisitions collects the handle acquisitions of one function body:
+// `h := Acquire(...)` / `h, ok := Acquire(...)` as a plain statement or an
+// if/switch init. Nested function literals are excluded (separate bodies).
+func findAcquisitions(pass *Pass, body *ast.BlockStmt) []*acquisition {
 	info := pass.TypesInfo()
-
-	// isHandleAcquire reports whether call's first result is a pinned
-	// pointer to an aliaslint:handle type. Constructor-named callees
-	// (New…/Build…/make…) mint fresh handles with no pin — dropping one is
-	// a plain garbage collection, not a leak — and "aliaslint:nopin"
-	// annotates lookups that intentionally return without pinning.
-	isHandleAcquire := func(call *ast.CallExpr) (string, bool) {
-		tv, ok := info.Types[call]
-		if !ok {
-			return "", false
-		}
-		first := tv.Type
-		if tup, ok := first.(*types.Tuple); ok {
-			if tup.Len() == 0 {
-				return "", false
-			}
-			first = tup.At(0).Type()
-		}
-		if _, isPtr := first.(*types.Pointer); !isPtr {
-			return "", false
-		}
-		n := namedOf(first)
-		if n == nil || !pass.Annotated(n.Obj(), "handle") {
-			return "", false
-		}
-		name := "call"
-		if fn := calleeObj(info, call); fn != nil {
-			if isConstructorName(fn.Name()) || pass.Annotated(fn, "nopin") {
-				return "", false
-			}
-			name = fn.Name()
-		}
-		return name, true
-	}
-
-	// Find the acquisitions: `h := Acquire(...)` / `h, ok := Acquire(...)`
-	// directly in a statement list or an if-init.
 	var acqs []*acquisition
-	acqOf := map[ast.Stmt]*acquisition{}
-	recordAssign := func(stmt ast.Stmt, as *ast.AssignStmt) {
-		if len(as.Rhs) != 1 {
-			return
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
 		}
 		call, ok := as.Rhs[0].(*ast.CallExpr)
 		if !ok {
-			return
+			return true
 		}
-		name, ok := isHandleAcquire(call)
+		name, ok := isHandleAcquire(pass, call)
 		if !ok {
-			return
+			return true
 		}
 		hv, _ := lhsVar(info, as, 0)
 		if hv == nil {
-			return
+			return true
 		}
-		a := &acquisition{v: hv, pos: call.Pos(), name: name}
+		a := &acquisition{v: hv, acq: as, pos: call.Pos(), name: name}
 		if len(as.Lhs) == 2 {
 			if okv, _ := lhsVar(info, as, 1); okv != nil && isBool(okv.Type()) {
 				a.ok = okv
 			}
 		}
 		acqs = append(acqs, a)
-		acqOf[stmt] = a
-	}
-	// If-init acquisitions are keyed at the IfStmt (so the walker can apply
-	// ok-narrowing); the inner AssignStmt must not record a duplicate.
-	consumed := map[*ast.AssignStmt]bool{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if !consumed[n] {
-				recordAssign(n, n)
-			}
-		case *ast.IfStmt:
-			if as, ok := n.Init.(*ast.AssignStmt); ok {
-				consumed[as] = true
-				recordAssign(n, as)
-			}
-		}
 		return true
 	})
+	return acqs
+}
+
+func checkHandleBody(pass *Pass, body *ast.BlockStmt) {
+	acqs := findAcquisitions(pass, body)
 	if len(acqs) == 0 {
 		return
 	}
-
+	g := BuildCFG(body)
+	info := pass.TypesInfo()
 	for _, a := range acqs {
-		w := &leakWalker{pass: pass, info: info, a: a, acqOf: acqOf}
-		st := leakState{}
-		end := w.walkStmts(fd.Body.List, st)
-		w.checkExit(end, fd.Body.End())
-		if w.leaked {
+		spec := &obligationSpec{
+			info: info,
+			v:    a.v,
+			ok:   a.ok,
+			acq:  a.acq,
+			isRelease: func(call *ast.CallExpr) bool {
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Release" {
+					return false
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				return ok && info.Uses[id] == a.v
+			},
+		}
+		if solveObligation(g, spec) {
 			pass.Reportf(a.pos,
 				"handle acquired from %s is not released on every path; "+
 					"call Release (or defer it) before each return, or the module stays pinned",
 				a.name)
 		}
 	}
-}
-
-// leakWalker walks one function body for one acquisition.
-type leakWalker struct {
-	pass   *Pass
-	info   *types.Info
-	a      *acquisition
-	acqOf  map[ast.Stmt]*acquisition
-	leaked bool
-}
-
-// terminated marks a state whose path ended (return/branch out).
-type outcome struct {
-	st         leakState
-	terminated bool
-}
-
-func (w *leakWalker) checkExit(st leakState, _ token.Pos) {
-	if st.active && !st.released && !st.deferred && !st.escaped && !st.okFalse {
-		w.leaked = true
-	}
-}
-
-// usesVar reports whether the expression mentions the tracked variable.
-func (w *leakWalker) usesVar(e ast.Node) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && w.info.Uses[id] == w.a.v {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// isReleaseCall reports whether e is `h.Release()` for the tracked handle.
-func (w *leakWalker) isReleaseCall(e ast.Expr) bool {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Release" {
-		return false
-	}
-	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	return ok && w.info.Uses[id] == w.a.v
-}
-
-// escapes reports whether the statement/expression transfers ownership of
-// the handle: stored into a composite literal, sent on a channel, or
-// captured by a function literal. Passing the handle as a plain call
-// argument is ordinary use, NOT a transfer — the callee borrows the pin;
-// treating it as a transfer would blind the analyzer to the canonical
-// early-return leak (`if err := work(h); err != nil { return err }`).
-// Aliasing assignments, returns, defers and go statements are handled by
-// the statement walk.
-func (w *leakWalker) escapes(n ast.Node) bool {
-	esc := false
-	ast.Inspect(n, func(m ast.Node) bool {
-		if esc {
-			return false
-		}
-		switch m := m.(type) {
-		case *ast.FuncLit:
-			if w.usesVar(m) {
-				esc = true
-			}
-			return false
-		case *ast.CompositeLit, *ast.SendStmt:
-			if w.usesVar(m) {
-				esc = true
-			}
-			return false
-		}
-		return true
-	})
-	return esc
-}
-
-// okCond classifies a branch condition against the acquisition's ok-result:
-// +1 cond is `ok`, -1 cond is `!ok`, 0 unrelated.
-func (w *leakWalker) okCond(cond ast.Expr) int {
-	if w.a.ok == nil || cond == nil {
-		return 0
-	}
-	switch c := ast.Unparen(cond).(type) {
-	case *ast.Ident:
-		if w.info.Uses[c] == w.a.ok {
-			return 1
-		}
-	case *ast.UnaryExpr:
-		if c.Op == token.NOT {
-			if id, ok := ast.Unparen(c.X).(*ast.Ident); ok && w.info.Uses[id] == w.a.ok {
-				return -1
-			}
-		}
-	}
-	return 0
-}
-
-// walkStmts walks a statement list, returning the fall-through state.
-// Paths that terminate inside (returns) are checked as encountered.
-func (w *leakWalker) walkStmts(list []ast.Stmt, st leakState) leakState {
-	for _, s := range list {
-		out := w.walkStmt(s, st)
-		if out.terminated {
-			// The remainder of the list is unreachable on this path.
-			out.st.active = false
-			return out.st
-		}
-		st = out.st
-	}
-	return st
-}
-
-func (w *leakWalker) walkStmt(s ast.Stmt, st leakState) outcome {
-	// The acquisition statement itself activates tracking.
-	if a, ok := w.acqOf[s]; ok && a == w.a {
-		if ifs, isIf := s.(*ast.IfStmt); isIf {
-			st.active = true
-			return w.walkIf(ifs, st, true)
-		}
-		st.active = true
-		return outcome{st: st}
-	}
-	if !st.active {
-		// Before the acquisition nothing can affect the obligation, but
-		// nested statements may contain it (e.g. acquisition inside an if
-		// body): recurse structurally.
-		switch s := s.(type) {
-		case *ast.BlockStmt:
-			return outcome{st: w.walkStmts(s.List, st)}
-		case *ast.IfStmt:
-			return w.walkIf(s, st, false)
-		case *ast.ForStmt:
-			if s.Body != nil {
-				w.walkStmts(s.Body.List, st)
-			}
-			return outcome{st: st}
-		case *ast.RangeStmt:
-			if s.Body != nil {
-				w.walkStmts(s.Body.List, st)
-			}
-			return outcome{st: st}
-		case *ast.SwitchStmt:
-			return w.walkSwitch(s.Body, st)
-		case *ast.TypeSwitchStmt:
-			return w.walkSwitch(s.Body, st)
-		case *ast.ReturnStmt:
-			return outcome{st: st, terminated: true}
-		case *ast.BranchStmt:
-			return outcome{st: st, terminated: true}
-		case *ast.LabeledStmt:
-			return w.walkStmt(s.Stmt, st)
-		}
-		return outcome{st: st}
-	}
-
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if w.isReleaseCall(s.X) {
-			st.released = true
-		} else if w.escapes(s.X) {
-			st.escaped = true
-		}
-		return outcome{st: st}
-	case *ast.DeferStmt:
-		if w.isReleaseCall(s.Call) {
-			st.deferred = true
-		} else if w.escapes(s.Call) || w.usesVar(s.Call) {
-			st.escaped = true
-		}
-		return outcome{st: st}
-	case *ast.GoStmt:
-		if w.usesVar(s.Call) {
-			st.escaped = true
-		}
-		return outcome{st: st}
-	case *ast.AssignStmt:
-		for _, lhs := range s.Lhs {
-			if id, ok := lhs.(*ast.Ident); ok && w.info.Uses[id] == w.a.v {
-				// Reassigned: the old pin is unreachable. Treat as escape
-				// (the reassignment site is a separate acquisition if it is
-				// one).
-				st.escaped = true
-			}
-		}
-		if w.escapes(s) {
-			st.escaped = true
-		}
-		for _, rhs := range s.Rhs {
-			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && w.info.Uses[id] == w.a.v {
-				st.escaped = true // aliased into another variable
-			}
-		}
-		return outcome{st: st}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			if w.usesVar(r) {
-				st.escaped = true // ownership returned to the caller
-			}
-		}
-		w.checkExit(st, s.Pos())
-		return outcome{st: st, terminated: true}
-	case *ast.BranchStmt:
-		// break/continue/goto: leave the enclosing construct to merge; do
-		// not treat as a function exit.
-		return outcome{st: st, terminated: true}
-	case *ast.BlockStmt:
-		return outcome{st: w.walkStmts(s.List, st)}
-	case *ast.IfStmt:
-		return w.walkIf(s, st, false)
-	case *ast.ForStmt:
-		if s.Body != nil {
-			body := st
-			out := w.walkStmts(s.Body.List, body)
-			// Zero-iteration semantics: only sticky facts survive the loop.
-			st.deferred = st.deferred || out.deferred
-			st.escaped = st.escaped || out.escaped
-		}
-		return outcome{st: st}
-	case *ast.RangeStmt:
-		if w.escapes(s.X) {
-			st.escaped = true
-		}
-		if s.Body != nil {
-			out := w.walkStmts(s.Body.List, st)
-			st.deferred = st.deferred || out.deferred
-			st.escaped = st.escaped || out.escaped
-		}
-		return outcome{st: st}
-	case *ast.SwitchStmt:
-		return w.walkSwitch(s.Body, st)
-	case *ast.TypeSwitchStmt:
-		return w.walkSwitch(s.Body, st)
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, st)
-	case *ast.SelectStmt:
-		// Rare on these paths; be conservative toward no false positives:
-		// if any clause releases, consider the obligation handled.
-		if w.usesVar(s) {
-			st.escaped = true
-		}
-		return outcome{st: st}
-	}
-	return outcome{st: st}
-}
-
-// walkIf analyzes an if/else with ok-result narrowing. fromInit marks the
-// acquisition-carrying `if h, ok := acquire(); cond {…}` form.
-func (w *leakWalker) walkIf(s *ast.IfStmt, st leakState, fromInit bool) outcome {
-	if !fromInit && s.Init != nil {
-		out := w.walkStmt(s.Init, st)
-		st = out.st
-	}
-	dir := w.okCond(s.Cond)
-
-	thenSt := st
-	elseSt := st
-	if dir == 1 {
-		elseSt.okFalse = true // cond `ok` false on the else path
-	}
-	if dir == -1 {
-		thenSt.okFalse = true // cond `!ok` true → ok false inside then
-	}
-
-	var thenOut outcome
-	if s.Body != nil {
-		thenOut = outcome{st: w.walkStmts(s.Body.List, thenSt)}
-		thenOut.terminated = w.blockTerminates(s.Body)
-		if thenOut.terminated {
-			w.noteTerminatedBranch(s.Body, thenOut.st)
-		}
-	}
-	var elseOut outcome
-	switch e := s.Else.(type) {
-	case *ast.BlockStmt:
-		elseOut = outcome{st: w.walkStmts(e.List, elseSt)}
-		elseOut.terminated = w.blockTerminates(e)
-		if elseOut.terminated {
-			w.noteTerminatedBranch(e, elseOut.st)
-		}
-	case *ast.IfStmt:
-		elseOut = w.walkIf(e, elseSt, false)
-	default:
-		elseOut = outcome{st: elseSt}
-	}
-
-	switch {
-	case thenOut.terminated && elseOut.terminated:
-		return outcome{st: st, terminated: true}
-	case thenOut.terminated:
-		return outcome{st: elseOut.st}
-	case elseOut.terminated:
-		return outcome{st: thenOut.st}
-	default:
-		return outcome{st: mergeStates(thenOut.st, elseOut.st)}
-	}
-}
-
-// covered reports whether the obligation is discharged on this path: not
-// yet acquired, released, deferred-released, ownership transferred, or the
-// acquire's ok-result known false (never pinned).
-func covered(s leakState) bool {
-	return !s.active || s.released || s.deferred || s.escaped || s.okFalse
-}
-
-// mergeStates joins two continuing branches. A merged path is discharged
-// only when both incoming paths are; when exactly one is covered, the
-// merged state carries the uncovered path's obligations forward.
-func mergeStates(a, b leakState) leakState {
-	ca, cb := covered(a), covered(b)
-	switch {
-	case ca && cb:
-		return leakState{active: a.active || b.active, released: true}
-	case ca:
-		b.active = a.active || b.active
-		return b
-	case cb:
-		a.active = a.active || b.active
-		return a
-	default:
-		return leakState{
-			active:   a.active || b.active,
-			released: a.released && b.released,
-			deferred: a.deferred && b.deferred,
-			escaped:  a.escaped && b.escaped,
-			okFalse:  a.okFalse && b.okFalse,
-		}
-	}
-}
-
-// walkSwitch analyzes switch clauses as parallel branches. Without a
-// default clause some input falls through unchanged, so the merged state
-// keeps the pre-switch obligations.
-func (w *leakWalker) walkSwitch(body *ast.BlockStmt, st leakState) outcome {
-	if body == nil {
-		return outcome{st: st}
-	}
-	hasDefault := false
-	merged := leakState{}
-	first := true
-	allTerminated := true
-	for _, c := range body.List {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		if cc.List == nil {
-			hasDefault = true
-		}
-		out := w.walkStmts(cc.Body, st)
-		terminated := len(cc.Body) > 0 && w.stmtsTerminate(cc.Body)
-		if terminated {
-			continue
-		}
-		allTerminated = false
-		if first {
-			merged, first = out, false
-		} else {
-			merged = mergeStates(merged, out)
-		}
-	}
-	if allTerminated && hasDefault {
-		return outcome{st: st, terminated: true}
-	}
-	if first { // no continuing clause contributed
-		return outcome{st: st}
-	}
-	if !hasDefault {
-		merged = mergeStates(merged, st)
-	}
-	return outcome{st: merged}
-}
-
-// noteTerminatedBranch re-checks exits of a terminated branch — the walk
-// inside already checked explicit returns; nothing further to do, the hook
-// exists for symmetry and future panics-terminate handling.
-func (w *leakWalker) noteTerminatedBranch(*ast.BlockStmt, leakState) {}
-
-// blockTerminates reports whether a block always leaves the enclosing
-// function/construct (syntactic check: last statement is a return, a
-// branch, or a panic call).
-func (w *leakWalker) blockTerminates(b *ast.BlockStmt) bool {
-	return w.stmtsTerminate(b.List)
-}
-
-func (w *leakWalker) stmtsTerminate(list []ast.Stmt) bool {
-	if len(list) == 0 {
-		return false
-	}
-	switch last := list[len(list)-1].(type) {
-	case *ast.ReturnStmt, *ast.BranchStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := last.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-				return true
-			}
-		}
-	case *ast.BlockStmt:
-		return w.stmtsTerminate(last.List)
-	}
-	return false
 }
 
 func lhsVar(info *types.Info, as *ast.AssignStmt, i int) (*types.Var, bool) {

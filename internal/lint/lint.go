@@ -120,6 +120,19 @@ func (p *Pass) PkgAnnotated(pkg *types.Package, marker string) bool {
 	return p.Prog.ann.pkgs[pkg][marker]
 }
 
+// annotatedFuncs lists every function in the program carrying the given
+// marker (e.g. "hotpath"), in deterministic declaration order.
+func (p *Program) annotatedFuncs(marker string) []*types.Func {
+	var out []*types.Func
+	for obj, markers := range p.ann.objs {
+		if fn, ok := obj.(*types.Func); ok && markers[marker] {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
 // annotations indexes aliaslint markers by declared object and by package.
 type annotations struct {
 	objs map[types.Object]map[string]bool
@@ -201,33 +214,71 @@ func (a *annotations) scan(pkg *Package) {
 						mk = append(mk, declMarkers...)
 					}
 					addObj(pkg.Info.Defs[ts.Name], mk)
+					// Field-level markers (aliaslint:striped on a mutex
+					// field) attach to the field objects themselves.
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						for _, field := range st.Fields.List {
+							fmk := markersIn(field.Doc)
+							fmk = append(fmk, markersIn(field.Comment)...)
+							for _, name := range field.Names {
+								addObj(pkg.Info.Defs[name], fmk)
+							}
+						}
+					}
 				}
 			}
 		}
 	}
 }
 
-// nolintFilter drops diagnostics suppressed by a //nolint comment on the
-// same line. Accepted forms: //nolint:aliaslint, //nolint:<analyzer>, and
-// comma-separated lists; a bare //nolint suppresses everything.
-func nolintFilter(prog *Program, diags []Diagnostic) []Diagnostic {
-	// line key → set of suppressed analyzer names ("" = all).
-	type key struct {
-		file string
-		line int
+// A Directive is one parsed //nolint comment. The accepted grammar is
+//
+//	//nolint:<name>[,<name>...] // <justification>
+//
+// A directive without names (bare "//nolint") suppresses every analyzer; a
+// directive without a "// justification" tail is itself a finding in target
+// packages — deliberate exceptions must say why.
+type Directive struct {
+	Pos   token.Position
+	Names []string // empty: bare //nolint (suppresses everything)
+	// Justified records whether the directive carries a "// reason" tail.
+	Justified bool
+	// Used records whether the directive suppressed at least one finding in
+	// this run — the input of the stale audit.
+	Used bool
+	// InTarget marks directives inside the program's target packages, where
+	// the justification requirement is enforced.
+	InTarget bool
+}
+
+func (d *Directive) String() string {
+	spec := "nolint"
+	if len(d.Names) > 0 {
+		spec += ":" + strings.Join(d.Names, ",")
 	}
-	suppress := map[key]map[string]bool{}
-	addLine := func(pos token.Position, names map[string]bool) {
-		k := key{pos.Filename, pos.Line}
-		m := suppress[k]
-		if m == nil {
-			suppress[k] = names
-			return
-		}
-		for n := range names {
-			m[n] = true
+	return fmt.Sprintf("%s: //%s", d.Pos, spec)
+}
+
+// matches reports whether the directive suppresses the analyzer.
+func (d *Directive) matches(analyzer string) bool {
+	if len(d.Names) == 0 {
+		return true
+	}
+	for _, n := range d.Names {
+		if n == "aliaslint" || n == analyzer {
+			return true
 		}
 	}
+	return false
+}
+
+// collectDirectives parses every //nolint comment of the loaded program.
+func collectDirectives(prog *Program) []*Directive {
+	targets := map[*Package]bool{}
+	for _, pkg := range prog.Pkgs {
+		targets[pkg] = true
+	}
+	var out []*Directive
 	for _, pkg := range prog.allLoaded() {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -238,39 +289,50 @@ func nolintFilter(prog *Program, diags []Diagnostic) []Diagnostic {
 						continue
 					}
 					rest := strings.TrimPrefix(text, "nolint")
-					names := map[string]bool{}
+					d := &Directive{
+						Pos:      prog.Fset.Position(c.Pos()),
+						InTarget: targets[pkg],
+					}
 					if strings.HasPrefix(rest, ":") {
 						spec := rest[1:]
 						if i := strings.IndexAny(spec, " \t"); i >= 0 {
+							rest = spec[i:]
 							spec = spec[:i]
+						} else {
+							rest = ""
 						}
 						for _, n := range strings.Split(spec, ",") {
 							if n = strings.TrimSpace(n); n != "" {
-								names[n] = true
+								d.Names = append(d.Names, n)
 							}
 						}
-					} else {
-						names[""] = true
 					}
-					addLine(prog.Fset.Position(c.Pos()), names)
+					just := strings.TrimSpace(rest)
+					if cut, ok := strings.CutPrefix(just, "//"); ok {
+						d.Justified = strings.TrimSpace(cut) != ""
+					}
+					out = append(out, d)
 				}
 			}
 		}
 	}
-	var out []Diagnostic
-	for _, d := range diags {
-		names := suppress[key{d.Pos.Filename, d.Pos.Line}]
-		if names[""] || names["aliaslint"] || names[d.Analyzer] {
-			continue
-		}
-		out = append(out, d)
-	}
 	return out
 }
 
-// Run applies the analyzers to the program's target packages and returns
-// the surviving (non-suppressed) diagnostics sorted by position.
-func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+// A RunResult is the full outcome of an analyzer run: actionable findings,
+// findings a //nolint directive silenced (for -json), and the parsed
+// directives themselves (for the stale audit).
+type RunResult struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+	Directives []*Directive
+}
+
+// RunAll applies the analyzers to the program's target packages. Suppressed
+// findings mark their directives used; unjustified directives in target
+// packages surface as findings of the pseudo-analyzer "nolint", which no
+// directive can suppress.
+func RunAll(prog *Program, analyzers []*Analyzer) (*RunResult, error) {
 	var diags []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		for _, a := range analyzers {
@@ -280,7 +342,91 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	diags = nolintFilter(prog, diags)
+	res := &RunResult{Directives: collectDirectives(prog)}
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]*Directive{}
+	for _, d := range res.Directives {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		byLine[k] = append(byLine[k], d)
+	}
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range byLine[key{diag.Pos.Filename, diag.Pos.Line}] {
+			if d.matches(diag.Analyzer) {
+				d.Used = true
+				suppressed = true
+			}
+		}
+		if suppressed {
+			res.Suppressed = append(res.Suppressed, diag)
+		} else {
+			res.Diags = append(res.Diags, diag)
+		}
+	}
+	for _, d := range res.Directives {
+		if !d.InTarget || d.Justified {
+			continue
+		}
+		msg := "nolint directive has no justification; write //nolint:<analyzer> // <reason>"
+		if len(d.Names) == 0 {
+			msg = "bare //nolint suppresses every analyzer; name the analyzers and justify: //nolint:<analyzer> // <reason>"
+		}
+		res.Diags = append(res.Diags, Diagnostic{Analyzer: "nolint", Pos: d.Pos, Message: msg})
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	sort.Slice(res.Directives, func(i, j int) bool {
+		a, b := res.Directives[i].Pos, res.Directives[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res, nil
+}
+
+// Run applies the analyzers and returns the surviving (non-suppressed)
+// diagnostics sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunAll(prog, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// StaleDirectives returns directives that suppressed nothing in this run and
+// name only this suite's analyzers (directives for other linters — e.g.
+// staticcheck check IDs — are not ours to judge). Bare directives are always
+// auditable.
+func StaleDirectives(res *RunResult, analyzers []*Analyzer) []*Directive {
+	ours := map[string]bool{"aliaslint": true, "nolint": true}
+	for _, a := range analyzers {
+		ours[a.Name] = true
+	}
+	var out []*Directive
+	for _, d := range res.Directives {
+		if d.Used || !d.InTarget {
+			continue
+		}
+		auditable := true
+		for _, n := range d.Names {
+			if !ours[n] {
+				auditable = false
+				break
+			}
+		}
+		if auditable {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -294,5 +440,4 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -40,6 +41,60 @@ func TestHandleLeak(t *testing.T) {
 
 func TestCounterCopy(t *testing.T) {
 	RunFixture(t, fixtureRoot(t), "countercopy", CounterCopy)
+}
+
+func TestLockOrder(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "lockorder", LockOrder)
+}
+
+func TestPinFlow(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "pinflow", PinFlow)
+}
+
+func TestCtxCancel(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "ctxcancel", CtxCancel)
+}
+
+func TestMetricReg(t *testing.T) {
+	RunFixture(t, fixtureRoot(t), "metricreg", MetricReg)
+}
+
+// TestNolintJustification checks the directive grammar through RunAll: the
+// fixture cannot use want-comments because a trailing "// want …" would parse
+// as the directive's justification.
+func TestNolintJustification(t *testing.T) {
+	prog, err := NewLoader(fixtureRoot(t), "").Load("nolintjust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAll(prog, []*Analyzer{LockOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 2 {
+		t.Errorf("suppressed = %d, want 2 (both recursive locks silenced)", len(res.Suppressed))
+	}
+	var nolintDiags []Diagnostic
+	for _, d := range res.Diags {
+		if d.Analyzer == "nolint" {
+			nolintDiags = append(nolintDiags, d)
+		} else {
+			t.Errorf("unexpected surviving %s diagnostic: %s: %s", d.Analyzer, d.Pos, d.Message)
+		}
+	}
+	if len(nolintDiags) != 1 {
+		t.Fatalf("nolint findings = %d, want 1 (only the unjustified directive)", len(nolintDiags))
+	}
+	if got := nolintDiags[0].Message; !strings.Contains(got, "no justification") {
+		t.Errorf("nolint message = %q, want mention of missing justification", got)
+	}
+	stale := StaleDirectives(res, []*Analyzer{LockOrder})
+	if len(stale) != 1 {
+		t.Fatalf("stale directives = %d, want 1 (the no-op suppression)", len(stale))
+	}
+	if !stale[0].Justified || stale[0].Used {
+		t.Errorf("stale directive = %+v, want justified and unused", stale[0])
+	}
 }
 
 // TestAnnotationsScan covers the marker extraction helpers directly.

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one package loaded from source and type-checked.
@@ -31,6 +32,11 @@ type Program struct {
 
 	local map[string]*Package // every source-loaded package by import path
 	ann   *annotations
+
+	declOnce  sync.Once
+	declIndex map[*types.Func]declEntry // function → declaration (dataflow.go)
+	sumMu     sync.Mutex
+	sums      map[string]*Summaries // per-analyzer interprocedural summaries
 }
 
 func (p *Program) allLoaded() []*Package {

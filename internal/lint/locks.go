@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// This file is the shared static-lock model: identifying sync.Mutex /
+// sync.RWMutex acquisitions, summarizing the locks a function may take
+// transitively (memoized program-wide in the summary store), and the
+// accumulated lock-order graph. lockorder consumes the graph for inversion
+// cycles; metricreg reuses the summaries to intersect scrape callbacks with
+// the query hot path.
+
+// lock mode bits.
+const (
+	lockExcl   = 1 << iota // Lock/TryLock
+	lockShared             // RLock/TryRLock
+)
+
+// mutexMethod classifies call as a sync.Mutex/RWMutex method call and
+// returns the lock's identity object (the variable or struct field holding
+// the mutex), the rendered receiver expression, and the method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (*types.Var, string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", ""
+	}
+	fn := calleeObj(info, call)
+	if fn == nil {
+		return nil, "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", ""
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil {
+		return nil, "", ""
+	}
+	if pkg := n.Obj().Pkg(); pkg == nil || pkg.Name() != "sync" {
+		return nil, "", ""
+	}
+	if name := n.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return nil, "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "TryLock", "Unlock", "RLock", "TryRLock", "RUnlock":
+		obj := lockObjOf(info, sel.X)
+		if obj == nil {
+			return nil, "", ""
+		}
+		return obj, types.ExprString(sel.X), fn.Name()
+	}
+	return nil, "", ""
+}
+
+// lockObjOf resolves a mutex receiver expression to its identity object: the
+// struct field for `s.mu`, the variable for `mu`. Fields identify a lock
+// across all instances of the struct — shard arrays share one identity,
+// which is what a static order analysis wants.
+func lockObjOf(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, _ := obj.(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[x.Sel].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		return lockObjOf(info, x.X)
+	case *ast.StarExpr:
+		return lockObjOf(info, x.X)
+	}
+	return nil
+}
+
+// lockSet is a may-acquire summary: lock identity → mode bits.
+type lockSet map[*types.Var]uint8
+
+// lockSummaryOf returns the set of locks fn may acquire, directly or through
+// local callees (including function literals in its body). Results are
+// memoized in the program summary store; recursion is cut by the visited set
+// (partial results inside a cycle are not memoized).
+func lockSummaryOf(prog *Program, fn *types.Func) lockSet {
+	st := prog.SummaryStore("locks")
+	if v, ok := st.Get(fn); ok {
+		return v.(lockSet)
+	}
+	res := computeLockSummary(prog, fn, map[*types.Func]bool{})
+	return st.Set(fn, res).(lockSet)
+}
+
+func computeLockSummary(prog *Program, fn *types.Func, visited map[*types.Func]bool) lockSet {
+	if v, ok := prog.SummaryStore("locks").Get(fn); ok {
+		return v.(lockSet)
+	}
+	if visited[fn] {
+		return nil
+	}
+	visited[fn] = true
+	pkg, decl := prog.FuncDecl(fn)
+	if decl == nil {
+		return lockSet{}
+	}
+	out := lockSet{}
+	collectLocks(prog, pkg.Info, decl.Body, out, visited)
+	return out
+}
+
+// collectLocks accumulates into out every lock the node may acquire,
+// following local callees through their declarations (cycles cut by
+// visited). Function literals inside the node are included: they may run
+// while the caller's context is live.
+func collectLocks(prog *Program, info *types.Info, node ast.Node, out lockSet, visited map[*types.Func]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if obj, _, meth := mutexMethod(info, call); obj != nil {
+			switch meth {
+			case "Lock", "TryLock":
+				out[obj] |= lockExcl
+			case "RLock", "TryRLock":
+				out[obj] |= lockShared
+			}
+			return true
+		}
+		if callee := calleeObj(info, call); callee != nil {
+			for o, bits := range computeLockSummary(prog, callee, visited) {
+				out[o] |= bits
+			}
+		}
+		return true
+	})
+}
+
+// lockGraph is the program-wide acquired-while-held graph, accumulated
+// across packages as their passes run and guarded for the concurrent
+// summary-store users.
+type lockGraph struct {
+	mu       sync.Mutex
+	edges    map[*types.Var]map[*types.Var]lockEdgeInfo
+	reported map[string]bool // canonical cycle keys already diagnosed
+}
+
+type lockEdgeInfo struct {
+	pos  token.Pos
+	text string // rendered "held → acquired" for the message
+}
+
+// graphKey is the summary-store key of the shared lock graph. types.Object
+// keys are arbitrary; the nil key is reserved for the graph itself.
+func lockGraphOf(prog *Program) *lockGraph {
+	st := prog.SummaryStore("lockgraph")
+	v := st.Memo(nil, func() any {
+		return &lockGraph{
+			edges:    map[*types.Var]map[*types.Var]lockEdgeInfo{},
+			reported: map[string]bool{},
+		}
+	})
+	return v.(*lockGraph)
+}
+
+func (g *lockGraph) addEdge(from, to *types.Var, pos token.Pos, text string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.edges[from]
+	if m == nil {
+		m = map[*types.Var]lockEdgeInfo{}
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = lockEdgeInfo{pos: pos, text: text}
+	}
+}
+
+// cycle is one lock-order inversion: the node sequence n0 → n1 → … → n0.
+type lockCycle struct {
+	nodes []*types.Var
+	key   string
+}
+
+// findCycles enumerates one cycle per strongly-entangled node set via DFS
+// back edges, deduplicated by the canonical sorted node-name key.
+func (g *lockGraph) findCycles(fset *token.FileSet) []lockCycle {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []lockCycle
+	color := map[*types.Var]int{} // 0 white, 1 gray, 2 black
+	var stack []*types.Var
+	var dfs func(n *types.Var)
+	dfs = func(n *types.Var) {
+		color[n] = 1
+		stack = append(stack, n)
+		// Deterministic neighbor order by declaration position.
+		var succs []*types.Var
+		for s := range g.edges[n] {
+			succs = append(succs, s)
+		}
+		sort.Slice(succs, func(i, j int) bool { return succs[i].Pos() < succs[j].Pos() })
+		for _, s := range succs {
+			switch color[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				// Back edge: the stack segment from s to n is a cycle.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != s {
+					i--
+				}
+				nodes := append([]*types.Var(nil), stack[i:]...)
+				key := cycleKey(nodes, fset)
+				if !g.reported[key] {
+					g.reported[key] = true
+					out = append(out, lockCycle{nodes: nodes, key: key})
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = 2
+	}
+	var roots []*types.Var
+	for n := range g.edges {
+		roots = append(roots, n)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	for _, n := range roots {
+		if color[n] == 0 {
+			dfs(n)
+		}
+	}
+	return out
+}
+
+func cycleKey(nodes []*types.Var, fset *token.FileSet) string {
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = fset.Position(n.Pos()).String()
+	}
+	sort.Strings(names)
+	key := ""
+	for _, s := range names {
+		key += s + ";"
+	}
+	return key
+}
+
+// lockName renders a lock identity for diagnostics: package-qualified for
+// package-level mutexes, Type.field for struct fields.
+func lockName(v *types.Var) string {
+	if v.IsField() {
+		return fieldOwnerName(v) + v.Name()
+	}
+	return v.Name()
+}
+
+// fieldOwnerName best-effort resolves the struct type name owning a field.
+func fieldOwnerName(v *types.Var) string {
+	pkg := v.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name() + "."
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,587 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+)
+
+// MetricReg statically reconciles the PR 7 telemetry contracts:
+//
+//   - every telemetry family is registered exactly once, program-wide, with
+//     a literal (or constant) name — grep-ability and the exactly-once
+//     exposition invariant;
+//   - no registration happens inside a loop (a loop re-registering a family
+//     panics at runtime and is a cardinality bomb besides);
+//   - label values passed to a Vec's With are bounded: string literals,
+//     constants, concatenations of those, values produced by functions
+//     annotated "aliaslint:bounded" (routeLabel), or variables all of whose
+//     definitions are bounded — including across one call-site hop for
+//     parameters. Anything else risks unbounded label cardinality;
+//   - scrape-time callbacks (GaugeFunc/CounterFunc/Collect) must not take a
+//     lock that an "aliaslint:hotpath" function may also hold — the PR 7
+//     "scrapes never contend with the query path" contract, checked through
+//     the interprocedural lock summaries of locks.go. Striped stripe locks
+//     that are held O(1) by design opt out via "aliaslint:striped" on the
+//     mutex field.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc: "enforces telemetry registration discipline: literal once-only family " +
+		"names, bounded label cardinality, and lock-free scrapes against " +
+		"aliaslint:hotpath code",
+	Run: runMetricReg,
+}
+
+// registrationMethods maps telemetry.Registry methods to the argument index
+// of their scrape callback (-1: no callback).
+var registrationMethods = map[string]int{
+	"Counter":      -1,
+	"CounterFunc":  2,
+	"CounterVec":   -1,
+	"Gauge":        -1,
+	"GaugeFunc":    2,
+	"Histogram":    -1,
+	"HistogramVec": -1,
+	"Collect":      4,
+}
+
+// telemetryMethod resolves call to a method on a named type declared in a
+// package called "telemetry" (name-matching keeps fixtures loadable, as with
+// isSymbolicPkgNamed) and returns the receiver type name and method name.
+func telemetryMethod(info *types.Info, call *ast.CallExpr) (recv, meth string) {
+	fn := calleeObj(info, call)
+	if fn == nil {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	n := namedOf(sig.Recv().Type())
+	if n == nil {
+		return "", ""
+	}
+	if pkg := n.Obj().Pkg(); pkg == nil || pkg.Name() != "telemetry" {
+		return "", ""
+	}
+	return n.Obj().Name(), fn.Name()
+}
+
+// metricState is the program-wide registration index.
+type metricState struct {
+	mu       sync.Mutex
+	families map[string]token.Position
+}
+
+func metricStateOf(prog *Program) *metricState {
+	v := prog.SummaryStore("metricreg").Memo(nil, func() any {
+		return &metricState{families: map[string]token.Position{}}
+	})
+	return v.(*metricState)
+}
+
+func runMetricReg(pass *Pass) error {
+	info := pass.TypesInfo()
+	state := metricStateOf(pass.Prog)
+	hot := hotpathLocks(pass.Prog)
+	dus := map[*ast.FuncDecl]*DefUse{}
+
+	for _, file := range pass.Files() {
+		// Loop extents, for the no-registration-in-loops rule.
+		var loops [][2]token.Pos
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, [2]token.Pos{n.Pos(), n.End()})
+			}
+			return true
+		})
+		inLoop := func(pos token.Pos) bool {
+			for _, r := range loops {
+				if r[0] <= pos && pos < r[1] {
+					return true
+				}
+			}
+			return false
+		}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, meth := telemetryMethod(info, call)
+			if recv == "" {
+				return true
+			}
+			if meth == "With" {
+				checkWithArgs(pass, file, dus, call)
+				return true
+			}
+			cbIdx, isReg := registrationMethods[meth]
+			if recv != "Registry" || !isReg || len(call.Args) == 0 {
+				return true
+			}
+			checkRegistration(pass, state, file, dus, call, meth, inLoop(call.Pos()))
+			if cbIdx >= 0 && cbIdx < len(call.Args) {
+				checkScrapeCallback(pass, hot, call.Args[cbIdx])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration enforces literal once-only family names outside loops.
+// A name that is a parameter of a registration helper — a named function or
+// a function literal bound to a local variable — counts as one registration
+// per helper call site, provided every site passes a string constant (the
+// perModule/perPlanner idiom in internal/service).
+func checkRegistration(pass *Pass, state *metricState, file *ast.File, dus map[*ast.FuncDecl]*DefUse, call *ast.CallExpr, meth string, inLoop bool) {
+	info := pass.TypesInfo()
+	name, ok := constString(info, call.Args[0])
+	if !ok {
+		if sites, hopOK := helperConstNames(pass, file, dus, call); hopOK {
+			for _, s := range sites {
+				registerFamily(pass, state, s.name, s.pos)
+			}
+			return
+		}
+		pass.Reportf(call.Args[0].Pos(),
+			"telemetry family name passed to %s must be a string literal or "+
+				"constant so registrations are grep-able and provably unique", meth)
+		return
+	}
+	if inLoop {
+		pass.Reportf(call.Pos(),
+			"telemetry family %q registered inside a loop; families are "+
+				"registered exactly once at startup", name)
+	}
+	registerFamily(pass, state, name, call.Pos())
+}
+
+// registerFamily records one family registration and reports duplicates.
+func registerFamily(pass *Pass, state *metricState, name string, pos token.Pos) {
+	state.mu.Lock()
+	first, dup := state.families[name]
+	if !dup {
+		state.families[name] = pass.Fset().Position(pos)
+	}
+	state.mu.Unlock()
+	if dup {
+		pass.Reportf(pos,
+			"telemetry family %q registered more than once (first registration "+
+				"at %s)", name, first)
+	}
+}
+
+// nameSite is one resolved helper call site: the constant family name it
+// passes and where.
+type nameSite struct {
+	name string
+	pos  token.Pos
+}
+
+// helperConstNames resolves a non-constant family-name argument through one
+// helper hop. Two shapes are recognized:
+//
+//   - the name is a parameter of the enclosing function declaration: every
+//     program-wide call site must pass a string constant;
+//   - the name is a parameter of a function literal bound once to a local
+//     variable that is only ever called (the perModule idiom): every call of
+//     that variable must pass a string constant.
+func helperConstNames(pass *Pass, file *ast.File, dus map[*ast.FuncDecl]*DefUse, call *ast.CallExpr) ([]nameSite, bool) {
+	info := pass.TypesInfo()
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		return nil, false
+	}
+	fd := enclosingFuncDecl(file, call)
+	if fd == nil {
+		return nil, false
+	}
+
+	// Shape 1: parameter of the enclosing declaration.
+	if idx := paramIndexOf(info, fd.Type, v); idx >= 0 {
+		fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			return nil, false
+		}
+		return constNamesAtCallSites(pass, fn, idx)
+	}
+
+	// Shape 2: parameter of a literal bound to a local helper variable.
+	var lit *ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok || lit != nil {
+			return lit == nil
+		}
+		if paramIndexOf(info, fl.Type, v) >= 0 {
+			lit = fl
+			return false
+		}
+		return true
+	})
+	if lit == nil {
+		return nil, false
+	}
+	idx := paramIndexOf(info, lit.Type, v)
+
+	var bind *types.Var
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) != ast.Expr(lit) {
+				continue
+			}
+			if lid, ok := as.Lhs[i].(*ast.Ident); ok {
+				if b, ok := info.Defs[lid].(*types.Var); ok {
+					bind = b
+				}
+			}
+		}
+		return true
+	})
+	if bind == nil {
+		return nil, false
+	}
+	du := dus[fd]
+	if du == nil {
+		du = ComputeDefUse(info, fd)
+		dus[fd] = du
+	}
+	// The helper variable must be immutable (single definition, address
+	// never taken) and only ever appear as a call target.
+	if du.Impure[bind] || len(du.Defs[bind]) != 1 {
+		return nil, false
+	}
+	var sites []*ast.CallExpr
+	escaped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			if uid, ok := n.(*ast.Ident); ok && info.Uses[uid] == bind {
+				escaped = true // a use we are not tracking as a call below
+			}
+			return true
+		}
+		if fid, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && info.Uses[fid] == bind {
+			sites = append(sites, c)
+			// Walk args only: the Fun ident is the tracked call use.
+			for _, a := range c.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if uid, ok := m.(*ast.Ident); ok && info.Uses[uid] == bind {
+						escaped = true
+					}
+					return true
+				})
+			}
+			return false
+		}
+		return true
+	})
+	if escaped || len(sites) == 0 {
+		return nil, false
+	}
+	var out []nameSite
+	for _, c := range sites {
+		if idx >= len(c.Args) {
+			return nil, false
+		}
+		name, ok := constString(info, c.Args[idx])
+		if !ok {
+			return nil, false
+		}
+		out = append(out, nameSite{name: name, pos: c.Pos()})
+	}
+	return out, true
+}
+
+// paramIndexOf returns v's index in the function type's parameter list, or
+// -1 when v is not one of its parameters.
+func paramIndexOf(info *types.Info, ft *ast.FuncType, v *types.Var) int {
+	if ft.Params == nil {
+		return -1
+	}
+	idx := 0
+	for _, f := range ft.Params.List {
+		for _, name := range f.Names {
+			if info.Defs[name] == types.Object(v) {
+				return idx
+			}
+			idx++
+		}
+		if len(f.Names) == 0 {
+			idx++
+		}
+	}
+	return -1
+}
+
+// constNamesAtCallSites collects the constant string passed at parameter idx
+// of every program-wide call of fn; any non-constant site fails the hop.
+func constNamesAtCallSites(pass *Pass, fn *types.Func, idx int) ([]nameSite, bool) {
+	sig := fn.Type().(*types.Signature)
+	var out []nameSite
+	for _, pkg := range pass.Prog.allLoaded() {
+		for _, file := range pkg.Files {
+			bad := false
+			ast.Inspect(file, func(n ast.Node) bool {
+				c, ok := n.(*ast.CallExpr)
+				if !ok || bad || calleeObj(pkg.Info, c) != fn {
+					return !bad
+				}
+				args := argsForParam(sig, idx, c.Args)
+				if len(args) != 1 {
+					bad = true
+					return false
+				}
+				name, ok := constString(pkg.Info, args[0])
+				if !ok {
+					bad = true
+					return false
+				}
+				out = append(out, nameSite{name: name, pos: c.Pos()})
+				return true
+			})
+			if bad {
+				return nil, false
+			}
+		}
+	}
+	return out, len(out) > 0
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// ---- label boundedness -------------------------------------------------
+
+// checkWithArgs verifies each label value of a Vec.With call is bounded.
+func checkWithArgs(pass *Pass, file *ast.File, dus map[*ast.FuncDecl]*DefUse, call *ast.CallExpr) {
+	fd := enclosingFuncDecl(file, call)
+	if fd == nil {
+		return
+	}
+	du := dus[fd]
+	if du == nil {
+		du = ComputeDefUse(pass.TypesInfo(), fd)
+		dus[fd] = du
+	}
+	for _, arg := range call.Args {
+		if !boundedLabel(pass, pass.Pkg, du, arg, 2) {
+			pass.Reportf(arg.Pos(),
+				"label value is not provably bounded (want a literal, constant, "+
+					"aliaslint:bounded call, or a variable with only bounded "+
+					"definitions); unbounded label sets blow up the exposition")
+		}
+	}
+}
+
+// boundedLabel reports whether e provably evaluates to one of a bounded set
+// of strings. depth limits the call-site hops followed for parameters.
+func boundedLabel(pass *Pass, pkg *Package, du *DefUse, e ast.Expr, depth int) bool {
+	e = ast.Unparen(e)
+	info := pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true // any constant is a one-element set
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return boundedLabel(pass, pkg, du, x.X, depth) && boundedLabel(pass, pkg, du, x.Y, depth)
+		}
+	case *ast.CallExpr:
+		fn := calleeObj(info, x)
+		return fn != nil && pass.Annotated(fn, "bounded")
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if du != nil && du.Params[v] {
+			return depth > 0 && paramBounded(pass, v, depth-1)
+		}
+		if du == nil || du.Impure[v] || len(du.Defs[v]) == 0 {
+			return false
+		}
+		for _, def := range du.Defs[v] {
+			if !boundedLabel(pass, pkg, du, def, depth) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// paramBounded checks every call site of the parameter's function: the
+// parameter is bounded when each site passes a bounded argument.
+func paramBounded(pass *Pass, param *types.Var, depth int) bool {
+	fn, idx := paramOwner(pass.Prog, param)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	sites := 0
+	for _, pkg := range pass.Prog.allLoaded() {
+		for _, file := range pkg.Files {
+			ok := true
+			ast.Inspect(file, func(n ast.Node) bool {
+				if !ok {
+					return false
+				}
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall || calleeObj(pkg.Info, call) != fn {
+					return true
+				}
+				fd := enclosingFuncDecl(file, call)
+				var du *DefUse
+				if fd != nil {
+					du = ComputeDefUse(pkg.Info, fd)
+				}
+				args := argsForParam(sig, idx, call.Args)
+				if len(args) == 0 && !sig.Variadic() {
+					ok = false // can't see the argument (e.g. f(g()) splat)
+					return true
+				}
+				sites++
+				for _, a := range args {
+					if !boundedLabel(pass, pkg, du, a, depth) {
+						ok = false
+					}
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+		}
+	}
+	return sites > 0
+}
+
+// paramOwner finds the function declaring param and its index in the
+// signature.
+func paramOwner(prog *Program, param *types.Var) (*types.Func, int) {
+	for _, pkg := range prog.allLoaded() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				for i := 0; i < sig.Params().Len(); i++ {
+					if sig.Params().At(i) == param {
+						return fn, i
+					}
+				}
+			}
+		}
+	}
+	return nil, -1
+}
+
+// argsForParam maps a parameter index to the call arguments bound to it
+// (several for a variadic tail).
+func argsForParam(sig *types.Signature, idx int, args []ast.Expr) []ast.Expr {
+	if sig.Variadic() && idx >= sig.Params().Len()-1 {
+		if sig.Params().Len()-1 < len(args) {
+			return args[sig.Params().Len()-1:]
+		}
+		return nil
+	}
+	if idx < len(args) {
+		return args[idx : idx+1]
+	}
+	return nil
+}
+
+// ---- scrape-vs-hotpath locks -------------------------------------------
+
+// hotpathLocks unions the may-acquire lock summaries of every function
+// annotated aliaslint:hotpath, memoized program-wide.
+func hotpathLocks(prog *Program) lockSet {
+	v := prog.SummaryStore("metricreg-hot").Memo(nil, func() any {
+		out := lockSet{}
+		for _, fn := range prog.annotatedFuncs("hotpath") {
+			for o, bits := range lockSummaryOf(prog, fn) {
+				out[o] |= bits
+			}
+		}
+		return out
+	})
+	return v.(lockSet)
+}
+
+// checkScrapeCallback intersects the callback's transitive lock set with the
+// hot path's. A shared/shared overlap (RLock on both sides) is fine; any
+// exclusive side contends.
+func checkScrapeCallback(pass *Pass, hot lockSet, cb ast.Expr) {
+	info := pass.TypesInfo()
+	set := lockSet{}
+	switch x := ast.Unparen(cb).(type) {
+	case *ast.FuncLit:
+		collectLocks(pass.Prog, info, x, set, map[*types.Func]bool{})
+	default:
+		var fn *types.Func
+		switch y := x.(type) {
+		case *ast.Ident:
+			fn, _ = info.Uses[y].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = info.Uses[y.Sel].(*types.Func)
+		}
+		if fn == nil {
+			return
+		}
+		set = lockSummaryOf(pass.Prog, fn)
+	}
+	var objs []*types.Var
+	for obj := range set {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		bits := set[obj]
+		if pass.Annotated(obj, "striped") {
+			continue // stripe locks held O(1) opt out explicitly
+		}
+		hotBits, shared := hot[obj]
+		if !shared {
+			continue
+		}
+		if bits&lockExcl != 0 || hotBits&lockExcl != 0 {
+			pass.Reportf(cb.Pos(),
+				"scrape callback acquires %s, which aliaslint:hotpath code also "+
+					"takes; scrapes must not contend with the query path (use "+
+					"atomics, or mark a bounded stripe aliaslint:striped)",
+				lockName(obj))
+		}
+	}
+}

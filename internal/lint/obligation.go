@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the shared "obligation" dataflow: a resource is
+// acquired at some program point and must be discharged — released, deferred,
+// or ownership-transferred — on every path that reaches a function exit.
+// handleleak (registry Handle pins), ctxcancel (context cancel functions)
+// and pinflow (pins captured by goroutine closures) are all instances; they
+// differ only in what counts as a release and whether passing the tracked
+// value as a call argument transfers the obligation.
+//
+// The problem runs on the CFGs of cfg.go through the Fixpoint solver of
+// dataflow.go; ok-guard narrowing is an edge transfer on the condition
+// edges, replacing the hand-rolled recursive walk of the PR 6 analyzer.
+
+// obState is the dataflow fact for one obligation. The lattice is the
+// five-flag powerset ordered by mergeStates: a merge is covered only when
+// both incoming paths are.
+type obState struct {
+	active   bool // acquisition has executed on this path
+	released bool
+	deferred bool // defer release seen: every later exit is covered
+	escaped  bool // ownership transferred; obligation no longer ours
+	okFalse  bool // the acquire's ok-result is known false on this path
+}
+
+// covered reports whether the obligation is discharged on this path: not
+// yet acquired, released, deferred-released, ownership transferred, or the
+// acquire's ok-result known false (never pinned).
+func covered(s obState) bool {
+	return !s.active || s.released || s.deferred || s.escaped || s.okFalse
+}
+
+// mergeStates joins two continuing paths. A merged path is discharged only
+// when both incoming paths are; when exactly one is covered, the merged
+// state carries the uncovered path's obligations forward.
+func mergeStates(a, b obState) obState {
+	ca, cb := covered(a), covered(b)
+	switch {
+	case ca && cb:
+		return obState{active: a.active || b.active, released: true}
+	case ca:
+		b.active = a.active || b.active
+		return b
+	case cb:
+		a.active = a.active || b.active
+		return a
+	default:
+		return obState{
+			active:   a.active || b.active,
+			released: a.released && b.released,
+			deferred: a.deferred && b.deferred,
+			escaped:  a.escaped && b.escaped,
+			okFalse:  a.okFalse && b.okFalse,
+		}
+	}
+}
+
+// An obligationSpec configures one obligation instance.
+type obligationSpec struct {
+	info *types.Info
+	// v is the tracked variable (the handle, the cancel func).
+	v *types.Var
+	// ok is the bool companion of a (v, ok) acquire; nil otherwise.
+	ok *types.Var
+	// acq is the statement whose execution activates the obligation; nil
+	// when the obligation is live on entry (pinflow's captured pins).
+	acq ast.Node
+	// isRelease recognizes a discharging call (h.Release(), cancel()).
+	isRelease func(*ast.CallExpr) bool
+	// argTransfers: passing v as a plain call argument transfers the
+	// obligation. Handles are borrowed by callees (false); cancel functions
+	// are handed off (true).
+	argTransfers bool
+}
+
+// obligationProblem adapts an obligationSpec to the Fixpoint solver.
+type obligationProblem struct{ spec *obligationSpec }
+
+func (p *obligationProblem) Entry() any {
+	return obState{active: p.spec.acq == nil}
+}
+
+func (p *obligationProblem) Join(a, b any) any {
+	return mergeStates(a.(obState), b.(obState))
+}
+
+func (p *obligationProblem) Equal(a, b any) bool { return a == b }
+
+// FlowEdge applies ok-guard narrowing: along the edge where the acquire's
+// ok-result is false, the resource was never pinned.
+func (p *obligationProblem) FlowEdge(e *CEdge, fact any) any {
+	st := fact.(obState)
+	if !st.active || st.okFalse {
+		return st
+	}
+	switch okCondDir(p.spec.info, p.spec.ok, e.Cond) {
+	case 1: // cond is `ok`
+		if e.Negate {
+			st.okFalse = true
+		}
+	case -1: // cond is `!ok`
+		if !e.Negate {
+			st.okFalse = true
+		}
+	}
+	return st
+}
+
+// okCondDir classifies a branch condition against the acquisition's
+// ok-result: +1 cond is `ok`, -1 cond is `!ok`, 0 unrelated.
+func okCondDir(info *types.Info, okVar *types.Var, cond ast.Expr) int {
+	if okVar == nil || cond == nil {
+		return 0
+	}
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.Ident:
+		if info.Uses[c] == okVar {
+			return 1
+		}
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			if id, ok := ast.Unparen(c.X).(*ast.Ident); ok && info.Uses[id] == okVar {
+				return -1
+			}
+		}
+	}
+	return 0
+}
+
+func (p *obligationProblem) Transfer(n ast.Node, fact any) any {
+	st := fact.(obState)
+	s := p.spec
+	// The acquisition node itself (re)activates tracking: a back edge that
+	// reaches it again starts a fresh pin.
+	if s.acq != nil && n == s.acq {
+		return obState{active: true}
+	}
+	if !st.active {
+		return st
+	}
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && s.isRelease(call) {
+			st.released = true
+		} else if s.escapes(n.X) || (s.argTransfers && s.usesVar(n.X)) {
+			st.escaped = true
+		}
+	case *ast.DeferStmt:
+		if s.isRelease(n.Call) {
+			st.deferred = true
+		} else if s.escapes(n.Call) || s.usesVar(n.Call) {
+			st.escaped = true
+		}
+	case *ast.GoStmt:
+		if s.usesVar(n.Call) {
+			st.escaped = true
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && s.info.Uses[id] == s.v {
+				// Reassigned: the old pin is unreachable here. The
+				// reassignment site is a separate acquisition if it is one.
+				st.escaped = true
+			}
+		}
+		if s.escapes(n) {
+			st.escaped = true
+		}
+		for _, rhs := range n.Rhs {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && s.info.Uses[id] == s.v {
+				st.escaped = true // aliased into another variable
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if s.usesVar(r) {
+				st.escaped = true // ownership returned to the caller
+			}
+		}
+	case *ast.SendStmt:
+		if s.usesVar(n) {
+			st.escaped = true
+		}
+	case ast.Stmt:
+		if s.escapes(n) {
+			st.escaped = true
+		}
+	case ast.Expr:
+		// Bare condition/tag/range expressions: a capture inside one (a
+		// composite literal or closure) still transfers ownership.
+		if s.escapes(n) {
+			st.escaped = true
+		}
+	}
+	return st
+}
+
+// usesVar reports whether the node mentions the tracked variable.
+func (s *obligationSpec) usesVar(e ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && s.info.Uses[id] == s.v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether the node transfers ownership of the tracked
+// value: stored into a composite literal, sent on a channel, or captured by
+// a function literal. Passing the value as a plain call argument is
+// ordinary use, NOT a transfer (unless argTransfers) — the callee borrows
+// the pin; treating it as a transfer would blind the analyzer to the
+// canonical early-return leak (`if err := work(h); err != nil { return }`).
+func (s *obligationSpec) escapes(n ast.Node) bool {
+	esc := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if esc {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			if s.usesVar(m) {
+				esc = true
+			}
+			return false
+		case *ast.CompositeLit, *ast.SendStmt:
+			if s.usesVar(m) {
+				esc = true
+			}
+			return false
+		}
+		return true
+	})
+	return esc
+}
+
+// solveObligation runs the obligation dataflow over g and reports whether
+// the obligation may be live (uncovered) at a normal function exit.
+func solveObligation(g *CFG, spec *obligationSpec) bool {
+	res := Fixpoint(g, &obligationProblem{spec: spec})
+	exit, ok := res.In[g.Exit]
+	if !ok {
+		return false // no normal exit reachable (every path panics)
+	}
+	return !covered(exit.(obState))
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PinFlow checks the goroutine boundary of registry Handle pins —
+// handleleak's blind spot by design: handleleak treats a closure capture as
+// an ownership transfer and stops tracking; PinFlow picks the obligation up
+// on the other side.
+//
+//   - A `go func(){…}()` that captures (or receives as an argument) a
+//     pinned handle owns that pin: the goroutine body must Release it on
+//     every path or hand it across an explicit transfer boundary — a callee
+//     annotated "aliaslint:pin-transfer" (pool.Queue.Submit is the
+//     blessed example).
+//   - `go fn(h)` with a named callee is only allowed when fn is annotated
+//     aliaslint:pin-transfer: the annotation documents which goroutine
+//     releases.
+//   - A closure that calls h.Release() on a captured handle but is neither
+//     launched by go/defer, immediately invoked, nor passed to a
+//     pin-transfer callee is a stored callback releasing on an undocumented
+//     goroutine — flagged at the Release call.
+var PinFlow = &Analyzer{
+	Name: "pinflow",
+	Doc: "flags handle pins escaping to goroutines without release-on-all-paths " +
+		"or an aliaslint:pin-transfer boundary",
+	Run: runPinFlow,
+}
+
+// isHandleVar reports whether v is a pointer-to-handle-typed variable.
+func isHandleVar(pass *Pass, v *types.Var) bool {
+	if v == nil {
+		return false
+	}
+	ptr, ok := v.Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n := namedOf(ptr)
+	return n != nil && pass.Annotated(n.Obj(), "handle")
+}
+
+// capturedHandleVars lists handle-typed variables the literal uses but does
+// not declare (captures from the enclosing function), plus its own
+// handle-typed parameters, in first-use order.
+func capturedHandleVars(pass *Pass, lit *ast.FuncLit) []*types.Var {
+	info := pass.TypesInfo()
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	add := func(v *types.Var) {
+		if v != nil && !seen[v] && isHandleVar(pass, v) {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	if lit.Type.Params != nil {
+		for _, f := range lit.Type.Params.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					add(v)
+				}
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.Pos() == 0 {
+			return true
+		}
+		// Declared inside the literal (incl. params): not a capture.
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true
+		}
+		add(v)
+		return true
+	})
+	return out
+}
+
+// isPinTransferCall reports whether call's callee is annotated
+// aliaslint:pin-transfer.
+func isPinTransferCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeObj(pass.TypesInfo(), call)
+	return fn != nil && pass.Annotated(fn, "pin-transfer")
+}
+
+// releaseSpec builds the obligation spec for a handle live on entry of a
+// goroutine body: discharged by h.Release() (direct or deferred) or by
+// handing h to a pin-transfer callee.
+func goroutineSpec(pass *Pass, v *types.Var) *obligationSpec {
+	info := pass.TypesInfo()
+	spec := &obligationSpec{info: info, v: v}
+	spec.isRelease = func(call *ast.CallExpr) bool {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+				return true
+			}
+		}
+		if isPinTransferCall(pass, call) && spec.usesVar(call) {
+			return true // handed across a documented transfer boundary
+		}
+		return false
+	}
+	return spec
+}
+
+func runPinFlow(pass *Pass) error {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPinFlow(pass, info, fd)
+		}
+	}
+	return nil
+}
+
+func checkPinFlow(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Classify every function literal by how it leaves the function:
+	// goroutine, defer, immediate invocation, or pin-transfer argument.
+	// Anything else is a stored callback.
+	accounted := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			checkGoStmt(pass, info, n, accounted)
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				accounted[lit] = true // same-goroutine release at exit
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				accounted[lit] = true // immediately invoked: same goroutine
+			}
+			if isPinTransferCall(pass, n) {
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						accounted[lit] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Stored callbacks must not release captured pins: the goroutine that
+	// would run them is undocumented.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || accounted[lit] {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Release" {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := info.Uses[id].(*types.Var)
+			if !isHandleVar(pass, v) || (v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"captured handle %s released from a stored closure; the releasing "+
+					"goroutine is undocumented — launch it with go/defer or pass it "+
+					"through an aliaslint:pin-transfer boundary", v.Name())
+			return true
+		})
+		return true
+	})
+}
+
+func checkGoStmt(pass *Pass, info *types.Info, g *ast.GoStmt, accounted map[*ast.FuncLit]bool) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		accounted[lit] = true
+		for _, v := range capturedHandleVars(pass, lit) {
+			if solveObligation(BuildCFG(lit.Body), goroutineSpec(pass, v)) {
+				pass.Reportf(g.Pos(),
+					"handle %s escapes to a goroutine that does not release it on "+
+						"every path; the goroutine owns the pin — defer %s.Release() "+
+						"or hand it to an aliaslint:pin-transfer callee",
+					v.Name(), v.Name())
+			}
+		}
+		return
+	}
+	// go fn(h, …): the callee decides when the pin dies — require the
+	// documented transfer annotation.
+	if isPinTransferCall(pass, g.Call) {
+		return
+	}
+	for _, arg := range g.Call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, _ := info.Uses[id].(*types.Var); isHandleVar(pass, v) {
+			name := "the callee"
+			if fn := calleeObj(info, g.Call); fn != nil {
+				name = fn.Name()
+			}
+			pass.Reportf(g.Pos(),
+				"handle %s passed to goroutine %s, which is not annotated "+
+					"aliaslint:pin-transfer; the releasing goroutine must be documented",
+				v.Name(), name)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package ctxcancel exercises the ctxcancel analyzer: cancel functions
+// leaked on early returns, discarded cancel functions, context struct
+// fields, and the clean defer/hand-off patterns.
+package ctxcancel
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var errNope = errors.New("nope")
+
+func work(ctx context.Context) { _ = ctx }
+
+// The early return path leaks the derived context.
+func leakEarlyReturn(parent context.Context, fail bool) error {
+	ctx, cancel := context.WithCancel(parent) // want `not called on every path`
+	if fail {
+		return errNope
+	}
+	work(ctx)
+	cancel()
+	return nil
+}
+
+// Discarding the cancel function makes the timeout unstoppable.
+func discard(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `discarded`
+	return ctx
+}
+
+// Contexts are request-scoped: storing one in long-lived state hides its
+// lifetime.
+type holder struct {
+	ctx context.Context // want `stored in a struct field`
+}
+
+// defer cancel() right after the derivation is the canonical discharge.
+func okDefer(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	work(ctx)
+}
+
+// Handing the cancel function to another function transfers the obligation.
+func okPassed(parent context.Context) {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	go waiter(cancel)
+	work(ctx)
+}
+
+func waiter(cancel context.CancelFunc) { defer cancel() }
+
+// Calling cancel on every explicit path is also fine.
+func okAllPaths(parent context.Context, fail bool) {
+	ctx, cancel := context.WithCancel(parent)
+	if fail {
+		cancel()
+		return
+	}
+	work(ctx)
+	cancel()
+}
+
+// WithCancelCause follows the same contract.
+func okCause(parent context.Context) {
+	ctx, cancel := context.WithCancelCause(parent)
+	defer cancel(errNope)
+	work(ctx)
+}

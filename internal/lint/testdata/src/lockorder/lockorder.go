@@ -1,0 +1,126 @@
+// Package lockorder exercises the lockorder analyzer: inversion cycles in
+// the static lock graph, via-callee edges, self-deadlocks, and the
+// goroutine/shard patterns that must stay clean.
+package lockorder
+
+import "sync"
+
+// A and B form a two-lock inversion.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+func inversionAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock acquisition order cycle`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func inversionBA() {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock acquisition order cycle`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C and D invert through a callee: cThenD holds C.mu across lockD.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+var c C
+var d D
+
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cThenD() {
+	c.mu.Lock()
+	lockD() // want `lock acquisition order cycle`
+	c.mu.Unlock()
+}
+
+func dThenC() {
+	d.mu.Lock()
+	c.mu.Lock() // want `lock acquisition order cycle`
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+// Recursive acquisition through the same receiver self-deadlocks.
+func double() {
+	a.mu.Lock()
+	a.mu.Lock() // want `locked again while already held`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// shard-style loops are fine: each stripe is released before the next is
+// taken, and the shared field identity must not be mistaken for recursion.
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+var shards [4]shard
+
+func sum() int {
+	n := 0
+	for i := range shards {
+		shards[i].mu.Lock()
+		n += shards[i].n
+		shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// E and F are only ever nested across a goroutine boundary: the spawned
+// goroutine starts with an empty held set, so no edge and no cycle.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var e E
+var f F
+
+func okGoroutineE() {
+	e.mu.Lock()
+	go func() {
+		f.mu.Lock()
+		f.mu.Unlock()
+	}()
+	e.mu.Unlock()
+}
+
+func okGoroutineF() {
+	f.mu.Lock()
+	go func() {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}()
+	f.mu.Unlock()
+}
+
+// Consistent ordering with deferred unlocks is clean: G before H everywhere.
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+var g G
+var h H
+
+func okOrderOne() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+func okOrderTwo() {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}

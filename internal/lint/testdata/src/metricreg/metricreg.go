@@ -1,0 +1,106 @@
+// Package metricreg exercises the metricreg analyzer: once-only literal
+// registration, bounded label cardinality, and the scrape-vs-hotpath lock
+// contract with its aliaslint:striped escape hatch.
+package metricreg
+
+import (
+	"strconv"
+	"sync"
+
+	"telemetry"
+)
+
+const constLabel = "const"
+
+// striped is a bounded stripe whose lock is held O(1) on both the query and
+// the scrape side, so it opts out of the contention check.
+type striped struct {
+	mu sync.Mutex // aliaslint:striped (bounded stripe, held O(1) by design)
+	v  int
+}
+
+type server struct {
+	mu     sync.Mutex
+	n      int
+	stripe striped
+	reg    *telemetry.Registry
+	vec    *telemetry.CounterVec
+}
+
+// query is the request hot path.
+//
+// aliaslint:hotpath
+func (s *server) query() int {
+	s.mu.Lock()
+	s.n++
+	n := s.n
+	s.mu.Unlock()
+	s.stripe.mu.Lock()
+	s.stripe.v++
+	s.stripe.mu.Unlock()
+	return n
+}
+
+func (s *server) register() {
+	s.reg.Counter("fix_requests_total", "requests")
+	s.reg.Counter("fix_requests_total", "requests") // want `registered more than once`
+	name := dynamicName()
+	s.reg.Gauge(name, "dynamic") // want `string literal or constant`
+	for i := 0; i < 3; i++ {
+		s.reg.Counter("fix_loop_total", "loop") // want `registered inside a loop`
+	}
+	s.reg.GaugeFunc("fix_depth", "depth", func() float64 { // want `scrape callback acquires`
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.n)
+	})
+	s.reg.GaugeFunc("fix_stripe", "stripe", func() float64 {
+		s.stripe.mu.Lock()
+		defer s.stripe.mu.Unlock()
+		return float64(s.stripe.v)
+	})
+	s.reg.GaugeFunc("fix_size", "size", s.lockFree)
+}
+
+func dynamicName() string { return "dynamic_name" }
+
+func (s *server) lockFree() float64 { return 0 }
+
+func (s *server) observe(code int) {
+	s.vec.With("static").Inc()
+	s.vec.With(constLabel).Inc()
+	outcome := "ok"
+	if code != 0 {
+		outcome = "error"
+	}
+	s.vec.With(outcome).Inc()
+	s.vec.With("pre_" + constLabel).Inc()
+	s.vec.With(route(code)).Inc()
+	s.vec.With(strconv.Itoa(code)).Inc() // want `not provably bounded`
+	s.observeMode("sync")
+	s.observeMode("batch")
+}
+
+// route folds status codes into a fixed label set.
+//
+// aliaslint:bounded
+func route(code int) string {
+	if code == 0 {
+		return "ok"
+	}
+	return "error"
+}
+
+// observeMode's label is a constant at every call site, which the analyzer
+// proves through one call-site hop.
+func (s *server) observeMode(mode string) {
+	s.vec.With(mode).Inc()
+}
+
+// observeRaw's label reaches it from handle's own unconstrained parameter —
+// not provable.
+func (s *server) observeRaw(path string) {
+	s.vec.With(path).Inc() // want `not provably bounded`
+}
+
+func (s *server) handle(path string) { s.observeRaw(path) }

@@ -1,0 +1,37 @@
+// Package nolintjust exercises the nolint grammar: an unjustified directive
+// that suppresses a real finding is itself a finding, a justified one is
+// silent, and a directive suppressing nothing is stale. Checked by
+// TestNolintJustification via RunAll (want-comments cannot express directive
+// findings: a trailing "// want …" comment would read as the justification).
+package nolintjust
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// doubleLock's suppression has no justification: the suppression works, but
+// the directive itself is flagged.
+func doubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() //nolint:lockorder
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// justified carries the required reason and is fully silent.
+func justified(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() //nolint:lockorder // fixture: intentional recursive lock for the justification test
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// stale suppresses nothing; the audit must report it.
+func stale(c *counter) {
+	c.n++ //nolint:lockorder // fixture: suppresses nothing, must be reported stale
+}

@@ -1,0 +1,125 @@
+// Package pinflow exercises the pinflow analyzer: handle pins escaping to
+// goroutines, the aliaslint:pin-transfer escape hatch, and stored closures
+// that release on undocumented goroutines.
+package pinflow
+
+// Handle is a pinned module handle, as in internal/service.
+//
+// aliaslint:handle
+type Handle struct{ refs int }
+
+// Release drops the pin.
+func (h *Handle) Release() { h.refs-- }
+
+// Registry hands out pinned handles.
+type Registry struct{ h *Handle }
+
+// Acquire pins and returns the handle.
+func (r *Registry) Acquire() (*Handle, bool) {
+	r.h.refs++
+	return r.h, true
+}
+
+// Submit hands f to a worker goroutine that owns any captured pins.
+//
+// aliaslint:pin-transfer
+func Submit(f func()) { go f() }
+
+// consume takes ownership of the pin and releases it.
+//
+// aliaslint:pin-transfer
+func consume(h *Handle) { defer h.Release() }
+
+func use(h *Handle) { _ = h.refs }
+
+// A goroutine that borrows the pin without releasing it races the caller's
+// Release.
+func leakGoroutine(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	defer h.Release()
+	go func() { // want `escapes to a goroutine that does not release it`
+		use(h)
+	}()
+}
+
+// Passing the pin to an unannotated function in a go statement hides the
+// ownership transfer from the analyzer (and from readers).
+func leakGoNamed(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	go use(h) // want `not annotated aliaslint:pin-transfer`
+}
+
+// A stored closure releases on whatever goroutine eventually runs it.
+func storedRelease(r *Registry) func() {
+	h, ok := r.Acquire()
+	if !ok {
+		return nil
+	}
+	cb := func() {
+		h.Release() // want `stored closure`
+	}
+	return cb
+}
+
+// Releasing on every path inside the goroutine is the documented pattern.
+func okGoroutineRelease(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	go func() {
+		defer h.Release()
+		use(h)
+	}()
+}
+
+// pin-transfer callees own captured pins: Submit's worker releases.
+func okSubmitTransfer(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	Submit(func() {
+		defer h.Release()
+		use(h)
+	})
+}
+
+// go pin-transfer(h) is the annotated hand-off form.
+func okGoConsume(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	go consume(h)
+}
+
+// Deferred literals run on the acquiring goroutine.
+func okDeferLit(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	defer func() { h.Release() }()
+	use(h)
+}
+
+// A goroutine may hand the pin onward through another pin-transfer call.
+func okGoroutineHandoff(r *Registry) {
+	h, ok := r.Acquire()
+	if !ok {
+		return
+	}
+	go func() {
+		Submit(func() {
+			defer h.Release()
+			use(h)
+		})
+	}()
+}

@@ -1,0 +1,43 @@
+// Package telemetry is a fixture stand-in for the repo's telemetry package.
+// The metricreg analyzer matches methods on named types declared in a
+// package *called* "telemetry", so this stub keeps fixtures loadable without
+// importing the real module (same trick as the symbolic stub).
+package telemetry
+
+// Registry registers metric families.
+type Registry struct{}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a counter family.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a gauge computed by fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+
+// Counter is a monotonic counter.
+type Counter struct{}
+
+// Inc adds one.
+func (c *Counter) Inc() {}
+
+// Gauge is a point-in-time value.
+type Gauge struct{}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{}
+
+// With resolves one child by label values.
+func (v *CounterVec) With(labelValues ...string) *Counter { return &Counter{} }

@@ -83,7 +83,7 @@ func (g *GRResult) Value(v *ir.Value) MemLoc {
 	case ir.VConst:
 		return Bottom()
 	case ir.VGlobal:
-		return SingleLoc(g.gsite[v.Gbl])
+		return SingleLocIn(g.opts.Interner, g.gsite[v.Gbl])
 	}
 	if m, ok := g.val[v]; ok {
 		return m
@@ -187,7 +187,7 @@ func AnalyzeGR(m *ir.Module, R *rangeanal.Result, opts Options) *GRResult {
 				switch in.Op {
 				case ir.OpAlloc:
 					site := g.site[in]
-					addNode(res, func() MemLoc { return SingleLoc(site) })
+					addNode(res, func() MemLoc { return SingleLocIn(g.opts.Interner, site) })
 				case ir.OpFree:
 					addNode(res, func() MemLoc { return Bottom() })
 				case ir.OpCopy:

@@ -15,6 +15,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/ir"
 	"repro/internal/rangeanal"
+	"repro/internal/symbolic"
 )
 
 // siteRange is one non-⊥ component of a MemLoc: the symbolic offset range at
@@ -48,9 +49,16 @@ func Bottom() MemLoc { return MemLoc{} }
 func Top() MemLoc { return MemLoc{top: true} }
 
 // SingleLoc abstracts "points exactly at the base of site": loc + [0,0]
-// (the malloc rule of Fig. 9).
+// (the malloc rule of Fig. 9), with the zero bound in the Default interner.
+// Analysis code must use SingleLocIn so the bound stays in the module's
+// interner; this form exists for tests and golden values.
 func SingleLoc(site int) MemLoc {
 	return MemLoc{ranges: []siteRange{{site: site, r: interval.ConstPoint(0)}}}
+}
+
+// SingleLocIn is SingleLoc with the [0,0] bound interned in in.
+func SingleLocIn(in *symbolic.Interner, site int) MemLoc {
+	return MemLoc{ranges: []siteRange{{site: site, r: interval.ConstsIn(in, 0, 0)}}}
 }
 
 // OfRanges builds a MemLoc from explicit components (test helper and Fig. 12

@@ -125,6 +125,12 @@ func NewQueue(workers, backlog int) *Queue {
 // Submit enqueues f without blocking. It reports false when the backlog is
 // full or the queue is closed — the caller decides whether that is "try
 // again later" (HTTP 503) or a hard error.
+//
+// A submitted task owns any registry pins captured in f: exactly one worker
+// goroutine runs it (or the final drain does, on Close), so a deferred
+// Release inside f runs exactly once.
+//
+// aliaslint:pin-transfer
 func (q *Queue) Submit(f func()) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()

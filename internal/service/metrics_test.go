@@ -273,43 +273,80 @@ func TestReadyz(t *testing.T) {
 	}
 }
 
-// TestInternerGaugeFlatAcrossDelete documents the interner leak the
-// ROADMAP's memory-governance item tracks: the intern table is append-only,
-// so deleting a module must leave aliasd_interner_claimed_exprs exactly
-// where it was — the gauge is monotone and deletes free IR and caches, not
-// interned expressions. If this test ever fails with a *lower* value, the
-// interner learned to release and both the gauge semantics and the ROADMAP
-// item should be revisited.
-func TestInternerGaugeFlatAcrossDelete(t *testing.T) {
+// TestInternerGaugeDropsAcrossDelete pins the per-module interner down: the
+// memory-governance item the ROADMAP carried since the handle-lifecycle PR.
+// Each build mints its symbolic expressions into a module-owned interner,
+// so aliasd_interner_claimed_exprs must rise with an upload and FALL back
+// when the module is deleted — the expressions die with the handle instead
+// of accreting in a process-wide table. Churn (upload → delete → upload)
+// must therefore plateau instead of growing linearly, which is what the
+// predecessor of this test (TestInternerGaugeFlatAcrossDelete) documented
+// as a leak.
+func TestInternerGaugeDropsAcrossDelete(t *testing.T) {
 	src := fig1Source(t)
 	s, ts := startServer(t, Config{})
 	defer s.Close()
-	resp := postModule(t, ts, "fig1", "minic", src)
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("module upload: %d %s", resp.StatusCode, body(t, resp))
-	}
 
 	claimed := func() float64 {
 		return sampleValue(scrape(t, ts.URL), "aliasd_interner_claimed_exprs", nil)
 	}
-	before := claimed()
+	deleteModule := func(name string) {
+		t.Helper()
+		req, _ := http.NewRequest("DELETE", ts.URL+"/v1/modules/"+name, nil)
+		dr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body(t, dr)
+		if dr.StatusCode != http.StatusNoContent {
+			t.Fatalf("DELETE %s: %d", name, dr.StatusCode)
+		}
+	}
 
-	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/modules/fig1", nil)
-	dr, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	body(t, dr)
-	if dr.StatusCode != http.StatusNoContent {
-		t.Fatalf("DELETE: %d", dr.StatusCode)
+	if idle := claimed(); idle != 0 {
+		t.Fatalf("idle service claims %v interned exprs, want 0", idle)
 	}
 
-	if after := claimed(); after != before {
-		t.Errorf("claimed-exprs gauge moved across a module delete: %v -> %v (interner is append-only; deletes must not change it)", before, after)
+	var perUpload float64
+	for i := 0; i < 3; i++ {
+		resp := postModule(t, ts, "fig1", "minic", src)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("round %d upload: %d %s", i, resp.StatusCode, body(t, resp))
+		}
+		up := claimed()
+		if up <= 0 {
+			t.Fatalf("round %d: claimed-exprs gauge is %v after upload, want > 0", i, up)
+		}
+		if i == 0 {
+			perUpload = up
+		} else if up != perUpload {
+			t.Errorf("round %d: claimed %v, want the same %v every round (same module, fresh interner)", i, up, perUpload)
+		}
+		deleteModule("fig1")
+		if down := claimed(); down != 0 {
+			t.Errorf("round %d: claimed-exprs gauge is %v after delete, want 0 (module interner must be reclaimed)", i, down)
+		}
 	}
-	// The resident-size gauge agrees: still holding every interned expr.
-	if exprs := sampleValue(scrape(t, ts.URL), "aliasd_interner_exprs", nil); exprs < before {
-		t.Errorf("interner_exprs %v dropped below claimed %v after delete", exprs, before)
+
+	// Two live modules claim independently; deleting one releases exactly
+	// its share.
+	for _, name := range []string{"churn-a", "churn-b"} {
+		resp := postModule(t, ts, name, "minic", src)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: %d %s", name, resp.StatusCode, body(t, resp))
+		}
+	}
+	both := claimed()
+	if both != 2*perUpload {
+		t.Errorf("two live modules claim %v, want %v (independent interners)", both, 2*perUpload)
+	}
+	deleteModule("churn-a")
+	if one := claimed(); one != perUpload {
+		t.Errorf("after deleting one of two: claimed %v, want %v", one, perUpload)
+	}
+	deleteModule("churn-b")
+	if zero := claimed(); zero != 0 {
+		t.Errorf("after deleting all modules: claimed %v, want 0", zero)
 	}
 }
 

@@ -238,6 +238,9 @@ func encodeVerdict(snap alias.Snapshot, v alias.Verdict) Result {
 // records a span on it. The returned slice comes from a pool; internal
 // callers that finished encoding recycle it with putResultBuf, external
 // callers may keep it indefinitely.
+//
+// aliaslint:hotpath — scrape callbacks must not take locks this path holds
+// (enforced by the metricreg analyzer through the lock summaries).
 func (s *Service) RunBatch(ctx context.Context, h *Handle, pairs []Pair) ([]Result, error) {
 	if h.State() != StateReady {
 		return nil, fmt.Errorf("module %q is %s", h.Name, h.State())

@@ -85,6 +85,13 @@ type Handle struct {
 	// the live memo-cache size is added on top at stats time.
 	memBytes int64
 
+	// interner owns every symbolic expression the module's analyses minted
+	// (pointer ranges, index shapes, planner keys). Module-scoped so that
+	// retiring the handle releases the whole table — the expressions are
+	// unreachable once Mod/Snap/Planner drop. Written once in runBuild,
+	// cleared in teardown.
+	interner *symbolic.Interner
+
 	// buildErr is set before the state turns Failed.
 	buildErr string
 
@@ -152,6 +159,18 @@ func (h *Handle) teardown() {
 	h.Snap = alias.Snapshot{}
 	h.Planner = nil
 	h.values = nil
+	h.interner = nil
+}
+
+// InternedExprs reports how many symbolic expressions the module's own
+// interner holds — the per-module share of aliasd_interner_claimed_exprs.
+// Zero once the handle is torn down (the expressions were reclaimed) or for
+// pre-build handles.
+func (h *Handle) InternedExprs() int64 {
+	if h.interner == nil {
+		return 0
+	}
+	return h.interner.Stats().Interned
 }
 
 // Lookup resolves a "func", "name" reference against the handle's module.
@@ -178,10 +197,22 @@ func NewChain(m *ir.Module) *alias.Manager {
 }
 
 // NewChainOpts is NewChain with explicit manager options (the service
-// threads its configured memo-cache limit through here).
+// threads its configured memo-cache limit through here). Symbolic
+// expressions land in the process-wide Default interner.
 func NewChainOpts(m *ir.Module, opts alias.ManagerOptions) *alias.Manager {
+	return NewChainIn(m, opts, nil)
+}
+
+// NewChainIn is NewChainOpts with an explicit interner for the symbolic
+// expressions the pointer analyses mint (nil: the Default interner).
+// runBuild passes a fresh per-module interner so a module's expressions die
+// with its handle instead of accreting in the process-wide table — the
+// ROADMAP memory-governance item. The index and planner only see
+// expressions minted by the chain, so shape identity (pointer equality of
+// interned exprs) stays consistent within the module.
+func NewChainIn(m *ir.Module, opts alias.ManagerOptions, in *symbolic.Interner) *alias.Manager {
 	return alias.NewManager(opts,
-		scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{}), andersen.Analyze(m))
+		scevaa.New(m), basicaa.New(m), rbaa.New(m, pointer.Options{Interner: in}), andersen.Analyze(m))
 }
 
 // estimateMem approximates a built handle's resident cost from the module
@@ -205,28 +236,6 @@ func estimateMem(srcLen int, st ir.Stats) int64 {
 // exprNodeCost approximates one hash-consed symbolic expression node (the
 // Expr struct, its term/arg slices and the intern-table bucket share).
 const exprNodeCost = 128
-
-// internAccounted is the portion of the process-wide interner's node count
-// already attributed to some module. Each finishing build claims exactly
-// the unclaimed growth (CAS loop), so concurrent builds may skew the
-// per-module split but the sum across modules never exceeds the interner's
-// real growth — the accounting feeds eviction dashboards, not an allocator.
-var internAccounted atomic.Int64
-
-// claimInternGrowth attributes the interner nodes minted since the last
-// claim to the calling build.
-func claimInternGrowth() int64 {
-	cur := symbolic.Default().Stats().Interned
-	for {
-		prev := internAccounted.Load()
-		if cur <= prev {
-			return 0
-		}
-		if internAccounted.CompareAndSwap(prev, cur) {
-			return cur - prev
-		}
-	}
-}
 
 // runBuild runs the parse/verify/analyze chain and fills the built fields
 // on success — including, unless withIndex is false, the compiled alias
@@ -254,7 +263,10 @@ func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOpti
 	if err := ir.Verify(m); err != nil {
 		return fmt.Errorf("verify: %v", err)
 	}
-	mgr := NewChainOpts(m, opts)
+	// A fresh interner per module: every symbolic expression the chain
+	// mints below is owned by this handle and reclaimed at teardown.
+	in := symbolic.NewInterner()
+	mgr := NewChainIn(m, opts, in)
 	var indexBytes int64
 	var ix *alias.Index
 	if withIndex {
@@ -278,7 +290,8 @@ func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOpti
 		}
 		h.values[f.Name] = vals
 	}
-	h.memBytes = estimateMem(len(src), h.IRStats) + indexBytes + claimInternGrowth()*exprNodeCost
+	h.interner = in
+	h.memBytes = estimateMem(len(src), h.IRStats) + indexBytes + in.Stats().Interned*exprNodeCost
 	return nil
 }
 
