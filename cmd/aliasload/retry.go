@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// retryStats is the client-side backpressure ledger every report carries:
+// how often the server shed us, how often a retry recovered, and how often
+// we gave up. Non-zero sheds against a budget-constrained daemon are
+// expected behavior — the numbers quantify the retry contract, they are not
+// failures.
+type retryStats struct {
+	Retries        int64 `json:"retries"`
+	Sheds          int64 `json:"sheds"`
+	RetrySuccesses int64 `json:"retry_successes"`
+	GiveUps        int64 `json:"give_ups"`
+}
+
+// retryClient wraps an http.Client with the backpressure contract aliasd
+// speaks: 429 and 503 responses are retried with capped exponential backoff
+// plus jitter, honoring the server's Retry-After hint when it names a
+// longer wait. Any other status — success or hard error — is returned to
+// the caller on the first attempt.
+type retryClient struct {
+	c           *http.Client
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries        atomic.Int64
+	sheds          atomic.Int64
+	retrySuccesses atomic.Int64
+	giveUps        atomic.Int64
+}
+
+func newRetryClient(c *http.Client, maxAttempts int) *retryClient {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	return &retryClient{
+		c:           c,
+		maxAttempts: maxAttempts,
+		baseDelay:   50 * time.Millisecond,
+		maxDelay:    2 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (rc *retryClient) stats() retryStats {
+	return retryStats{
+		Retries:        rc.retries.Load(),
+		Sheds:          rc.sheds.Load(),
+		RetrySuccesses: rc.retrySuccesses.Load(),
+		GiveUps:        rc.giveUps.Load(),
+	}
+}
+
+// shedStatus reports whether the status is a backpressure rejection the
+// server wants retried.
+func shedStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// retryAfterOf parses the response's Retry-After header (delay-seconds
+// form; aliasd always sends that shape). 0 when absent or unparseable.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return 0
+}
+
+// delay computes the wait before the next attempt: exponential backoff from
+// baseDelay, raised to the server's Retry-After when that is longer, capped
+// at maxDelay, plus up to 25% random jitter so synchronized clients
+// desynchronize instead of re-stampeding the recovered server.
+func (rc *retryClient) delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := rc.baseDelay << uint(attempt-1)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > rc.maxDelay {
+		d = rc.maxDelay
+	}
+	rc.mu.Lock()
+	j := time.Duration(rc.rng.Int63n(int64(d)/4 + 1))
+	rc.mu.Unlock()
+	return d + j
+}
+
+// post issues the request, retrying shed responses up to maxAttempts. The
+// returned response — first success, first hard error, or the final shed
+// after giving up — has an open body the caller must drain and close.
+func (rc *retryClient) post(url, contentType string, body []byte) (*http.Response, error) {
+	shedSeen := false
+	for attempt := 1; ; attempt++ {
+		resp, err := rc.c.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if !shedStatus(resp.StatusCode) {
+			if shedSeen {
+				rc.retrySuccesses.Add(1)
+			}
+			return resp, nil
+		}
+		rc.sheds.Add(1)
+		shedSeen = true
+		if attempt >= rc.maxAttempts {
+			rc.giveUps.Add(1)
+			return resp, nil
+		}
+		ra := retryAfterOf(resp)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rc.retries.Add(1)
+		time.Sleep(rc.delay(attempt, ra))
+	}
+}
+
+// del issues a DELETE with the same retry policy as post.
+func (rc *retryClient) del(url string) (*http.Response, error) {
+	shedSeen := false
+	for attempt := 1; ; attempt++ {
+		req, err := http.NewRequest(http.MethodDelete, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rc.c.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !shedStatus(resp.StatusCode) {
+			if shedSeen {
+				rc.retrySuccesses.Add(1)
+			}
+			return resp, nil
+		}
+		rc.sheds.Add(1)
+		shedSeen = true
+		if attempt >= rc.maxAttempts {
+			rc.giveUps.Add(1)
+			return resp, nil
+		}
+		ra := retryAfterOf(resp)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rc.retries.Add(1)
+		time.Sleep(rc.delay(attempt, ra))
+	}
+}

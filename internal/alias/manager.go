@@ -257,6 +257,28 @@ func (mg *Manager) MemberName(i int) string { return mg.members[i].Name() }
 // called before the manager is shared between goroutines.
 func (mg *Manager) AttachIndex(ix *Index) { mg.index = ix }
 
+// ResizeCache rebounds the verdict memo at runtime, evicting LRU entries
+// immediately when shrinking — the service's memory-budget governor
+// shrinks the memo under pressure and restores the configured bound on
+// recovery. Verdicts are unaffected (a smaller memo only recomputes more).
+// No-op returning false when caching is disabled or the bound is
+// unchanged. Safe for concurrent use with queries.
+func (mg *Manager) ResizeCache(limit int) bool {
+	if mg.cache == nil || limit < 1 {
+		return false
+	}
+	return mg.cache.Resize(limit)
+}
+
+// CacheCap reports the memo's current entry bound (0 with caching
+// disabled) — the governor's view of whether a module is running shrunk.
+func (mg *Manager) CacheCap() int {
+	if mg.cache == nil {
+		return 0
+	}
+	return mg.cache.Cap()
+}
+
 // Alias implements Analysis: the memoized disjunction of the members.
 func (mg *Manager) Alias(p, q *ir.Value) Result {
 	return mg.Evaluate(p, q).Result

@@ -1,0 +1,133 @@
+package budget
+
+import "testing"
+
+// fakeHeap is an injectable heap probe the tests drive directly.
+type fakeHeap struct{ n int64 }
+
+func (f *fakeHeap) read() int64 { return f.n }
+
+func newTestTracker(limit int64, heap *fakeHeap) *Tracker {
+	return New(limit, Options{ReadHeap: heap.read})
+}
+
+func TestDisabledTracker(t *testing.T) {
+	var nilT *Tracker
+	if nilT.Enabled() {
+		t.Fatal("nil tracker reports enabled")
+	}
+	if st := nilT.Reconcile(); st != StateOK {
+		t.Fatalf("nil tracker state = %v, want ok", st)
+	}
+	nilT.SetAccounted(1 << 40) // must not panic
+	if nilT.Used() != 0 || nilT.Limit() != 0 {
+		t.Fatal("nil tracker reports nonzero usage")
+	}
+	if tr := New(0, Options{}); tr != nil {
+		t.Fatal("New(0) should return the disabled (nil) tracker")
+	}
+}
+
+func TestWatermarkTransitions(t *testing.T) {
+	heap := &fakeHeap{}
+	tr := newTestTracker(1000, heap) // soft 700, hard 850
+	if tr.SoftBytes() != 700 || tr.HardBytes() != 850 {
+		t.Fatalf("watermarks = %d/%d, want 700/850", tr.SoftBytes(), tr.HardBytes())
+	}
+
+	heap.n = 100
+	if st := tr.Reconcile(); st != StateOK {
+		t.Fatalf("state at 100 = %v, want ok", st)
+	}
+	heap.n = 750
+	if st := tr.Reconcile(); st != StateSoft {
+		t.Fatalf("state at 750 = %v, want soft", st)
+	}
+	heap.n = 900
+	if st := tr.Reconcile(); st != StateHard {
+		t.Fatalf("state at 900 = %v, want hard", st)
+	}
+	// Skipping soft: OK jumps straight to hard on a big spike.
+	heap.n = 10
+	tr.Reconcile()
+	heap.n = 900
+	if st := tr.Reconcile(); st != StateHard {
+		t.Fatalf("ok→hard jump = %v, want hard", st)
+	}
+
+	snap := tr.Snapshot()
+	if snap.Transitions[StateSoft] != 1 || snap.Transitions[StateHard] != 2 || snap.Transitions[StateOK] != 1 {
+		t.Fatalf("transitions = %v, want soft=1 hard=2 ok=1", snap.Transitions)
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	heap := &fakeHeap{}
+	tr := newTestTracker(1000, heap) // soft 700, hard 850, recover ×0.90
+
+	heap.n = 860
+	if st := tr.Reconcile(); st != StateHard {
+		t.Fatalf("state = %v, want hard", st)
+	}
+	// Just below the hard watermark is NOT enough to recover: the state
+	// sticks until usage < 0.90 × 850 = 765.
+	heap.n = 800
+	if st := tr.Reconcile(); st != StateHard {
+		t.Fatalf("state at 800 = %v, want hard (hysteresis)", st)
+	}
+	heap.n = 760
+	if st := tr.Reconcile(); st != StateSoft {
+		t.Fatalf("state at 760 = %v, want soft (recovered from hard, still ≥ soft)", st)
+	}
+	// Same story at the soft boundary: recovery needs < 0.90 × 700 = 630.
+	heap.n = 650
+	if st := tr.Reconcile(); st != StateSoft {
+		t.Fatalf("state at 650 = %v, want soft (hysteresis)", st)
+	}
+	heap.n = 600
+	if st := tr.Reconcile(); st != StateOK {
+		t.Fatalf("state at 600 = %v, want ok", st)
+	}
+	// Hard recovery can drop straight to OK when usage collapsed.
+	heap.n = 900
+	tr.Reconcile()
+	heap.n = 10
+	if st := tr.Reconcile(); st != StateOK {
+		t.Fatalf("hard→ok collapse = %v, want ok", st)
+	}
+}
+
+func TestAccountedDominatesStaleHeap(t *testing.T) {
+	heap := &fakeHeap{n: 100}
+	tr := newTestTracker(1000, heap)
+	tr.Reconcile()
+	// A build burst pushes the accounting past the hard watermark before
+	// the next heap probe: SetAccounted alone must flip the state.
+	tr.SetAccounted(900)
+	if st := tr.State(); st != StateHard {
+		t.Fatalf("state after SetAccounted(900) = %v, want hard", st)
+	}
+	if got := tr.Used(); got != 900 {
+		t.Fatalf("Used = %d, want 900 (max of accounted and heap)", got)
+	}
+	snap := tr.Snapshot()
+	if snap.Accounted != 900 || snap.Heap != 100 || snap.Used != 900 {
+		t.Fatalf("snapshot = %+v, want accounted 900 / heap 100 / used 900", snap)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{StateOK: "ok", StateSoft: "soft", StateHard: "hard"} {
+		if st.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestProcessRSS(t *testing.T) {
+	// On linux (the CI platform) /proc/self/statm exists and a running test
+	// binary is certainly resident with more than one page.
+	if rss := ProcessRSS(); rss <= 0 {
+		t.Skipf("ProcessRSS = %d (no /proc on this platform)", rss)
+	}
+}

@@ -30,7 +30,12 @@ import (
 type Cache[K comparable, V any] struct {
 	shards []shard[K, V]
 	hash   func(K) uint64
-	cap    int
+	// cap is atomic because Resize rebounds a live cache while Cap/Stats
+	// read it from scrape paths.
+	cap atomic.Int64
+	// resizeMu serializes Resize calls; the per-shard locks still order a
+	// resize against concurrent Get/GetOrAdd traffic.
+	resizeMu sync.Mutex
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -83,7 +88,8 @@ func New[K comparable, V any](capacity, shards int, hash func(K) uint64) *Cache[
 	if shards > capacity {
 		shards = capacity
 	}
-	c := &Cache[K, V]{shards: make([]shard[K, V], shards), hash: hash, cap: capacity}
+	c := &Cache[K, V]{shards: make([]shard[K, V], shards), hash: hash}
+	c.cap.Store(int64(capacity))
 	base, extra := capacity/shards, capacity%shards
 	for i := range c.shards {
 		max := base
@@ -91,9 +97,81 @@ func New[K comparable, V any](capacity, shards int, hash func(K) uint64) *Cache[
 			max++
 		}
 		c.shards[i].max = max
-		c.shards[i].m = make(map[K]*entry[K, V], max)
+		c.shards[i].m = make(map[K]*entry[K, V], mapHint(max))
 	}
 	return c
+}
+
+// mapHint caps the size hint for a shard's map. The capacity bound is a
+// ceiling, not an expected population: hinting the full bound preallocates
+// buckets for every slot up front (≈50 MB for the default 1M-entry memo,
+// per module, before a single verdict is cached), which is exactly the kind
+// of unaccounted resident memory the budget governor exists to prevent.
+// Maps grow on demand past the hint.
+func mapHint(max int) int {
+	const hintCap = 1024
+	if max > hintCap {
+		return hintCap
+	}
+	return max
+}
+
+// Resize rebounds a live cache to capacity entries, redistributing the
+// per-shard bounds exactly as New does and immediately evicting LRU entries
+// from any shard now over its bound (growing never evicts). Displacements
+// count as ordinary evictions. capacity is clamped so every shard keeps a
+// bound of at least one entry — the effective floor is the shard count. It
+// reports whether the bound actually changed, and is safe to call
+// concurrently with Get/GetOrAdd: each shard transitions under its own
+// lock, so the capacity invariant holds per shard at every instant.
+//
+// This is the memory-budget governor's degradation lever: under pressure
+// the service shrinks every module's verdict memo and restores the
+// configured bound on recovery.
+func (c *Cache[K, V]) Resize(capacity int) bool {
+	if capacity < len(c.shards) {
+		capacity = len(c.shards)
+	}
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	if int(c.cap.Load()) == capacity {
+		return false
+	}
+	base, extra := capacity/len(c.shards), capacity%len(c.shards)
+	var evicted int64
+	for i := range c.shards {
+		max := base
+		if i < extra {
+			max++
+		}
+		s := &c.shards[i]
+		s.mu.Lock()
+		shrunk := max < s.max
+		s.max = max
+		for len(s.m) > s.max {
+			s.evictTail()
+			evicted++
+		}
+		if shrunk {
+			// Go maps never release bucket memory on delete, so evicting
+			// entries alone leaves the shard holding buckets sized for its
+			// former population. Rebuilding the map is what makes a
+			// shrinking resize — the governor's degradation lever — return
+			// memory instead of merely capping future growth.
+			m := make(map[K]*entry[K, V], mapHint(max))
+			for k, e := range s.m {
+				m[k] = e
+			}
+			s.m = m
+		}
+		s.mu.Unlock()
+	}
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		c.size.Add(-evicted)
+	}
+	c.cap.Store(int64(capacity))
+	return true
 }
 
 func (c *Cache[K, V]) shardOf(k K) *shard[K, V] {
@@ -159,14 +237,14 @@ func (c *Cache[K, V]) Len() int {
 	return int(c.size.Load())
 }
 
-// Cap returns the configured capacity.
-func (c *Cache[K, V]) Cap() int { return c.cap }
+// Cap returns the configured capacity (the latest Resize bound, if any).
+func (c *Cache[K, V]) Cap() int { return int(c.cap.Load()) }
 
 // Stats snapshots the counters.
 func (c *Cache[K, V]) Stats() Stats {
 	return Stats{
 		Len:       c.Len(),
-		Cap:       c.cap,
+		Cap:       c.Cap(),
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),

@@ -215,3 +215,128 @@ func TestHotSetSurvivesChurn(t *testing.T) {
 		t.Error("no evictions recorded despite churn past capacity")
 	}
 }
+
+// TestResizeShrinkEvictsToBound: shrinking a full cache evicts LRU entries
+// immediately, maintains the size mirror and eviction counters, and further
+// inserts respect the new bound.
+func TestResizeShrinkEvictsToBound(t *testing.T) {
+	c := New[int, int](16, 4, ihash)
+	for i := 0; i < 16; i++ {
+		c.GetOrAdd(i, i)
+	}
+	if c.Len() != 16 {
+		t.Fatalf("len = %d, want 16 before resize", c.Len())
+	}
+	if !c.Resize(8) {
+		t.Fatal("Resize(8) reported no change")
+	}
+	if c.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", c.Cap())
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len = %d, want 8 after shrink", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 8 {
+		t.Fatalf("evictions = %d, want 8", ev)
+	}
+	// The bound holds for new traffic: 100 more inserts never exceed 8.
+	for i := 100; i < 200; i++ {
+		c.GetOrAdd(i, i)
+		if c.Len() > 8 {
+			t.Fatalf("len = %d exceeds resized cap 8", c.Len())
+		}
+	}
+	// Resizing to the current bound is a no-op.
+	if c.Resize(8) {
+		t.Fatal("Resize to the current capacity reported a change")
+	}
+}
+
+// TestResizeGrowKeepsEntries: growing never evicts, and the grown bound
+// admits more entries.
+func TestResizeGrowKeepsEntries(t *testing.T) {
+	c := New[int, int](4, 2, ihash)
+	for i := 0; i < 4; i++ {
+		c.GetOrAdd(i, i)
+	}
+	if !c.Resize(12) {
+		t.Fatal("Resize(12) reported no change")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := c.Get(i); !ok {
+			t.Fatalf("key %d lost while growing", i)
+		}
+	}
+	for i := 10; i < 18; i++ {
+		c.GetOrAdd(i, i)
+	}
+	if c.Len() != 12 {
+		t.Fatalf("len = %d, want 12 after growth refill", c.Len())
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("evictions = %d, want 0 (growing must not evict)", ev)
+	}
+}
+
+// TestResizeClampsToShardCount: the effective floor of Resize is one entry
+// per shard, so a shard's bound can never reach zero (a zero-bound shard
+// would evict from an empty list).
+func TestResizeClampsToShardCount(t *testing.T) {
+	c := New[int, int](16, 4, ihash)
+	c.Resize(1)
+	if c.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4 (clamped to shard count)", c.Cap())
+	}
+	for i := 0; i < 32; i++ {
+		c.GetOrAdd(i, i) // must not panic on any shard
+	}
+}
+
+// TestResizeConcurrentWithTraffic drives GetOrAdd from several goroutines
+// while another goroutine oscillates the bound — the governor's
+// shrink/restore pattern. Run with -race; afterwards the size mirror must
+// match a full count and respect the final bound.
+func TestResizeConcurrentWithTraffic(t *testing.T) {
+	c := New[int, int](1024, 8, ihash)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.GetOrAdd(i, i)
+				c.Get(i - 1)
+				i += 7
+			}
+		}(g * 1000)
+	}
+	for r := 0; r < 200; r++ {
+		if r%2 == 0 {
+			c.Resize(64)
+		} else {
+			c.Resize(1024)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	c.Resize(64)
+	if got := c.Len(); got > 64 {
+		t.Fatalf("len = %d exceeds final cap 64", got)
+	}
+	total := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	if total != c.Len() {
+		t.Fatalf("size mirror = %d, shard maps hold %d", c.Len(), total)
+	}
+}

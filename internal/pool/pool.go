@@ -11,6 +11,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,60 @@ func (p *Pool) ForEach(n int, f func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// further item starts (items already running finish — f is never
+// interrupted mid-call) and the context's error is returned. The service
+// threads per-request deadlines through here so a shed or timed-out batch
+// stops consuming workers instead of evaluating to completion. A nil ctx
+// behaves exactly like ForEach.
+func (p *Pool) ForEachCtx(ctx context.Context, n int, f func(i int)) error {
+	done := func() <-chan struct{} {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Done()
+	}()
+	w := p.Workers()
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			f(i)
+		}
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	var err error
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-done:
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	return err
 }
 
 // Queue is a fixed-worker task queue for fire-and-forget jobs whose

@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -167,5 +168,84 @@ func TestQueueDepthAndObserver(t *testing.T) {
 	}
 	if got := waits.Load(); got != 3 {
 		t.Errorf("observer fired %d times, want 3", got)
+	}
+}
+
+// TestForEachCtxRunsAll: with a live context the indexed contract matches
+// ForEach exactly, sequential and parallel.
+func TestForEachCtxRunsAll(t *testing.T) {
+	for _, par := range []int{0, 4} {
+		p := &Pool{Parallel: par}
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := p.ForEachCtx(context.Background(), n, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("Parallel=%d: err = %v", par, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("Parallel=%d: index %d ran %d times, want 1", par, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+// TestForEachCtxNilContext: nil behaves like ForEach (the RunBatch callers
+// that have no deadline configured pass their request context, but library
+// callers may pass nil).
+func TestForEachCtxNilContext(t *testing.T) {
+	p := &Pool{Parallel: 2}
+	var ran atomic.Int32
+	if err := p.ForEachCtx(nil, 10, func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d, want 10", ran.Load())
+	}
+}
+
+// TestForEachCtxCancelStopsDispatch: cancelling mid-run stops new items and
+// surfaces the context error. The first item blocks until it has cancelled
+// the context, so the dispatcher cannot race ahead and finish everything.
+func TestForEachCtxCancelStopsDispatch(t *testing.T) {
+	for _, par := range []int{0, 2} {
+		p := &Pool{Parallel: par}
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		const n = 10_000
+		err := p.ForEachCtx(ctx, n, func(i int) {
+			if i < p.Workers() {
+				cancel() // the first items each worker sees stop the run
+			}
+			ran.Add(1)
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("Parallel=%d: err = %v, want context.Canceled", par, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("Parallel=%d: all %d items ran despite cancellation", par, got)
+		}
+	}
+}
+
+// TestForEachCtxPreCancelled: an already-dead context runs nothing.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	p := &Pool{Parallel: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	if err := p.ForEachCtx(ctx, 50, func(int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Parallel dispatch may hand a worker an item or two before observing
+	// Done; "nothing started" is only guaranteed sequentially.
+	if seq := (&Pool{}); true {
+		ran.Store(0)
+		if err := seq.ForEachCtx(ctx, 50, func(int) { ran.Add(1) }); err != context.Canceled {
+			t.Fatalf("sequential err = %v, want context.Canceled", err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("sequential ran %d items on a dead context, want 0", ran.Load())
+		}
 	}
 }

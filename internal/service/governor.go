@@ -1,0 +1,139 @@
+package service
+
+import (
+	"runtime/debug"
+	"time"
+
+	"repro/internal/alias"
+	"repro/internal/budget"
+)
+
+// Degradation tuning. Shrinking the memo to 1/8 of the configured bound
+// trades recompute cost for memory while keeping the hottest pairs cached;
+// the per-round eviction cap keeps one governor tick from emptying the
+// registry before the next heap probe can observe the effect of the first
+// few evictions; the GC interval bounds how often a hard-pressure tick may
+// force a collection to turn freed accounting into freed heap.
+const (
+	shrinkDiv            = 8
+	shrunkCacheFloor     = 256
+	maxEvictionsPerRound = 4
+	minForcedGCInterval  = time.Second
+)
+
+// shrunkCacheLimit is the degraded per-module memo bound.
+func (s *Service) shrunkCacheLimit() int {
+	limit := s.fullCacheLimit / shrinkDiv
+	if limit < shrunkCacheFloor {
+		limit = shrunkCacheFloor
+	}
+	return limit
+}
+
+// sampleAccounted sums the service's own memory model: every ready
+// module's build estimate (IR, analyses, index, interned expressions) plus
+// its live memo entries.
+func (s *Service) sampleAccounted() int64 {
+	var acc int64
+	s.eachReadyModule(func(h *Handle, st alias.ManagerStats) {
+		acc += h.MemBytes() + st.Cached*memoEntryCost
+	})
+	return acc
+}
+
+// reconcileBudget feeds the tracker a fresh accounting sample and heap
+// probe, returning the resulting watermark state.
+func (s *Service) reconcileBudget() budget.State {
+	if !s.budget.Enabled() {
+		return budget.StateOK
+	}
+	s.budget.SetAccounted(s.sampleAccounted())
+	return s.budget.Reconcile()
+}
+
+// GovernOnce runs one governor round: reconcile the budget, then apply or
+// unwind the graduated degradation levers. The background loop calls this
+// every Config.GovernEvery; tests with GovernEvery < 0 call it directly.
+// Admission checks elsewhere only read the tracker's state — all
+// *actions* (cache shrinks, evictions, forced GC) happen here, on one
+// goroutine, never from registry callbacks (teardown can run under
+// registry locks).
+func (s *Service) GovernOnce() {
+	if !s.budget.Enabled() {
+		return
+	}
+	st := s.reconcileBudget()
+	if st >= budget.StateSoft {
+		s.degrade(st)
+	} else if s.degraded.Load() {
+		s.restore()
+	}
+}
+
+// degrade applies the soft-watermark levers: shrink every ready module's
+// verdict memo, then evict unpinned LRU modules (a bounded number per
+// round) while the accounting sum stays above the soft watermark. At the
+// hard watermark it additionally forces a (rate-limited) GC so the heap
+// probe can observe freed memory instead of waiting out GOGC. Runs every
+// tick while degraded: modules built after the first round get their
+// memos shrunk too (Resize to the current bound is a cheap no-op).
+func (s *Service) degrade(st budget.State) {
+	first := s.degraded.CompareAndSwap(false, true)
+	shrunk := 0
+	limit := s.shrunkCacheLimit()
+	s.eachReadyModule(func(h *Handle, _ alias.ManagerStats) {
+		if h.ResizeCache(limit) {
+			shrunk++
+		}
+	})
+	if shrunk > 0 {
+		s.cacheShrinks.Add(int64(shrunk))
+	}
+	if first {
+		s.log.Warn("memory budget pressure: degrading",
+			"state", st.String(), "used", s.budget.Used(), "soft", s.budget.SoftBytes(),
+			"hard", s.budget.HardBytes(), "memo_limit", limit, "memos_shrunk", shrunk)
+	}
+	evicted := 0
+	for evicted < maxEvictionsPerRound && s.sampleAccounted() > s.budget.SoftBytes() {
+		name, ok := s.reg.EvictOne()
+		if !ok {
+			break
+		}
+		evicted++
+		s.budgetEvictions.Add(1)
+		s.log.Warn("memory budget pressure: evicted module", "module", name)
+	}
+	if st == budget.StateHard {
+		now := time.Now().UnixNano()
+		if last := s.lastGC.Load(); now-last >= int64(minForcedGCInterval) &&
+			s.lastGC.CompareAndSwap(last, now) {
+			// FreeOSMemory rather than runtime.GC: past the hard watermark
+			// the point is to shrink the figure the operator's OOM killer
+			// sees (RSS), so freed heap must actually be returned to the OS
+			// instead of waiting out the background scavenger.
+			debug.FreeOSMemory()
+		}
+	}
+	if shrunk > 0 || evicted > 0 {
+		// Let admission see the post-action accounting now rather than a
+		// tick later.
+		s.reconcileBudget()
+	}
+}
+
+// restore unwinds degradation once the tracker recovers to OK: every ready
+// module's memo returns to the configured bound.
+func (s *Service) restore() {
+	if !s.degraded.CompareAndSwap(true, false) {
+		return
+	}
+	restored := 0
+	s.eachReadyModule(func(h *Handle, _ alias.ManagerStats) {
+		if h.ResizeCache(s.fullCacheLimit) {
+			restored++
+		}
+	})
+	s.log.Info("memory budget recovered: restored memo caches",
+		"memos_restored", restored, "memo_limit", s.fullCacheLimit)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/alias"
+	"repro/internal/budget"
 	"repro/internal/symbolic"
 	"repro/internal/telemetry"
 )
@@ -103,6 +104,67 @@ func newMetrics(s *Service) *metrics {
 
 	reg.GaugeFunc("aliasd_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+
+	// ---- Memory budget, backpressure and lifecycle. Every family reads
+	// the same atomics /v1/stats renders (budgetStats), so the two
+	// endpoints reconcile exactly on an idle daemon. ----
+
+	reg.Collect("aliasd_budget_bytes",
+		"Memory-budget figures in bytes: the configured limit, the soft/hard watermarks, the service-side accounting sum, the last heap probe, and the enforced max of the two. All zero with the budget disabled.",
+		"gauge", []string{"kind"}, func(emit func(float64, ...string)) {
+			snap := s.budget.Snapshot()
+			emit(float64(snap.Limit), "limit")
+			emit(float64(snap.Soft), "soft")
+			emit(float64(snap.Hard), "hard")
+			emit(float64(snap.Accounted), "accounted")
+			emit(float64(snap.Heap), "heap")
+			emit(float64(snap.Used), "used")
+		})
+	reg.GaugeFunc("aliasd_budget_state",
+		"Current watermark state: 0 ok, 1 soft (degrading), 2 hard (rejecting).",
+		func() float64 { return float64(s.budget.State()) })
+	reg.Collect("aliasd_budget_transitions_total",
+		"Watermark-state entries by destination state (ok entries are recoveries).",
+		"counter", []string{"state"}, func(emit func(float64, ...string)) {
+			snap := s.budget.Snapshot()
+			emit(float64(snap.Transitions[budget.StateOK]), "ok")
+			emit(float64(snap.Transitions[budget.StateSoft]), "soft")
+			emit(float64(snap.Transitions[budget.StateHard]), "hard")
+		})
+	reg.Collect("aliasd_shed_requests_total",
+		"Requests rejected by backpressure, by reason: query admission (draining|inflight|budget), mid-flight cancellation (timeout|canceled), and upload rejection (upload_budget|upload_draining).",
+		"counter", []string{"reason"}, func(emit func(float64, ...string)) {
+			emit(float64(s.sheds.draining.Load()), "draining")
+			emit(float64(s.sheds.inflight.Load()), "inflight")
+			emit(float64(s.sheds.budget.Load()), "budget")
+			emit(float64(s.sheds.timeout.Load()), "timeout")
+			emit(float64(s.sheds.canceled.Load()), "canceled")
+			emit(float64(s.sheds.uploadBudget.Load()), "upload_budget")
+			emit(float64(s.sheds.uploadDraining.Load()), "upload_draining")
+		})
+	reg.CounterFunc("aliasd_budget_cache_shrinks_total",
+		"Per-module memo-cache shrink operations applied by the budget governor.",
+		func() float64 { return float64(s.cacheShrinks.Load()) })
+	reg.CounterFunc("aliasd_budget_evictions_total",
+		"Modules force-evicted by the budget governor (distinct from registry-bound evictions).",
+		func() float64 { return float64(s.budgetEvictions.Load()) })
+	reg.GaugeFunc("aliasd_inflight_queries",
+		"Currently admitted /v1/query batches (bounded by MaxInFlight).",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("aliasd_draining",
+		"1 once BeginDrain has flipped the service into drain mode, else 0.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("aliasd_drains_total",
+		"Drain initiations (at most one per process lifetime in practice).",
+		func() float64 { return float64(s.drains.Load()) })
+	reg.GaugeFunc("aliasd_process_rss_bytes",
+		"Resident set size from /proc/self/statm (0 where unavailable) — the figure the soak scenario asserts stays flat.",
+		func() float64 { return float64(budget.ProcessRSS()) })
 
 	// ---- Scrape-time collectors: the /v1/stats numbers, re-rendered. ----
 

@@ -175,6 +175,14 @@ func TestMetricsReconcileWithStats(t *testing.T) {
 		map[string]string{"route": "/v1/query", "code": "200"}); got != wantQueries {
 		t.Errorf("http_requests /v1/query 200 = %v, want %v", got, wantQueries)
 	}
+
+	// The budget/backpressure families reconcile in the disabled state too:
+	// zeros on both endpoints, live inflight/drain gauges either way. (The
+	// enabled-state reconcile is pinned by TestBudgetHardArcShedEvictRecover.)
+	if stats.Budget.Enabled {
+		t.Error("budget reports enabled without a MemBudget")
+	}
+	assertBudgetFamiliesReconcile(t, fams, stats.Budget)
 }
 
 // TestTraceEcho checks the ?trace=1 contract: the response carries the

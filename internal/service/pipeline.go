@@ -159,7 +159,12 @@ const batchChunk = 256
 // plan: cross-group pairs short-circuit, intra-group pairs hit the compiled
 // index, inconclusive pairs walk the legacy chain. Tallies are kept per
 // chunk and folded once, so workers never contend on the counters.
-func (s *Service) evaluate(tr *telemetry.Trace, h *Handle, shards []shard, n int) []Result {
+//
+// Cancellation is cooperative at chunk granularity: a shed or timed-out
+// request stops dispatching chunks (ForEachCtx) and returns the context's
+// error; chunks already running finish — their slot writes are discarded
+// with the pooled buffer.
+func (s *Service) evaluate(ctx context.Context, tr *telemetry.Trace, h *Handle, shards []shard, n int) ([]Result, error) {
 	out := getResultBuf(n)
 	type task struct {
 		sh     int
@@ -181,6 +186,10 @@ func (s *Service) evaluate(tr *telemetry.Trace, h *Handle, shards []shard, n int
 		plans = make([]*alias.Plan, len(shards))
 		vals := make([]*ir.Value, 0, 2*batchChunk)
 		for si := range shards {
+			if err := ctx.Err(); err != nil {
+				putResultBuf(out)
+				return nil, err
+			}
 			vals = vals[:0]
 			for _, rp := range shards[si].pairs {
 				vals = append(vals, rp.p, rp.q)
@@ -189,7 +198,7 @@ func (s *Service) evaluate(tr *telemetry.Trace, h *Handle, shards []shard, n int
 		}
 	}
 	evalStart := observeStage(s.metrics.stagePlan, stgPlan, tr, planStart)
-	s.pool.ForEach(len(tasks), func(ti int) {
+	err := s.pool.ForEachCtx(ctx, len(tasks), func(ti int) {
 		t := tasks[ti]
 		if plans != nil {
 			var tally alias.PlanTally
@@ -205,7 +214,11 @@ func (s *Service) evaluate(tr *telemetry.Trace, h *Handle, shards []shard, n int
 		}
 	})
 	observeStage(s.metrics.stageEvaluate, stgEvaluate, tr, evalStart)
-	return out
+	if err != nil {
+		putResultBuf(out)
+		return nil, err
+	}
+	return out, nil
 }
 
 // encodeVerdict renders one verdict with member names resolved against the
@@ -251,6 +264,12 @@ func (s *Service) RunBatch(ctx context.Context, h *Handle, pairs []Pair) ([]Resu
 	if len(pairs) > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("batch has %d pairs, exceeding the %d-pair limit", len(pairs), s.cfg.MaxBatch)
 	}
+	// The deadline/cancellation check runs before every stage (and per
+	// chunk inside evaluate, via ForEachCtx) so a shed or timed-out batch
+	// stops mid-flight instead of evaluating to completion.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tr := telemetry.FromContext(ctx)
 	start := time.Now()
 	rs, err := resolveBatch(h, pairs)
@@ -261,5 +280,5 @@ func (s *Service) RunBatch(ctx context.Context, h *Handle, pairs []Pair) ([]Resu
 	shards := shardByFunc(pairs, rs)
 	putResolvedBuf(rs)
 	observeStage(s.metrics.stageShard, stgShard, tr, now)
-	return s.evaluate(tr, h, shards, len(pairs)), nil
+	return s.evaluate(ctx, tr, h, shards, len(pairs))
 }

@@ -81,6 +81,12 @@ type Handle struct {
 	// values indexes func name → value name → value for the validate stage.
 	values map[string]map[string]*ir.Value
 
+	// mgr is the manager behind Snap, kept only so the memory-budget
+	// governor can rebound the verdict memo at runtime; the query path
+	// never touches it (Snap is the read-only surface). Written once in
+	// runBuild, cleared in teardown.
+	mgr *alias.Manager
+
 	// memBytes approximates the handle's resident cost (see estimateMem);
 	// the live memo-cache size is added on top at stats time.
 	memBytes int64
@@ -160,6 +166,19 @@ func (h *Handle) teardown() {
 	h.Planner = nil
 	h.values = nil
 	h.interner = nil
+	h.mgr = nil
+}
+
+// ResizeCache rebounds the module's verdict memo (see
+// alias.Manager.ResizeCache), reporting whether the bound changed. No-op
+// on handles that are not ready or run with caching disabled. The budget
+// governor calls this only through pinned handles (eachReadyModule), so
+// mgr cannot be torn down mid-call.
+func (h *Handle) ResizeCache(limit int) bool {
+	if h.mgr == nil {
+		return false
+	}
+	return h.mgr.ResizeCache(limit)
 }
 
 // InternedExprs reports how many symbolic expressions the module's own
@@ -291,6 +310,7 @@ func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOpti
 		h.values[f.Name] = vals
 	}
 	h.interner = in
+	h.mgr = mgr
 	h.memBytes = estimateMem(len(src), h.IRStats) + indexBytes + in.Stats().Interned*exprNodeCost
 	return nil
 }
@@ -478,6 +498,34 @@ func (r *Registry) makeRoomLocked() error {
 	victim.retire()
 	r.evictions.Add(1)
 	return nil
+}
+
+// EvictOne force-evicts the least-recently-used ready module with no
+// outstanding pins, regardless of the evictIdle upload policy — the memory
+// -budget governor's lever for returning module memory under pressure.
+// It reports the victim's name; ok is false when every module is pinned,
+// building, or the table is empty. Unlike makeRoomLocked it never selects
+// a pinned victim: a budget eviction exists to free memory now, and a
+// pinned module's memory survives until its last Release.
+func (r *Registry) EvictOne() (name string, ok bool) {
+	r.mu.Lock()
+	var victim *Handle
+	for _, h := range r.mods {
+		if h.refs.Load() != 0 || h.State() != StateReady {
+			continue
+		}
+		if victim == nil || h.lastUse.Load() < victim.lastUse.Load() {
+			victim = h
+		}
+	}
+	if victim == nil {
+		r.mu.Unlock()
+		return "", false
+	}
+	delete(r.mods, victim.Name)
+	r.mu.Unlock()
+	victim.retire()
+	return victim.Name, true
 }
 
 // lookupLocked finds name in either table. Caller holds r.mu (read).

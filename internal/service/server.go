@@ -1,12 +1,15 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/telemetry"
 )
 
@@ -142,12 +145,43 @@ type ModuleStats struct {
 	Planner *PlannerCounters `json:"planner,omitempty"`
 }
 
+// BudgetStats is the memory-budget and backpressure section of /v1/stats.
+// Every number is read from the same atomics the aliasd_budget_* and
+// aliasd_shed_requests_total metric families render, so the two endpoints
+// reconcile exactly on an idle daemon. Byte fields are zero with the
+// budget disabled; the shed/drain counters are live either way (draining
+// and MaxInFlight shed without a budget too).
+type BudgetStats struct {
+	Enabled        bool   `json:"enabled"`
+	State          string `json:"state"` // ok | soft | hard
+	LimitBytes     int64  `json:"limit_bytes"`
+	SoftBytes      int64  `json:"soft_bytes"`
+	HardBytes      int64  `json:"hard_bytes"`
+	AccountedBytes int64  `json:"accounted_bytes"`
+	HeapBytes      int64  `json:"heap_bytes"`
+	UsedBytes      int64  `json:"used_bytes"`
+	// Transitions counts watermark-state entries by destination state.
+	Transitions map[string]int64 `json:"transitions"`
+	// Sheds counts rejected requests by reason (the label set of
+	// aliasd_shed_requests_total).
+	Sheds map[string]int64 `json:"sheds"`
+	// CacheShrinks counts per-module memo-cache shrink operations the
+	// governor applied; Evictions counts modules it force-evicted.
+	CacheShrinks int64 `json:"cache_shrinks"`
+	Evictions    int64 `json:"evictions"`
+	Draining     bool  `json:"draining"`
+	Drains       int64 `json:"drains"`
+	InFlight     int64 `json:"in_flight"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	UptimeMS int64 `json:"uptime_ms"`
 	// ModulesEvicted counts modules displaced from the full registry to
-	// admit newer uploads (0 unless eviction is enabled).
+	// admit newer uploads (0 unless eviction is enabled). Budget-governor
+	// evictions are counted separately in Budget.Evictions.
 	ModulesEvicted int64         `json:"modules_evicted"`
+	Budget         BudgetStats   `json:"budget"`
 	Modules        []ModuleStats `json:"modules"`
 }
 
@@ -159,11 +193,12 @@ type HealthResponse struct {
 
 // ReadyResponse is the body of GET /readyz: liveness says "the process is
 // up", readiness says "queries will be answered now" — the daemon is not
-// ready while any module build is in flight or the build backlog is deep
-// enough that new async uploads would be refused. Load generators (and
-// orchestrators) gate on this instead of sleeping.
+// ready while it is draining for shutdown, while any module build is in
+// flight, or while the build backlog is deep enough that new async uploads
+// would be refused. Load generators (and orchestrators) gate on this
+// instead of sleeping.
 type ReadyResponse struct {
-	Status     string `json:"status"` // ready | building | backlogged
+	Status     string `json:"status"` // ready | draining | backlogged | building
 	Modules    int    `json:"modules"`
 	Building   int    `json:"building"`
 	QueueDepth int    `json:"queue_depth"`
@@ -190,6 +225,33 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// shedResponse is the structured body of every backpressure rejection
+// (429 uploads, 503 queries): a stable machine-readable reason plus the
+// retry hint that mirrors the Retry-After header. Clients distinguish
+// "overloaded, retry" from hard errors by shape, not by parsing prose.
+type shedResponse struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+}
+
+// shedRetryAfter is the uniform backoff hint on shed responses. One second
+// comfortably covers a governor tick (the budget can recover) and a drain
+// (the replacement instance can come up), without parking clients so long
+// that recovered capacity idles.
+const shedRetryAfter = time.Second
+
+// writeShed renders one load-shedding rejection: Retry-After header plus
+// the structured JSON body.
+func writeShed(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, code, shedResponse{
+		Error:        fmt.Sprintf(format, args...),
+		Reason:       reason,
+		RetryAfterMS: shedRetryAfter.Milliseconds(),
+	})
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Modules: s.reg.Len()})
 }
@@ -200,11 +262,15 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Building:   s.reg.Building(),
 		QueueDepth: s.builds.Len(),
 	}
+	// Backlogged outranks building: a backlog at capacity means new async
+	// uploads are being refused right now, the stronger not-ready signal.
 	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+	case resp.QueueDepth >= s.cfg.BuildBacklog:
+		resp.Status = "backlogged"
 	case resp.Building > 0:
 		resp.Status = "building"
-	case resp.QueueDepth >= DefaultBuildBacklog:
-		resp.Status = "backlogged"
 	default:
 		resp.Status = "ready"
 		writeJSON(w, http.StatusOK, resp)
@@ -224,6 +290,21 @@ func (s *Service) handleListModules(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
+	// Admission before the body is read: a draining daemon takes no new
+	// modules, and past the hard watermark a build's memory cost is
+	// exactly what must not be added. Both are polite, structured
+	// rejections the retry client understands.
+	if s.draining.Load() {
+		s.sheds.uploadDraining.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, "draining", "draining for shutdown, not accepting modules")
+		return
+	}
+	if s.budget.State() >= budget.StateHard {
+		s.sheds.uploadBudget.Add(1)
+		writeShed(w, http.StatusTooManyRequests, "budget",
+			"memory budget exhausted (%d of %d bytes), retry later", s.budget.Used(), s.budget.Limit())
+		return
+	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		writeError(w, http.StatusBadRequest, "missing ?name=")
@@ -248,6 +329,7 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 		// duplicate semantics of a serial upload sequence.
 		h := NewPending(name, format)
 		buildStart := time.Now()
+		s.injectBuild(name)
 		err := h.build(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner)
 		s.observeBuild(name, "sync", buildStart, err)
 		if err != nil {
@@ -264,6 +346,11 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 		}
 		info := moduleInfo(h)
 		h.Release()
+		// A fresh module is the accounting's fastest-moving input; fold it
+		// in now — after Add made it visible to the sampler — instead of
+		// waiting out a governor tick, so admission reacts to build bursts
+		// promptly.
+		s.reconcileBudget()
 		writeJSON(w, http.StatusCreated, info)
 		return
 	}
@@ -286,9 +373,15 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 	if !s.builds.Submit(func() {
 		defer h.Release()
 		buildStart := time.Now()
+		s.injectBuild(h.Name)
 		err := h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner)
 		s.observeBuild(h.Name, "async", buildStart, err)
 		s.reg.Finish(h, err)
+		if err == nil {
+			// Same prompt fold-in as the sync path, after Finish published
+			// the module to the sampler.
+			s.reconcileBudget()
+		}
 	}) {
 		h.Release()
 		s.reg.unreserve(h)
@@ -316,13 +409,67 @@ func (s *Service) handleDeleteModule(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// admitQuery reserves one in-flight slot, shedding (with the returned
+// reason) when the service is draining, the MaxInFlight bound is hit, or
+// the hard watermark has tightened admission to a quarter of the bound —
+// under hard memory pressure the daemon keeps answering, just narrower, so
+// the governor's reclamation can catch up. The caller must releaseQuery
+// exactly once when admitted.
+//
+// aliaslint:bounded — reason is one of three literals.
+func (s *Service) admitQuery() (reason string, ok bool) {
+	if s.draining.Load() {
+		s.sheds.draining.Add(1)
+		return "draining", false
+	}
+	n := s.inflight.Add(1)
+	limit := s.cfg.MaxInFlight
+	if limit > 0 && n > int64(limit) {
+		s.inflight.Add(-1)
+		s.sheds.inflight.Add(1)
+		return "inflight", false
+	}
+	if s.budget.State() >= budget.StateHard {
+		hardLimit := limit / 4
+		if hardLimit < 1 {
+			hardLimit = 1
+		}
+		if limit > 0 && n > int64(hardLimit) {
+			s.inflight.Add(-1)
+			s.sheds.budget.Add(1)
+			return "budget", false
+		}
+	}
+	return "", true
+}
+
+func (s *Service) releaseQuery() { s.inflight.Add(-1) }
+
 func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	tr := telemetry.FromContext(r.Context())
 	start := time.Now()
+	// Admission first: shedding must cost a counter bump and a tiny write,
+	// not a 16MB decode. The decode stage therefore observes only admitted
+	// requests — sheds happen before every pipeline-stage histogram, which
+	// keeps the CI stage-lockstep reconciliation intact.
+	reason, admitted := s.admitQuery()
+	if !admitted {
+		m.queryErrors.With(reason).Inc()
+		writeShed(w, http.StatusServiceUnavailable, reason, "query shed (%s), retry later", reason)
+		return
+	}
+	defer s.releaseQuery()
 	var req QueryRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes))
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			m.queryErrors.With("body_too_large").Inc()
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+			return
+		}
 		m.queryErrors.With("decode").Inc()
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
@@ -347,10 +494,31 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "module %q failed to build: %s", req.Module, h.Err())
 		return
 	}
-	results, err := s.RunBatch(r.Context(), h, req.Pairs)
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	// The injector runs under the deadline: an injected stall is charged
+	// against the batch exactly like real slow evaluation.
+	s.injectQuery(req.Module, len(req.Pairs))
+	results, err := s.RunBatch(ctx, h, req.Pairs)
 	if err != nil {
-		m.queryErrors.With("batch").Inc()
-		writeError(w, http.StatusBadRequest, "%v", err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.sheds.timeout.Add(1)
+			m.queryErrors.With("timeout").Inc()
+			writeShed(w, http.StatusServiceUnavailable, "timeout",
+				"batch exceeded the %s deadline and was cancelled", s.cfg.QueryTimeout)
+		case errors.Is(err, context.Canceled):
+			s.sheds.canceled.Add(1)
+			m.queryErrors.With("canceled").Inc()
+			writeShed(w, http.StatusServiceUnavailable, "canceled", "batch cancelled")
+		default:
+			m.queryErrors.With("batch").Inc()
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	aggStart := time.Now()
@@ -371,6 +539,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Trace = echo
 	}
+	s.injectResponse()
 	writeJSON(w, http.StatusOK, resp)
 	putResultBuf(results) // encoded: the buffer may serve the next batch
 	now = observeStage(m.stageEncode, stgEncode, tr, now)
@@ -400,10 +569,46 @@ func (s *Service) observeBuild(name, mode string, start time.Time, err error) {
 // intrusive-list links, map bucket share) for the stats memory accounting.
 const memoEntryCost = 112
 
+// budgetStats renders the budget/backpressure section from the same
+// atomics the metric collectors read.
+func (s *Service) budgetStats() BudgetStats {
+	snap := s.budget.Snapshot()
+	return BudgetStats{
+		Enabled:        s.budget.Enabled(),
+		State:          s.budget.State().String(),
+		LimitBytes:     snap.Limit,
+		SoftBytes:      snap.Soft,
+		HardBytes:      snap.Hard,
+		AccountedBytes: snap.Accounted,
+		HeapBytes:      snap.Heap,
+		UsedBytes:      snap.Used,
+		Transitions: map[string]int64{
+			"ok":   snap.Transitions[budget.StateOK],
+			"soft": snap.Transitions[budget.StateSoft],
+			"hard": snap.Transitions[budget.StateHard],
+		},
+		Sheds: map[string]int64{
+			"draining":        s.sheds.draining.Load(),
+			"inflight":        s.sheds.inflight.Load(),
+			"budget":          s.sheds.budget.Load(),
+			"timeout":         s.sheds.timeout.Load(),
+			"canceled":        s.sheds.canceled.Load(),
+			"upload_budget":   s.sheds.uploadBudget.Load(),
+			"upload_draining": s.sheds.uploadDraining.Load(),
+		},
+		CacheShrinks: s.cacheShrinks.Load(),
+		Evictions:    s.budgetEvictions.Load(),
+		Draining:     s.draining.Load(),
+		Drains:       s.drains.Load(),
+		InFlight:     s.inflight.Load(),
+	}
+}
+
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeMS:       time.Since(s.start).Milliseconds(),
 		ModulesEvicted: s.reg.Evictions(),
+		Budget:         s.budgetStats(),
 	}
 	handles := s.reg.List()
 	defer releaseAll(handles)

@@ -65,11 +65,16 @@
 package service
 
 import (
+	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alias"
+	"repro/internal/budget"
 	"repro/internal/pool"
 	"repro/internal/telemetry"
 )
@@ -81,6 +86,9 @@ const (
 	DefaultMaxModules     = 64
 	DefaultBuildWorkers   = 2
 	DefaultBuildBacklog   = 16
+	DefaultMaxBatchBytes  = 16 << 20
+	DefaultMaxInFlight    = 256
+	DefaultGovernEvery    = 250 * time.Millisecond
 )
 
 // Config bounds the service. The zero value means "use defaults".
@@ -108,6 +116,37 @@ type Config struct {
 	DisablePlanner bool
 	// BuildWorkers sizes the async-build queue (0 = DefaultBuildWorkers).
 	BuildWorkers int
+	// BuildBacklog bounds async builds queued behind the workers (0 =
+	// DefaultBuildBacklog). A full backlog rejects uploads with 503.
+	BuildBacklog int
+	// MaxBatchBytes caps the /v1/query request body in bytes (0 =
+	// DefaultMaxBatchBytes). Oversized bodies get a structured 413.
+	MaxBatchBytes int64
+	// MemBudget caps approximate process memory in bytes; 0 disables the
+	// budget entirely. Crossing the soft watermark shrinks memo caches and
+	// evicts unpinned LRU modules; crossing the hard watermark additionally
+	// rejects uploads (429) and tightens query admission (503). Both
+	// rejections carry Retry-After.
+	MemBudget int64
+	// BudgetOptions tunes the watermark fractions and (for tests) the heap
+	// probe. Zero value = budget package defaults.
+	BudgetOptions budget.Options
+	// GovernEvery is the budget governor's tick (0 = DefaultGovernEvery).
+	// Negative disables the background loop; tests then drive GovernOnce
+	// directly. Irrelevant while MemBudget is 0.
+	GovernEvery time.Duration
+	// MaxInFlight bounds concurrently admitted /v1/query batches (0 =
+	// DefaultMaxInFlight, negative = unbounded). Excess requests are shed
+	// with 503 + Retry-After rather than queued: the client's retry policy,
+	// not a hidden server queue, absorbs the burst.
+	MaxInFlight int
+	// QueryTimeout is the per-request evaluation deadline for /v1/query
+	// (0 = none). A batch past its deadline is cancelled mid-flight and
+	// answered with 503 + Retry-After.
+	QueryTimeout time.Duration
+	// Chaos injects synthetic faults at the service's seams (nil = off —
+	// production). See Injector.
+	Chaos Injector
 	// Logger receives the service's structured logs (request access lines at
 	// debug level, build outcomes at info). nil discards everything — tests
 	// and embedders that do not care stay quiet.
@@ -127,6 +166,18 @@ func (c Config) withDefaults() Config {
 	if c.BuildWorkers == 0 {
 		c.BuildWorkers = DefaultBuildWorkers
 	}
+	if c.BuildBacklog == 0 {
+		c.BuildBacklog = DefaultBuildBacklog
+	}
+	if c.MaxBatchBytes == 0 {
+		c.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.GovernEvery == 0 {
+		c.GovernEvery = DefaultGovernEvery
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
@@ -134,7 +185,8 @@ func (c Config) withDefaults() Config {
 }
 
 // Service is the daemon state: a module registry, the shared query pool,
-// the async build queue, and the telemetry surface they all report into.
+// the async build queue, the memory-budget governor, and the telemetry
+// surface they all report into.
 type Service struct {
 	cfg     Config
 	reg     *Registry
@@ -143,6 +195,46 @@ type Service struct {
 	start   time.Time
 	log     *slog.Logger
 	metrics *metrics
+
+	// budget is the watermark tracker (nil-safe: disabled when MemBudget
+	// is 0); the governor fields drive its periodic reconcile loop.
+	budget    *budget.Tracker
+	govStop   chan struct{}
+	govWG     sync.WaitGroup
+	closeOnce sync.Once
+	// fullCacheLimit is the resolved per-module memo bound the governor
+	// restores after degradation (Config.CacheLimit with the alias-package
+	// default applied; ≤ 0 means caching is off and resizing is moot).
+	fullCacheLimit int
+	// degraded marks that memo caches are currently shrunk.
+	degraded atomic.Bool
+	// lastGC is the unix-nano time of the governor's last forced GC.
+	lastGC atomic.Int64
+
+	// inflight counts admitted /v1/query batches; draining flips every
+	// admission path to shedding. sheds, drains, budgetEvictions and
+	// cacheShrinks are the single source both /metrics and /v1/stats
+	// render, which is what keeps the reconciliation exact.
+	inflight        atomic.Int64
+	draining        atomic.Bool
+	sheds           shedCounters
+	drains          atomic.Int64
+	budgetEvictions atomic.Int64
+	cacheShrinks    atomic.Int64
+}
+
+// shedCounters tallies load-shedding rejections by reason — the label set
+// of aliasd_shed_requests_total and the sheds section of /v1/stats.
+//
+// aliaslint: never copy a shedCounters — it embeds atomics.
+type shedCounters struct {
+	draining       atomic.Int64 // queries rejected while draining
+	inflight       atomic.Int64 // queries past the MaxInFlight bound
+	budget         atomic.Int64 // queries rejected at the hard watermark
+	timeout        atomic.Int64 // queries cancelled at QueryTimeout
+	canceled       atomic.Int64 // queries whose client went away mid-batch
+	uploadBudget   atomic.Int64 // uploads rejected at the hard watermark
+	uploadDraining atomic.Int64 // uploads rejected while draining
 }
 
 // New builds a service from the config (zero fields filled with defaults).
@@ -152,9 +244,14 @@ func New(cfg Config) *Service {
 		cfg:    cfg,
 		reg:    NewRegistry(cfg.MaxModules, cfg.EvictModules),
 		pool:   &pool.Pool{Parallel: cfg.Parallel},
-		builds: pool.NewQueue(cfg.BuildWorkers, DefaultBuildBacklog),
+		builds: pool.NewQueue(cfg.BuildWorkers, cfg.BuildBacklog),
 		start:  time.Now(),
 		log:    cfg.Logger,
+		budget: budget.New(cfg.MemBudget, cfg.BudgetOptions),
+	}
+	s.fullCacheLimit = cfg.CacheLimit
+	if s.fullCacheLimit == 0 {
+		s.fullCacheLimit = alias.DefaultCacheLimit
 	}
 	s.metrics = newMetrics(s)
 	// Set before the first Submit: the channel send inside Submit is the
@@ -162,12 +259,78 @@ func New(cfg Config) *Service {
 	s.builds.Observer = func(wait, _ time.Duration) {
 		s.metrics.queueWait.Observe(wait.Seconds())
 	}
+	if s.budget.Enabled() && cfg.GovernEvery > 0 {
+		s.govStop = make(chan struct{})
+		s.govWG.Add(1)
+		go func() {
+			defer s.govWG.Done()
+			t := time.NewTicker(cfg.GovernEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.govStop:
+					return
+				case <-t.C:
+					s.GovernOnce()
+				}
+			}
+		}()
+	}
 	return s
 }
 
-// Close drains the async build queue. Queries already in flight are
-// unaffected; the registry needs no teardown of its own.
-func (s *Service) Close() { s.builds.Close() }
+// Close stops the budget governor and drains the async build queue.
+// Queries already in flight are unaffected; the registry needs no teardown
+// of its own. Idempotent.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		if s.govStop != nil {
+			close(s.govStop)
+		}
+	})
+	s.govWG.Wait()
+	s.builds.Close()
+}
+
+// BeginDrain flips the service into drain mode: /readyz reports 503
+// "draining" so load balancers stop routing here, and every new query or
+// upload is shed with a structured 503 + Retry-After, while batches
+// already admitted run to completion. Idempotent; there is no way back —
+// draining is the prelude to shutdown.
+func (s *Service) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drains.Add(1)
+		s.log.Info("drain started", "in_flight", s.inflight.Load())
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until every in-flight query batch has completed or ctx
+// expires, returning the context's error in the latter case. Callers
+// BeginDrain first (so no new batches are admitted), Drain with a
+// deadline, then shut the HTTP server down.
+func (s *Service) Drain(ctx context.Context) error {
+	if n := s.inflight.Load(); n == 0 {
+		return nil
+	}
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain: %d batches still in flight: %w", s.inflight.Load(), ctx.Err())
+		case <-t.C:
+			if s.inflight.Load() == 0 {
+				return nil
+			}
+		}
+	}
+}
+
+// InFlight reports the number of currently admitted /v1/query batches.
+func (s *Service) InFlight() int64 { return s.inflight.Load() }
 
 // managerOptions threads the configured memo-cache bound into each
 // module's analysis chain.
