@@ -12,6 +12,9 @@
 //	                                   # bounded admission, per-batch deadline
 //	aliasd -chaos build-delay=50ms,alloc-spike=16MB,slow-client=5ms
 //	                                   # synthetic faults for robustness drills
+//	aliasd -data-dir /var/lib/aliasd -reuse-cache 64MB
+//	                                   # crash-safe module store, replayed on
+//	                                   # boot; cross-module index reuse
 //	aliasd -debug-addr 127.0.0.1:8418 -log-level debug
 //	                                   # pprof/expvar sidecar + per-request logs
 //
@@ -48,10 +51,12 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // parseBytes reads a byte count with an optional KB/MB/GB (or K/M/G) suffix:
@@ -86,6 +91,13 @@ type chaosInjector struct {
 	buildDelay time.Duration // sleep at the top of every module build
 	allocSpike int64         // transient garbage allocated per query batch
 	slowClient time.Duration // stall before writing each success response
+
+	// crashAfterWrite hard-exits the process after the Nth completed store
+	// write step (0 = disabled). os.Exit skips every deferred flush — the
+	// in-process stand-in for kill -9 mid-persist that the crash-recovery
+	// drills lean on.
+	crashAfterWrite int64
+	storeWrites     atomic.Int64
 }
 
 // chaosSink keeps the allocated spike reachable long enough that the
@@ -116,9 +128,20 @@ func (c *chaosInjector) ResponseWrite() {
 	}
 }
 
+func (c *chaosInjector) StoreWrite(step string) {
+	if c.crashAfterWrite <= 0 {
+		return
+	}
+	if n := c.storeWrites.Add(1); n == c.crashAfterWrite {
+		fmt.Fprintf(os.Stderr, "aliasd: chaos crash-after-write: hard exit after store step %d (%s)\n", n, step)
+		os.Exit(3)
+	}
+}
+
 // parseChaos reads the -chaos spec: comma-separated key=value pairs from
-// build-delay=<dur>, alloc-spike=<bytes>, slow-client=<dur>. Empty spec =
-// no injector (the production nil path).
+// build-delay=<dur>, alloc-spike=<bytes>, slow-client=<dur>,
+// crash-after-write=<n>. Empty spec = no injector (the production nil
+// path).
 func parseChaos(spec string) (service.Injector, error) {
 	if spec == "" {
 		return nil, nil
@@ -148,6 +171,12 @@ func parseChaos(spec string) (service.Injector, error) {
 				return nil, fmt.Errorf("bad -chaos slow-client: %v", err)
 			}
 			inj.slowClient = d
+		case "crash-after-write":
+			n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -chaos crash-after-write %q (want positive integer)", val)
+			}
+			inj.crashAfterWrite = n
 		default:
 			return nil, fmt.Errorf("unknown -chaos key %q", key)
 		}
@@ -177,7 +206,9 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout (slow-request defense)")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP server write timeout (slow-client defense)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP server keep-alive idle timeout")
-	chaosSpec := flag.String("chaos", "", "fault injection: comma-separated build-delay=<dur>, alloc-spike=<bytes>, slow-client=<dur> (empty = off)")
+	chaosSpec := flag.String("chaos", "", "fault injection: comma-separated build-delay=<dur>, alloc-spike=<bytes>, slow-client=<dur>, crash-after-write=<n> (empty = off)")
+	dataDir := flag.String("data-dir", "", "crash-safe on-disk module store; modules persist across restarts and are replayed on boot (empty = in-memory only)")
+	reuseCache := flag.String("reuse-cache", "", "cross-module function-index reuse cache size, e.g. 64MB (empty = 32MB default, 0 disables)")
 	flag.Parse()
 
 	var level slog.Level
@@ -214,21 +245,48 @@ func main() {
 		logger.Warn("chaos injection enabled", "spec", *chaosSpec)
 	}
 
+	var reuseBytes int64
+	if *reuseCache != "" {
+		n, err := parseBytes(*reuseCache)
+		if err != nil {
+			logger.Error("bad -reuse-cache", "error", err)
+			os.Exit(1)
+		}
+		if n <= 0 {
+			reuseBytes = -1 // Config: negative disables, zero means default
+		} else {
+			reuseBytes = n
+		}
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			logger.Error("opening data dir failed", "dir", *dataDir, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("module store open", "dir", *dataDir,
+			"records", st.Len(), "bytes", st.SizeBytes())
+	}
+
 	svc := service.New(service.Config{
-		MaxBatch:       *maxBatch,
-		MaxBatchBytes:  batchBytes,
-		MaxSourceBytes: *maxSource,
-		MaxModules:     *maxModules,
-		Parallel:       *parallel,
-		CacheLimit:     *cacheLimit,
-		EvictModules:   *evictModules,
-		BuildWorkers:   *buildWorkers,
-		DisablePlanner: !*planner,
-		MemBudget:      budgetBytes,
-		MaxInFlight:    *maxInFlight,
-		QueryTimeout:   *queryTimeout,
-		Chaos:          chaos,
-		Logger:         logger,
+		MaxBatch:        *maxBatch,
+		MaxBatchBytes:   batchBytes,
+		MaxSourceBytes:  *maxSource,
+		MaxModules:      *maxModules,
+		Parallel:        *parallel,
+		CacheLimit:      *cacheLimit,
+		EvictModules:    *evictModules,
+		BuildWorkers:    *buildWorkers,
+		DisablePlanner:  !*planner,
+		MemBudget:       budgetBytes,
+		MaxInFlight:     *maxInFlight,
+		QueryTimeout:    *queryTimeout,
+		Chaos:           chaos,
+		Logger:          logger,
+		Store:           st,
+		ReuseCacheBytes: reuseBytes,
 	})
 	defer svc.Close()
 
@@ -290,6 +348,14 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	// Replay the store after the listener is up: probes see a structured
+	// "recovering" /readyz instead of connection refused, and queries shed
+	// with a retryable reason until the registry is whole again.
+	if err := svc.Recover(); err != nil {
+		logger.Error("store recovery failed", "error", err)
+		os.Exit(1)
+	}
+
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -311,6 +377,9 @@ func main() {
 			logger.Warn("drain incomplete, shutting down anyway", "error", err)
 		} else {
 			logger.Info("drain complete")
+		}
+		if err := svc.FlushStore(); err != nil {
+			logger.Warn("store flush failed", "error", err)
 		}
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Warn("http shutdown incomplete", "error", err)

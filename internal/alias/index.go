@@ -366,39 +366,45 @@ func BuildIndex(mg *Manager, m *ir.Module) *Index {
 		if len(universe) == 0 {
 			continue
 		}
-		fi := &FuncIndex{universe: universe, vnum: make([]int32, f.NumValues()), rangeMember: -1}
-		for i := range fi.vnum {
-			fi.vnum[i] = -1
-		}
-		for i, v := range universe {
-			fi.vnum[v.ID] = int32(i)
-		}
-		fi.cols = make([]column, len(mg.members))
-		for mi, mem := range mg.members {
-			switch d := mem.(type) {
-			case RangeDigester:
-				fi.cols[mi].rng = d.RangeDigests(f, universe)
-				if fi.rangeMember < 0 {
-					fi.rangeMember = mi
-				}
-			case ClassDigester:
-				fi.cols[mi].cls = d.ClassDigests(f, universe)
-			case SCEVDigester:
-				fi.cols[mi].scev = d.SCEVDigests(f, universe)
-			case SetDigester:
-				fi.cols[mi].set = d.SetDigests(f, universe)
-			}
-		}
-		if mi := fi.rangeMember; mi >= 0 {
-			fi.sweepDisjoint = Verdict{Result: NoAlias, Resolved: mi, mask: 1 << uint(mi),
-				details: detailAt(len(fi.cols), mi, "disjoint-support")}
-			fi.sweepGlobal = Verdict{Result: NoAlias, Resolved: mi, mask: 1 << uint(mi),
-				details: detailAt(len(fi.cols), mi, "global-range")}
-		}
+		fi := buildFuncIndex(mg, f, universe)
 		ix.funcs[f] = fi
 		ix.memBytes += fi.approxBytes()
 	}
 	return ix
+}
+
+// buildFuncIndex compiles one function's universe into a frozen FuncIndex.
+func buildFuncIndex(mg *Manager, f *ir.Func, universe []*ir.Value) *FuncIndex {
+	fi := &FuncIndex{universe: universe, vnum: make([]int32, f.NumValues()), rangeMember: -1}
+	for i := range fi.vnum {
+		fi.vnum[i] = -1
+	}
+	for i, v := range universe {
+		fi.vnum[v.ID] = int32(i)
+	}
+	fi.cols = make([]column, len(mg.members))
+	for mi, mem := range mg.members {
+		switch d := mem.(type) {
+		case RangeDigester:
+			fi.cols[mi].rng = d.RangeDigests(f, universe)
+			if fi.rangeMember < 0 {
+				fi.rangeMember = mi
+			}
+		case ClassDigester:
+			fi.cols[mi].cls = d.ClassDigests(f, universe)
+		case SCEVDigester:
+			fi.cols[mi].scev = d.SCEVDigests(f, universe)
+		case SetDigester:
+			fi.cols[mi].set = d.SetDigests(f, universe)
+		}
+	}
+	if mi := fi.rangeMember; mi >= 0 {
+		fi.sweepDisjoint = Verdict{Result: NoAlias, Resolved: mi, mask: 1 << uint(mi),
+			details: detailAt(len(fi.cols), mi, "disjoint-support")}
+		fi.sweepGlobal = Verdict{Result: NoAlias, Resolved: mi, mask: 1 << uint(mi),
+			details: detailAt(len(fi.cols), mi, "global-range")}
+	}
+	return fi
 }
 
 // detailAt builds an n-member detail slice with one entry set.

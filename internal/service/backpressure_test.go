@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -22,6 +23,13 @@ type chaosHooks struct {
 	buildStart    func(module string)
 	queryStart    func(module string, pairs int)
 	responseWrite func()
+	storeWrite    func(step string)
+}
+
+func (c *chaosHooks) StoreWrite(step string) {
+	if c.storeWrite != nil {
+		c.storeWrite(step)
+	}
 }
 
 func (c *chaosHooks) BuildStart(module string) {
@@ -63,8 +71,10 @@ func decodeShed(t *testing.T, resp *http.Response, wantCode int, wantReason stri
 	if resp.StatusCode != wantCode {
 		t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, wantCode, body(t, resp))
 	}
-	if got := resp.Header.Get("Retry-After"); got != "1" {
-		t.Errorf("Retry-After = %q, want \"1\"", got)
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < shedRetryAfterMin || secs > shedRetryAfterMax {
+		t.Errorf("Retry-After = %q, want integer seconds in [%d,%d]",
+			resp.Header.Get("Retry-After"), shedRetryAfterMin, shedRetryAfterMax)
 	}
 	var shed shedResponse
 	if err := json.Unmarshal(body(t, resp), &shed); err != nil {
@@ -73,8 +83,8 @@ func decodeShed(t *testing.T, resp *http.Response, wantCode int, wantReason stri
 	if shed.Reason != wantReason {
 		t.Errorf("shed reason = %q, want %q", shed.Reason, wantReason)
 	}
-	if shed.RetryAfterMS != shedRetryAfter.Milliseconds() {
-		t.Errorf("retry_after_ms = %d, want %d", shed.RetryAfterMS, shedRetryAfter.Milliseconds())
+	if shed.RetryAfterMS != int64(secs)*1000 {
+		t.Errorf("retry_after_ms = %d disagrees with Retry-After header %ds", shed.RetryAfterMS, secs)
 	}
 	if shed.Error == "" {
 		t.Error("shed body has no human-readable error")

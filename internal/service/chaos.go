@@ -22,6 +22,11 @@ type Injector interface {
 	// ResponseWrite runs immediately before a successful /v1/query
 	// response body is written.
 	ResponseWrite()
+	// StoreWrite runs after each completed physical write step of a store
+	// mutation (see the store.Step* constants). cmd/aliasd's
+	// crash-after-write=N injector counts these and hard-exits on the Nth —
+	// the crash-recovery tests' stand-in for a kill -9 mid-persist.
+	StoreWrite(step string)
 }
 
 // injectBuild, injectQuery and injectResponse are the nil-safe call sites.
@@ -40,5 +45,11 @@ func (s *Service) injectQuery(module string, pairs int) {
 func (s *Service) injectResponse() {
 	if s.cfg.Chaos != nil {
 		s.cfg.Chaos.ResponseWrite()
+	}
+}
+
+func (s *Service) injectStoreWrite(step string) {
+	if s.cfg.Chaos != nil {
+		s.cfg.Chaos.StoreWrite(step)
 	}
 }

@@ -32,12 +32,19 @@ func (s *Service) shrunkCacheLimit() int {
 
 // sampleAccounted sums the service's own memory model: every ready
 // module's build estimate (IR, analyses, index, interned expressions) plus
-// its live memo entries.
+// its live memo entries, the analysis-reuse cache's retained columns, and
+// the on-disk store's live bytes (recovery materializes every live record
+// back into RAM, so store growth is deferred memory the admission levers
+// should see coming).
 func (s *Service) sampleAccounted() int64 {
 	var acc int64
 	s.eachReadyModule(func(h *Handle, st alias.ManagerStats) {
 		acc += h.MemBytes() + st.Cached*memoEntryCost
 	})
+	acc += s.reuse.SizeBytes()
+	if s.store != nil {
+		acc += s.store.SizeBytes()
+	}
 	return acc
 }
 

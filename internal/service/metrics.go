@@ -2,12 +2,14 @@ package service
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/alias"
 	"repro/internal/budget"
+	"repro/internal/store"
 	"repro/internal/symbolic"
 	"repro/internal/telemetry"
 )
@@ -104,6 +106,67 @@ func newMetrics(s *Service) *metrics {
 
 	reg.GaugeFunc("aliasd_uptime_seconds", "Seconds since the service started.",
 		func() float64 { return time.Since(s.start).Seconds() })
+	reg.Collect("aliasd_build_info",
+		"Build identity: constant 1 labeled with the daemon version and the Go runtime that built it.",
+		"gauge", []string{"version", "goversion"}, func(emit func(float64, ...string)) {
+			emit(1, Version, runtime.Version())
+		})
+
+	// ---- Crash-safe store and analysis reuse. Families exist (at zero)
+	// even memory-only, so dashboards need no conditional scrape config;
+	// every number reads the same snapshot /v1/stats renders. ----
+
+	storeStat := func(get func(st store.Stats) float64) func() float64 {
+		return func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return get(s.store.Snapshot())
+		}
+	}
+	reg.GaugeFunc("aliasd_store_records",
+		"Live (non-tombstoned) records in the on-disk module store.",
+		storeStat(func(st store.Stats) float64 { return float64(st.Records) }))
+	reg.GaugeFunc("aliasd_store_bytes",
+		"Summed on-disk size of live store records.",
+		storeStat(func(st store.Stats) float64 { return float64(st.Bytes) }))
+	reg.CounterFunc("aliasd_store_puts_total",
+		"Successful store record writes (uploads persisted).",
+		storeStat(func(st store.Stats) float64 { return float64(st.Puts) }))
+	reg.CounterFunc("aliasd_store_deletes_total",
+		"Successful store tombstone writes (deletes persisted).",
+		storeStat(func(st store.Stats) float64 { return float64(st.Deletes) }))
+	reg.CounterFunc("aliasd_store_corrupt_quarantined_total",
+		"Torn or bit-flipped records (and manifests) moved to corrupt/ and skipped.",
+		storeStat(func(st store.Stats) float64 { return float64(st.Quarantined) }))
+	reg.CounterFunc("aliasd_store_errors_total",
+		"Persist operations (Put/Delete) that returned an error.",
+		func() float64 { return float64(s.storeFailing.Load()) })
+	reg.GaugeFunc("aliasd_store_recovery_duration_seconds",
+		"Wall time of the last boot-time manifest replay (0 until Recover has run).",
+		func() float64 { return time.Duration(s.recoveryDur.Load()).Seconds() })
+	reg.GaugeFunc("aliasd_store_recovering",
+		"1 while the boot-time manifest replay is in progress, else 0.",
+		func() float64 {
+			if s.recovering.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("aliasd_store_functions_reused_total",
+		"Function analyses served zero-copy from the cross-module reuse cache.",
+		func() float64 { return float64(s.funcsReused.Load()) })
+	reg.GaugeFunc("aliasd_reuse_cache_bytes",
+		"Approximate resident bytes of the cross-module analysis reuse cache.",
+		func() float64 { return float64(s.reuse.SizeBytes()) })
+	reg.Collect("aliasd_reuse_cache_ops_total",
+		"Reuse-cache lookups by outcome (hit|miss) plus LRU evictions.",
+		"counter", []string{"op"}, func(emit func(float64, ...string)) {
+			rs := s.reuse.Snapshot()
+			emit(float64(rs.Hits), "hit")
+			emit(float64(rs.Misses), "miss")
+			emit(float64(rs.Evictions), "evict")
+		})
 
 	// ---- Memory budget, backpressure and lifecycle. Every family reads
 	// the same atomics /v1/stats renders (budgetStats), so the two
@@ -132,15 +195,17 @@ func newMetrics(s *Service) *metrics {
 			emit(float64(snap.Transitions[budget.StateHard]), "hard")
 		})
 	reg.Collect("aliasd_shed_requests_total",
-		"Requests rejected by backpressure, by reason: query admission (draining|inflight|budget), mid-flight cancellation (timeout|canceled), and upload rejection (upload_budget|upload_draining).",
+		"Requests rejected by backpressure, by reason: query admission (draining|recovering|inflight|budget), mid-flight cancellation (timeout|canceled), and upload rejection (upload_budget|upload_draining|upload_recovering).",
 		"counter", []string{"reason"}, func(emit func(float64, ...string)) {
 			emit(float64(s.sheds.draining.Load()), "draining")
 			emit(float64(s.sheds.inflight.Load()), "inflight")
 			emit(float64(s.sheds.budget.Load()), "budget")
 			emit(float64(s.sheds.timeout.Load()), "timeout")
 			emit(float64(s.sheds.canceled.Load()), "canceled")
+			emit(float64(s.sheds.recovering.Load()), "recovering")
 			emit(float64(s.sheds.uploadBudget.Load()), "upload_budget")
 			emit(float64(s.sheds.uploadDraining.Load()), "upload_draining")
+			emit(float64(s.sheds.uploadRecovering.Load()), "upload_recovering")
 		})
 	reg.CounterFunc("aliasd_budget_cache_shrinks_total",
 		"Per-module memo-cache shrink operations applied by the budget governor.",

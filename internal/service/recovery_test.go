@@ -1,0 +1,336 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/frontend/minic"
+	"repro/internal/store"
+)
+
+// postQueryAll queries every enumerable pair of module and returns the raw
+// response body — the byte-golden unit the recovery tests compare across
+// restarts.
+func postQueryAll(t *testing.T, ts *httptest.Server, module, src string) (int, []byte) {
+	t.Helper()
+	m, err := minic.Compile(module, src)
+	if err != nil {
+		t.Fatalf("compiling %s: %v", module, err)
+	}
+	req, err := json.Marshal(QueryRequest{Module: module, Pairs: namedPairs(m)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	return resp.StatusCode, body(t, resp)
+}
+
+func openStoreT(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("store.Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+// recordFiles lists the record filenames currently under dir/records.
+func recordFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "records"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		out = append(out, filepath.Join(dir, "records", e.Name()))
+	}
+	return out
+}
+
+// TestPersistRecoverRoundTrip is the tentpole's core contract in one
+// process: upload through a store-backed service, build a second service
+// over the same directory, Recover, and the recovered daemon must return
+// byte-identical verdicts — plus a nonzero recovery duration and zero
+// quarantines on /v1/stats.
+func TestPersistRecoverRoundTrip(t *testing.T) {
+	src := fig1Source(t)
+	dir := t.TempDir()
+
+	s1, ts1 := startServer(t, Config{Parallel: 2, Store: openStoreT(t, dir)})
+	if resp := postModule(t, ts1, "fig1", "minic", src); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body(t, resp))
+	}
+	code, golden := postQueryAll(t, ts1, "fig1", src)
+	if code != http.StatusOK {
+		t.Fatalf("pre-crash query: %d %s", code, golden)
+	}
+	st1 := getStats(t, ts1)
+	if st1.Store == nil || st1.Store.Records != 1 || st1.Store.Puts != 1 {
+		t.Fatalf("pre-crash store stats = %+v, want 1 record / 1 put", st1.Store)
+	}
+	s1.Close()
+	ts1.Close()
+
+	// "Restart": a fresh service over the same directory, replayed before
+	// queries are answered — exactly what cmd/aliasd does on boot.
+	s2, ts2 := startServer(t, Config{Parallel: 2, Store: openStoreT(t, dir)})
+	if err := s2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	code, got := postQueryAll(t, ts2, "fig1", src)
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery query: %d %s", code, got)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Errorf("recovered verdicts differ from pre-crash golden:\npre:  %s\npost: %s", golden, got)
+	}
+	st2 := getStats(t, ts2)
+	if st2.Store == nil {
+		t.Fatal("store stats missing after recovery")
+	}
+	if st2.Store.Records != 1 || st2.Store.Quarantined != 0 {
+		t.Errorf("store stats = %+v, want 1 record, 0 quarantined", st2.Store)
+	}
+	if st2.Store.RecoverySeconds <= 0 {
+		t.Errorf("recovery_seconds = %v, want > 0 after a replay", st2.Store.RecoverySeconds)
+	}
+	if st2.Store.Recovering {
+		t.Error("store stats still report recovering after Recover returned")
+	}
+}
+
+// TestRecoveryQuarantinesCorruptRecord bit-flips one of two persisted
+// records on disk; recovery must quarantine exactly that record, serve the
+// other, and never panic or return a wrong verdict.
+func TestRecoveryQuarantinesCorruptRecord(t *testing.T) {
+	src := fig1Source(t)
+	dir := t.TempDir()
+
+	s1, ts1 := startServer(t, Config{Parallel: 2, Store: openStoreT(t, dir)})
+	for _, name := range []string{"a", "b"} {
+		if resp := postModule(t, ts1, name, "minic", src); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: %d", name, resp.StatusCode)
+		}
+	}
+	s1.Close()
+	ts1.Close()
+
+	files := recordFiles(t, dir)
+	if len(files) != 2 {
+		t.Fatalf("record files = %d, want 2", len(files))
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStoreT(t, dir)
+	s2, ts2 := startServer(t, Config{Parallel: 2, Store: st})
+	if err := s2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if q := st.Quarantined(); q != 1 {
+		t.Errorf("quarantined = %d, want 1", q)
+	}
+	ok := 0
+	for _, name := range []string{"a", "b"} {
+		code, _ := postQueryAll(t, ts2, name, src)
+		if code == http.StatusOK {
+			ok++
+		}
+	}
+	if ok != 1 {
+		t.Errorf("recovered modules answering = %d, want exactly 1 (other quarantined)", ok)
+	}
+	stats := getStats(t, ts2)
+	if stats.Store.Quarantined != 1 || stats.Store.Records != 1 {
+		t.Errorf("store stats = %+v, want quarantined=1 records=1", stats.Store)
+	}
+	// The quarantined bytes moved to corrupt/, not deleted: evidence for
+	// the operator, never re-served.
+	ents, err := os.ReadDir(filepath.Join(dir, "corrupt"))
+	if err != nil || len(ents) != 1 {
+		t.Errorf("corrupt/ entries = %d (err %v), want 1", len(ents), err)
+	}
+}
+
+// TestDeleteTombstoneSurvivesRestart pins the delete contract: a module
+// deleted before the crash must not resurrect on recovery.
+func TestDeleteTombstoneSurvivesRestart(t *testing.T) {
+	src := fig1Source(t)
+	dir := t.TempDir()
+
+	s1, ts1 := startServer(t, Config{Parallel: 2, Store: openStoreT(t, dir)})
+	for _, name := range []string{"keep", "drop"} {
+		if resp := postModule(t, ts1, name, "minic", src); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: %d", name, resp.StatusCode)
+		}
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/modules/drop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, body(t, resp))
+	}
+	resp.Body.Close()
+	s1.Close()
+	ts1.Close()
+
+	st := openStoreT(t, dir)
+	s2, ts2 := startServer(t, Config{Parallel: 2, Store: st})
+	if err := s2.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if code, _ := postQueryAll(t, ts2, "keep", src); code != http.StatusOK {
+		t.Errorf("kept module not recovered: %d", code)
+	}
+	if code, _ := postQueryAll(t, ts2, "drop", src); code != http.StatusNotFound {
+		t.Errorf("deleted module resurrected: %d, want 404", code)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store live records = %d, want 1", st.Len())
+	}
+}
+
+// TestRecoveringGatesReadyzAndAdmission pins the recovery state machine's
+// externally visible face: while the recovering flag is up, /readyz
+// reports "recovering", queries shed with reason "recovering", and uploads
+// shed with reason "upload_recovering" — all retryable 503s, all counted.
+func TestRecoveringGatesReadyzAndAdmission(t *testing.T) {
+	src := fig1Source(t)
+	s, ts := startServer(t, Config{Parallel: 2})
+	if resp := postModule(t, ts, "fig1", "minic", src); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %d", resp.StatusCode)
+	}
+
+	s.recovering.Store(true)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while recovering = %d, want 503", resp.StatusCode)
+	}
+	var ready ReadyResponse
+	if err := json.Unmarshal(body(t, resp), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "recovering" {
+		t.Errorf("readyz status = %q, want \"recovering\"", ready.Status)
+	}
+
+	req, _ := json.Marshal(QueryRequest{Module: "fig1", Pairs: []Pair{{Func: "main", A: "p", B: "p"}}})
+	qresp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeShed(t, qresp, http.StatusServiceUnavailable, "recovering")
+	// Upload sheds carry the same machine reason; the counter key is the
+	// upload-specific one.
+	decodeShed(t, postModule(t, ts, "late", "minic", src), http.StatusServiceUnavailable, "recovering")
+	s.recovering.Store(false)
+
+	// Both rejections are visible on /v1/stats, and the flag clearing
+	// reopens admission.
+	bs := getStats(t, ts).Budget
+	if bs.Sheds["recovering"] != 1 || bs.Sheds["upload_recovering"] != 1 {
+		t.Errorf("sheds = %v, want recovering=1 upload_recovering=1", bs.Sheds)
+	}
+	if code, _ := postQueryAll(t, ts, "fig1", src); code != http.StatusOK {
+		t.Errorf("query after recovery = %d, want 200", code)
+	}
+}
+
+// TestRetryAfterAdaptiveBounds pins the adaptive backoff hint: 1s on an
+// unloaded daemon, monotone in both budget state and in-flight depth, and
+// never outside [shedRetryAfterMin, shedRetryAfterMax].
+func TestRetryAfterAdaptiveBounds(t *testing.T) {
+	s := New(Config{MaxInFlight: 8, MemBudget: 1000, GovernEvery: -1})
+	defer s.Close()
+
+	if got := s.retryAfterSeconds(); got != shedRetryAfterMin {
+		t.Errorf("idle retry-after = %d, want %d", got, shedRetryAfterMin)
+	}
+
+	// Monotone in in-flight depth, clamped at the max even far past the
+	// admission limit.
+	prev := 0
+	for _, n := range []int64{0, 1, 2, 4, 6, 8, 100} {
+		s.inflight.Store(n)
+		got := s.retryAfterSeconds()
+		if got < shedRetryAfterMin || got > shedRetryAfterMax {
+			t.Errorf("inflight=%d: retry-after %d outside [%d,%d]", n, got, shedRetryAfterMin, shedRetryAfterMax)
+		}
+		if got < prev {
+			t.Errorf("inflight=%d: retry-after %d < previous %d (not monotone)", n, got, prev)
+		}
+		prev = got
+	}
+
+	// Monotone in budget state: soft adds, hard adds more.
+	s.inflight.Store(0)
+	okSecs := s.retryAfterSeconds()
+	s.budget.SetAccounted(750) // past the 70% soft watermark
+	if s.budget.State() != budget.StateSoft {
+		t.Fatalf("budget state = %v, want soft", s.budget.State())
+	}
+	softSecs := s.retryAfterSeconds()
+	s.budget.SetAccounted(900) // past the 85% hard watermark
+	if s.budget.State() != budget.StateHard {
+		t.Fatalf("budget state = %v, want hard", s.budget.State())
+	}
+	hardSecs := s.retryAfterSeconds()
+	if !(okSecs < softSecs && softSecs < hardSecs) {
+		t.Errorf("retry-after not monotone in budget state: ok=%d soft=%d hard=%d", okSecs, softSecs, hardSecs)
+	}
+
+	// Fully loaded and hard-pressured: the clamp holds.
+	s.inflight.Store(1000)
+	if got := s.retryAfterSeconds(); got != shedRetryAfterMax {
+		t.Errorf("saturated retry-after = %d, want clamp %d", got, shedRetryAfterMax)
+	}
+}
+
+// TestBuildInfoAndUptimeReconcile pins the identity satellite: /metrics
+// exports aliasd_build_info with the version the binary reports on
+// /v1/stats, and the uptime gauge moves with the same clock as
+// uptime_seconds.
+func TestBuildInfoAndUptimeReconcile(t *testing.T) {
+	_, ts := startServer(t, Config{Parallel: 1})
+
+	stats := getStats(t, ts)
+	if stats.Version != Version {
+		t.Errorf("/v1/stats version = %q, want %q", stats.Version, Version)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", stats.UptimeSeconds)
+	}
+	fams := scrape(t, ts.URL)
+	if got := sampleValue(fams, "aliasd_build_info", map[string]string{"version": Version}); got != 1 {
+		t.Errorf("aliasd_build_info{version=%q} = %v, want 1", Version, got)
+	}
+	// Scraped after /v1/stats, same start instant: the gauge can only be
+	// ahead, never behind.
+	if got := sampleValue(fams, "aliasd_uptime_seconds", nil); got < stats.UptimeSeconds {
+		t.Errorf("aliasd_uptime_seconds = %v behind /v1/stats uptime %v", got, stats.UptimeSeconds)
+	}
+}

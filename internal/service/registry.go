@@ -77,6 +77,10 @@ type Handle struct {
 	// same-function pointer pairs) — the natural unit load generators
 	// replay.
 	PairQueries int
+	// FuncsReused counts this build's function analyses served zero-copy
+	// from the cross-module reuse cache instead of re-digested (0 without a
+	// cache or on an all-cold build). Written once before Ready.
+	FuncsReused int
 
 	// values indexes func name → value name → value for the validate stage.
 	values map[string]map[string]*ir.Value
@@ -258,11 +262,14 @@ const exprNodeCost = 128
 
 // runBuild runs the parse/verify/analyze chain and fills the built fields
 // on success — including, unless withIndex is false, the compiled alias
-// index and its batch planner. It does NOT publish a state transition — the
-// caller decides (Build for standalone handles, Registry.Finish for async
-// builds, where promotion into the module table and the Ready transition
-// must agree).
-func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOptions, withIndex bool) error {
+// index and its batch planner. reuse, when non-nil, serves isolated
+// functions whose printed text matches a previous build zero-copy (see
+// alias.BuildIndexCached) — the content-addressed incremental-build path a
+// re-upload or a recovery replay of a mostly-unchanged module takes. It
+// does NOT publish a state transition — the caller decides (Build for
+// standalone handles, Registry.Finish for async builds, where promotion
+// into the module table and the Ready transition must agree).
+func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOptions, withIndex bool, reuse *alias.IndexCache) error {
 	if maxSourceBytes > 0 && len(src) > maxSourceBytes {
 		return fmt.Errorf("source is %d bytes, exceeding the %d-byte limit", len(src), maxSourceBytes)
 	}
@@ -289,9 +296,11 @@ func (h *Handle) runBuild(src string, maxSourceBytes int, opts alias.ManagerOpti
 	var indexBytes int64
 	var ix *alias.Index
 	if withIndex {
-		if ix = alias.BuildIndex(mgr, m); ix != nil {
+		var reused int
+		if ix, reused = alias.BuildIndexCached(mgr, m, reuse); ix != nil {
 			mgr.AttachIndex(ix)
 			indexBytes = ix.MemBytes()
+			h.FuncsReused = reused
 		}
 	}
 	h.Mod = m
@@ -329,13 +338,13 @@ func (h *Handle) fail(err error) {
 // The returned error (also recorded on the handle) is safe to echo to
 // clients.
 func (h *Handle) Build(src string, maxSourceBytes int, opts alias.ManagerOptions) error {
-	return h.build(src, maxSourceBytes, opts, true)
+	return h.build(src, maxSourceBytes, opts, true, nil)
 }
 
 // build is Build with the index compile switchable (the service threads
-// Config.DisablePlanner through here).
-func (h *Handle) build(src string, maxSourceBytes int, opts alias.ManagerOptions, withIndex bool) error {
-	if err := h.runBuild(src, maxSourceBytes, opts, withIndex); err != nil {
+// Config.DisablePlanner through here) and the reuse cache pluggable.
+func (h *Handle) build(src string, maxSourceBytes int, opts alias.ManagerOptions, withIndex bool, reuse *alias.IndexCache) error {
+	if err := h.runBuild(src, maxSourceBytes, opts, withIndex, reuse); err != nil {
 		h.fail(err)
 		return err
 	}

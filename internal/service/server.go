@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"time"
 
+	"strconv"
+
 	"repro/internal/budget"
 	"repro/internal/telemetry"
 )
@@ -174,14 +176,44 @@ type BudgetStats struct {
 	InFlight     int64 `json:"in_flight"`
 }
 
+// StoreStats is the persistence section of /v1/stats, present only when
+// the daemon runs with -data-dir. Every number reads the same counters the
+// aliasd_store_* metric families render.
+type StoreStats struct {
+	Records         int     `json:"records"`
+	Bytes           int64   `json:"bytes"`
+	Puts            int64   `json:"puts"`
+	Deletes         int64   `json:"deletes"`
+	Quarantined     int64   `json:"quarantined"`
+	Errors          int64   `json:"errors"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	Recovering      bool    `json:"recovering"`
+	FunctionsReused int64   `json:"functions_reused"`
+}
+
+// ReuseStats is the cross-module analysis-reuse section of /v1/stats.
+type ReuseStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	UptimeMS int64 `json:"uptime_ms"`
+	// UptimeSeconds mirrors the aliasd_uptime_seconds gauge (same clock,
+	// same start instant) so the two surfaces reconcile.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version"`
 	// ModulesEvicted counts modules displaced from the full registry to
 	// admit newer uploads (0 unless eviction is enabled). Budget-governor
 	// evictions are counted separately in Budget.Evictions.
 	ModulesEvicted int64         `json:"modules_evicted"`
 	Budget         BudgetStats   `json:"budget"`
+	Store          *StoreStats   `json:"store,omitempty"`
+	Reuse          *ReuseStats   `json:"reuse,omitempty"`
 	Modules        []ModuleStats `json:"modules"`
 }
 
@@ -198,7 +230,7 @@ type HealthResponse struct {
 // would be refused. Load generators (and orchestrators) gate on this
 // instead of sleeping.
 type ReadyResponse struct {
-	Status     string `json:"status"` // ready | draining | backlogged | building
+	Status     string `json:"status"` // ready | draining | recovering | backlogged | building
 	Modules    int    `json:"modules"`
 	Building   int    `json:"building"`
 	QueueDepth int    `json:"queue_depth"`
@@ -235,20 +267,54 @@ type shedResponse struct {
 	RetryAfterMS int64  `json:"retry_after_ms"`
 }
 
-// shedRetryAfter is the uniform backoff hint on shed responses. One second
-// comfortably covers a governor tick (the budget can recover) and a drain
-// (the replacement instance can come up), without parking clients so long
-// that recovered capacity idles.
-const shedRetryAfter = time.Second
+// Retry-After bounds. The base second comfortably covers a governor tick;
+// the ceiling keeps clients from parking so long that recovered capacity
+// idles. Between them the hint scales with how overloaded the daemon
+// actually is — see retryAfterSeconds.
+const (
+	shedRetryAfterMin = 1 // seconds
+	shedRetryAfterMax = 8
+)
+
+// retryAfterSeconds computes the adaptive backoff hint for one shed: the
+// base second, plus the budget's watermark state (a soft daemon recovers
+// within a tick or two, a hard one needs evictions and a forced GC to
+// land), plus the in-flight depth relative to MaxInFlight (a full admission
+// window means the herd should spread out, not return in lockstep).
+// Monotone in both inputs and clamped to [shedRetryAfterMin,
+// shedRetryAfterMax] — the bounds the unit test pins.
+func (s *Service) retryAfterSeconds() int {
+	secs := shedRetryAfterMin
+	switch s.budget.State() {
+	case budget.StateSoft:
+		secs += 1
+	case budget.StateHard:
+		secs += 3
+	}
+	if limit := s.cfg.MaxInFlight; limit > 0 {
+		n := s.inflight.Load()
+		if n > int64(limit) {
+			n = int64(limit)
+		}
+		if n > 0 {
+			secs += int(4 * n / int64(limit))
+		}
+	}
+	if secs > shedRetryAfterMax {
+		secs = shedRetryAfterMax
+	}
+	return secs
+}
 
 // writeShed renders one load-shedding rejection: Retry-After header plus
-// the structured JSON body.
-func writeShed(w http.ResponseWriter, code int, reason, format string, args ...any) {
-	w.Header().Set("Retry-After", "1")
+// the structured JSON body, both carrying the same adaptive hint.
+func (s *Service) writeShed(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	secs := s.retryAfterSeconds()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeJSON(w, code, shedResponse{
 		Error:        fmt.Sprintf(format, args...),
 		Reason:       reason,
-		RetryAfterMS: shedRetryAfter.Milliseconds(),
+		RetryAfterMS: int64(secs) * 1000,
 	})
 }
 
@@ -264,9 +330,13 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	// Backlogged outranks building: a backlog at capacity means new async
 	// uploads are being refused right now, the stronger not-ready signal.
+	// Draining outranks recovering — a daemon told to shut down mid-replay
+	// is going away, not coming up.
 	switch {
 	case s.draining.Load():
 		resp.Status = "draining"
+	case s.recovering.Load():
+		resp.Status = "recovering"
 	case resp.QueueDepth >= s.cfg.BuildBacklog:
 		resp.Status = "backlogged"
 	case resp.Building > 0:
@@ -296,12 +366,19 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 	// rejections the retry client understands.
 	if s.draining.Load() {
 		s.sheds.uploadDraining.Add(1)
-		writeShed(w, http.StatusServiceUnavailable, "draining", "draining for shutdown, not accepting modules")
+		s.writeShed(w, http.StatusServiceUnavailable, "draining", "draining for shutdown, not accepting modules")
+		return
+	}
+	if s.recovering.Load() {
+		// Uploads race the manifest replay for names and build workers;
+		// shed them retryably until the recovered set is published.
+		s.sheds.uploadRecovering.Add(1)
+		s.writeShed(w, http.StatusServiceUnavailable, "recovering", "recovering persisted modules, retry shortly")
 		return
 	}
 	if s.budget.State() >= budget.StateHard {
 		s.sheds.uploadBudget.Add(1)
-		writeShed(w, http.StatusTooManyRequests, "budget",
+		s.writeShed(w, http.StatusTooManyRequests, "budget",
 			"memory budget exhausted (%d of %d bytes), retry later", s.budget.Used(), s.budget.Limit())
 		return
 	}
@@ -330,7 +407,7 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 		h := NewPending(name, format)
 		buildStart := time.Now()
 		s.injectBuild(name)
-		err := h.build(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner)
+		err := h.build(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner, s.reuse)
 		s.observeBuild(name, "sync", buildStart, err)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -344,6 +421,16 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
+		// Durability before acknowledgment: the 201 promises the module
+		// survives a crash, so the store write must land first. A persist
+		// failure unpublishes the module — better a clean 500 the client
+		// retries than a 201 whose module quietly evaporates on restart.
+		if err := s.persistModule(name, format, src); err != nil {
+			s.reg.Remove(name)
+			writeError(w, http.StatusInternalServerError, "persisting module: %v", err)
+			return
+		}
+		s.funcsReused.Add(int64(h.FuncsReused))
 		info := moduleInfo(h)
 		h.Release()
 		// A fresh module is the accounting's fastest-moving input; fold it
@@ -374,10 +461,20 @@ func (s *Service) handleCreateModule(w http.ResponseWriter, r *http.Request) {
 		defer h.Release()
 		buildStart := time.Now()
 		s.injectBuild(h.Name)
-		err := h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner)
+		err := h.runBuild(string(src), s.cfg.MaxSourceBytes, s.managerOptions(), !s.cfg.DisablePlanner, s.reuse)
 		s.observeBuild(h.Name, "async", buildStart, err)
 		s.reg.Finish(h, err)
-		if err == nil {
+		if err == nil && h.State() == StateReady {
+			s.funcsReused.Add(int64(h.FuncsReused))
+			// Durability follows promotion on the async path: the 202 never
+			// promised the module existed, so a persist failure here
+			// unpublishes it and logs — the status poll then reports the
+			// module gone, which a recovery-aware client treats as retry.
+			if perr := s.persistModule(h.Name, h.Format, src); perr != nil {
+				s.log.Error("persisting async module failed; unpublishing",
+					"module", h.Name, "error", perr)
+				s.reg.Remove(h.Name)
+			}
 			// Same prompt fold-in as the sync path, after Finish published
 			// the module to the sampler.
 			s.reconcileBudget()
@@ -402,11 +499,35 @@ func (s *Service) handleGetModule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleDeleteModule(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.Remove(r.PathValue("name")) {
-		writeError(w, http.StatusNotFound, "module %q not registered", r.PathValue("name"))
+	name := r.PathValue("name")
+	if !s.reg.Remove(name) {
+		writeError(w, http.StatusNotFound, "module %q not registered", name)
 		return
 	}
+	// Tombstone after the registry drop: a crash in between leaves a
+	// persisted module the next boot resurrects — stale but valid, and the
+	// client's DELETE can simply be repeated. The reverse order could lose
+	// a module that was never meant to be deleted.
+	if s.store != nil {
+		if _, err := s.store.Delete(name); err != nil {
+			s.storeFailing.Add(1)
+			s.log.Error("tombstoning deleted module failed", "module", name, "error", err)
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// persistModule records one acknowledged upload in the crash-safe store.
+// Nil-safe: a memory-only daemon skips straight to success.
+func (s *Service) persistModule(name, format string, src []byte) error {
+	if s.store == nil {
+		return nil
+	}
+	if err := s.store.Put(name, format, src); err != nil {
+		s.storeFailing.Add(1)
+		return err
+	}
+	return nil
 }
 
 // admitQuery reserves one in-flight slot, shedding (with the returned
@@ -416,11 +537,17 @@ func (s *Service) handleDeleteModule(w http.ResponseWriter, r *http.Request) {
 // the governor's reclamation can catch up. The caller must releaseQuery
 // exactly once when admitted.
 //
-// aliaslint:bounded — reason is one of three literals.
+// aliaslint:bounded — reason is one of four literals.
 func (s *Service) admitQuery() (reason string, ok bool) {
 	if s.draining.Load() {
 		s.sheds.draining.Add(1)
 		return "draining", false
+	}
+	if s.recovering.Load() {
+		// The recovered module set is still being published; a query now
+		// would 404 on modules that are about to exist. Retryable shed.
+		s.sheds.recovering.Add(1)
+		return "recovering", false
 	}
 	n := s.inflight.Add(1)
 	limit := s.cfg.MaxInFlight
@@ -456,7 +583,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 	reason, admitted := s.admitQuery()
 	if !admitted {
 		m.queryErrors.With(reason).Inc()
-		writeShed(w, http.StatusServiceUnavailable, reason, "query shed (%s), retry later", reason)
+		s.writeShed(w, http.StatusServiceUnavailable, reason, "query shed (%s), retry later", reason)
 		return
 	}
 	defer s.releaseQuery()
@@ -509,12 +636,12 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, context.DeadlineExceeded):
 			s.sheds.timeout.Add(1)
 			m.queryErrors.With("timeout").Inc()
-			writeShed(w, http.StatusServiceUnavailable, "timeout",
+			s.writeShed(w, http.StatusServiceUnavailable, "timeout",
 				"batch exceeded the %s deadline and was cancelled", s.cfg.QueryTimeout)
 		case errors.Is(err, context.Canceled):
 			s.sheds.canceled.Add(1)
 			m.queryErrors.With("canceled").Inc()
-			writeShed(w, http.StatusServiceUnavailable, "canceled", "batch cancelled")
+			s.writeShed(w, http.StatusServiceUnavailable, "canceled", "batch cancelled")
 		default:
 			m.queryErrors.With("batch").Inc()
 			writeError(w, http.StatusBadRequest, "%v", err)
@@ -588,13 +715,15 @@ func (s *Service) budgetStats() BudgetStats {
 			"hard": snap.Transitions[budget.StateHard],
 		},
 		Sheds: map[string]int64{
-			"draining":        s.sheds.draining.Load(),
-			"inflight":        s.sheds.inflight.Load(),
-			"budget":          s.sheds.budget.Load(),
-			"timeout":         s.sheds.timeout.Load(),
-			"canceled":        s.sheds.canceled.Load(),
-			"upload_budget":   s.sheds.uploadBudget.Load(),
-			"upload_draining": s.sheds.uploadDraining.Load(),
+			"draining":          s.sheds.draining.Load(),
+			"inflight":          s.sheds.inflight.Load(),
+			"budget":            s.sheds.budget.Load(),
+			"timeout":           s.sheds.timeout.Load(),
+			"canceled":          s.sheds.canceled.Load(),
+			"recovering":        s.sheds.recovering.Load(),
+			"upload_budget":     s.sheds.uploadBudget.Load(),
+			"upload_draining":   s.sheds.uploadDraining.Load(),
+			"upload_recovering": s.sheds.uploadRecovering.Load(),
 		},
 		CacheShrinks: s.cacheShrinks.Load(),
 		Evictions:    s.budgetEvictions.Load(),
@@ -605,10 +734,37 @@ func (s *Service) budgetStats() BudgetStats {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start)
 	resp := StatsResponse{
-		UptimeMS:       time.Since(s.start).Milliseconds(),
+		UptimeMS:       uptime.Milliseconds(),
+		UptimeSeconds:  uptime.Seconds(),
+		Version:        Version,
 		ModulesEvicted: s.reg.Evictions(),
 		Budget:         s.budgetStats(),
+	}
+	if s.store != nil {
+		st := s.store.Snapshot()
+		resp.Store = &StoreStats{
+			Records:         st.Records,
+			Bytes:           st.Bytes,
+			Puts:            st.Puts,
+			Deletes:         st.Deletes,
+			Quarantined:     st.Quarantined,
+			Errors:          s.storeFailing.Load(),
+			RecoverySeconds: time.Duration(s.recoveryDur.Load()).Seconds(),
+			Recovering:      s.recovering.Load(),
+			FunctionsReused: s.funcsReused.Load(),
+		}
+	}
+	if s.reuse != nil {
+		rs := s.reuse.Snapshot()
+		resp.Reuse = &ReuseStats{
+			Entries:   rs.Entries,
+			Bytes:     rs.Bytes,
+			Hits:      rs.Hits,
+			Misses:    rs.Misses,
+			Evictions: rs.Evictions,
+		}
 	}
 	handles := s.reg.List()
 	defer releaseAll(handles)

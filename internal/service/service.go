@@ -76,8 +76,13 @@ import (
 	"repro/internal/alias"
 	"repro/internal/budget"
 	"repro/internal/pool"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
+
+// Version identifies the daemon build on /metrics (aliasd_build_info) and
+// /v1/stats. Bumped per release PR.
+const Version = "0.10.0"
 
 // Defaults for Config fields left zero.
 const (
@@ -144,6 +149,14 @@ type Config struct {
 	// (0 = none). A batch past its deadline is cancelled mid-flight and
 	// answered with 503 + Retry-After.
 	QueryTimeout time.Duration
+	// Store is the crash-safe on-disk module store (nil = memory-only, the
+	// pre-PR-10 behavior). With a store configured, successful uploads are
+	// persisted before they are acknowledged, deletes are tombstoned, and
+	// Recover replays the manifest into the registry at boot.
+	Store *store.Store
+	// ReuseCacheBytes bounds the cross-module function-analysis reuse cache
+	// (0 = the alias-package 32 MiB default, negative = disable reuse).
+	ReuseCacheBytes int64
 	// Chaos injects synthetic faults at the service's seams (nil = off —
 	// production). See Injector.
 	Chaos Injector
@@ -196,6 +209,17 @@ type Service struct {
 	log     *slog.Logger
 	metrics *metrics
 
+	// store is the crash-safe module store (nil when running memory-only);
+	// reuse is the cross-module function-analysis cache runBuild consults.
+	// recovering is set for the duration of Recover's manifest replay —
+	// /readyz reports it and admission sheds with a retryable reason.
+	store        *store.Store
+	reuse        *alias.IndexCache
+	recovering   atomic.Bool
+	recoveryDur  atomic.Int64 // nanoseconds spent in the last Recover
+	funcsReused  atomic.Int64 // function analyses served from the reuse cache
+	storeFailing atomic.Int64 // persist operations that returned an error
+
 	// budget is the watermark tracker (nil-safe: disabled when MemBudget
 	// is 0); the governor fields drive its periodic reconcile loop.
 	budget    *budget.Tracker
@@ -228,13 +252,15 @@ type Service struct {
 //
 // aliaslint: never copy a shedCounters — it embeds atomics.
 type shedCounters struct {
-	draining       atomic.Int64 // queries rejected while draining
-	inflight       atomic.Int64 // queries past the MaxInFlight bound
-	budget         atomic.Int64 // queries rejected at the hard watermark
-	timeout        atomic.Int64 // queries cancelled at QueryTimeout
-	canceled       atomic.Int64 // queries whose client went away mid-batch
-	uploadBudget   atomic.Int64 // uploads rejected at the hard watermark
-	uploadDraining atomic.Int64 // uploads rejected while draining
+	draining         atomic.Int64 // queries rejected while draining
+	inflight         atomic.Int64 // queries past the MaxInFlight bound
+	budget           atomic.Int64 // queries rejected at the hard watermark
+	timeout          atomic.Int64 // queries cancelled at QueryTimeout
+	canceled         atomic.Int64 // queries whose client went away mid-batch
+	recovering       atomic.Int64 // queries rejected during store recovery
+	uploadBudget     atomic.Int64 // uploads rejected at the hard watermark
+	uploadDraining   atomic.Int64 // uploads rejected while draining
+	uploadRecovering atomic.Int64 // uploads rejected during store recovery
 }
 
 // New builds a service from the config (zero fields filled with defaults).
@@ -248,6 +274,15 @@ func New(cfg Config) *Service {
 		start:  time.Now(),
 		log:    cfg.Logger,
 		budget: budget.New(cfg.MemBudget, cfg.BudgetOptions),
+		store:  cfg.Store,
+	}
+	if cfg.ReuseCacheBytes >= 0 {
+		s.reuse = alias.NewIndexCache(cfg.ReuseCacheBytes)
+	}
+	if s.store != nil && cfg.Chaos != nil {
+		// The chaos seam for crash-after-write: every completed persist step
+		// reports through the injector, which may hard-exit the process.
+		s.store.WriteHook = func(step string) { s.injectStoreWrite(step) }
 	}
 	s.fullCacheLimit = cfg.CacheLimit
 	if s.fullCacheLimit == 0 {

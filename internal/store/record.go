@@ -1,0 +1,147 @@
+// Package store is aliasd's crash-safe on-disk module store: the layer
+// behind -data-dir that makes a registered module survive a kill -9.
+//
+// # Layout
+//
+//	<data-dir>/
+//	  MANIFEST          ordered op log (add/del lines), whole-file CRC
+//	  records/<id>.rec  one checksummed record per module upload
+//	  corrupt/          quarantined records and manifests, never served
+//
+// Every mutation follows the temp-file + fsync + atomic-rename discipline:
+// a record is written to records/<id>.rec.tmp, fsynced, renamed into place,
+// and only then does the manifest — itself rewritten through a temp file and
+// rename — start referencing it. A crash at any point between those steps
+// leaves either the old manifest (the upload never happened) or the new one
+// (the upload fully happened); the only other possible debris is an orphan
+// record or temp file, both swept at Open. Deletes tombstone the manifest
+// the same way (a "del" op line) before the record file is unlinked, so a
+// crash mid-delete can only resurrect nothing.
+//
+// Torn or bit-flipped data is detected, never served: records carry a CRC32
+// over the full payload plus an inner content hash over the source bytes,
+// the manifest carries a whole-file CRC line, and anything that fails a
+// check is moved to corrupt/ and skipped — a quarantine counter is the only
+// way the damage is visible, never a panic or a wrong answer.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record format version 1, fixed binary framing:
+//
+//	magic "ALS1"                      4 bytes (version is baked into the magic)
+//	payload length                    4 bytes, big endian
+//	payload:
+//	    name length                   2 bytes, big endian
+//	    name                          UTF-8 bytes
+//	    format length                 2 bytes, big endian
+//	    format                        UTF-8 bytes ("ir" | "minic")
+//	    content hash                  32 bytes, sha256 of the source
+//	    source                        remaining payload bytes
+//	CRC32 (IEEE) of payload           4 bytes, big endian
+//
+// The CRC catches torn writes and random corruption of the framing; the
+// inner hash additionally pins the source bytes to the identity the service
+// computed at upload time, so a record whose payload was consistently
+// rewritten still cannot smuggle different source under an old name.
+const (
+	recordMagic   = "ALS1"
+	FormatVersion = 1
+
+	headerLen  = 8 // magic + payload length
+	trailerLen = 4 // crc32
+	// minPayload is an empty-name, empty-format, empty-source payload.
+	minPayload = 2 + 2 + sha256.Size
+
+	// MaxRecordBytes bounds a single decoded record (64 MiB) — a corrupted
+	// length field must not drive a gigabyte allocation.
+	MaxRecordBytes = 64 << 20
+)
+
+// Record is one persisted module upload.
+type Record struct {
+	Name   string
+	Format string
+	Hash   [sha256.Size]byte // sha256 of Source
+	Source []byte
+}
+
+// EncodeRecord renders the record framing for name/format/source, computing
+// the content hash. The result decodes back to an identical Record.
+func EncodeRecord(name, format string, source []byte) ([]byte, error) {
+	if len(name) > 0xffff {
+		return nil, fmt.Errorf("store: module name is %d bytes, limit 65535", len(name))
+	}
+	if len(format) > 0xffff {
+		return nil, fmt.Errorf("store: format is %d bytes, limit 65535", len(format))
+	}
+	payloadLen := minPayload + len(name) + len(format) + len(source)
+	if headerLen+payloadLen+trailerLen > MaxRecordBytes {
+		return nil, fmt.Errorf("store: record would be %d bytes, limit %d", headerLen+payloadLen+trailerLen, MaxRecordBytes)
+	}
+	buf := make([]byte, 0, headerLen+payloadLen+trailerLen)
+	buf = append(buf, recordMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(format)))
+	buf = append(buf, format...)
+	h := sha256.Sum256(source)
+	buf = append(buf, h[:]...)
+	buf = append(buf, source...)
+	payload := buf[headerLen:]
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return buf, nil
+}
+
+// DecodeRecord parses and verifies one record. Every failure mode — short
+// buffer, wrong magic, inconsistent lengths, CRC mismatch, content-hash
+// mismatch, trailing garbage — is an error; a successful decode guarantees
+// the record is byte-identical to what EncodeRecord produced.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	if len(b) < headerLen+minPayload+trailerLen {
+		return r, fmt.Errorf("store: record truncated at %d bytes", len(b))
+	}
+	if string(b[:4]) != recordMagic {
+		return r, fmt.Errorf("store: bad record magic %q (want %q)", b[:4], recordMagic)
+	}
+	payloadLen := int(binary.BigEndian.Uint32(b[4:8]))
+	if payloadLen < minPayload || headerLen+payloadLen+trailerLen > MaxRecordBytes {
+		return r, fmt.Errorf("store: implausible payload length %d", payloadLen)
+	}
+	if len(b) != headerLen+payloadLen+trailerLen {
+		return r, fmt.Errorf("store: record is %d bytes, framing says %d",
+			len(b), headerLen+payloadLen+trailerLen)
+	}
+	payload := b[headerLen : headerLen+payloadLen]
+	wantCRC := binary.BigEndian.Uint32(b[headerLen+payloadLen:])
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return r, fmt.Errorf("store: record CRC mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+	nameLen := int(binary.BigEndian.Uint16(payload[:2]))
+	rest := payload[2:]
+	if len(rest) < nameLen+2 {
+		return r, fmt.Errorf("store: name length %d exceeds payload", nameLen)
+	}
+	r.Name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	formatLen := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) < formatLen+sha256.Size {
+		return r, fmt.Errorf("store: format length %d exceeds payload", formatLen)
+	}
+	r.Format = string(rest[:formatLen])
+	rest = rest[formatLen:]
+	copy(r.Hash[:], rest[:sha256.Size])
+	r.Source = append([]byte(nil), rest[sha256.Size:]...)
+	if got := sha256.Sum256(r.Source); got != r.Hash {
+		return r, fmt.Errorf("store: content hash mismatch for module %q", r.Name)
+	}
+	return r, nil
+}
